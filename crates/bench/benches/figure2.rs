@@ -1,0 +1,41 @@
+//! Figure 2 / T-sweep: evaluate the paper-scale performance model (the
+//! evaluation itself is cheap — this guards against regressions making the
+//! planning/costing path slow) and verify the headline shape inside the
+//! bench so `cargo bench` fails loudly if the reproduction drifts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xg_cluster::{plan, simulate_cgyro_sequential, simulate_xgyro, SchedulePolicy};
+use xg_costmodel::MachineModel;
+use xg_sim::CgyroInput;
+
+fn bench_figure2_eval(c: &mut Criterion) {
+    let input = CgyroInput::nl03c_like();
+    let machine = MachineModel::frontier_like();
+    let policy = SchedulePolicy::production();
+    c.bench_function("figure2_model_eval", |b| {
+        b.iter(|| {
+            let cgp = plan(&input, 1, 32, &machine).unwrap();
+            let xgp = plan(&input, 8, 32, &machine).unwrap();
+            let cg = simulate_cgyro_sequential(&input, cgp.grid, 8, 32, &machine, &policy);
+            let xg = simulate_xgyro(&input, xgp.grid, 8, 32, &machine, &policy);
+            let speedup = cg.total() / xg.total();
+            assert!(speedup > 1.2 && speedup < 2.0, "figure-2 shape drifted: {speedup}");
+            speedup
+        });
+    });
+}
+
+fn bench_min_nodes_search(c: &mut Criterion) {
+    let input = CgyroInput::nl03c_like();
+    let machine = MachineModel::frontier_like();
+    c.bench_function("planner_min_nodes_nl03c", |b| {
+        b.iter(|| {
+            let p = xg_cluster::min_nodes(&input, 1, &machine, 256).unwrap();
+            assert_eq!(p.nodes, 32);
+            p.nodes
+        });
+    });
+}
+
+criterion_group!(benches, bench_figure2_eval, bench_min_nodes_search);
+criterion_main!(benches);

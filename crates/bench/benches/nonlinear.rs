@@ -1,0 +1,37 @@
+//! Direct O(nt²) vs pseudo-spectral O(nt·log nt) nonlinear bracket — the
+//! algorithmic ablation behind `xg_sim::nonlinear::FFT_THRESHOLD`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xg_linalg::Complex64;
+use xg_sim::nonlinear::NlKernel;
+use xg_sim::CgyroInput;
+use xg_tensor::Tensor3;
+
+fn bench_nl_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nl_bracket");
+    for nt in [8usize, 16, 32] {
+        let mut input = CgyroInput::test_small();
+        input.n_toroidal = nt;
+        input.nonlinear_coupling = 0.3;
+        let k = NlKernel::new(&input);
+        assert!(k.uses_fft());
+        let nc = 8;
+        let nvl = 4;
+        let h = Tensor3::from_fn(nc, nvl, nt, |a, b, n| {
+            Complex64::new(((a + b + n) as f64).sin(), ((a * b + n) as f64).cos())
+        });
+        let phi: Vec<Complex64> =
+            (0..nc * nt).map(|i| Complex64::cis(i as f64 * 0.1)).collect();
+        let mut out = Tensor3::new(nc, nvl, nt);
+        g.bench_with_input(BenchmarkId::new("fft", nt), &nt, |b, _| {
+            b.iter(|| k.eval(&h, &phi, 0, &mut out));
+        });
+        g.bench_with_input(BenchmarkId::new("direct", nt), &nt, |b, _| {
+            b.iter(|| k.eval_direct(&h, &phi, 0, &mut out));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_nl_paths);
+criterion_main!(benches);

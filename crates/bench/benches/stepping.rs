@@ -1,0 +1,44 @@
+//! End-to-end time stepping: serial reference, distributed CGYRO, and the
+//! XGYRO ensemble — the functional counterpart of Figure 2's comparison
+//! (correctness-bearing; wall times here are shared-memory thread speeds).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xg_sim::{serial_simulation, CgyroInput, DistTopology, Simulation};
+use xg_tensor::ProcGrid;
+use xgyro_core::{gradient_sweep, run_cgyro_baseline, run_xgyro};
+
+fn bench_serial_step(c: &mut Criterion) {
+    let input = CgyroInput::test_small();
+    c.bench_function("serial_step_small", |b| {
+        let mut sim = serial_simulation(&input);
+        b.iter(|| sim.step());
+    });
+}
+
+fn bench_dist_step(c: &mut Criterion) {
+    let input = CgyroInput::test_small();
+    let grid = ProcGrid::new(2, 2);
+    c.bench_function("dist_step_2x2_incl_spawn", |b| {
+        b.iter(|| {
+            xg_comm::World::new(grid.size()).run(|comm| {
+                let topo = DistTopology::cgyro(&input, grid, comm);
+                let mut sim = Simulation::new(input.clone(), topo);
+                sim.run_steps(2);
+                sim.time()
+            })
+        });
+    });
+}
+
+fn bench_xgyro_vs_baseline(c: &mut Criterion) {
+    let cfg = gradient_sweep(&CgyroInput::test_small(), 2, ProcGrid::new(2, 1));
+    c.bench_function("xgyro_ensemble_k2_3steps", |b| {
+        b.iter(|| run_xgyro(&cfg, 3));
+    });
+    c.bench_function("cgyro_baseline_k2_3steps", |b| {
+        b.iter(|| run_cgyro_baseline(&cfg, 3));
+    });
+}
+
+criterion_group!(benches, bench_serial_step, bench_dist_step, bench_xgyro_vs_baseline);
+criterion_main!(benches);

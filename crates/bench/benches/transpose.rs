@@ -1,0 +1,46 @@
+//! Pack/unpack kernels of the str ↔ coll and str ↔ nl transposes — the
+//! local data-movement cost underneath every AllToAll in Figures 1 and 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xg_linalg::Complex64;
+use xg_tensor::{
+    pack_coll_block, pack_str_block, unpack_into_coll, unpack_into_str, Decomp1D, Tensor3,
+};
+
+fn bench_pack_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transpose_pack_roundtrip");
+    for &(nc, nv, nt) in &[(64usize, 48usize, 4usize), (256, 96, 8)] {
+        let parts = 4;
+        let nc_d = Decomp1D::new(nc, parts);
+        let nv_d = Decomp1D::new(nv, parts);
+        let h = Tensor3::from_fn(nc, nv / parts, nt, |a, b, cc| {
+            Complex64::new((a + b) as f64, cc as f64)
+        });
+        g.throughput(Throughput::Bytes((h.len() * 16) as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nc}x{nv}x{nt}")),
+            &(),
+            |b, _| {
+                let mut coll: Tensor3<Complex64> = Tensor3::new(nv, nc_d.count(0), nt);
+                let mut back: Tensor3<Complex64> = Tensor3::new(nc, nv / parts, nt);
+                b.iter(|| {
+                    for q in 0..parts {
+                        let mut blk = Vec::new();
+                        pack_str_block(&h, nc_d.range(q), &mut blk);
+                        if q == 0 {
+                            unpack_into_coll(&blk, nv_d.range(0), &mut coll);
+                        }
+                    }
+                    let mut blk = Vec::new();
+                    pack_coll_block(&coll, nv_d.range(0), &mut blk);
+                    unpack_into_str(&blk, nc_d.range(0), &mut back);
+                    back.as_slice()[0]
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pack_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! # xg-bench
+//!
+//! The experiment harness: one function per paper artifact (figures 1–3 and
+//! the quantitative claims of §1–§3), each returning a rendered report.
+//! The `paper_figures` binary dispatches on experiment id; the Criterion
+//! benches exercise the hot kernels. See DESIGN.md §5 for the experiment
+//! index and EXPERIMENTS.md for recorded paper-vs-measured numbers.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,146 @@
+//! `xgplan` — plan a CGYRO/XGYRO campaign on a modeled machine before
+//! burning an allocation.
+//!
+//! ```text
+//! xgplan --deck input.cgyro [--machine FILE|PRESET] [--variants N]
+//!        [--nodes N] [--reports R]
+//! ```
+//!
+//! Prints: the deck's memory law, the minimum feasible allocation, the
+//! per-ensemble-size forecast on the chosen node count, and the cheapest
+//! batching of the requested variants.
+
+use std::process::exit;
+use xg_costmodel::{parse_machine, preset, MachineModel, PRESET_NAMES};
+use xg_sim::load_deck;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: xgplan --deck input.cgyro [--machine FILE|PRESET] [--variants N]\n\
+         \u{20}                [--nodes N] [--reports R]\n\
+         presets: {}",
+        PRESET_NAMES.join(", ")
+    );
+    exit(2)
+}
+
+fn main() {
+    let mut deck_path = None;
+    let mut machine: Option<MachineModel> = None;
+    let mut variants = 8usize;
+    let mut nodes: Option<usize> = None;
+    let mut reports = 10usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deck" => deck_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--machine" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                machine = Some(match preset(&v) {
+                    Some(m) => m,
+                    None => match std::fs::read_to_string(&v) {
+                        Ok(text) => parse_machine(&text).unwrap_or_else(|e| {
+                            eprintln!("xgplan: {e}");
+                            exit(1);
+                        }),
+                        Err(e) => {
+                            eprintln!("xgplan: '{v}' is neither a preset nor a readable file: {e}");
+                            exit(1);
+                        }
+                    },
+                });
+            }
+            "--variants" => {
+                variants = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--nodes" => {
+                nodes = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--reports" => {
+                reports = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+    let deck_path = deck_path.unwrap_or_else(|| usage());
+    let input = load_deck(std::path::Path::new(&deck_path)).unwrap_or_else(|e| {
+        eprintln!("xgplan: {e}");
+        exit(1);
+    });
+    let machine = machine.unwrap_or_else(MachineModel::frontier_like);
+    let policy = xg_cluster::SchedulePolicy::production();
+
+    let d = input.dims();
+    println!(
+        "deck: nc={} nv={} nt={}  cmat={:.3} TB  key={:#018x}",
+        d.nc,
+        d.nv,
+        d.nt,
+        xg_sim::cmat_total_bytes(&input) as f64 / 1e12,
+        input.cmat_key()
+    );
+    println!(
+        "machine: {} ({} ranks/node, {:.1} GB usable/rank)",
+        machine.name,
+        machine.ranks_per_node,
+        machine.usable_mem_per_rank() as f64 / 1e9
+    );
+
+    let Some(single) = xg_cluster::min_nodes(&input, 1, &machine, 4096) else {
+        println!("this deck does not fit on the machine at any allocation up to 4096 nodes");
+        exit(1);
+    };
+    println!(
+        "\nminimum single-simulation allocation: {} nodes ({} ranks, grid {}x{}, {:.1} GB/rank)",
+        single.nodes,
+        single.ranks,
+        single.grid.n1,
+        single.grid.n2,
+        single.per_rank_bytes as f64 / 1e9
+    );
+
+    let nodes = nodes.unwrap_or(single.nodes);
+    println!("\nensemble forecast on {nodes} nodes (seconds per reporting step):");
+    println!("  k     feasible   s/report   speedup vs CGYROxk");
+    for k in [1usize, 2, 4, 8, 16, 32] {
+        if k > variants.max(1) * 4 {
+            break;
+        }
+        match xg_cluster::plan(&input, k, nodes, &machine) {
+            Some(p) if p.feasible() => {
+                let xg = xg_cluster::simulate_xgyro(&input, p.grid, k, nodes, &machine, &policy);
+                let cg = xg_cluster::simulate_cgyro_sequential(
+                    &input, single.grid, k, nodes, &machine, &policy,
+                );
+                println!(
+                    "  {:<5} {:>8}   {:>8.1}   {:>8.2}x",
+                    k,
+                    "yes",
+                    xg.total(),
+                    cg.total() / xg.total()
+                );
+            }
+            Some(_) => println!("  {:<5} {:>8}", k, "no (memory)"),
+            None => println!("  {:<5} {:>8}", k, "no (no valid grid)"),
+        }
+    }
+
+    match xg_cluster::optimize_campaign(&input, variants, nodes, reports, &machine, &policy) {
+        Some(plan) => {
+            let best = plan.best();
+            println!(
+                "\ncheapest batching for {variants} variants x {reports} reports: \
+                 {} batch(es) of k={} -> {:.1} node-hours",
+                best.batches, best.k, best.node_hours
+            );
+            if let Some(base) = plan.baseline() {
+                println!(
+                    "  (sequential baseline: {:.1} node-hours; saving {:.0}%)",
+                    base.node_hours,
+                    100.0 * (1.0 - best.node_hours / base.node_hours)
+                );
+            }
+        }
+        None => println!("\nno feasible batching for {variants} variants on {nodes} nodes"),
+    }
+}

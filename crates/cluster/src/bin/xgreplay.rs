@@ -1,0 +1,90 @@
+//! `xgreplay` — replay a recorded communication trace (from
+//! `xgyro --trace FILE`) against a machine model, with optional injected
+//! compute jitter, reporting makespan, wait time and the per-phase
+//! breakdown.
+//!
+//! ```text
+//! xgreplay --trace FILE [--machine FILE|PRESET] [--jitter-us N]
+//! ```
+
+use std::process::exit;
+use xg_costmodel::{parse_machine, preset, MachineModel, Placement};
+
+fn usage() -> ! {
+    eprintln!("usage: xgreplay --trace FILE [--machine FILE|PRESET] [--jitter-us N]");
+    exit(2)
+}
+
+fn main() {
+    let mut trace_path = None;
+    let mut machine: Option<MachineModel> = None;
+    let mut jitter_us = 0.0f64;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => trace_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--machine" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                machine = Some(match preset(&v) {
+                    Some(m) => m,
+                    None => {
+                        let text = std::fs::read_to_string(&v).unwrap_or_else(|e| {
+                            eprintln!("xgreplay: cannot read machine file {v}: {e}");
+                            exit(1);
+                        });
+                        parse_machine(&text).unwrap_or_else(|e| {
+                            eprintln!("xgreplay: {e}");
+                            exit(1);
+                        })
+                    }
+                });
+            }
+            "--jitter-us" => {
+                jitter_us =
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+    let trace_path = trace_path.unwrap_or_else(|| usage());
+    let text = std::fs::read_to_string(&trace_path).unwrap_or_else(|e| {
+        eprintln!("xgreplay: cannot read {trace_path}: {e}");
+        exit(1);
+    });
+    let traces = xg_comm::traces_from_csv(&text).unwrap_or_else(|e| {
+        eprintln!("xgreplay: {e}");
+        exit(1);
+    });
+    let machine = machine.unwrap_or_else(MachineModel::frontier_like);
+    let placement = Placement { ranks_per_node: machine.ranks_per_node };
+
+    // Deterministic per-(rank, op) jitter in [0, jitter_us].
+    let jitter = jitter_us * 1e-6;
+    let compute = move |r: usize, i: usize| {
+        let h = (r as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((i as u64).wrapping_mul(0xBF58476D1CE4E5B9));
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        jitter * u
+    };
+
+    match xg_cluster::replay(&traces, &machine, placement, compute) {
+        Ok(out) => {
+            println!(
+                "replayed {} ranks on {}: makespan {:.3} ms, total wait {:.3} ms",
+                traces.len(),
+                machine.name,
+                out.makespan() * 1e3,
+                out.total_wait() * 1e3
+            );
+            println!("\nper-(phase, op) critical-path seconds:");
+            for (phase, cat, secs) in out.breakdown.iter() {
+                println!("  {phase:<8} {cat:<16} {:.6}", secs);
+            }
+        }
+        Err(e) => {
+            eprintln!("xgreplay: {e}");
+            exit(1);
+        }
+    }
+}

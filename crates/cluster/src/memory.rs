@@ -1,0 +1,181 @@
+//! Per-rank memory inventory.
+//!
+//! Models the buffer footprint of a **production** CGYRO-class run (the
+//! paper's subject), not just our lean functional mini-code: besides the
+//! distribution stack, the real code carries gyroaverage coefficient
+//! tables, nonlinear FFT workspaces, transpose staging and field arrays.
+//! The named inventory below reproduces the paper's headline memory fact —
+//! for the `nl03c`-like deck the constant tensor is ≈10× everything else
+//! combined — and its strong-scaling invariance (both sides split along
+//! `nc`/`nt`).
+
+use xg_sim::CgyroInput;
+use xg_tensor::{Decomp1D, ProcGrid};
+
+/// What role a buffer plays (used for report grouping).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BufferCategory {
+    /// The collisional constant tensor.
+    Constant,
+    /// Evolving distribution-sized complex state.
+    State,
+    /// Precomputed coefficient tables.
+    Coefficient,
+    /// Transpose/FFT staging.
+    Workspace,
+    /// Field-sized arrays (`nc × nt_loc`).
+    Field,
+}
+
+/// One named buffer with its per-rank size.
+#[derive(Clone, Debug)]
+pub struct BufferSpec {
+    /// Buffer name (mirrors production CGYRO array names where sensible).
+    pub name: &'static str,
+    /// Per-rank bytes (worst-case rank).
+    pub bytes: u64,
+    /// Role.
+    pub category: BufferCategory,
+}
+
+/// Per-rank inventory for one simulation distributed on `grid`, with the
+/// constant tensor split over `coll_parts` ranks (`n1` in CGYRO mode,
+/// `k·n1` in XGYRO mode).
+pub fn rank_inventory(
+    input: &CgyroInput,
+    grid: ProcGrid,
+    coll_parts: usize,
+) -> Vec<BufferSpec> {
+    let d = input.dims();
+    let nv_loc = Decomp1D::new(d.nv, grid.n1).max_count() as u64;
+    let nt_loc = Decomp1D::new(d.nt, grid.n2).max_count() as u64;
+    let nc = d.nc as u64;
+    let nv = d.nv as u64;
+    let state = nc * nv_loc * nt_loc; // complex elements
+    let cplx = 16u64;
+    let real = 8u64;
+    let field = nc * nt_loc;
+
+    let cmat_bytes =
+        nv * nv * Decomp1D::new(d.nc, coll_parts).max_count() as u64 * nt_loc * real;
+
+    let mut out = vec![BufferSpec {
+        name: "cmat",
+        bytes: cmat_bytes,
+        category: BufferCategory::Constant,
+    }];
+    // Distribution-sized complex state (production CGYRO: h_x, h_0, cap_h,
+    // four RK stage buffers, omega_cap_h, omega_s, omega_ss).
+    for name in [
+        "h_x", "h_0", "cap_h", "rhs_1", "rhs_2", "rhs_3", "rhs_4", "omega_cap_h", "omega_s",
+        "omega_ss",
+    ] {
+        out.push(BufferSpec { name, bytes: state * cplx, category: BufferCategory::State });
+    }
+    // Coefficient tables.
+    for name in ["gyro_avg_phi", "gyro_avg_apar", "gyro_avg_bpar", "dv_gyro_phi", "dv_gyro_apar", "dv_gyro_bpar", "omega_drift", "omega_drive", "upfac1", "upfac2"] {
+        out.push(BufferSpec {
+            name,
+            bytes: state * real,
+            category: BufferCategory::Coefficient,
+        });
+    }
+    out.push(BufferSpec {
+        name: "omega_stream",
+        bytes: state * cplx,
+        category: BufferCategory::Coefficient,
+    });
+    // Workspaces: nonlinear FFT pairs and transpose staging.
+    for name in ["nl_f", "nl_g", "nl_fft_x", "nl_fft_y", "transpose_send", "transpose_recv", "coll_h", "coll_scratch"] {
+        out.push(BufferSpec {
+            name,
+            bytes: state * cplx,
+            category: BufferCategory::Workspace,
+        });
+    }
+    // Field-sized arrays (potential + old copies + moment accumulators).
+    for name in ["field_phi", "field_apar", "field_bpar", "field_old", "field_old2", "field_old3", "moment_n", "moment_e", "moment_v"] {
+        out.push(BufferSpec { name, bytes: field * cplx, category: BufferCategory::Field });
+    }
+    out
+}
+
+/// Summed bytes of an inventory, optionally filtered by category.
+pub fn total_bytes(inv: &[BufferSpec], category: Option<BufferCategory>) -> u64 {
+    inv.iter()
+        .filter(|b| category.is_none_or(|c| b.category == c))
+        .map(|b| b.bytes)
+        .sum()
+}
+
+/// The cmat-to-everything-else ratio of an inventory.
+pub fn cmat_ratio(inv: &[BufferSpec]) -> f64 {
+    let cmat = total_bytes(inv, Some(BufferCategory::Constant)) as f64;
+    let rest = total_bytes(inv, None) as f64 - cmat;
+    cmat / rest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nl03c_cmat_dominates_by_about_10x() {
+        // Paper §1: "for the benchmark input nl03c the constant cmat is 10x
+        // the size of all the other memory buffers combined."
+        let input = CgyroInput::nl03c_like();
+        let grid = ProcGrid::new(16, 16); // 256 ranks
+        let inv = rank_inventory(&input, grid, grid.n1);
+        let r = cmat_ratio(&inv);
+        assert!((8.0..14.0).contains(&r), "cmat/rest = {r:.2}, expected ≈10x");
+    }
+
+    #[test]
+    fn ratio_invariant_under_strong_scaling() {
+        // Paper §2: "The relative difference in size compared to the other
+        // buffers thus does not change with strong scaling."
+        let input = CgyroInput::nl03c_like();
+        let r1 = cmat_ratio(&rank_inventory(&input, ProcGrid::new(8, 16), 8));
+        let r2 = cmat_ratio(&rank_inventory(&input, ProcGrid::new(16, 16), 16));
+        let r3 = cmat_ratio(&rank_inventory(&input, ProcGrid::new(32, 16), 32));
+        assert!((r1 - r2).abs() / r2 < 0.05, "{r1} vs {r2}");
+        assert!((r3 - r2).abs() / r2 < 0.05, "{r3} vs {r2}");
+    }
+
+    #[test]
+    fn xgyro_sharing_shrinks_only_cmat() {
+        let input = CgyroInput::nl03c_like();
+        let grid = ProcGrid::new(2, 16); // per-sim grid in the k=8 ensemble
+        let k = 8;
+        let cgyro = rank_inventory(&input, grid, grid.n1);
+        let xgyro = rank_inventory(&input, grid, k * grid.n1);
+        let cg_cmat = total_bytes(&cgyro, Some(BufferCategory::Constant));
+        let xg_cmat = total_bytes(&xgyro, Some(BufferCategory::Constant));
+        assert_eq!(cg_cmat, xg_cmat * k as u64, "cmat drops k-fold");
+        // Everything else identical.
+        let cg_rest = total_bytes(&cgyro, None) - cg_cmat;
+        let xg_rest = total_bytes(&xgyro, None) - xg_cmat;
+        assert_eq!(cg_rest, xg_rest);
+    }
+
+    #[test]
+    fn inventory_has_distinct_names() {
+        let input = CgyroInput::test_small();
+        let inv = rank_inventory(&input, ProcGrid::new(2, 1), 2);
+        let mut names: Vec<_> = inv.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), inv.len(), "buffer names must be unique");
+        assert!(inv.iter().all(|b| b.bytes > 0));
+    }
+
+    #[test]
+    fn state_buffers_scale_with_decomposition() {
+        let input = CgyroInput::test_medium();
+        let one = rank_inventory(&input, ProcGrid::new(1, 1), 1);
+        let four = rank_inventory(&input, ProcGrid::new(2, 2), 2);
+        let s1 = total_bytes(&one, Some(BufferCategory::State));
+        let s4 = total_bytes(&four, Some(BufferCategory::State));
+        assert_eq!(s1, s4 * 4, "state splits over both grid dimensions");
+    }
+}

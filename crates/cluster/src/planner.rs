@@ -1,0 +1,193 @@
+//! Job planning: valid decompositions and minimum-node search.
+//!
+//! CGYRO-style validity: the toroidal split must divide `nt`, and the
+//! `n1` split must divide both `nv` and `nc` (the production code requires
+//! exact divisibility for its transposes). These constraints quantize the
+//! feasible rank counts — for the `nl03c`-like deck on a Frontier-like
+//! machine they jump from 128 straight to 256 ranks, which combined with
+//! the memory budget makes **32 nodes the minimum single-simulation
+//! allocation**, exactly the paper's statement.
+
+use crate::memory::{rank_inventory, total_bytes, BufferCategory};
+use xg_costmodel::MachineModel;
+use xg_sim::CgyroInput;
+use xg_tensor::ProcGrid;
+
+/// A feasible (or infeasible) placement of an ensemble on nodes.
+#[derive(Clone, Debug)]
+pub struct JobPlan {
+    /// Node count.
+    pub nodes: usize,
+    /// Total ranks.
+    pub ranks: usize,
+    /// Ensemble size.
+    pub k: usize,
+    /// Per-simulation process grid.
+    pub grid: ProcGrid,
+    /// Worst-case per-rank bytes.
+    pub per_rank_bytes: u64,
+    /// Per-rank constant-tensor bytes.
+    pub cmat_bytes: u64,
+    /// Usable per-rank budget of the machine.
+    pub budget_bytes: u64,
+}
+
+impl JobPlan {
+    /// True when the plan fits in memory.
+    pub fn feasible(&self) -> bool {
+        self.per_rank_bytes <= self.budget_bytes
+    }
+}
+
+/// All CGYRO-valid per-simulation grids for a given rank count.
+pub fn valid_grids(input: &CgyroInput, ranks: usize) -> Vec<ProcGrid> {
+    let d = input.dims();
+    let mut out = Vec::new();
+    for n2 in 1..=ranks {
+        if !ranks.is_multiple_of(n2) || !d.nt.is_multiple_of(n2) {
+            continue;
+        }
+        let n1 = ranks / n2;
+        if n1 > d.nv || !d.nv.is_multiple_of(n1) || !d.nc.is_multiple_of(n1) {
+            continue;
+        }
+        out.push(ProcGrid::new(n1, n2));
+    }
+    // Prefer the largest toroidal split (CGYRO's convention), then n1.
+    out.sort_by_key(|g| std::cmp::Reverse((g.n2, g.n1)));
+    out
+}
+
+/// Plan an ensemble of `k` simulations on `nodes` nodes. Returns `None`
+/// when no CGYRO-valid decomposition exists for that rank count.
+pub fn plan(
+    input: &CgyroInput,
+    k: usize,
+    nodes: usize,
+    machine: &MachineModel,
+) -> Option<JobPlan> {
+    let total_ranks = machine.ranks(nodes);
+    if !total_ranks.is_multiple_of(k) {
+        return None;
+    }
+    let per_sim = total_ranks / k;
+    let grid = valid_grids(input, per_sim).into_iter().next()?;
+    let inv = rank_inventory(input, grid, k * grid.n1);
+    let per_rank = total_bytes(&inv, None);
+    let cmat = total_bytes(&inv, Some(BufferCategory::Constant));
+    Some(JobPlan {
+        nodes,
+        ranks: total_ranks,
+        k,
+        grid,
+        per_rank_bytes: per_rank,
+        cmat_bytes: cmat,
+        budget_bytes: machine.usable_mem_per_rank(),
+    })
+}
+
+/// Smallest node count on which `k` simulations fit as one XGYRO job
+/// (`k = 1` is a plain CGYRO job). Searches up to `max_nodes`.
+pub fn min_nodes(
+    input: &CgyroInput,
+    k: usize,
+    machine: &MachineModel,
+    max_nodes: usize,
+) -> Option<JobPlan> {
+    (1..=max_nodes).find_map(|nodes| {
+        plan(input, k, nodes, machine).filter(|p| p.feasible())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frontier() -> MachineModel {
+        MachineModel::frontier_like()
+    }
+
+    #[test]
+    fn nl03c_single_sim_needs_32_nodes() {
+        // Paper §3: "a single CGYRO simulation does require at least 32
+        // nodes."
+        let input = CgyroInput::nl03c_like();
+        let plan = min_nodes(&input, 1, &frontier(), 128).expect("must fit somewhere");
+        assert_eq!(plan.nodes, 32, "minimum feasible allocation");
+        assert_eq!(plan.ranks, 256);
+        assert_eq!(plan.grid.n2, 16, "toroidal split preferred");
+        assert_eq!(plan.grid.n1, 16);
+    }
+
+    #[test]
+    fn nl03c_16_nodes_is_memory_infeasible() {
+        let input = CgyroInput::nl03c_like();
+        let p = plan(&input, 1, 16, &frontier()).expect("decomposition exists");
+        assert!(!p.feasible(), "128 ranks must exceed the per-rank budget");
+    }
+
+    #[test]
+    fn xgyro_fits_8_sims_on_the_same_32_nodes() {
+        // The paper's benchmark setup: 8 nl03c variants on 32 nodes as one
+        // ensemble — 8x the science on the allocation a single CGYRO run
+        // needs.
+        let input = CgyroInput::nl03c_like();
+        let p = plan(&input, 8, 32, &frontier()).expect("plan exists");
+        assert!(p.feasible(), "per-rank {} > budget {}", p.per_rank_bytes, p.budget_bytes);
+        assert_eq!(p.grid.n1, 2);
+        assert_eq!(p.grid.n2, 16);
+        // And the ensemble minimum is also 32 nodes.
+        let min = min_nodes(&input, 8, &frontier(), 128).unwrap();
+        assert_eq!(min.nodes, 32);
+    }
+
+    #[test]
+    fn xgyro_16_sims_do_not_fit_on_32_nodes() {
+        // Sharing cmat cannot shrink the per-simulation state buffers: at
+        // k = 16 each rank would hold 16x the state of the 256-rank run
+        // and blows the budget (the sweep saturates at k = 8).
+        let input = CgyroInput::nl03c_like();
+        let p = plan(&input, 16, 32, &frontier()).expect("plan exists");
+        assert!(!p.feasible());
+    }
+
+    #[test]
+    fn valid_grids_respect_divisibility() {
+        let input = CgyroInput::nl03c_like(); // nv=576, nc=2^17, nt=16
+        // 192 ranks has no valid grid: n1 would need to divide both 576
+        // and 2^17 (gcd 64), but 192 = n2*n1 with n2 | 16 forces n1 ∈
+        // {12, 24, 48, 96, 192} — none divide 2^17.
+        assert!(valid_grids(&input, 192).is_empty());
+        // 256 = 16 × 16 works.
+        let grids = valid_grids(&input, 256);
+        assert!(grids.iter().any(|g| g.n1 == 16 && g.n2 == 16));
+        // Every returned grid multiplies out and divides the dims.
+        for g in &grids {
+            assert_eq!(g.size(), 256);
+            assert_eq!(input.dims().nt % g.n2, 0);
+            assert_eq!(input.dims().nv % g.n1, 0);
+            assert_eq!(input.dims().nc % g.n1, 0);
+        }
+    }
+
+    #[test]
+    fn cmat_per_rank_equal_between_cgyro_256_and_xgyro_ensemble() {
+        // Both split one cmat copy over 256 ranks.
+        let input = CgyroInput::nl03c_like();
+        let m = frontier();
+        let cg = plan(&input, 1, 32, &m).unwrap();
+        let xg = plan(&input, 8, 32, &m).unwrap();
+        assert_eq!(cg.cmat_bytes, xg.cmat_bytes);
+        // But XGYRO carries 8x the per-rank state.
+        assert!(xg.per_rank_bytes > cg.per_rank_bytes);
+    }
+
+    #[test]
+    fn small_cluster_plans_small_decks() {
+        let input = CgyroInput::test_medium();
+        let m = MachineModel::small_cluster();
+        let p = min_nodes(&input, 1, &m, 64).expect("tiny deck fits easily");
+        assert_eq!(p.nodes, 1);
+        assert!(p.feasible());
+    }
+}

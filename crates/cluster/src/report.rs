@@ -1,0 +1,130 @@
+//! Figure-2-style report tables.
+
+use crate::simtime::ScenarioReport;
+
+/// The categories shown in the Figure-2 reproduction, in display order.
+pub const CATEGORIES: [(&str, &str); 7] = [
+    ("str", "comm"),
+    ("str", "compute"),
+    ("nl", "comm"),
+    ("nl", "compute"),
+    ("coll", "comm"),
+    ("coll", "compute"),
+    ("report", "overhead"),
+];
+
+/// Render scenarios side by side as an aligned text table (seconds per
+/// reporting step), with totals and the derived headline ratios.
+pub fn figure2_table(scenarios: &[&ScenarioReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<16}", "category"));
+    for s in scenarios {
+        out.push_str(&format!("{:>24}", s.label));
+    }
+    out.push('\n');
+    for (phase, cat) in CATEGORIES {
+        out.push_str(&format!("{:<16}", format!("{phase} {cat}")));
+        for s in scenarios {
+            out.push_str(&format!("{:>24.1}", s.breakdown.get(phase, cat)));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:<16}", "TOTAL"));
+    for s in scenarios {
+        out.push_str(&format!("{:>24.1}", s.total()));
+    }
+    out.push('\n');
+    if scenarios.len() == 2 {
+        let (a, b) = (scenarios[0], scenarios[1]);
+        out.push_str(&format!(
+            "\nspeedup (total):    {:.2}x\nstr-comm ratio:     {:.2}x\n",
+            a.total() / b.total(),
+            a.str_comm() / b.str_comm()
+        ));
+    }
+    out
+}
+
+/// Render a scenario as a CGYRO-style `out.cgyro.timing` log: one row per
+/// reporting step with per-phase seconds — the same shape as the logs the
+/// paper publishes as its data artifact ("Complete simulation logs can be
+/// found in \[5\]").
+///
+/// Columns: `TIME  str  str_comm  nl  nl_comm  coll  coll_comm  io  TOTAL`,
+/// with `str`/`nl`/`coll` the compute components.
+pub fn cgyro_timing_log(s: &ScenarioReport, reports: usize, dt_report: f64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# {} on {} nodes (grid {}x{}, k={})", s.label, s.nodes, s.grid.n1, s.grid.n2, s.k);
+    let _ = writeln!(
+        out,
+        "{:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "TIME", "str", "str_comm", "nl", "nl_comm", "coll", "coll_comm", "io", "TOTAL"
+    );
+    for r in 1..=reports {
+        let t = r as f64 * dt_report;
+        let _ = writeln!(
+            out,
+            "{:>8.2} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+            t,
+            s.breakdown.get("str", "compute"),
+            s.breakdown.get("str", "comm"),
+            s.breakdown.get("nl", "compute"),
+            s.breakdown.get("nl", "comm"),
+            s.breakdown.get("coll", "compute"),
+            s.breakdown.get("coll", "comm"),
+            s.breakdown.get("report", "overhead"),
+            s.total()
+        );
+    }
+    out
+}
+
+/// Parse the total column back out of a [`cgyro_timing_log`] (used by
+/// tests and by downstream tooling that scrapes production logs the same
+/// way).
+pub fn parse_timing_totals(log: &str) -> Vec<f64> {
+    log.lines()
+        .filter(|l| !l.starts_with('#') && !l.trim_start().starts_with("TIME"))
+        .filter_map(|l| l.split_whitespace().last()?.parse().ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simtime::{simulate_cgyro_sequential, simulate_xgyro, SchedulePolicy};
+    use xg_costmodel::MachineModel;
+    use xg_sim::CgyroInput;
+    use xg_tensor::ProcGrid;
+
+    #[test]
+    fn timing_log_roundtrips_totals() {
+        let input = CgyroInput::nl03c_like();
+        let m = MachineModel::frontier_like();
+        let pol = SchedulePolicy::production();
+        let xg = simulate_xgyro(&input, ProcGrid::new(2, 16), 8, 32, &m, &pol);
+        let log = cgyro_timing_log(&xg, 3, 81.0 / 3.0);
+        assert!(log.contains("str_comm"));
+        assert!(log.lines().count() >= 5);
+        let totals = parse_timing_totals(&log);
+        assert_eq!(totals.len(), 3);
+        for t in totals {
+            assert!((t - xg.total()).abs() < 0.05 * xg.total());
+        }
+    }
+
+    #[test]
+    fn table_renders_scenarios() {
+        let input = CgyroInput::nl03c_like();
+        let m = MachineModel::frontier_like();
+        let pol = SchedulePolicy::production();
+        let cg = simulate_cgyro_sequential(&input, ProcGrid::new(16, 16), 8, 32, &m, &pol);
+        let xg = simulate_xgyro(&input, ProcGrid::new(2, 16), 8, 32, &m, &pol);
+        let t = figure2_table(&[&cg, &xg]);
+        assert!(t.contains("str comm"));
+        assert!(t.contains("TOTAL"));
+        assert!(t.contains("speedup"));
+        assert!(t.contains("XGYRO k=8"));
+    }
+}

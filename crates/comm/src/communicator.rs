@@ -1,0 +1,438 @@
+//! Communicators and collective operations.
+//!
+//! A [`Communicator`] is a handle held by one rank onto a group of ranks
+//! sharing a rendezvous [`crate::exchange::Slot`] — collectives are
+//! blocking and totally ordered per communicator; disjoint communicators
+//! proceed independently (so the k per-simulation str communicators of an
+//! XGYRO ensemble never serialize against each other).
+//!
+//! Reductions are **deterministic**: contributions are combined in
+//! communicator-rank order, so repeated runs and re-partitioned ensembles
+//! with identical sub-grids produce bitwise-identical results — the
+//! property the equivalence experiment (T-correct) relies on.
+
+use crate::exchange::Slot;
+use crate::p2p::Mailbox;
+use crate::stats::{OpKind, TrafficLog};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use xg_linalg::Complex64;
+
+/// Shared world-level infrastructure every communicator hangs off.
+pub(crate) struct WorldShared {
+    pub(crate) mailboxes: Vec<Mailbox>,
+    pub(crate) next_comm_id: AtomicU64,
+    pub(crate) slot_registry: parking_lot::Mutex<Vec<std::sync::Weak<Slot>>>,
+}
+
+impl WorldShared {
+    pub(crate) fn new(size: usize) -> Arc<Self> {
+        Arc::new(Self {
+            mailboxes: (0..size).map(|_| Mailbox::new()).collect(),
+            next_comm_id: AtomicU64::new(1),
+            slot_registry: parking_lot::Mutex::new(Vec::new()),
+        })
+    }
+
+    pub(crate) fn register_slot(&self, slot: &Arc<Slot>) {
+        self.slot_registry.lock().push(Arc::downgrade(slot));
+    }
+
+    /// Poison every live slot and mailbox so ranks blocked in collectives
+    /// fail fast instead of deadlocking when a peer panics.
+    pub(crate) fn poison_all(&self) {
+        for w in self.slot_registry.lock().iter() {
+            if let Some(s) = w.upgrade() {
+                s.poison();
+            }
+        }
+        for mb in &self.mailboxes {
+            mb.poison();
+        }
+    }
+}
+
+/// A per-rank handle to a communicator (a rank group + rendezvous slot).
+#[derive(Clone)]
+pub struct Communicator {
+    /// Rank within this communicator.
+    rank: usize,
+    /// Global rank (within the world), used for mailboxes and logging.
+    global_rank: usize,
+    /// Global ranks of the members, indexed by communicator rank.
+    members: Arc<Vec<usize>>,
+    slot: Arc<Slot>,
+    world: Arc<WorldShared>,
+    log: Arc<TrafficLog>,
+    label: Arc<str>,
+    comm_id: u64,
+}
+
+impl Communicator {
+    pub(crate) fn new_world(
+        global_rank: usize,
+        size: usize,
+        slot: Arc<Slot>,
+        world: Arc<WorldShared>,
+        log: Arc<TrafficLog>,
+    ) -> Self {
+        Self {
+            rank: global_rank,
+            global_rank,
+            members: Arc::new((0..size).collect()),
+            slot,
+            world,
+            log,
+            label: Arc::from("world"),
+            comm_id: 0,
+        }
+    }
+
+    /// Rank of this process within the communicator.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Global (world) rank of this process.
+    pub fn global_rank(&self) -> usize {
+        self.global_rank
+    }
+
+    /// Global ranks of all members, in communicator-rank order.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Human-readable label (`"world"`, `"nv"`, `"coll-ens"`, …).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The per-rank traffic log this communicator records into.
+    pub fn log(&self) -> &Arc<TrafficLog> {
+        &self.log
+    }
+
+    /// Tag the current logical phase for traffic accounting.
+    pub fn set_phase(&self, phase: &str) {
+        self.log.set_phase(phase);
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.log.record(OpKind::Barrier, &self.label, &self.members, 0);
+        self.slot.exchange(self.rank, (), |_| ());
+    }
+
+    /// Gather every rank's slice; returns the per-rank vectors in rank
+    /// order.
+    pub fn all_gather<T: Clone + Send + Sync + 'static>(&self, local: &[T]) -> Vec<Vec<T>> {
+        let bytes = std::mem::size_of_val(local) as u64;
+        self.log.record(OpKind::AllGather, &self.label, &self.members, bytes);
+        let res = self.slot.exchange(self.rank, local.to_vec(), |items| items);
+        (*res).clone()
+    }
+
+    /// Element-wise sum-reduction of `buf` across all ranks, result
+    /// replacing `buf` on every rank. Deterministic (rank-order) summation.
+    pub fn all_reduce_sum_f64(&self, buf: &mut [f64]) {
+        let bytes = std::mem::size_of_val(buf) as u64;
+        self.log.record(OpKind::AllReduce, &self.label, &self.members, bytes);
+        let n = buf.len();
+        let res = self.slot.exchange(self.rank, buf.to_vec(), move |items| {
+            let mut acc = vec![0.0f64; n];
+            for item in items {
+                assert_eq!(item.len(), n, "AllReduce length mismatch across ranks");
+                for (a, v) in acc.iter_mut().zip(&item) {
+                    *a += v;
+                }
+            }
+            acc
+        });
+        buf.copy_from_slice(&res);
+    }
+
+    /// Element-wise complex sum-reduction (deterministic rank order).
+    pub fn all_reduce_sum_complex(&self, buf: &mut [Complex64]) {
+        let bytes = std::mem::size_of_val(buf) as u64;
+        self.log.record(OpKind::AllReduce, &self.label, &self.members, bytes);
+        let n = buf.len();
+        let res = self.slot.exchange(self.rank, buf.to_vec(), move |items| {
+            let mut acc = vec![Complex64::ZERO; n];
+            for item in items {
+                assert_eq!(item.len(), n, "AllReduce length mismatch across ranks");
+                for (a, v) in acc.iter_mut().zip(&item) {
+                    *a += *v;
+                }
+            }
+            acc
+        });
+        buf.copy_from_slice(&res);
+    }
+
+    /// Element-wise max-reduction (used for CFL/diagnostic scalars).
+    pub fn all_reduce_max_f64(&self, buf: &mut [f64]) {
+        let bytes = std::mem::size_of_val(buf) as u64;
+        self.log.record(OpKind::AllReduce, &self.label, &self.members, bytes);
+        let n = buf.len();
+        let res = self.slot.exchange(self.rank, buf.to_vec(), move |items| {
+            let mut acc = vec![f64::NEG_INFINITY; n];
+            for item in items {
+                assert_eq!(item.len(), n, "AllReduce length mismatch across ranks");
+                for (a, v) in acc.iter_mut().zip(&item) {
+                    *a = a.max(*v);
+                }
+            }
+            acc
+        });
+        buf.copy_from_slice(&res);
+    }
+
+    /// Personalized all-to-all: `send[j]` goes to communicator rank `j`;
+    /// returns `recv` with `recv[j]` the block sent by rank `j` to this
+    /// rank. Blocks may have arbitrary (including zero) per-pair sizes —
+    /// this is MPI_Alltoallv.
+    ///
+    /// ```
+    /// use xg_comm::World;
+    ///
+    /// let out = World::new(3).run(|c| {
+    ///     // Rank r sends the value 10*r + j to rank j.
+    ///     let send: Vec<Vec<u32>> =
+    ///         (0..3).map(|j| vec![10 * c.rank() as u32 + j as u32]).collect();
+    ///     c.all_to_all_v(send)
+    /// });
+    /// // Rank 1 received [01, 11, 21] from ranks 0, 1, 2.
+    /// assert_eq!(out[1], vec![vec![1], vec![11], vec![21]]);
+    /// ```
+    pub fn all_to_all_v<T: Clone + Send + Sync + 'static>(
+        &self,
+        send: Vec<Vec<T>>,
+    ) -> Vec<Vec<T>> {
+        let p = self.size();
+        assert_eq!(send.len(), p, "all_to_all_v needs one block per peer");
+        let bytes: u64 =
+            send.iter().map(|b| (b.len() * std::mem::size_of::<T>()) as u64).sum();
+        self.log.record(OpKind::AllToAll, &self.label, &self.members, bytes);
+        let res = self.slot.exchange(self.rank, send, move |items| {
+            // items[src][dst] -> matrix[dst][src]. Pop from the back of each
+            // source's block list so every block moves exactly once: source
+            // `src`'s last block (dst = p−1) lands in row p−1, and each row
+            // receives one block per source in src order.
+            let mut matrix: Vec<Vec<Vec<T>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
+            for (src, mut blocks) in items.into_iter().enumerate() {
+                assert_eq!(blocks.len(), p, "rank {src} sent wrong number of blocks");
+                for row in matrix.iter_mut().rev() {
+                    row.push(blocks.pop().expect("block count checked"));
+                }
+            }
+            matrix
+        });
+        res[self.rank].clone()
+    }
+
+    /// Broadcast from `root`: the root passes `Some(value)`, everyone else
+    /// `None`; all ranks return the root's value.
+    pub fn broadcast<T: Clone + Send + Sync + 'static>(
+        &self,
+        root: usize,
+        value: Option<T>,
+    ) -> T {
+        assert!(root < self.size(), "broadcast root out of range");
+        assert_eq!(
+            value.is_some(),
+            self.rank == root,
+            "exactly the root must provide the broadcast value"
+        );
+        let bytes = std::mem::size_of::<T>() as u64;
+        self.log.record(OpKind::Broadcast, &self.label, &self.members, bytes);
+        let res = self.slot.exchange(self.rank, value, move |mut items| {
+            items.swap_remove(root).expect("root deposited None")
+        });
+        (*res).clone()
+    }
+
+    /// Sum-reduce to `root` only: the root returns the element-wise sum,
+    /// everyone else an empty vector (MPI_Reduce).
+    pub fn reduce_sum_f64(&self, root: usize, buf: &[f64]) -> Vec<f64> {
+        assert!(root < self.size(), "reduce root out of range");
+        let bytes = std::mem::size_of_val(buf) as u64;
+        self.log.record(OpKind::AllReduce, &self.label, &self.members, bytes);
+        let n = buf.len();
+        let res = self.slot.exchange(self.rank, buf.to_vec(), move |items| {
+            let mut acc = vec![0.0f64; n];
+            for item in items {
+                assert_eq!(item.len(), n, "reduce length mismatch across ranks");
+                for (a, v) in acc.iter_mut().zip(&item) {
+                    *a += v;
+                }
+            }
+            acc
+        });
+        if self.rank == root {
+            (*res).clone()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Gather every rank's slice to `root` only; non-root ranks receive an
+    /// empty vector.
+    pub fn gather<T: Clone + Send + Sync + 'static>(
+        &self,
+        root: usize,
+        local: &[T],
+    ) -> Vec<Vec<T>> {
+        assert!(root < self.size(), "gather root out of range");
+        let bytes = std::mem::size_of_val(local) as u64;
+        self.log.record(OpKind::AllGather, &self.label, &self.members, bytes);
+        let res = self.slot.exchange(self.rank, local.to_vec(), |items| items);
+        if self.rank == root {
+            (*res).clone()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Scatter: `root` provides one block per rank; every rank returns its
+    /// own block. Non-root ranks pass `None`.
+    pub fn scatter<T: Clone + Send + Sync + 'static>(
+        &self,
+        root: usize,
+        blocks: Option<Vec<Vec<T>>>,
+    ) -> Vec<T> {
+        assert!(root < self.size(), "scatter root out of range");
+        assert_eq!(
+            blocks.is_some(),
+            self.rank == root,
+            "exactly the root must provide the scatter blocks"
+        );
+        if let Some(b) = &blocks {
+            assert_eq!(b.len(), self.size(), "scatter needs one block per rank");
+        }
+        let bytes = blocks
+            .as_ref()
+            .map(|b| b.iter().map(|x| (x.len() * std::mem::size_of::<T>()) as u64).sum())
+            .unwrap_or(0);
+        self.log.record(OpKind::Broadcast, &self.label, &self.members, bytes);
+        let res = self.slot.exchange(self.rank, blocks, move |mut items| {
+            items.swap_remove(root).expect("root deposited None")
+        });
+        res[self.rank].clone()
+    }
+
+    /// Reduce-scatter (sum): element-wise sum of every rank's `buf`, then
+    /// each rank keeps only its `counts[rank]`-sized block of the result.
+    /// `Σ counts` must equal `buf.len()` on every rank.
+    pub fn reduce_scatter_sum_f64(&self, buf: &[f64], counts: &[usize]) -> Vec<f64> {
+        assert_eq!(counts.len(), self.size(), "one count per rank");
+        let total: usize = counts.iter().sum();
+        assert_eq!(total, buf.len(), "counts must tile the buffer");
+        let bytes = std::mem::size_of_val(buf) as u64;
+        self.log.record(OpKind::AllReduce, &self.label, &self.members, bytes);
+        let n = buf.len();
+        let res = self.slot.exchange(self.rank, buf.to_vec(), move |items| {
+            let mut acc = vec![0.0f64; n];
+            for item in items {
+                assert_eq!(item.len(), n, "reduce_scatter length mismatch across ranks");
+                for (a, v) in acc.iter_mut().zip(&item) {
+                    *a += v;
+                }
+            }
+            acc
+        });
+        let start: usize = counts[..self.rank].iter().sum();
+        res[start..start + counts[self.rank]].to_vec()
+    }
+
+    /// Combined send+recv with the same peer (deadlock-free pairwise
+    /// exchange).
+    pub fn sendrecv<T: Send + 'static>(&self, peer: usize, tag: u64, data: T) -> T {
+        self.send(peer, tag, data);
+        self.recv(peer, tag)
+    }
+
+    /// Split into disjoint sub-communicators by `color`; ranks within a
+    /// color are ordered by `(key, global_rank)`. Collective over the
+    /// parent. `label` names the child for traces and logs.
+    ///
+    /// ```
+    /// use xg_comm::World;
+    ///
+    /// // Split 4 ranks into even/odd pairs; each pair sums its ranks.
+    /// let out = World::new(4).run(|c| {
+    ///     let pair = c.split((c.rank() % 2) as u64, c.rank() as u64, "pair");
+    ///     let mut v = vec![c.rank() as f64];
+    ///     pair.all_reduce_sum_f64(&mut v);
+    ///     v[0]
+    /// });
+    /// assert_eq!(out, vec![2.0, 4.0, 2.0, 4.0]); // 0+2, 1+3
+    /// ```
+    pub fn split(&self, color: u64, key: u64, label: &str) -> Communicator {
+        let world = self.world.clone();
+        let world2 = self.world.clone();
+        let grank = self.global_rank;
+        let res = self.slot.exchange(
+            self.rank,
+            (color, key, grank),
+            move |items| {
+                // Group by color; order members by (key, global_rank).
+                let mut groups: HashMap<u64, Vec<(u64, usize)>> = HashMap::new();
+                for (c, k, g) in items {
+                    groups.entry(c).or_default().push((k, g));
+                }
+                let mut out: HashMap<u64, (Arc<Slot>, Vec<usize>, u64)> = HashMap::new();
+                for (c, mut v) in groups {
+                    v.sort_unstable();
+                    let members: Vec<usize> = v.into_iter().map(|(_, g)| g).collect();
+                    let slot = Arc::new(Slot::new(members.len()));
+                    world2.register_slot(&slot);
+                    let id = world2.next_comm_id.fetch_add(1, Ordering::Relaxed);
+                    out.insert(c, (slot, members, id));
+                }
+                out
+            },
+        );
+        let (slot, members, comm_id) = res.get(&color).expect("own color must exist").clone();
+        let rank = members
+            .iter()
+            .position(|&g| g == grank)
+            .expect("this rank must be in its own color group");
+        Communicator {
+            rank,
+            global_rank: grank,
+            members: Arc::new(members),
+            slot,
+            world,
+            log: self.log.clone(),
+            label: Arc::from(label),
+            comm_id,
+        }
+    }
+
+    /// Blocking typed send to communicator rank `dest`.
+    pub fn send<T: Send + 'static>(&self, dest: usize, tag: u64, data: T) {
+        assert!(dest < self.size(), "send dest out of range");
+        let bytes = std::mem::size_of::<T>() as u64;
+        self.log.record(OpKind::Send, &self.label, &self.members, bytes);
+        let gdest = self.members[dest];
+        let full_tag = (self.comm_id << 24) | (tag & 0xFF_FFFF);
+        self.world.mailboxes[gdest].deliver(self.global_rank, full_tag, Box::new(data));
+    }
+
+    /// Blocking typed receive from communicator rank `src`.
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
+        assert!(src < self.size(), "recv src out of range");
+        self.log.record(OpKind::Recv, &self.label, &self.members, 0);
+        let gsrc = self.members[src];
+        let full_tag = (self.comm_id << 24) | (tag & 0xFF_FFFF);
+        self.world.mailboxes[self.global_rank].recv(gsrc, full_tag)
+    }
+
+}

@@ -1,0 +1,215 @@
+//! The core rendezvous primitive behind every collective.
+//!
+//! A [`Slot`] implements an epoch-numbered deposit/assemble/drain protocol
+//! over a mutex + condvar: each participating rank deposits one boxed
+//! contribution, the last depositor assembles the full vector and publishes
+//! it behind an `Arc`, every rank takes a handle, and the last rank to leave
+//! resets the slot and advances the epoch so the next collective can begin.
+//!
+//! The protocol is sequentially consistent per communicator (collectives on
+//! one communicator are totally ordered by the epoch counter) and
+//! independent across communicators (each has its own slot), which is what
+//! MPI guarantees for blocking collectives on disjoint communicators.
+
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::sync::Arc;
+
+type BoxedAny = Box<dyn Any + Send>;
+type SharedAny = Arc<dyn Any + Send + Sync>;
+
+/// Rendezvous slot for one communicator.
+pub struct Slot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+struct SlotState {
+    epoch: u64,
+    arrived: usize,
+    departed: usize,
+    deposits: Vec<Option<BoxedAny>>,
+    result: Option<SharedAny>,
+    poisoned: bool,
+}
+
+impl Slot {
+    /// New slot for `size` participants.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "a communicator needs at least one rank");
+        Self {
+            state: Mutex::new(SlotState {
+                epoch: 0,
+                arrived: 0,
+                departed: 0,
+                deposits: (0..size).map(|_| None).collect(),
+                result: None,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Mark the slot poisoned (a participant died); wakes all waiters, which
+    /// then panic instead of blocking forever.
+    pub fn poison(&self) {
+        self.state.lock().poisoned = true;
+        self.cv.notify_all();
+    }
+
+    /// Number of participants.
+    pub fn size(&self) -> usize {
+        self.state.lock().deposits.len()
+    }
+
+    /// Execute one collective round: deposit `contribution` as `rank`, wait
+    /// for all ranks, and return the assembled result produced by
+    /// `assemble` (run exactly once, by the last depositor, over the
+    /// contributions in rank order).
+    ///
+    /// All ranks must call with the same types `T`/`R` in the same round.
+    pub fn exchange<T, R, F>(&self, rank: usize, contribution: T, assemble: F) -> Arc<R>
+    where
+        T: Send + 'static,
+        R: Send + Sync + 'static,
+        F: FnOnce(Vec<T>) -> R,
+    {
+        let mut st = self.state.lock();
+        let size = st.deposits.len();
+        assert!(rank < size, "rank {rank} out of range for slot of {size}");
+
+        // Wait for the previous round to fully drain before depositing.
+        while st.result.is_some() && !st.poisoned {
+            self.cv.wait(&mut st);
+        }
+        assert!(!st.poisoned, "collective aborted: another rank panicked");
+        let epoch = st.epoch;
+        assert!(
+            st.deposits[rank].is_none(),
+            "rank {rank} deposited twice in one collective (protocol misuse)"
+        );
+        st.deposits[rank] = Some(Box::new(contribution));
+        st.arrived += 1;
+
+        if st.arrived == size {
+            // Last depositor assembles.
+            let items: Vec<T> = st
+                .deposits
+                .iter_mut()
+                .map(|d| {
+                    *d.take()
+                        .expect("missing deposit")
+                        .downcast::<T>()
+                        .expect("mixed contribution types in one collective")
+                })
+                .collect();
+            let result = assemble(items);
+            st.result = Some(Arc::new(result));
+            st.arrived = 0;
+            self.cv.notify_all();
+        } else {
+            while st.epoch == epoch && st.result.is_none() && !st.poisoned {
+                self.cv.wait(&mut st);
+            }
+            assert!(!st.poisoned, "collective aborted: another rank panicked");
+        }
+
+        let shared = st.result.clone().expect("result must be present");
+        st.departed += 1;
+        if st.departed == size {
+            st.result = None;
+            st.departed = 0;
+            st.epoch = st.epoch.wrapping_add(1);
+            self.cv.notify_all();
+        }
+        drop(st);
+
+        shared.downcast::<R>().expect("mixed result types in one collective")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn single_rank_exchange() {
+        let slot = Slot::new(1);
+        let r = slot.exchange(0, 41, |v| v[0] + 1);
+        assert_eq!(*r, 42);
+    }
+
+    #[test]
+    fn contributions_assembled_in_rank_order() {
+        let slot = Arc::new(Slot::new(4));
+        let results: Vec<Vec<usize>> = thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|r| {
+                    let slot = slot.clone();
+                    s.spawn(move || (*slot.exchange(r, r * 10, |v| v)).clone())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for res in results {
+            assert_eq!(res, vec![0, 10, 20, 30]);
+        }
+    }
+
+    #[test]
+    fn many_rounds_no_crosstalk() {
+        const ROUNDS: usize = 200;
+        let slot = Arc::new(Slot::new(3));
+        thread::scope(|s| {
+            for r in 0..3 {
+                let slot = slot.clone();
+                s.spawn(move || {
+                    for round in 0..ROUNDS {
+                        let sum = slot.exchange(r, round + r, |v| v.iter().sum::<usize>());
+                        assert_eq!(*sum, 3 * round + 3);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn assemble_runs_once_per_round() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let slot = Arc::new(Slot::new(4));
+        let count = Arc::new(AtomicUsize::new(0));
+        thread::scope(|s| {
+            for r in 0..4 {
+                let slot = slot.clone();
+                let count = count.clone();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        slot.exchange(r, (), |_| {
+                            count.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(count.load(std::sync::atomic::Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn heterogeneous_rounds_on_same_slot() {
+        // Different T/R types in successive rounds are fine; within a round
+        // they must match.
+        let slot = Arc::new(Slot::new(2));
+        thread::scope(|s| {
+            for r in 0..2 {
+                let slot = slot.clone();
+                s.spawn(move || {
+                    let a = slot.exchange(r, r as f64, |v| v.iter().sum::<f64>());
+                    assert_eq!(*a, 1.0);
+                    let b = slot.exchange(r, format!("r{r}"), |v| v.join(","));
+                    assert_eq!(*b, "r0,r1");
+                });
+            }
+        });
+    }
+}

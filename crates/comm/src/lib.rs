@@ -1,0 +1,33 @@
+//! # xg-comm
+//!
+//! A thread-backed MPI substitute: a [`World`] of ranks, [`Communicator`]s
+//! with `split`, blocking collectives (Barrier, AllGather, AllReduce,
+//! AllToAllv, Broadcast), point-to-point send/recv with tag matching, and
+//! per-rank [`stats::TrafficLog`] accounting that feeds both the
+//! communication-pattern traces (paper Figures 1/3) and the analytic cost
+//! model.
+//!
+//! Design notes:
+//!
+//! * Collectives on one communicator are totally ordered (epoch-numbered
+//!   rendezvous slots); disjoint communicators never serialize against each
+//!   other — matching MPI semantics for blocking collectives.
+//! * Reductions combine contributions in **communicator-rank order**, so
+//!   results are deterministic and re-partitioned ensembles with identical
+//!   per-simulation grids reproduce bitwise-identical trajectories.
+//! * A panic on any rank poisons every slot and mailbox, so the run aborts
+//!   promptly with the offending rank identified instead of deadlocking.
+
+#![warn(missing_docs)]
+
+pub mod communicator;
+pub mod exchange;
+pub mod p2p;
+pub mod stats;
+pub mod tracefile;
+pub mod world;
+
+pub use communicator::Communicator;
+pub use stats::{OpKind, OpRecord, TrafficLog};
+pub use tracefile::{traces_from_csv, traces_to_csv, TraceFileError};
+pub use world::World;

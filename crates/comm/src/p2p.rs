@@ -1,0 +1,133 @@
+//! Point-to-point messaging: per-rank mailboxes with (source, tag) matching.
+//!
+//! CGYRO's hot paths are collective-only, but a faithful MPI substitute
+//! needs send/recv for halo-style exchanges and for the diagnostics
+//! gather-to-root paths; the nl phase's neighbour exchanges use it too.
+
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::collections::VecDeque;
+
+type BoxedAny = Box<dyn Any + Send>;
+
+/// A message in flight.
+struct Envelope {
+    src: usize,
+    tag: u64,
+    payload: BoxedAny,
+}
+
+/// One rank's incoming mailbox.
+pub struct Mailbox {
+    queue: Mutex<MailboxState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct MailboxState {
+    messages: VecDeque<Envelope>,
+    poisoned: bool,
+}
+
+impl Default for Mailbox {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mailbox {
+    /// Empty mailbox.
+    pub fn new() -> Self {
+        Self { queue: Mutex::new(MailboxState::default()), cv: Condvar::new() }
+    }
+
+    /// Mark poisoned (a peer died); wakes blocked receivers, which panic.
+    pub fn poison(&self) {
+        self.queue.lock().poisoned = true;
+        self.cv.notify_all();
+    }
+
+    /// Deliver a message (called by the sender's thread).
+    pub fn deliver(&self, src: usize, tag: u64, payload: BoxedAny) {
+        self.queue.lock().messages.push_back(Envelope { src, tag, payload });
+        self.cv.notify_all();
+    }
+
+    /// Blocking receive of the first message matching `(src, tag)`.
+    /// Messages from the same source with the same tag are received in send
+    /// order (MPI's non-overtaking guarantee).
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(pos) = q.messages.iter().position(|e| e.src == src && e.tag == tag) {
+                let env = q.messages.remove(pos).expect("position just found");
+                return *env
+                    .payload
+                    .downcast::<T>()
+                    .expect("point-to-point type mismatch between send and recv");
+            }
+            assert!(!q.poisoned, "recv aborted: another rank panicked");
+            self.cv.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking probe: is a matching message waiting?
+    pub fn probe(&self, src: usize, tag: u64) -> bool {
+        self.queue.lock().messages.iter().any(|e| e.src == src && e.tag == tag)
+    }
+
+    /// Number of queued messages (all sources/tags).
+    pub fn pending(&self) -> usize {
+        self.queue.lock().messages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn send_then_recv() {
+        let mb = Mailbox::new();
+        mb.deliver(3, 7, Box::new(vec![1.0f64, 2.0]));
+        assert!(mb.probe(3, 7));
+        assert!(!mb.probe(3, 8));
+        let v: Vec<f64> = mb.recv(3, 7);
+        assert_eq!(v, vec![1.0, 2.0]);
+        assert_eq!(mb.pending(), 0);
+    }
+
+    #[test]
+    fn recv_blocks_until_delivery() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = mb.clone();
+        let h = thread::spawn(move || mb2.recv::<u32>(0, 1));
+        thread::sleep(std::time::Duration::from_millis(20));
+        mb.deliver(0, 1, Box::new(99u32));
+        assert_eq!(h.join().unwrap(), 99);
+    }
+
+    #[test]
+    fn tag_and_source_matching_skips_nonmatching() {
+        let mb = Mailbox::new();
+        mb.deliver(1, 5, Box::new(10u8));
+        mb.deliver(2, 5, Box::new(20u8));
+        mb.deliver(1, 6, Box::new(30u8));
+        assert_eq!(mb.recv::<u8>(2, 5), 20);
+        assert_eq!(mb.recv::<u8>(1, 6), 30);
+        assert_eq!(mb.recv::<u8>(1, 5), 10);
+    }
+
+    #[test]
+    fn non_overtaking_same_src_tag() {
+        let mb = Mailbox::new();
+        for i in 0..5u32 {
+            mb.deliver(0, 0, Box::new(i));
+        }
+        for i in 0..5u32 {
+            assert_eq!(mb.recv::<u32>(0, 0), i);
+        }
+    }
+}

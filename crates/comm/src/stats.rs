@@ -1,0 +1,201 @@
+//! Per-rank communication traffic accounting.
+//!
+//! Every collective and point-to-point operation appends an [`OpRecord`] to
+//! the issuing rank's [`TrafficLog`]. The log serves two purposes:
+//!
+//! 1. **Comm-pattern traces** (paper Figures 1 and 3): which logical
+//!    communicator executed which operation with how many participants —
+//!    including CGYRO's reuse of the `nv` communicator for both the str
+//!    AllReduce and the str↔coll AllToAll, and XGYRO's separation of the
+//!    two.
+//! 2. **Cost-model input**: participants and byte counts per operation are
+//!    exactly what the analytic collective cost formulas consume.
+
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// Kind of communication operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Reduction to all ranks (sum).
+    AllReduce,
+    /// Personalized all-to-all exchange.
+    AllToAll,
+    /// Gather to all ranks.
+    AllGather,
+    /// One-to-all broadcast.
+    Broadcast,
+    /// Synchronization only.
+    Barrier,
+    /// Point-to-point send.
+    Send,
+    /// Point-to-point receive.
+    Recv,
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::AllReduce => "AllReduce",
+            OpKind::AllToAll => "AllToAll",
+            OpKind::AllGather => "AllGather",
+            OpKind::Broadcast => "Broadcast",
+            OpKind::Barrier => "Barrier",
+            OpKind::Send => "Send",
+            OpKind::Recv => "Recv",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recorded communication operation, as seen by one rank.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpRecord {
+    /// Operation kind.
+    pub op: OpKind,
+    /// Label of the communicator the operation ran on (e.g. `"nv"`,
+    /// `"coll-ens"`).
+    pub comm_label: String,
+    /// Number of participating ranks.
+    pub participants: usize,
+    /// Global ranks of the participants (communicator-rank order); used by
+    /// the cost model to determine node spans.
+    pub members: Vec<usize>,
+    /// Payload bytes contributed by this rank (per-rank message size for
+    /// AllReduce/Broadcast; total bytes sent for AllToAll/AllGather/Send).
+    pub bytes: u64,
+    /// Logical phase active when the operation was issued (`"str"`,
+    /// `"coll"`, `"nl"`, `"setup"`, …).
+    pub phase: String,
+}
+
+/// Append-only per-rank traffic log with a settable phase context.
+#[derive(Debug, Default)]
+pub struct TrafficLog {
+    inner: Mutex<LogInner>,
+}
+
+#[derive(Debug, Default)]
+struct LogInner {
+    phase: String,
+    records: Vec<OpRecord>,
+}
+
+impl TrafficLog {
+    /// Fresh empty log (phase = empty string).
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Set the phase tag applied to subsequently recorded operations.
+    pub fn set_phase(&self, phase: &str) {
+        self.inner.lock().phase = phase.to_string();
+    }
+
+    /// Current phase tag.
+    pub fn phase(&self) -> String {
+        self.inner.lock().phase.clone()
+    }
+
+    /// Record an operation over the communicator whose global members are
+    /// `members`.
+    pub fn record(&self, op: OpKind, comm_label: &str, members: &[usize], bytes: u64) {
+        let mut g = self.inner.lock();
+        let phase = g.phase.clone();
+        g.records.push(OpRecord {
+            op,
+            comm_label: comm_label.to_string(),
+            participants: members.len(),
+            members: members.to_vec(),
+            bytes,
+            phase,
+        });
+    }
+
+    /// Snapshot of all records so far.
+    pub fn records(&self) -> Vec<OpRecord> {
+        self.inner.lock().records.clone()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.inner.lock().records.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all records (phase is kept).
+    pub fn clear(&self) {
+        self.inner.lock().records.clear();
+    }
+
+    /// Total bytes over records matching a filter.
+    pub fn total_bytes_where(&self, pred: impl Fn(&OpRecord) -> bool) -> u64 {
+        self.inner.lock().records.iter().filter(|r| pred(r)).map(|r| r.bytes).sum()
+    }
+
+    /// Count of operations of `op` in phase `phase` (any phase if empty).
+    pub fn count_ops(&self, op: OpKind, phase: &str) -> usize {
+        self.inner
+            .lock()
+            .records
+            .iter()
+            .filter(|r| r.op == op && (phase.is_empty() || r.phase == phase))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let log = TrafficLog::new();
+        assert!(log.is_empty());
+        log.set_phase("str");
+        log.record(OpKind::AllReduce, "nv", &[0,1,2,3,4,5,6,7], 1024);
+        log.set_phase("coll");
+        log.record(OpKind::AllToAll, "nv", &[0,1,2,3,4,5,6,7], 4096);
+        let recs = log.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].phase, "str");
+        assert_eq!(recs[0].participants, 8);
+        assert_eq!(recs[1].op, OpKind::AllToAll);
+        assert_eq!(recs[1].phase, "coll");
+    }
+
+    #[test]
+    fn filters_and_counts() {
+        let log = TrafficLog::new();
+        log.set_phase("str");
+        log.record(OpKind::AllReduce, "nv", &[0,1,2,3], 100);
+        log.record(OpKind::AllReduce, "nv", &[0,1,2,3], 100);
+        log.set_phase("coll");
+        log.record(OpKind::AllToAll, "nv", &[0,1,2,3], 999);
+        assert_eq!(log.count_ops(OpKind::AllReduce, "str"), 2);
+        assert_eq!(log.count_ops(OpKind::AllReduce, "coll"), 0);
+        assert_eq!(log.count_ops(OpKind::AllToAll, ""), 1);
+        assert_eq!(log.total_bytes_where(|r| r.phase == "str"), 200);
+    }
+
+    #[test]
+    fn clear_keeps_phase() {
+        let log = TrafficLog::new();
+        log.set_phase("nl");
+        log.record(OpKind::Barrier, "world", &[0,1], 0);
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.phase(), "nl");
+    }
+
+    #[test]
+    fn opkind_display() {
+        assert_eq!(OpKind::AllReduce.to_string(), "AllReduce");
+        assert_eq!(OpKind::Barrier.to_string(), "Barrier");
+    }
+}

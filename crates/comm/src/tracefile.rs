@@ -1,0 +1,218 @@
+//! Trace serialization: save per-rank [`OpRecord`] sequences to a CSV-like
+//! text format and load them back — so traces captured by one run (or one
+//! machine) can be replayed offline against any cost model.
+//!
+//! Format (one op per line, `|`-separated member lists):
+//!
+//! ```text
+//! rank,op,comm,phase,bytes,members
+//! 0,AllReduce,nv,str,2048,0|2|4|6
+//! ```
+
+use crate::stats::{OpKind, OpRecord};
+use std::fmt::Write as _;
+
+/// A trace-file problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceFileError {
+    /// 1-based line.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace file line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceFileError {}
+
+const HEADER: &str = "rank,op,comm,phase,bytes,members";
+
+fn op_to_str(op: OpKind) -> &'static str {
+    match op {
+        OpKind::AllReduce => "AllReduce",
+        OpKind::AllToAll => "AllToAll",
+        OpKind::AllGather => "AllGather",
+        OpKind::Broadcast => "Broadcast",
+        OpKind::Barrier => "Barrier",
+        OpKind::Send => "Send",
+        OpKind::Recv => "Recv",
+    }
+}
+
+fn op_from_str(s: &str) -> Option<OpKind> {
+    Some(match s {
+        "AllReduce" => OpKind::AllReduce,
+        "AllToAll" => OpKind::AllToAll,
+        "AllGather" => OpKind::AllGather,
+        "Broadcast" => OpKind::Broadcast,
+        "Barrier" => OpKind::Barrier,
+        "Send" => OpKind::Send,
+        "Recv" => OpKind::Recv,
+        _ => return None,
+    })
+}
+
+/// Serialize per-rank traces.
+pub fn traces_to_csv(traces: &[Vec<OpRecord>]) -> String {
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    for (rank, recs) in traces.iter().enumerate() {
+        for r in recs {
+            let members = r
+                .members
+                .iter()
+                .map(|m| m.to_string())
+                .collect::<Vec<_>>()
+                .join("|");
+            let _ = writeln!(
+                out,
+                "{rank},{},{},{},{},{members}",
+                op_to_str(r.op),
+                r.comm_label,
+                r.phase,
+                r.bytes
+            );
+        }
+    }
+    out
+}
+
+/// Parse per-rank traces. The number of ranks is inferred from the highest
+/// rank index present.
+pub fn traces_from_csv(text: &str) -> Result<Vec<Vec<OpRecord>>, TraceFileError> {
+    let mut traces: Vec<Vec<OpRecord>> = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        if idx == 0 {
+            if line != HEADER {
+                return Err(TraceFileError {
+                    line: 1,
+                    message: format!("bad header '{line}'"),
+                });
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.splitn(6, ',').collect();
+        if cols.len() != 6 {
+            return Err(TraceFileError {
+                line: line_no,
+                message: "expected 6 columns".into(),
+            });
+        }
+        let err = |m: String| TraceFileError { line: line_no, message: m };
+        let rank: usize =
+            cols[0].parse().map_err(|_| err(format!("bad rank '{}'", cols[0])))?;
+        let op = op_from_str(cols[1]).ok_or_else(|| err(format!("bad op '{}'", cols[1])))?;
+        let bytes: u64 =
+            cols[4].parse().map_err(|_| err(format!("bad bytes '{}'", cols[4])))?;
+        let members: Vec<usize> = if cols[5].is_empty() {
+            Vec::new()
+        } else {
+            cols[5]
+                .split('|')
+                .map(|m| m.parse().map_err(|_| err(format!("bad member '{m}'"))))
+                .collect::<Result<_, _>>()?
+        };
+        while traces.len() <= rank {
+            traces.push(Vec::new());
+        }
+        traces[rank].push(OpRecord {
+            op,
+            comm_label: cols[2].to_string(),
+            phase: cols[3].to_string(),
+            participants: members.len(),
+            members,
+            bytes,
+        });
+    }
+    Ok(traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Vec<OpRecord>> {
+        let rec = |op, phase: &str, members: Vec<usize>, bytes| OpRecord {
+            op,
+            comm_label: "nv".into(),
+            phase: phase.into(),
+            participants: members.len(),
+            members,
+            bytes,
+        };
+        vec![
+            vec![
+                rec(OpKind::AllReduce, "str", vec![0, 1], 128),
+                rec(OpKind::AllToAll, "coll", vec![0, 1], 4096),
+            ],
+            vec![
+                rec(OpKind::AllReduce, "str", vec![0, 1], 128),
+                rec(OpKind::AllToAll, "coll", vec![0, 1], 4096),
+            ],
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let csv = traces_to_csv(&t);
+        let back = traces_from_csv(&csv).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn every_op_kind_roundtrips() {
+        for op in [
+            OpKind::AllReduce,
+            OpKind::AllToAll,
+            OpKind::AllGather,
+            OpKind::Broadcast,
+            OpKind::Barrier,
+            OpKind::Send,
+            OpKind::Recv,
+        ] {
+            assert_eq!(op_from_str(op_to_str(op)), Some(op));
+        }
+        assert_eq!(op_from_str("Nonsense"), None);
+    }
+
+    #[test]
+    fn malformed_lines_rejected_with_line_numbers() {
+        assert_eq!(traces_from_csv("wrong header\n").unwrap_err().line, 1);
+        let base = format!("{HEADER}\n0,AllReduce,nv,str,notanumber,0|1\n");
+        assert_eq!(traces_from_csv(&base).unwrap_err().line, 2);
+        let base = format!("{HEADER}\n0,BadOp,nv,str,12,0\n");
+        assert!(traces_from_csv(&base).unwrap_err().message.contains("bad op"));
+        let base = format!("{HEADER}\nonly,two\n");
+        assert!(traces_from_csv(&base).is_err());
+    }
+
+    #[test]
+    fn sparse_ranks_padded() {
+        let csv = format!("{HEADER}\n3,Barrier,world,setup,0,0|1|2|3\n");
+        let t = traces_from_csv(&csv).unwrap();
+        assert_eq!(t.len(), 4);
+        assert!(t[0].is_empty());
+        assert_eq!(t[3].len(), 1);
+    }
+
+    #[test]
+    fn functional_trace_roundtrips() {
+        let out = crate::World::new(3).run_with_logs(|c| {
+            let mut v = vec![0.0f64; 4];
+            c.all_reduce_sum_f64(&mut v);
+            c.barrier();
+        });
+        let traces: Vec<Vec<OpRecord>> = out.into_iter().map(|(_, t)| t).collect();
+        let csv = traces_to_csv(&traces);
+        assert_eq!(traces_from_csv(&csv).unwrap(), traces);
+    }
+}

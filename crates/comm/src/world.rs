@@ -1,0 +1,179 @@
+//! The world: spawn one thread per rank and hand each a world communicator.
+//!
+//! This plays the role of `mpirun` + `MPI_Init`. [`World::run`] blocks until
+//! every rank's closure returns and yields the per-rank results in rank
+//! order. If any rank panics, all communication primitives are poisoned so
+//! the remaining ranks abort promptly, and the panic is re-thrown with the
+//! failing rank identified.
+
+use crate::communicator::{Communicator, WorldShared};
+use crate::exchange::Slot;
+use crate::stats::TrafficLog;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+/// A fixed-size group of simulated MPI ranks.
+///
+/// ```
+/// use xg_comm::World;
+///
+/// // Four ranks sum their ranks with an AllReduce; everyone sees 6.
+/// let results = World::new(4).run(|comm| {
+///     let mut v = vec![comm.rank() as f64];
+///     comm.all_reduce_sum_f64(&mut v);
+///     v[0]
+/// });
+/// assert_eq!(results, vec![6.0; 4]);
+/// ```
+pub struct World {
+    size: usize,
+}
+
+impl World {
+    /// Create a world of `size` ranks (no threads yet).
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "world needs at least one rank");
+        Self { size }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Run `f` on every rank concurrently. Each invocation receives the
+    /// world [`Communicator`] for its rank; results are returned in rank
+    /// order. Also returns each rank's traffic log alongside its result.
+    pub fn run_with_logs<F, R>(&self, f: F) -> Vec<(R, Vec<crate::stats::OpRecord>)>
+    where
+        F: Fn(Communicator) -> R + Send + Sync,
+        R: Send,
+    {
+        let shared = WorldShared::new(self.size);
+        let world_slot = Arc::new(Slot::new(self.size));
+        shared.register_slot(&world_slot);
+        let logs: Vec<Arc<TrafficLog>> = (0..self.size).map(|_| TrafficLog::new()).collect();
+        let f = &f;
+
+        let results: Vec<Result<R, Box<dyn std::any::Any + Send>>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..self.size)
+                    .map(|rank| {
+                        let comm = Communicator::new_world(
+                            rank,
+                            self.size,
+                            world_slot.clone(),
+                            shared.clone(),
+                            logs[rank].clone(),
+                        );
+                        let shared = shared.clone();
+                        scope.spawn(move || {
+                            let out =
+                                std::panic::catch_unwind(AssertUnwindSafe(|| f(comm)));
+                            if out.is_err() {
+                                shared.poison_all();
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("rank thread itself must not die"))
+                    .collect()
+            });
+
+        let mut out = Vec::with_capacity(self.size);
+        let mut first_failure: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
+        for (rank, res) in results.into_iter().enumerate() {
+            match res {
+                Ok(r) => out.push((r, logs[rank].records())),
+                Err(e) => {
+                    // Prefer reporting a root-cause panic over the induced
+                    // "another rank panicked" aborts.
+                    let induced = panic_is_induced(&e);
+                    match &first_failure {
+                        Some((_, prev)) if !panic_is_induced(prev) => {}
+                        _ if !induced => first_failure = Some((rank, e)),
+                        None => first_failure = Some((rank, e)),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        if let Some((rank, e)) = first_failure {
+            std::panic::panic_any(format!("rank {rank} panicked: {}", panic_message(&e)));
+        }
+        out
+    }
+
+    /// Run `f` on every rank; return the per-rank results in rank order.
+    pub fn run<F, R>(&self, f: F) -> Vec<R>
+    where
+        F: Fn(Communicator) -> R + Send + Sync,
+        R: Send,
+    {
+        self.run_with_logs(f).into_iter().map(|(r, _)| r).collect()
+    }
+}
+
+fn panic_message(e: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+fn panic_is_induced(e: &Box<dyn std::any::Any + Send>) -> bool {
+    panic_message(e).contains("another rank panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_get_distinct_ids_in_order() {
+        let ids = World::new(6).run(|c| (c.rank(), c.size()));
+        assert_eq!(ids, (0..6).map(|r| (r, 6)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = World::new(1).run(|c| {
+            c.barrier();
+            c.rank() + 100
+        });
+        assert_eq!(out, vec![100]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 panicked")]
+    fn panic_in_rank_propagates_with_rank_id() {
+        World::new(4).run(|c| {
+            if c.rank() == 2 {
+                panic!("boom");
+            }
+            // Other ranks block in a collective; poisoning must free them.
+            c.barrier();
+        });
+    }
+
+    #[test]
+    fn logs_are_returned_per_rank() {
+        let out = World::new(3).run_with_logs(|c| {
+            c.set_phase("str");
+            c.barrier();
+            c.rank()
+        });
+        for (rank, (r, log)) in out.into_iter().enumerate() {
+            assert_eq!(r, rank);
+            assert_eq!(log.len(), 1);
+            assert_eq!(log[0].phase, "str");
+            assert_eq!(log[0].participants, 3);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Tests for gather / scatter / reduce-scatter / sendrecv.
+
+use xg_comm::World;
+
+#[test]
+fn gather_collects_only_at_root() {
+    let out = World::new(4).run(|c| {
+        let local = vec![c.rank() as u32; c.rank() + 1];
+        c.gather(2, &local)
+    });
+    for (rank, got) in out.into_iter().enumerate() {
+        if rank == 2 {
+            assert_eq!(got.len(), 4);
+            for (src, blk) in got.into_iter().enumerate() {
+                assert_eq!(blk, vec![src as u32; src + 1]);
+            }
+        } else {
+            assert!(got.is_empty());
+        }
+    }
+}
+
+#[test]
+fn scatter_delivers_per_rank_blocks() {
+    let out = World::new(3).run(|c| {
+        let blocks = if c.rank() == 1 {
+            Some((0..3).map(|j| vec![j as u16 * 10, j as u16 * 10 + 1]).collect())
+        } else {
+            None
+        };
+        c.scatter(1, blocks)
+    });
+    for (rank, blk) in out.into_iter().enumerate() {
+        assert_eq!(blk, vec![rank as u16 * 10, rank as u16 * 10 + 1]);
+    }
+}
+
+#[test]
+fn reduce_scatter_sums_then_splits() {
+    let counts = [2usize, 1, 3];
+    let out = World::new(3).run(|c| {
+        // Every rank contributes [r, r, r, r, r, r] scaled by position.
+        let buf: Vec<f64> = (0..6).map(|i| (c.rank() * 6 + i) as f64).collect();
+        c.reduce_scatter_sum_f64(&buf, &counts)
+    });
+    // Summed buffer is [0+6+12, 1+7+13, ...] = [18, 21, 24, 27, 30, 33].
+    assert_eq!(out[0], vec![18.0, 21.0]);
+    assert_eq!(out[1], vec![24.0]);
+    assert_eq!(out[2], vec![27.0, 30.0, 33.0]);
+}
+
+#[test]
+fn sendrecv_swaps_pairwise() {
+    let out = World::new(4).run(|c| {
+        let peer = c.rank() ^ 1; // 0<->1, 2<->3
+        c.sendrecv(peer, 5, c.rank() as u64 * 100)
+    });
+    assert_eq!(out, vec![100, 0, 300, 200]);
+}
+
+#[test]
+#[should_panic(expected = "counts must tile")]
+fn reduce_scatter_validates_counts() {
+    World::new(2).run(|c| {
+        let buf = vec![0.0f64; 5];
+        c.reduce_scatter_sum_f64(&buf, &[2, 2]);
+    });
+}
+
+#[test]
+fn reduce_scatter_matches_allreduce_then_slice() {
+    let counts = [3usize, 3];
+    let out = World::new(2).run(|c| {
+        let buf: Vec<f64> = (0..6).map(|i| (i as f64 + 1.0) * (c.rank() as f64 + 1.0)).collect();
+        let rs = c.reduce_scatter_sum_f64(&buf, &counts);
+        let mut ar = buf.clone();
+        c.all_reduce_sum_f64(&mut ar);
+        let start = c.rank() * 3;
+        (rs, ar[start..start + 3].to_vec())
+    });
+    for (rs, slice) in out {
+        assert_eq!(rs, slice);
+    }
+}

@@ -1,0 +1,237 @@
+//! Ensemble-level checkpointing.
+//!
+//! Production campaigns checkpoint constantly; an XGYRO job checkpoints
+//! *all* members coherently (same step count — the ensemble steps in
+//! lockstep). An [`EnsembleCheckpoint`] stores one restart image per
+//! member (each member's full global state, reassembled), plus the
+//! ensemble identity, and can seed a resumed run that continues **bitwise
+//! identically** to an uninterrupted one.
+
+use crate::ensemble::EnsembleConfig;
+use crate::runner::RunOutcome;
+use crate::topology::build_xgyro_topology;
+use xg_comm::World;
+use xg_linalg::Complex64;
+use xg_sim::Simulation;
+use xg_tensor::{PhaseLayout, Tensor3};
+
+/// A coherent checkpoint of every ensemble member.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleCheckpoint {
+    cmat_key: u64,
+    k: usize,
+    time: f64,
+    steps_taken: u64,
+    /// Per-member global state (str layout `(nc, nv, nt)` flattened).
+    members: Vec<Vec<Complex64>>,
+    dims: (usize, usize, usize),
+}
+
+/// Checkpoint-specific failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// The checkpoint belongs to a different ensemble (cmat key or size).
+    WrongEnsemble,
+    /// Serialized image is corrupt.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::WrongEnsemble => {
+                write!(f, "checkpoint was written by a different ensemble")
+            }
+            CheckpointError::Corrupt(m) => write!(f, "corrupt ensemble checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl EnsembleCheckpoint {
+    /// Steps taken at capture time.
+    pub fn steps_taken(&self) -> u64 {
+        self.steps_taken
+    }
+
+    /// Simulation time at capture time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Serialize to bytes (little-endian, versioned).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"XGEN");
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&self.cmat_key.to_le_bytes());
+        out.extend_from_slice(&(self.k as u64).to_le_bytes());
+        out.extend_from_slice(&self.time.to_le_bytes());
+        out.extend_from_slice(&self.steps_taken.to_le_bytes());
+        for d in [self.dims.0, self.dims.1, self.dims.2] {
+            out.extend_from_slice(&(d as u64).to_le_bytes());
+        }
+        for m in &self.members {
+            for z in m {
+                out.extend_from_slice(&z.re.to_le_bytes());
+                out.extend_from_slice(&z.im.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserialize from bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let hdr = 4 + 4 + 8 + 8 + 8 + 8 + 24;
+        if bytes.len() < hdr {
+            return Err(CheckpointError::Corrupt("truncated header".into()));
+        }
+        if &bytes[0..4] != b"XGEN" {
+            return Err(CheckpointError::Corrupt("bad magic".into()));
+        }
+        let rd_u64 =
+            |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().expect("bounds checked"));
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("bounds checked"));
+        if version != 1 {
+            return Err(CheckpointError::Corrupt(format!("unknown version {version}")));
+        }
+        let cmat_key = rd_u64(8);
+        let k = rd_u64(16) as usize;
+        let time = f64::from_le_bytes(bytes[24..32].try_into().expect("bounds checked"));
+        let steps_taken = rd_u64(32);
+        let dims = (rd_u64(40) as usize, rd_u64(48) as usize, rd_u64(56) as usize);
+        let per_member = dims.0 * dims.1 * dims.2;
+        let expected = hdr + k * per_member * 16;
+        if bytes.len() != expected {
+            return Err(CheckpointError::Corrupt(format!(
+                "length {} != expected {expected}",
+                bytes.len()
+            )));
+        }
+        let mut members = Vec::with_capacity(k);
+        let mut off = hdr;
+        for _ in 0..k {
+            let mut m = Vec::with_capacity(per_member);
+            for _ in 0..per_member {
+                let re =
+                    f64::from_le_bytes(bytes[off..off + 8].try_into().expect("bounds checked"));
+                let im = f64::from_le_bytes(
+                    bytes[off + 8..off + 16].try_into().expect("bounds checked"),
+                );
+                m.push(Complex64::new(re, im));
+                off += 16;
+            }
+            members.push(m);
+        }
+        Ok(Self { cmat_key, k, time, steps_taken, members, dims })
+    }
+}
+
+/// Run the ensemble for `steps`, checkpointing at the end. Optionally seed
+/// from a prior checkpoint (resuming its step counter).
+pub fn run_xgyro_checkpointed(
+    config: &EnsembleConfig,
+    steps: usize,
+    resume_from: Option<&EnsembleCheckpoint>,
+) -> Result<(RunOutcome, EnsembleCheckpoint), CheckpointError> {
+    if let Some(cp) = resume_from {
+        if cp.cmat_key != config.cmat_key() || cp.k != config.k() {
+            return Err(CheckpointError::WrongEnsemble);
+        }
+        let d = config.members()[0].dims();
+        if cp.dims != (d.nc, d.nv, d.nt) {
+            return Err(CheckpointError::WrongEnsemble);
+        }
+    }
+
+    let grid = config.grid();
+    let dims = config.members()[0].dims();
+    let world = World::new(config.total_ranks());
+    let results = world.run_with_logs(|comm| {
+        let (a, topo) = build_xgyro_topology(config, &comm);
+        let layout =
+            PhaseLayout::new(dims, grid, grid.rank(a.i1, a.i2));
+        let mut sim = Simulation::new(config.members()[a.sim].clone(), topo);
+        if let Some(cp) = resume_from {
+            // Carve this rank's local slice out of the member's global
+            // state.
+            let global = &cp.members[a.sim];
+            let (nc, nvl, ntl) = layout.str_shape();
+            let mut local = vec![Complex64::ZERO; nc * nvl * ntl];
+            for ic in 0..nc {
+                for (ivl, iv) in layout.nv_range().enumerate() {
+                    for (itl, it) in layout.nt_range().enumerate() {
+                        local[(ic * nvl + ivl) * ntl + itl] =
+                            global[(ic * dims.nv + iv) * dims.nt + it];
+                    }
+                }
+            }
+            sim.restore_state(&local, cp.time, cp.steps_taken);
+        }
+        sim.run_steps(steps);
+        let d = sim.diagnostics();
+        let bytes = 0u64;
+        (a, layout, sim.h().clone(), sim.time(), sim.steps_taken(), d, bytes)
+    });
+
+    // Reassemble.
+    let mut members: Vec<Vec<Complex64>> =
+        (0..config.k()).map(|_| vec![Complex64::ZERO; dims.state_len()]).collect();
+    let mut time = 0.0;
+    let mut steps_taken = 0;
+    let mut sims: Vec<crate::runner::SimResult> = (0..config.k())
+        .map(|i| crate::runner::SimResult {
+            sim: i,
+            h: Tensor3::new(1, 1, 1),
+            diagnostics: xg_sim::Diagnostics {
+                time: 0.0,
+                field_energy: 0.0,
+                heat_flux: 0.0,
+                h_norm2: 0.0,
+            },
+            cmat_bytes_per_rank: Vec::new(),
+        })
+        .collect();
+    let mut traces = Vec::new();
+    let mut shards: Vec<Vec<(PhaseLayout, Tensor3<Complex64>)>> =
+        (0..config.k()).map(|_| Vec::new()).collect();
+    for ((a, layout, h, t, s, d, _), trace) in results {
+        for ic in 0..dims.nc {
+            for (ivl, iv) in layout.nv_range().enumerate() {
+                for (itl, it) in layout.nt_range().enumerate() {
+                    members[a.sim][(ic * dims.nv + iv) * dims.nt + it] =
+                        h[(ic, ivl, itl)];
+                }
+            }
+        }
+        shards[a.sim].push((layout, h));
+        time = t;
+        steps_taken = s;
+        sims[a.sim].diagnostics = d;
+        traces.push(trace);
+    }
+    for (i, sh) in shards.into_iter().enumerate() {
+        let mut g = Tensor3::new(dims.nc, dims.nv, dims.nt);
+        for (layout, h) in sh {
+            for ic in 0..dims.nc {
+                for (ivl, iv) in layout.nv_range().enumerate() {
+                    for (itl, it) in layout.nt_range().enumerate() {
+                        g[(ic, iv, it)] = h[(ic, ivl, itl)];
+                    }
+                }
+            }
+        }
+        sims[i].h = g;
+    }
+
+    let checkpoint = EnsembleCheckpoint {
+        cmat_key: config.cmat_key(),
+        k: config.k(),
+        time,
+        steps_taken,
+        members,
+        dims: (dims.nc, dims.nv, dims.nt),
+    };
+    Ok((RunOutcome { sims, traces }, checkpoint))
+}

@@ -1,0 +1,33 @@
+//! # xgyro-core — the paper's contribution
+//!
+//! XGYRO executes an ensemble of CGYRO-class simulations as a single job,
+//! sharing one copy of the collisional constant tensor (`cmat`) across all
+//! members. This crate provides:
+//!
+//! * [`ensemble`] — ensemble configuration and the `cmat`-key admission
+//!   check (only simulations whose collision-relevant inputs match may
+//!   share; gradient-drive parameter sweeps always qualify);
+//! * [`topology`] — the Figure-3 communicator construction: per-simulation
+//!   `nv` (str AllReduce) and `nt` communicators, plus the **separated**,
+//!   ensemble-wide coll communicator over which `cmat` is distributed;
+//! * [`runner`] — functional execution of the ensemble (and of the
+//!   sequential CGYRO baseline) over the thread-backed comm substrate;
+//! * [`report`] — the memory-sharing law and communication-trace
+//!   summaries.
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod ensemble;
+pub mod report;
+pub mod runner;
+pub mod topology;
+
+pub use checkpoint::{run_xgyro_checkpointed, CheckpointError, EnsembleCheckpoint};
+pub use ensemble::{gradient_sweep, EnsembleConfig, EnsembleError};
+pub use report::{cmat_memory_law, summarize_trace, CmatMemoryLaw, TraceSummary};
+pub use runner::{
+    run_cgyro_baseline, run_single_cgyro, run_xgyro, run_xgyro_with_history, RunOutcome,
+    SimResult,
+};
+pub use topology::{assignment, build_xgyro_topology, RankAssignment};

@@ -1,0 +1,211 @@
+//! Functional ensemble execution.
+//!
+//! [`run_xgyro`] executes a whole ensemble as one job (one thread per
+//! rank, k·n1·n2 ranks) and returns the per-simulation results;
+//! [`run_cgyro_baseline`] runs the same members **sequentially** as
+//! independent CGYRO jobs — the paper's comparison baseline — on the same
+//! per-simulation grid. The two must agree bitwise: sharing the constant
+//! tensor redistributes *where* `cmat` rows live, never *what* is computed.
+
+use crate::ensemble::EnsembleConfig;
+use crate::topology::build_xgyro_topology;
+use xg_comm::{OpRecord, World};
+use xg_linalg::Complex64;
+use xg_sim::{CgyroInput, Diagnostics, DistTopology, Simulation};
+use xg_tensor::{PhaseLayout, ProcGrid, Tensor3};
+
+/// The outcome of one member simulation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Member index.
+    pub sim: usize,
+    /// Reassembled global distribution (str layout `(nc, nv, nt)`).
+    pub h: Tensor3<Complex64>,
+    /// Diagnostics at the end of the run.
+    pub diagnostics: Diagnostics,
+    /// Per-rank cmat bytes held by this simulation's ranks (XGYRO: the
+    /// ensemble slice; CGYRO: the per-simulation slice).
+    pub cmat_bytes_per_rank: Vec<u64>,
+}
+
+/// The outcome of an ensemble (or baseline) run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Per-member results, indexed by member.
+    pub sims: Vec<SimResult>,
+    /// Per-world-rank communication traces.
+    pub traces: Vec<Vec<OpRecord>>,
+}
+
+/// Reassemble per-rank `h` shards of one simulation into the global tensor.
+fn assemble(
+    dims: xg_tensor::SimDims,
+    shards: Vec<(PhaseLayout, Tensor3<Complex64>)>,
+) -> Tensor3<Complex64> {
+    let mut global = Tensor3::new(dims.nc, dims.nv, dims.nt);
+    for (layout, h) in shards {
+        for ic in 0..dims.nc {
+            for (ivl, iv) in layout.nv_range().enumerate() {
+                for (itl, it) in layout.nt_range().enumerate() {
+                    global[(ic, iv, it)] = h[(ic, ivl, itl)];
+                }
+            }
+        }
+    }
+    global
+}
+
+/// Run the ensemble as a single XGYRO job for `steps` time steps.
+pub fn run_xgyro(config: &EnsembleConfig, steps: usize) -> RunOutcome {
+    let world = World::new(config.total_ranks());
+    let grid = config.grid();
+    let results = world.run_with_logs(|comm| {
+        let (a, topo) = build_xgyro_topology(config, &comm);
+        let cmat_bytes = topo.cmat().bytes();
+        let layout = PhaseLayout::new(
+            config.members()[a.sim].dims(),
+            grid,
+            grid.rank(a.i1, a.i2),
+        );
+        let mut sim = Simulation::new(config.members()[a.sim].clone(), topo);
+        sim.run_steps(steps);
+        let d = sim.diagnostics();
+        (a.sim, layout, sim.h().clone(), d, cmat_bytes)
+    });
+
+    let dims = config.members()[0].dims();
+    let mut per_sim: Vec<Vec<(PhaseLayout, Tensor3<Complex64>)>> =
+        (0..config.k()).map(|_| Vec::new()).collect();
+    let mut per_sim_diag: Vec<Option<Diagnostics>> = vec![None; config.k()];
+    let mut per_sim_bytes: Vec<Vec<u64>> = (0..config.k()).map(|_| Vec::new()).collect();
+    let mut traces = Vec::with_capacity(results.len());
+    for ((sim, layout, h, d, bytes), trace) in results {
+        per_sim[sim].push((layout, h));
+        per_sim_diag[sim] = Some(d);
+        per_sim_bytes[sim].push(bytes);
+        traces.push(trace);
+    }
+    let sims = per_sim
+        .into_iter()
+        .enumerate()
+        .map(|(i, shards)| SimResult {
+            sim: i,
+            h: assemble(dims, shards),
+            diagnostics: per_sim_diag[i].expect("every sim produced diagnostics"),
+            cmat_bytes_per_rank: std::mem::take(&mut per_sim_bytes[i]),
+        })
+        .collect();
+    RunOutcome { sims, traces }
+}
+
+/// Run the ensemble for `reports` reporting intervals, recording each
+/// member's diagnostic history (identical on every rank of a member; taken
+/// from its lead rank).
+pub fn run_xgyro_with_history(
+    config: &EnsembleConfig,
+    reports: usize,
+) -> (RunOutcome, Vec<xg_sim::History>) {
+    let world = World::new(config.total_ranks());
+    let grid = config.grid();
+    let results = world.run_with_logs(|comm| {
+        let (a, topo) = build_xgyro_topology(config, &comm);
+        let cmat_bytes = topo.cmat().bytes();
+        let layout = PhaseLayout::new(
+            config.members()[a.sim].dims(),
+            grid,
+            grid.rank(a.i1, a.i2),
+        );
+        let mut sim = Simulation::new(config.members()[a.sim].clone(), topo);
+        let mut hist = xg_sim::History::new();
+        for _ in 0..reports {
+            hist.push(sim.run_report_step());
+        }
+        let d = sim.diagnostics();
+        (a, layout, sim.h().clone(), d, cmat_bytes, hist)
+    });
+
+    let dims = config.members()[0].dims();
+    let mut per_sim: Vec<Vec<(PhaseLayout, Tensor3<Complex64>)>> =
+        (0..config.k()).map(|_| Vec::new()).collect();
+    let mut per_sim_diag: Vec<Option<Diagnostics>> = vec![None; config.k()];
+    let mut per_sim_bytes: Vec<Vec<u64>> = (0..config.k()).map(|_| Vec::new()).collect();
+    let mut per_sim_hist: Vec<Option<xg_sim::History>> = vec![None; config.k()];
+    let mut traces = Vec::with_capacity(results.len());
+    for ((a, layout, h, d, bytes, hist), trace) in results {
+        per_sim[a.sim].push((layout, h));
+        per_sim_diag[a.sim] = Some(d);
+        per_sim_bytes[a.sim].push(bytes);
+        if a.i1 == 0 && a.i2 == 0 {
+            per_sim_hist[a.sim] = Some(hist);
+        }
+        traces.push(trace);
+    }
+    let sims = per_sim
+        .into_iter()
+        .enumerate()
+        .map(|(i, shards)| SimResult {
+            sim: i,
+            h: assemble(dims, shards),
+            diagnostics: per_sim_diag[i].expect("every sim produced diagnostics"),
+            cmat_bytes_per_rank: std::mem::take(&mut per_sim_bytes[i]),
+        })
+        .collect();
+    let histories =
+        per_sim_hist.into_iter().map(|h| h.expect("lead rank recorded history")).collect();
+    (RunOutcome { sims, traces }, histories)
+}
+
+/// Run the members **sequentially** as independent CGYRO jobs on the same
+/// per-simulation grid (the paper's baseline: "running 8 variants … either
+/// sequentially with CGYRO or as an ensemble with XGYRO").
+pub fn run_cgyro_baseline(config: &EnsembleConfig, steps: usize) -> RunOutcome {
+    let grid = config.grid();
+    let mut sims = Vec::with_capacity(config.k());
+    let mut traces = Vec::new();
+    for (i, input) in config.members().iter().enumerate() {
+        let (result, mut t) = run_single_cgyro(input, grid, steps, i);
+        sims.push(result);
+        traces.append(&mut t);
+    }
+    RunOutcome { sims, traces }
+}
+
+/// Run one CGYRO simulation distributed over `grid`.
+pub fn run_single_cgyro(
+    input: &CgyroInput,
+    grid: ProcGrid,
+    steps: usize,
+    sim_index: usize,
+) -> (SimResult, Vec<Vec<OpRecord>>) {
+    let world = World::new(grid.size());
+    let dims = input.dims();
+    let results = world.run_with_logs(|comm| {
+        let rank = comm.rank();
+        let topo = DistTopology::cgyro(input, grid, comm);
+        let cmat_bytes = topo.cmat().bytes();
+        let layout = PhaseLayout::new(dims, grid, rank);
+        let mut sim = Simulation::new(input.clone(), topo);
+        sim.run_steps(steps);
+        let d = sim.diagnostics();
+        (layout, sim.h().clone(), d, cmat_bytes)
+    });
+    let mut shards = Vec::new();
+    let mut diag = None;
+    let mut bytes = Vec::new();
+    let mut traces = Vec::new();
+    for ((layout, h, d, b), t) in results {
+        shards.push((layout, h));
+        diag = Some(d);
+        bytes.push(b);
+        traces.push(t);
+    }
+    (
+        SimResult {
+            sim: sim_index,
+            h: assemble(dims, shards),
+            diagnostics: diag.expect("at least one rank"),
+            cmat_bytes_per_rank: bytes,
+        },
+        traces,
+    )
+}

@@ -1,0 +1,119 @@
+//! Compute kernel cost model: roofline-style `max(flops/F, bytes/B)`.
+//!
+//! Every on-rank kernel in the simulated step (streaming derivative, field
+//! accumulation, nonlinear convolution, and above all the `cmat` matvec
+//! stack) is described by a flop count and a memory traffic estimate; the
+//! modeled time is the roofline bound under the machine's achieved
+//! throughput numbers. The collision step in particular is memory-bound:
+//! it streams the entire local `cmat` slice once per application, which is
+//! why its time tracks `cmat` bytes rather than flops.
+
+use crate::machine::MachineModel;
+
+/// A compute kernel characterized by work and traffic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KernelCost {
+    /// Double-precision floating point operations.
+    pub flops: u64,
+    /// Bytes moved to/from memory (read + write).
+    pub bytes: u64,
+}
+
+impl KernelCost {
+    /// Zero-cost kernel.
+    pub const ZERO: KernelCost = KernelCost { flops: 0, bytes: 0 };
+
+    /// Sum of two kernel costs.
+    pub fn plus(self, other: KernelCost) -> KernelCost {
+        KernelCost { flops: self.flops + other.flops, bytes: self.bytes + other.bytes }
+    }
+
+    /// Scale by an integer repetition count.
+    pub fn times(self, reps: u64) -> KernelCost {
+        KernelCost { flops: self.flops * reps, bytes: self.bytes * reps }
+    }
+
+    /// Modeled execution time on `m` (seconds): roofline bound.
+    pub fn time(self, m: &MachineModel) -> f64 {
+        let t_flops = self.flops as f64 / m.flops_per_rank;
+        let t_bytes = self.bytes as f64 / m.mem_bw_per_rank;
+        t_flops.max(t_bytes)
+    }
+
+    /// Arithmetic intensity (flops per byte); `inf` for traffic-free work.
+    pub fn intensity(self) -> f64 {
+        if self.bytes == 0 {
+            f64::INFINITY
+        } else {
+            self.flops as f64 / self.bytes as f64
+        }
+    }
+}
+
+/// Cost of applying one dense real `n×n` matrix to a complex vector.
+/// Streams the matrix once (8 bytes/entry) plus the vectors.
+pub fn real_complex_matvec(n: usize) -> KernelCost {
+    let n = n as u64;
+    KernelCost { flops: 4 * n * n, bytes: 8 * n * n + 2 * 16 * n }
+}
+
+/// Cost of a stack of `count` such matvecs (the collision step applies one
+/// per local (configuration, toroidal) pair).
+pub fn matvec_stack(n: usize, count: usize) -> KernelCost {
+    real_complex_matvec(n).times(count as u64)
+}
+
+/// Cost of an axpy-like streaming update over `n` complex elements with
+/// `flops_per_elem` flops each.
+pub fn streaming_update(n: usize, flops_per_elem: u64) -> KernelCost {
+    KernelCost { flops: n as u64 * flops_per_elem, bytes: n as u64 * 16 * 2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roofline_picks_binding_resource() {
+        let m = MachineModel::frontier_like();
+        // Pure compute: flops bound.
+        let k = KernelCost { flops: 6_000_000_000_000, bytes: 0 };
+        assert!((k.time(&m) - 1.0).abs() < 1e-9);
+        // Pure traffic: bytes bound.
+        let k = KernelCost { flops: 0, bytes: 1_300_000_000_000 };
+        assert!((k.time(&m) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collision_matvec_is_memory_bound_on_frontier_like() {
+        let m = MachineModel::frontier_like();
+        let k = real_complex_matvec(576);
+        // intensity = 4n²/(8n²+32n) < flops/membw ratio (≈4.6 flops/byte)
+        assert!(k.intensity() < m.flops_per_rank / m.mem_bw_per_rank);
+        assert!(k.time(&m) * m.mem_bw_per_rank >= k.bytes as f64 * 0.999);
+    }
+
+    #[test]
+    fn plus_and_times_compose() {
+        let a = KernelCost { flops: 10, bytes: 20 };
+        let b = KernelCost { flops: 1, bytes: 2 };
+        assert_eq!(a.plus(b), KernelCost { flops: 11, bytes: 22 });
+        assert_eq!(b.times(5), KernelCost { flops: 5, bytes: 10 });
+        assert_eq!(KernelCost::ZERO.plus(a), a);
+    }
+
+    #[test]
+    fn matvec_stack_scales_linearly() {
+        let one = real_complex_matvec(64);
+        let stack = matvec_stack(64, 100);
+        assert_eq!(stack.flops, one.flops * 100);
+        assert_eq!(stack.bytes, one.bytes * 100);
+    }
+
+    #[test]
+    fn intensity_of_streaming_kernel_is_low() {
+        let k = streaming_update(1000, 8);
+        assert!(k.intensity() < 1.0);
+        assert_eq!(KernelCost::ZERO.intensity(), f64::INFINITY);
+    }
+}

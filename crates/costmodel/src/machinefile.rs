@@ -1,0 +1,228 @@
+//! Machine-description files.
+//!
+//! Users planning campaigns for their own cluster describe it in a small
+//! `KEY=VALUE` file (same conventions as `input.cgyro`): either a preset
+//! reference or explicit constants. Consumed by the `xgplan` CLI.
+//!
+//! ```text
+//! # machine.xg
+//! PRESET=frontier-like      # optional starting point
+//! RANKS_PER_NODE=8
+//! MEM_PER_RANK_GB=64
+//! USABLE_MEM_FRACTION=0.65
+//! ALPHA_INTRA_US=3
+//! ALPHA_INTER_US=12
+//! BETA_INTRA_GBS=90
+//! BETA_INTER_GBS=24
+//! NIC_GBS=100
+//! ALLREDUCE_CONGESTION=0.31
+//! SYNC_OVERHEAD_US=60
+//! FLOPS_PER_RANK_TF=6.0
+//! MEM_BW_PER_RANK_TBS=1.3
+//! ```
+
+use crate::machine::MachineModel;
+use std::collections::BTreeMap;
+
+/// Parse failure with line context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineFileError {
+    /// 1-based line (0 = file-level).
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for MachineFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "machine file line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for MachineFileError {}
+
+/// Resolve a preset by name.
+pub fn preset(name: &str) -> Option<MachineModel> {
+    match name {
+        "frontier-like" | "frontier" => Some(MachineModel::frontier_like()),
+        "perlmutter-like" | "perlmutter" => Some(MachineModel::perlmutter_like()),
+        "slow-fabric" => Some(MachineModel::slow_fabric_cluster()),
+        "small-cluster" => Some(MachineModel::small_cluster()),
+        _ => None,
+    }
+}
+
+/// Names of all built-in presets.
+pub const PRESET_NAMES: [&str; 4] =
+    ["frontier-like", "perlmutter-like", "slow-fabric", "small-cluster"];
+
+/// Parse a machine description, starting from `PRESET` (default
+/// `frontier-like`) and overriding any explicitly given constants.
+pub fn parse_machine(text: &str) -> Result<MachineModel, MachineFileError> {
+    let mut kv: BTreeMap<String, (usize, String)> = BTreeMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some((k, v)) = line.split_once('=') else {
+            return Err(MachineFileError {
+                line: line_no,
+                message: format!("expected KEY=VALUE, got '{line}'"),
+            });
+        };
+        kv.insert(k.trim().to_ascii_uppercase(), (line_no, v.trim().to_string()));
+    }
+
+    let mut m = match kv.get("PRESET") {
+        None => MachineModel::frontier_like(),
+        Some((line, name)) => preset(name).ok_or_else(|| MachineFileError {
+            line: *line,
+            message: format!(
+                "unknown preset '{name}' (available: {})",
+                PRESET_NAMES.join(", ")
+            ),
+        })?,
+    };
+
+    let parse_f64 = |key: &str| -> Result<Option<f64>, MachineFileError> {
+        match kv.get(key) {
+            None => Ok(None),
+            Some((line, v)) => v
+                .parse::<f64>()
+                .map(Some)
+                .map_err(|_| MachineFileError {
+                    line: *line,
+                    message: format!("cannot parse '{v}' for {key}"),
+                }),
+        }
+    };
+
+    if let Some(v) = parse_f64("RANKS_PER_NODE")? {
+        m.ranks_per_node = v as usize;
+    }
+    if let Some(v) = parse_f64("MEM_PER_RANK_GB")? {
+        m.mem_per_rank = (v * (1u64 << 30) as f64) as u64;
+    }
+    if let Some(v) = parse_f64("USABLE_MEM_FRACTION")? {
+        m.usable_mem_fraction = v;
+    }
+    if let Some(v) = parse_f64("ALPHA_INTRA_US")? {
+        m.alpha_intra = v * 1e-6;
+    }
+    if let Some(v) = parse_f64("ALPHA_INTER_US")? {
+        m.alpha_inter = v * 1e-6;
+    }
+    if let Some(v) = parse_f64("BETA_INTRA_GBS")? {
+        m.beta_intra = v * 1e9;
+    }
+    if let Some(v) = parse_f64("BETA_INTER_GBS")? {
+        m.beta_inter = v * 1e9;
+    }
+    if let Some(v) = parse_f64("NIC_GBS")? {
+        m.nic_bw = v * 1e9;
+    }
+    if let Some(v) = parse_f64("ALLREDUCE_CONGESTION")? {
+        m.allreduce_congestion = v;
+    }
+    if let Some(v) = parse_f64("SYNC_OVERHEAD_US")? {
+        m.sync_overhead = v * 1e-6;
+    }
+    if let Some(v) = parse_f64("FLOPS_PER_RANK_TF")? {
+        m.flops_per_rank = v * 1e12;
+    }
+    if let Some(v) = parse_f64("MEM_BW_PER_RANK_TBS")? {
+        m.mem_bw_per_rank = v * 1e12;
+    }
+    if let Some((_, name)) = kv.get("NAME") {
+        m.name = name.clone();
+    }
+
+    // Sanity.
+    if m.ranks_per_node == 0 {
+        return Err(MachineFileError {
+            line: 0,
+            message: "RANKS_PER_NODE must be at least 1".into(),
+        });
+    }
+    if !(0.0..=1.0).contains(&m.usable_mem_fraction) {
+        return Err(MachineFileError {
+            line: 0,
+            message: "USABLE_MEM_FRACTION must be in [0, 1]".into(),
+        });
+    }
+    for (label, v) in [
+        ("BETA_INTRA_GBS", m.beta_intra),
+        ("BETA_INTER_GBS", m.beta_inter),
+        ("NIC_GBS", m.nic_bw),
+        ("FLOPS_PER_RANK_TF", m.flops_per_rank),
+        ("MEM_BW_PER_RANK_TBS", m.mem_bw_per_rank),
+    ] {
+        if v <= 0.0 {
+            return Err(MachineFileError {
+                line: 0,
+                message: format!("{label} must be positive"),
+            });
+        }
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_file_is_the_default_preset() {
+        let m = parse_machine("").unwrap();
+        assert_eq!(m, MachineModel::frontier_like());
+    }
+
+    #[test]
+    fn preset_reference_resolves() {
+        let m = parse_machine("PRESET=slow-fabric\n").unwrap();
+        assert_eq!(m, MachineModel::slow_fabric_cluster());
+        assert!(parse_machine("PRESET=does-not-exist\n").is_err());
+    }
+
+    #[test]
+    fn overrides_apply_on_top_of_preset() {
+        let m = parse_machine(
+            "PRESET=frontier-like\nRANKS_PER_NODE=4\nBETA_INTER_GBS=10\nNAME=mycluster\n",
+        )
+        .unwrap();
+        assert_eq!(m.ranks_per_node, 4);
+        assert_eq!(m.beta_inter, 10e9);
+        assert_eq!(m.name, "mycluster");
+        // Untouched fields keep the preset values.
+        assert_eq!(m.nic_bw, MachineModel::frontier_like().nic_bw);
+    }
+
+    #[test]
+    fn units_convert_correctly() {
+        let m = parse_machine(
+            "MEM_PER_RANK_GB=32\nALPHA_INTER_US=25\nSYNC_OVERHEAD_US=80\nFLOPS_PER_RANK_TF=2\n",
+        )
+        .unwrap();
+        assert_eq!(m.mem_per_rank, 32 << 30);
+        assert!((m.alpha_inter - 25e-6).abs() < 1e-15);
+        assert!((m.sync_overhead - 80e-6).abs() < 1e-15);
+        assert!((m.flops_per_rank - 2e12).abs() < 1.0);
+    }
+
+    #[test]
+    fn bad_values_report_line_numbers() {
+        let e = parse_machine("RANKS_PER_NODE=eight\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse_machine("\n\nNOT A KV LINE\n").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn sanity_checks_fire() {
+        assert!(parse_machine("USABLE_MEM_FRACTION=1.5\n").is_err());
+        assert!(parse_machine("BETA_INTER_GBS=0\n").is_err());
+        assert!(parse_machine("RANKS_PER_NODE=0\n").is_err());
+    }
+}

@@ -1,0 +1,355 @@
+//! A minimal, dependency-free double-precision complex number.
+//!
+//! CGYRO-class codes evolve complex spectral amplitudes; the collisional
+//! constant tensor itself is real, so the hot kernel is `real matrix ×
+//! complex vector`. This type is `#[repr(C)]` and `Copy` so buffers of it can
+//! be packed/unpacked and sent through the communication substrate as plain
+//! old data.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Double-precision complex number (`re + i·im`).
+#[derive(Clone, Copy, Default, PartialEq)]
+#[repr(C)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// The imaginary unit `i`.
+pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+impl Complex64 {
+    /// Complex zero.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// Complex one.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+
+    /// Construct from real and imaginary parts.
+    #[inline(always)]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Construct a purely real value.
+    #[inline(always)]
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Construct a purely imaginary value.
+    #[inline(always)]
+    pub const fn imag(im: f64) -> Self {
+        Self { re: 0.0, im }
+    }
+
+    /// `exp(i·theta)` — unit phasor at angle `theta` (radians).
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Self { re: c, im: s }
+    }
+
+    /// Complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Squared modulus `|z|²` (avoids the square root).
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`, computed robustly via `hypot`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Self { re: self.re / d, im: -self.im / d }
+    }
+
+    /// Scale by a real factor.
+    #[inline(always)]
+    pub fn scale(self, s: f64) -> Self {
+        Self { re: self.re * s, im: self.im * s }
+    }
+
+    /// Complex exponential `exp(z)`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Self::cis(self.im).scale(self.re.exp())
+    }
+
+    /// Fused multiply-add `self + a·b`, written for the hot reduction loops.
+    #[inline(always)]
+    pub fn mul_add(self, a: Complex64, b: Complex64) -> Self {
+        Self {
+            re: self.re + a.re * b.re - a.im * b.im,
+            im: self.im + a.re * b.im + a.im * b.re,
+        }
+    }
+
+    /// True when either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// True when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}{:+}i)", self.re, self.im)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:+}i", self.re, self.im)
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline(always)]
+    fn from(re: f64) -> Self {
+        Self::real(re)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        Self { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        Self { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        Self {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl MulAssign<f64> for Complex64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: f64) {
+        self.re *= rhs;
+        self.im *= rhs;
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Self;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z * w⁻¹ by definition
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inv()
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn div(self, rhs: f64) -> Self {
+        Self { re: self.re / rhs, im: self.im / rhs }
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Self { re: -self.re, im: -self.im }
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<It: Iterator<Item = Self>>(iter: It) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let z = Complex64::new(3.0, -4.0);
+        assert_eq!(z.re, 3.0);
+        assert_eq!(z.im, -4.0);
+        assert_eq!(Complex64::real(2.0), Complex64::new(2.0, 0.0));
+        assert_eq!(Complex64::imag(2.0), Complex64::new(0.0, 2.0));
+        assert_eq!(Complex64::from(5.0), Complex64::real(5.0));
+    }
+
+    #[test]
+    fn modulus_and_argument() {
+        let z = Complex64::new(3.0, 4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert!((Complex64::new(0.0, 1.0).arg() - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex64::new(1.5, -2.5);
+        let b = Complex64::new(-0.5, 3.0);
+        assert!(close(a + b - b, a));
+        assert!(close(a * b / b, a));
+        assert!(close(a * a.inv(), Complex64::ONE));
+        assert!(close(-(-a), a));
+        assert!(close(a * Complex64::ONE, a));
+        assert!(close(a + Complex64::ZERO, a));
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(-3.0, 0.5);
+        assert!(close((a * b).conj(), a.conj() * b.conj()));
+        assert!(close(a * a.conj(), Complex64::real(a.norm_sqr())));
+    }
+
+    #[test]
+    fn cis_and_exp() {
+        use std::f64::consts::PI;
+        assert!(close(Complex64::cis(0.0), Complex64::ONE));
+        assert!(close(Complex64::cis(PI / 2.0), I));
+        // Euler: exp(iπ) = −1.
+        assert!(close(Complex64::new(0.0, PI).exp(), -Complex64::ONE));
+        // exp(a+b) = exp(a)·exp(b)
+        let a = Complex64::new(0.3, -0.7);
+        let b = Complex64::new(-0.2, 1.1);
+        assert!(close((a + b).exp(), a.exp() * b.exp()));
+    }
+
+    #[test]
+    fn mul_add_matches_expanded_form() {
+        let acc = Complex64::new(0.5, 0.5);
+        let a = Complex64::new(1.0, -2.0);
+        let b = Complex64::new(3.0, 4.0);
+        assert!(close(acc.mul_add(a, b), acc + a * b));
+    }
+
+    #[test]
+    fn real_scalar_ops() {
+        let a = Complex64::new(2.0, -6.0);
+        assert!(close(a * 0.5, Complex64::new(1.0, -3.0)));
+        assert!(close(0.5 * a, a * 0.5));
+        assert!(close(a / 2.0, Complex64::new(1.0, -3.0)));
+        let mut m = a;
+        m *= 2.0;
+        assert!(close(m, Complex64::new(4.0, -12.0)));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let v = [
+            Complex64::new(1.0, 1.0),
+            Complex64::new(2.0, -1.0),
+            Complex64::new(-3.0, 0.5),
+        ];
+        let s: Complex64 = v.iter().copied().sum();
+        assert!(close(s, Complex64::new(0.0, 0.5)));
+    }
+
+    #[test]
+    fn nan_and_finite_checks() {
+        assert!(Complex64::new(f64::NAN, 0.0).is_nan());
+        assert!(!Complex64::ONE.is_nan());
+        assert!(Complex64::ONE.is_finite());
+        assert!(!Complex64::new(f64::INFINITY, 0.0).is_finite());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Complex64::new(1.0, -2.0)), "1-2i");
+        assert_eq!(format!("{:?}", Complex64::new(1.0, 2.0)), "(1+2i)");
+    }
+}

@@ -1,0 +1,214 @@
+//! Matrix–matrix and matrix–vector kernels.
+//!
+//! These are the compute kernels behind the collision step: the constant
+//! tensor application is `y = A·x` with `A` real `nv×nv` and `x` complex,
+//! which we evaluate as two fused real matvecs over the interleaved
+//! `(re, im)` layout of [`Complex64`].
+
+use crate::complex::Complex64;
+use crate::matrix::RealMatrix;
+
+/// Dense `C = A·B`. Loop order `i-k-j` over row-major data so the inner loop
+/// streams both `B`'s row and `C`'s row.
+pub fn matmul(a: &RealMatrix, b: &RealMatrix) -> RealMatrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul shape mismatch: {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = RealMatrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        for (kk, &aik) in arow.iter().enumerate().take(k) {
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = b.row(kk);
+            let crow = c.row_mut(i);
+            for j in 0..n {
+                crow[j] += aik * brow[j];
+            }
+        }
+    }
+    c
+}
+
+/// Real matvec `y = A·x`.
+pub fn matvec(a: &RealMatrix, x: &[f64], y: &mut [f64]) {
+    assert_eq!(a.cols(), x.len(), "matvec: x length mismatch");
+    assert_eq!(a.rows(), y.len(), "matvec: y length mismatch");
+    for (i, yi) in y.iter_mut().enumerate() {
+        let row = a.row(i);
+        let mut acc = 0.0;
+        for (aij, xj) in row.iter().zip(x) {
+            acc += aij * xj;
+        }
+        *yi = acc;
+    }
+}
+
+/// Real-matrix × complex-vector: `y = A·x` with `A ∈ ℝ^{m×n}`, `x ∈ ℂ^n`.
+///
+/// This is the collision-step hot kernel (`cmat` slice applied to the
+/// velocity profile of `h` at one configuration/toroidal point). 8·m·n flops.
+pub fn matvec_complex(a: &RealMatrix, x: &[Complex64], y: &mut [Complex64]) {
+    assert_eq!(a.cols(), x.len(), "matvec_complex: x length mismatch");
+    assert_eq!(a.rows(), y.len(), "matvec_complex: y length mismatch");
+    for (i, yi) in y.iter_mut().enumerate() {
+        let row = a.row(i);
+        let mut re = 0.0;
+        let mut im = 0.0;
+        for (aij, xj) in row.iter().zip(x) {
+            re += aij * xj.re;
+            im += aij * xj.im;
+        }
+        *yi = Complex64::new(re, im);
+    }
+}
+
+/// Real-matrix × complex-vector over a raw row-major panel (no
+/// `RealMatrix` wrapper): the collision step streams its constant tensor
+/// as one contiguous 4-D allocation and applies per-(ic, itor) `nv×nv`
+/// panels through this kernel.
+pub fn matvec_complex_flat(
+    a: &[f64],
+    rows: usize,
+    cols: usize,
+    x: &[Complex64],
+    y: &mut [Complex64],
+) {
+    assert_eq!(a.len(), rows * cols, "panel size mismatch");
+    assert_eq!(x.len(), cols, "x length mismatch");
+    assert_eq!(y.len(), rows, "y length mismatch");
+    for (i, yi) in y.iter_mut().enumerate() {
+        let row = &a[i * cols..(i + 1) * cols];
+        let mut re = 0.0;
+        let mut im = 0.0;
+        for (aij, xj) in row.iter().zip(x) {
+            re += aij * xj.re;
+            im += aij * xj.im;
+        }
+        *yi = Complex64::new(re, im);
+    }
+}
+
+/// In-place variant of [`matvec_complex`] using a caller-provided scratch
+/// buffer, so steady-state stepping performs zero allocations.
+pub fn matvec_complex_inplace(a: &RealMatrix, x: &mut [Complex64], scratch: &mut [Complex64]) {
+    assert!(a.is_square(), "in-place matvec needs a square matrix");
+    assert_eq!(scratch.len(), x.len(), "scratch length mismatch");
+    matvec_complex(a, x, scratch);
+    x.copy_from_slice(scratch);
+}
+
+/// Number of floating-point operations for one real×complex matvec of size
+/// `m×n` (used by the performance model; counts mul+add on both components).
+#[inline]
+pub const fn matvec_complex_flops(m: usize, n: usize) -> u64 {
+    4 * (m as u64) * (n as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = RealMatrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let id = RealMatrix::identity(3);
+        assert_eq!(matmul(&a, &id), a);
+        assert_eq!(matmul(&id, &a), a);
+    }
+
+    #[test]
+    fn matmul_rectangular_hand_checked() {
+        let a = RealMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = RealMatrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = RealMatrix::zeros(2, 3);
+        let b = RealMatrix::zeros(2, 3);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn matmul_associativity() {
+        let a = RealMatrix::from_fn(3, 3, |i, j| ((i + 1) * (j + 2)) as f64 / 7.0);
+        let b = RealMatrix::from_fn(3, 3, |i, j| (i as f64 - j as f64) / 3.0);
+        let c = RealMatrix::from_fn(3, 3, |i, j| ((i * j) as f64).sin());
+        let lhs = matmul(&matmul(&a, &b), &c);
+        let rhs = matmul(&a, &matmul(&b, &c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matvec_hand_checked() {
+        let a = RealMatrix::from_vec(2, 3, vec![1.0, 0.0, -1.0, 2.0, 1.0, 0.0]);
+        let x = [3.0, 4.0, 5.0];
+        let mut y = [0.0; 2];
+        matvec(&a, &x, &mut y);
+        assert_eq!(y, [-2.0, 10.0]);
+    }
+
+    #[test]
+    fn complex_matvec_matches_componentwise_real_matvec() {
+        let a = RealMatrix::from_fn(4, 4, |i, j| ((i * 4 + j) as f64).cos());
+        let x: Vec<Complex64> =
+            (0..4).map(|i| Complex64::new(i as f64, -(i as f64) * 0.5)).collect();
+        let mut y = vec![Complex64::ZERO; 4];
+        matvec_complex(&a, &x, &mut y);
+
+        let xr: Vec<f64> = x.iter().map(|z| z.re).collect();
+        let xi: Vec<f64> = x.iter().map(|z| z.im).collect();
+        let mut yr = vec![0.0; 4];
+        let mut yi = vec![0.0; 4];
+        matvec(&a, &xr, &mut yr);
+        matvec(&a, &xi, &mut yi);
+        for k in 0..4 {
+            assert!((y[k].re - yr[k]).abs() < 1e-14);
+            assert!((y[k].im - yi[k]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn flat_matvec_matches_matrix_form() {
+        let a = RealMatrix::from_fn(6, 6, |i, j| ((i * 6 + j) as f64).sin());
+        let x: Vec<Complex64> =
+            (0..6).map(|i| Complex64::new(i as f64, -0.5 * i as f64)).collect();
+        let mut y1 = vec![Complex64::ZERO; 6];
+        let mut y2 = vec![Complex64::ZERO; 6];
+        matvec_complex(&a, &x, &mut y1);
+        matvec_complex_flat(a.as_slice(), 6, 6, &x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn inplace_matvec_matches_out_of_place() {
+        let a = RealMatrix::from_fn(5, 5, |i, j| 1.0 / (1.0 + i as f64 + j as f64));
+        let x: Vec<Complex64> =
+            (0..5).map(|i| Complex64::new((i as f64).sin(), (i as f64).cos())).collect();
+        let mut y = vec![Complex64::ZERO; 5];
+        matvec_complex(&a, &x, &mut y);
+        let mut x2 = x.clone();
+        let mut scratch = vec![Complex64::ZERO; 5];
+        matvec_complex_inplace(&a, &mut x2, &mut scratch);
+        assert_eq!(x2, y);
+    }
+
+    #[test]
+    fn flop_count_formula() {
+        assert_eq!(matvec_complex_flops(10, 20), 800);
+    }
+}

@@ -1,0 +1,292 @@
+//! LU factorization with partial pivoting.
+//!
+//! Used once per simulation setup to pre-factor the implicit collision
+//! operator: `cmat(ic, itor) = (I − Δt/2·C)⁻¹ (I + Δt/2·C)` is formed by one
+//! LU factorization of `(I − Δt/2·C)` followed by `nv` triangular solves
+//! against the columns of `(I + Δt/2·C)`. This trades setup compute for a
+//! dense constant tensor — exactly the memory/compute trade the paper
+//! describes for CGYRO's collision step.
+
+use crate::matrix::RealMatrix;
+
+/// Error type for singular or near-singular factorizations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SingularMatrix {
+    /// Pivot column at which factorization broke down.
+    pub at_column: usize,
+    /// Magnitude of the best available pivot.
+    pub pivot_magnitude: f64,
+}
+
+impl std::fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "matrix is singular to working precision at column {} (pivot {:.3e})",
+            self.at_column, self.pivot_magnitude
+        )
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+/// LU factorization `P·A = L·U` of a square matrix, stored compactly
+/// (strictly-lower `L` with implicit unit diagonal, upper `U`).
+#[derive(Clone, Debug)]
+pub struct LuFactors {
+    lu: RealMatrix,
+    /// Row permutation: row `i` of `U`/`L` came from row `perm[i]` of `A`.
+    perm: Vec<usize>,
+    /// Number of row swaps (determinant sign).
+    swaps: usize,
+}
+
+impl LuFactors {
+    /// Factorize `a` (consumed) with partial pivoting.
+    pub fn factorize(mut a: RealMatrix) -> Result<Self, SingularMatrix> {
+        assert!(a.is_square(), "LU factorization needs a square matrix");
+        let n = a.rows();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut swaps = 0;
+        for k in 0..n {
+            // Pivot search in column k, rows k..n.
+            let mut p = k;
+            let mut pmax = a[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = a[(i, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax < f64::MIN_POSITIVE * 1e4 {
+                return Err(SingularMatrix { at_column: k, pivot_magnitude: pmax });
+            }
+            if p != k {
+                perm.swap(k, p);
+                swaps += 1;
+                // Swap full rows k and p.
+                for j in 0..n {
+                    let t = a[(k, j)];
+                    a[(k, j)] = a[(p, j)];
+                    a[(p, j)] = t;
+                }
+            }
+            let pivot = a[(k, k)];
+            for i in (k + 1)..n {
+                let m = a[(i, k)] / pivot;
+                a[(i, k)] = m;
+                if m != 0.0 {
+                    for j in (k + 1)..n {
+                        let u = a[(k, j)];
+                        a[(i, j)] -= m * u;
+                    }
+                }
+            }
+        }
+        Ok(Self { lu: a, perm, swaps })
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solve `A·x = b` in place: `b` enters as the right-hand side and leaves
+    /// as the solution.
+    pub fn solve_inplace(&self, b: &mut [f64]) {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // Apply permutation: y = P·b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            y[i] = b[self.perm[i]];
+        }
+        // Forward substitution L·z = y (unit diagonal).
+        for i in 1..n {
+            let row = self.lu.row(i);
+            let mut acc = y[i];
+            for (j, yj) in y.iter().enumerate().take(i) {
+                acc -= row[j] * yj;
+            }
+            y[i] = acc;
+        }
+        // Back substitution U·x = z.
+        for i in (0..n).rev() {
+            let row = self.lu.row(i);
+            let mut acc = y[i];
+            for (j, yj) in y.iter().enumerate().skip(i + 1) {
+                acc -= row[j] * yj;
+            }
+            y[i] = acc / row[i];
+        }
+        b.copy_from_slice(&y);
+    }
+
+    /// Solve `A·x = b` returning a fresh vector.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        self.solve_inplace(&mut x);
+        x
+    }
+
+    /// Solve against every column of `b` (multiple right-hand sides),
+    /// returning `X` with `A·X = B`.
+    pub fn solve_matrix(&self, b: &RealMatrix) -> RealMatrix {
+        assert_eq!(b.rows(), self.dim(), "rhs row count mismatch");
+        let n = self.dim();
+        let ncols = b.cols();
+        let mut x = RealMatrix::zeros(n, ncols);
+        let mut col = vec![0.0; n];
+        for j in 0..ncols {
+            for i in 0..n {
+                col[i] = b[(i, j)];
+            }
+            self.solve_inplace(&mut col);
+            for i in 0..n {
+                x[(i, j)] = col[i];
+            }
+        }
+        x
+    }
+
+    /// Explicit inverse `A⁻¹` (only used in tests and diagnostics; the
+    /// production path uses [`Self::solve_matrix`] directly).
+    pub fn inverse(&self) -> RealMatrix {
+        self.solve_matrix(&RealMatrix::identity(self.dim()))
+    }
+
+    /// Determinant, as `sign · Π diag(U)`.
+    pub fn determinant(&self) -> f64 {
+        let sign = if self.swaps.is_multiple_of(2) { 1.0 } else { -1.0 };
+        (0..self.dim()).map(|i| self.lu[(i, i)]).product::<f64>() * sign
+    }
+
+    /// An estimate of the reciprocal condition number based on pivot
+    /// magnitudes (cheap; adequate for sanity checks on collision matrices,
+    /// which are well conditioned by construction).
+    pub fn rcond_estimate(&self) -> f64 {
+        let mut dmin = f64::INFINITY;
+        let mut dmax = 0.0_f64;
+        for i in 0..self.dim() {
+            let d = self.lu[(i, i)].abs();
+            dmin = dmin.min(d);
+            dmax = dmax.max(d);
+        }
+        if dmax == 0.0 {
+            0.0
+        } else {
+            dmin / dmax
+        }
+    }
+}
+
+/// Convenience: `A⁻¹·B` via a single factorization of `A`.
+pub fn solve_into(a: RealMatrix, b: &RealMatrix) -> Result<RealMatrix, SingularMatrix> {
+    Ok(LuFactors::factorize(a)?.solve_matrix(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{matmul, matvec};
+
+    fn residual(a: &RealMatrix, x: &[f64], b: &[f64]) -> f64 {
+        let mut ax = vec![0.0; b.len()];
+        matvec(a, x, &mut ax);
+        ax.iter().zip(b).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn solve_small_hand_system() {
+        // [2 1; 1 3] x = [3; 5] -> x = [0.8, 1.4]
+        let a = RealMatrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 3.0]);
+        let f = LuFactors::factorize(a).unwrap();
+        let x = f.solve(&[3.0, 5.0]);
+        assert!((x[0] - 0.8).abs() < 1e-14);
+        assert!((x[1] - 1.4).abs() < 1e-14);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = RealMatrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let f = LuFactors::factorize(a.clone()).unwrap();
+        let x = f.solve(&[7.0, 9.0]);
+        assert!(residual(&a, &x, &[7.0, 9.0]) < 1e-14);
+        assert_eq!(f.determinant(), -1.0);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = RealMatrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        let err = LuFactors::factorize(a).unwrap_err();
+        assert_eq!(err.at_column, 1);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let n = 12;
+        // Diagonally dominant -> well conditioned.
+        let a = RealMatrix::from_fn(n, n, |i, j| {
+            if i == j {
+                10.0 + i as f64
+            } else {
+                ((i * 7 + j * 3) as f64).sin() * 0.5
+            }
+        });
+        let f = LuFactors::factorize(a.clone()).unwrap();
+        let inv = f.inverse();
+        let prod = matmul(&a, &inv);
+        for i in 0..n {
+            for j in 0..n {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (prod[(i, j)] - expect).abs() < 1e-10,
+                    "({i},{j}) = {}",
+                    prod[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matrix_matches_columnwise_solves() {
+        let n = 6;
+        let a = RealMatrix::from_fn(n, n, |i, j| {
+            if i == j { 5.0 } else { 1.0 / (1.0 + (i as f64 - j as f64).abs()) }
+        });
+        let b = RealMatrix::from_fn(n, 3, |i, j| (i + j) as f64);
+        let f = LuFactors::factorize(a).unwrap();
+        let x = f.solve_matrix(&b);
+        for j in 0..3 {
+            let bj = b.col(j);
+            let xj = f.solve(&bj);
+            for i in 0..n {
+                assert!((x[(i, j)] - xj[i]).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn determinant_of_triangular() {
+        let a = RealMatrix::from_vec(3, 3, vec![2.0, 1.0, 0.0, 0.0, 3.0, 1.0, 0.0, 0.0, 4.0]);
+        let f = LuFactors::factorize(a).unwrap();
+        assert!((f.determinant() - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rcond_identity_is_one() {
+        let f = LuFactors::factorize(RealMatrix::identity(5)).unwrap();
+        assert_eq!(f.rcond_estimate(), 1.0);
+    }
+
+    #[test]
+    fn solve_into_convenience() {
+        let a = RealMatrix::from_vec(2, 2, vec![4.0, 0.0, 0.0, 2.0]);
+        let b = RealMatrix::identity(2);
+        let x = solve_into(a, &b).unwrap();
+        assert!((x[(0, 0)] - 0.25).abs() < 1e-15);
+        assert!((x[(1, 1)] - 0.5).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use xg_linalg::{matmul, matvec, matvec_complex, Complex64, LuFactors, RealMatrix};
+
+/// Strategy: a well-conditioned (diagonally dominant) n×n matrix.
+fn dominant_matrix(n: usize) -> impl Strategy<Value = RealMatrix> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |vals| {
+        let mut m = RealMatrix::from_vec(n, n, vals);
+        for i in 0..n {
+            let row_abs: f64 = m.row(i).iter().map(|v| v.abs()).sum();
+            m[(i, i)] = row_abs + 1.0;
+        }
+        m
+    })
+}
+
+fn vector(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, n)
+}
+
+fn cvector(n: usize) -> impl Strategy<Value = Vec<Complex64>> {
+    prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), n)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex64::new(re, im)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lu_solve_has_small_residual(a in dominant_matrix(8), b in vector(8)) {
+        let f = LuFactors::factorize(a.clone()).unwrap();
+        let x = f.solve(&b);
+        let mut ax = vec![0.0; 8];
+        matvec(&a, &x, &mut ax);
+        for (p, q) in ax.iter().zip(&b) {
+            prop_assert!((p - q).abs() < 1e-9, "residual too large: {p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn lu_inverse_roundtrip(a in dominant_matrix(6)) {
+        let f = LuFactors::factorize(a.clone()).unwrap();
+        let inv = f.inverse();
+        let prod = matmul(&a, &inv);
+        for i in 0..6 {
+            for j in 0..6 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((prod[(i, j)] - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in dominant_matrix(5),
+        b in dominant_matrix(5),
+        c in dominant_matrix(5),
+    ) {
+        let lhs = matmul(&a, &(&b + &c));
+        let rhs = &matmul(&a, &b) + &matmul(&a, &c);
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_reverses_product(a in dominant_matrix(5), b in dominant_matrix(5)) {
+        let lhs = matmul(&a, &b).transposed();
+        let rhs = matmul(&b.transposed(), &a.transposed());
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn complex_matvec_is_linear(a in dominant_matrix(7), x in cvector(7), y in cvector(7)) {
+        let mut ax = vec![Complex64::ZERO; 7];
+        let mut ay = vec![Complex64::ZERO; 7];
+        let sum: Vec<Complex64> = x.iter().zip(&y).map(|(p, q)| *p + *q).collect();
+        let mut asum = vec![Complex64::ZERO; 7];
+        matvec_complex(&a, &x, &mut ax);
+        matvec_complex(&a, &y, &mut ay);
+        matvec_complex(&a, &sum, &mut asum);
+        for k in 0..7 {
+            prop_assert!((asum[k] - (ax[k] + ay[k])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn complex_field_axioms(
+        (ar, ai) in (-100.0f64..100.0, -100.0f64..100.0),
+        (br, bi) in (-100.0f64..100.0, -100.0f64..100.0),
+        (cr, ci) in (-100.0f64..100.0, -100.0f64..100.0),
+    ) {
+        let a = Complex64::new(ar, ai);
+        let b = Complex64::new(br, bi);
+        let c = Complex64::new(cr, ci);
+        // Commutativity and associativity (to roundoff).
+        prop_assert!(((a * b) - (b * a)).abs() < 1e-9);
+        let scale = a.abs().max(b.abs()).max(c.abs()).max(1.0).powi(3);
+        prop_assert!((((a * b) * c) - (a * (b * c))).abs() / scale < 1e-12);
+        // |ab| = |a||b| (relative).
+        let lhs = (a * b).abs();
+        let rhs = a.abs() * b.abs();
+        prop_assert!((lhs - rhs).abs() <= 1e-10 * (1.0 + rhs));
+    }
+
+    #[test]
+    fn pairwise_sum_close_to_naive(v in prop::collection::vec(-1e3f64..1e3, 1..2000)) {
+        let p = xg_linalg::norms::pairwise_sum(&v);
+        let n: f64 = v.iter().sum();
+        prop_assert!((p - n).abs() < 1e-6 * (1.0 + n.abs()));
+    }
+
+    #[test]
+    fn determinant_multiplicative(a in dominant_matrix(4), b in dominant_matrix(4)) {
+        let da = LuFactors::factorize(a.clone()).unwrap().determinant();
+        let db = LuFactors::factorize(b.clone()).unwrap().determinant();
+        let dab = LuFactors::factorize(matmul(&a, &b)).unwrap().determinant();
+        prop_assert!((dab - da * db).abs() < 1e-6 * (1.0 + (da * db).abs()));
+    }
+}

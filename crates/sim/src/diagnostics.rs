@@ -1,0 +1,319 @@
+//! Time-trace diagnostics: history recording, CSV output, and the linear
+//! growth-rate estimator used for physics validation (ITG-like drives must
+//! destabilize; collisions must damp).
+
+use crate::stepper::Diagnostics;
+use std::fmt::Write as _;
+use xg_linalg::Complex64;
+
+/// A time series of one complex field amplitude (a φ probe), from which
+/// the complex mode frequency `ω − iγ` is estimated: linear gyrokinetics'
+/// standard eigenvalue diagnostic.
+#[derive(Clone, Debug, Default)]
+pub struct ComplexTrace {
+    samples: Vec<(f64, Complex64)>,
+}
+
+impl ComplexTrace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a `(time, amplitude)` sample.
+    pub fn push(&mut self, time: f64, amp: Complex64) {
+        self.samples.push((time, amp));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Estimate `(ω, γ)` from the trailing `window` samples: for
+    /// `φ(t) ∝ e^{(γ − iω)t}`, each consecutive ratio gives
+    /// `ln(φ_{j+1}/φ_j)/Δt = γ − iω`; the estimates are averaged.
+    /// Returns `None` with fewer than two usable samples or vanishing
+    /// amplitudes.
+    pub fn frequency(&self, window: usize) -> Option<(f64, f64)> {
+        let n = self.samples.len();
+        let start = n.saturating_sub(window);
+        let tail = &self.samples[start..];
+        if tail.len() < 2 {
+            return None;
+        }
+        let mut acc_gamma = 0.0;
+        let mut acc_omega = 0.0;
+        let mut count = 0usize;
+        for pair in tail.windows(2) {
+            let (t0, a0) = pair[0];
+            let (t1, a1) = pair[1];
+            let dt = t1 - t0;
+            if dt <= 0.0 || a0.abs() < 1e-300 || a1.abs() < 1e-300 {
+                continue;
+            }
+            let ratio = a1 / a0;
+            acc_gamma += ratio.abs().ln() / dt;
+            // φ ∝ e^{−iωt}: phase decreases at rate ω.
+            acc_omega += -ratio.arg() / dt;
+            count += 1;
+        }
+        if count == 0 {
+            return None;
+        }
+        Some((acc_omega / count as f64, acc_gamma / count as f64))
+    }
+}
+
+/// A recorded time history of per-report diagnostics for one simulation.
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    entries: Vec<Diagnostics>,
+}
+
+impl History {
+    /// Empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one report.
+    pub fn push(&mut self, d: Diagnostics) {
+        self.entries.push(d);
+    }
+
+    /// Recorded entries in time order.
+    pub fn entries(&self) -> &[Diagnostics] {
+        &self.entries
+    }
+
+    /// Number of reports.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Estimate the exponential growth rate γ of the field energy from the
+    /// trailing `window` entries via a least-squares fit of
+    /// `ln|φ|²(t) ≈ 2γt + c`. Returns `None` with fewer than two usable
+    /// points (or non-positive energies).
+    pub fn growth_rate(&self, window: usize) -> Option<f64> {
+        let n = self.entries.len();
+        let start = n.saturating_sub(window);
+        let pts: Vec<(f64, f64)> = self.entries[start..]
+            .iter()
+            .filter(|d| d.field_energy > 0.0 && d.field_energy.is_finite())
+            .map(|d| (d.time, d.field_energy.ln()))
+            .collect();
+        if pts.len() < 2 {
+            return None;
+        }
+        let m = pts.len() as f64;
+        let sx: f64 = pts.iter().map(|(t, _)| t).sum();
+        let sy: f64 = pts.iter().map(|(_, y)| y).sum();
+        let sxx: f64 = pts.iter().map(|(t, _)| t * t).sum();
+        let sxy: f64 = pts.iter().map(|(t, y)| t * y).sum();
+        let denom = m * sxx - sx * sx;
+        if denom.abs() < 1e-300 {
+            return None;
+        }
+        let slope = (m * sxy - sx * sy) / denom;
+        Some(0.5 * slope) // |φ|² ~ e^{2γt}
+    }
+
+    /// Time-averaged heat flux over the trailing `window` entries.
+    pub fn mean_heat_flux(&self, window: usize) -> Option<f64> {
+        let n = self.entries.len();
+        let start = n.saturating_sub(window);
+        let tail = &self.entries[start..];
+        if tail.is_empty() {
+            return None;
+        }
+        Some(tail.iter().map(|d| d.heat_flux).sum::<f64>() / tail.len() as f64)
+    }
+
+    /// Render as CSV (`time,field_energy,heat_flux,h_norm2`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time,field_energy,heat_flux,h_norm2\n");
+        for d in &self.entries {
+            let _ = writeln!(
+                out,
+                "{:.6},{:.9e},{:.9e},{:.9e}",
+                d.time, d.field_energy, d.heat_flux, d.h_norm2
+            );
+        }
+        out
+    }
+
+    /// Parse a CSV produced by [`Self::to_csv`].
+    pub fn from_csv(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if i == 0 {
+                if line != "time,field_energy,heat_flux,h_norm2" {
+                    return Err(format!("bad header: {line}"));
+                }
+                continue;
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let cols: Vec<&str> = line.split(',').collect();
+            if cols.len() != 4 {
+                return Err(format!("line {}: expected 4 columns", i + 1));
+            }
+            let parse =
+                |s: &str| s.parse::<f64>().map_err(|e| format!("line {}: {e}", i + 1));
+            entries.push(Diagnostics {
+                time: parse(cols[0])?,
+                field_energy: parse(cols[1])?,
+                heat_flux: parse(cols[2])?,
+                h_norm2: parse(cols[3])?,
+            });
+        }
+        Ok(Self { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complex_trace_recovers_frequency_and_growth() {
+        let omega = 1.7;
+        let gamma = 0.23;
+        let mut tr = ComplexTrace::new();
+        for i in 0..30 {
+            let t = i as f64 * 0.1;
+            let amp = Complex64::cis(-omega * t).scale((gamma * t).exp() * 1e-4);
+            tr.push(t, amp);
+        }
+        let (w, g) = tr.frequency(30).unwrap();
+        assert!((w - omega).abs() < 1e-10, "omega {w}");
+        assert!((g - gamma).abs() < 1e-10, "gamma {g}");
+    }
+
+    #[test]
+    fn complex_trace_degenerate_cases() {
+        let mut tr = ComplexTrace::new();
+        assert!(tr.frequency(5).is_none());
+        tr.push(0.0, Complex64::ONE);
+        assert!(tr.frequency(5).is_none());
+        tr.push(0.0, Complex64::ONE); // zero dt pair skipped
+        assert!(tr.frequency(5).is_none());
+        tr.push(1.0, Complex64::ZERO); // zero amplitude skipped
+        assert!(tr.frequency(5).is_none());
+        assert_eq!(tr.len(), 3);
+    }
+
+    #[test]
+    fn complex_trace_windowing_uses_tail() {
+        // First half decays, second half grows: a tail window must report
+        // the growth.
+        let mut tr = ComplexTrace::new();
+        for i in 0..10 {
+            let t = i as f64;
+            let g = if i < 5 { -0.5 } else { 0.5 };
+            tr.push(t, Complex64::real((g * t).exp()));
+        }
+        let (_, g_tail) = tr.frequency(4).unwrap();
+        assert!(g_tail > 0.0);
+    }
+
+    fn diag(time: f64, energy: f64) -> Diagnostics {
+        Diagnostics { time, field_energy: energy, heat_flux: 0.1, h_norm2: energy * 2.0 }
+    }
+
+    #[test]
+    fn growth_rate_of_exact_exponential() {
+        let gamma = 0.37;
+        let mut h = History::new();
+        for i in 0..20 {
+            let t = i as f64 * 0.5;
+            h.push(diag(t, (2.0 * gamma * t).exp() * 1e-6));
+        }
+        let est = h.growth_rate(20).unwrap();
+        assert!((est - gamma).abs() < 1e-12, "{est} vs {gamma}");
+        // Windowed estimate over the tail agrees too.
+        let est_tail = h.growth_rate(5).unwrap();
+        assert!((est_tail - gamma).abs() < 1e-10);
+    }
+
+    #[test]
+    fn decaying_signal_has_negative_rate() {
+        let mut h = History::new();
+        for i in 0..10 {
+            let t = i as f64;
+            h.push(diag(t, (-0.2 * t).exp()));
+        }
+        assert!(h.growth_rate(10).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn degenerate_histories_return_none() {
+        let mut h = History::new();
+        assert!(h.growth_rate(10).is_none());
+        h.push(diag(0.0, 1.0));
+        assert!(h.growth_rate(10).is_none(), "one point is not a trend");
+        h.push(diag(0.0, 1.0)); // same time twice -> zero denominator
+        assert!(h.growth_rate(10).is_none());
+        let mut h = History::new();
+        h.push(diag(0.0, -1.0));
+        h.push(diag(1.0, 0.0));
+        assert!(h.growth_rate(10).is_none(), "non-positive energies skipped");
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut h = History::new();
+        for i in 0..5 {
+            h.push(Diagnostics {
+                time: i as f64 * 0.1,
+                field_energy: 1e-5 * (i + 1) as f64,
+                heat_flux: -0.3 + i as f64,
+                h_norm2: 2.0,
+            });
+        }
+        let csv = h.to_csv();
+        let back = History::from_csv(&csv).unwrap();
+        assert_eq!(back.len(), 5);
+        for (a, b) in h.entries().iter().zip(back.entries()) {
+            assert!((a.time - b.time).abs() < 1e-12);
+            assert!((a.field_energy - b.field_energy).abs() < 1e-12 * a.field_energy.abs());
+            assert!((a.heat_flux - b.heat_flux).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn csv_rejects_malformed_input() {
+        assert!(History::from_csv("wrong,header\n").is_err());
+        assert!(History::from_csv("time,field_energy,heat_flux,h_norm2\n1,2,3\n").is_err());
+        assert!(History::from_csv("time,field_energy,heat_flux,h_norm2\na,b,c,d\n").is_err());
+    }
+
+    #[test]
+    fn mean_flux_windows() {
+        let mut h = History::new();
+        for i in 0..4 {
+            h.push(Diagnostics {
+                time: i as f64,
+                field_energy: 1.0,
+                heat_flux: i as f64,
+                h_norm2: 1.0,
+            });
+        }
+        assert_eq!(h.mean_heat_flux(2).unwrap(), 2.5);
+        assert_eq!(h.mean_heat_flux(100).unwrap(), 1.5);
+        assert!(History::new().mean_heat_flux(3).is_none());
+    }
+}

@@ -1,0 +1,325 @@
+//! Distributed topology over the `xg-comm` substrate.
+//!
+//! Implements the paper's two communicator wirings with one code path:
+//!
+//! * **CGYRO mode** ([`DistTopology::cgyro`]): the communicator that splits
+//!   `nv` in the str phase is *reused* for the str↔coll AllToAll transpose
+//!   (Figure 1) — `coll_comm` is literally a clone of `nv_comm`, and the
+//!   `cmat` slice follows the per-simulation `nc` decomposition over the
+//!   `n1` ranks.
+//! * **Shared-coll (XGYRO) mode** ([`DistTopology::with_shared_coll`]): the
+//!   coll communicator is a separate, wider group spanning the same
+//!   toroidal slice of **all k simulations** (Figure 3); `cmat` follows the
+//!   ensemble-wide `nc` decomposition over `k·n1` ranks, so each rank holds
+//!   1/k of the per-simulation slice and applies it to all k simulations'
+//!   buffers during the exchange.
+//!
+//! The collision exchange with `k = 1` degenerates exactly to CGYRO's
+//! transpose — matching the paper's description of XGYRO as "a thin MPI
+//! initialization and partitioning layer around the CGYRO codebase, with
+//! minor changes to the latter".
+
+use crate::cmat::CollisionConstants;
+use crate::collision::CollisionOperator;
+use crate::geometry::Geometry;
+use crate::grid::{ConfigGrid, VelocityGrid};
+use crate::input::CgyroInput;
+use crate::nonlinear::NlKernel;
+use crate::stepper::Topology;
+use xg_comm::Communicator;
+use xg_linalg::Complex64;
+use xg_tensor::{
+    pack_coll_block, pack_nl_block, pack_str_block, unpack_into_coll, unpack_into_nl,
+    unpack_into_str, unpack_into_str_from_nl, Decomp1D, PhaseLayout, ProcGrid, Tensor3,
+};
+
+/// Distributed topology for one rank of one simulation.
+pub struct DistTopology {
+    layout: PhaseLayout,
+    sim_comm: Communicator,
+    nv_comm: Communicator,
+    nt_comm: Communicator,
+    coll_comm: Communicator,
+    /// `nc` decomposition over the coll communicator (per-sim in CGYRO
+    /// mode, ensemble-wide in XGYRO mode).
+    coll_nc_decomp: Decomp1D,
+    /// Number of simulations sharing the coll communicator (k).
+    sims_in_coll: usize,
+    cmat: CollisionConstants,
+    nl: NlKernel,
+    profile: Vec<Complex64>,
+    scratch: Vec<Complex64>,
+}
+
+impl DistTopology {
+    /// CGYRO wiring: carve `nv`/`nt` communicators out of the simulation
+    /// communicator and reuse the `nv` communicator for coll.
+    pub fn cgyro(input: &CgyroInput, grid: ProcGrid, sim_comm: Communicator) -> Self {
+        assert_eq!(
+            sim_comm.size(),
+            grid.size(),
+            "simulation communicator must match the process grid"
+        );
+        let (i1, i2) = grid.coords(sim_comm.rank());
+        let nv_comm = sim_comm.split(i2 as u64, i1 as u64, "nv");
+        let nt_comm = sim_comm.split(i1 as u64, i2 as u64, "nt");
+        // Figure 1: the same communicator serves the str AllReduce and the
+        // str↔coll transpose.
+        let coll_comm = nv_comm.clone();
+        Self::build(input, grid, sim_comm, nv_comm, nt_comm, coll_comm, 1)
+    }
+
+    /// XGYRO wiring: the caller supplies the per-simulation communicators
+    /// and a separate coll communicator spanning `k` simulations' rows
+    /// (constructed by `xgyro-core::topology`). The coll communicator's
+    /// rank order must be `(sim, i1)` lexicographic: `r = sim·n1 + i1`.
+    pub fn with_shared_coll(
+        input: &CgyroInput,
+        grid: ProcGrid,
+        sim_comm: Communicator,
+        nv_comm: Communicator,
+        nt_comm: Communicator,
+        coll_comm: Communicator,
+        sims_in_coll: usize,
+    ) -> Self {
+        Self::build(input, grid, sim_comm, nv_comm, nt_comm, coll_comm, sims_in_coll)
+    }
+
+    fn build(
+        input: &CgyroInput,
+        grid: ProcGrid,
+        sim_comm: Communicator,
+        nv_comm: Communicator,
+        nt_comm: Communicator,
+        coll_comm: Communicator,
+        sims_in_coll: usize,
+    ) -> Self {
+        let dims = input.dims();
+        let layout = PhaseLayout::new(dims, grid, sim_comm.rank());
+        let (i1, i2) = layout.coords();
+        assert_eq!(nv_comm.size(), grid.n1, "nv communicator must have n1 ranks");
+        assert_eq!(nt_comm.size(), grid.n2, "nt communicator must have n2 ranks");
+        assert_eq!(nv_comm.rank(), i1, "nv communicator rank must equal i1");
+        assert_eq!(nt_comm.rank(), i2, "nt communicator rank must equal i2");
+        assert_eq!(
+            coll_comm.size(),
+            sims_in_coll * grid.n1,
+            "coll communicator must span k·n1 ranks"
+        );
+        assert_eq!(
+            coll_comm.rank() % grid.n1,
+            i1,
+            "coll communicator rank order must be (sim, i1) lexicographic"
+        );
+
+        let coll_nc_decomp = Decomp1D::new(dims.nc, coll_comm.size());
+        // This rank's cmat slice: ensemble nc block × local nt range.
+        let v = VelocityGrid::new(input);
+        let cfg = ConfigGrid::new(input);
+        let geo = Geometry::new(input, &cfg);
+        let op = CollisionOperator::build(input, &v);
+        let cmat = CollisionConstants::build(
+            input,
+            &v,
+            &cfg,
+            &geo,
+            &op,
+            coll_nc_decomp.range(coll_comm.rank()),
+            layout.nt_range(),
+        );
+        let nl = NlKernel::new(input);
+        Self {
+            layout,
+            sim_comm,
+            nv_comm,
+            nt_comm,
+            coll_comm,
+            coll_nc_decomp,
+            sims_in_coll,
+            cmat,
+            nl,
+            profile: vec![Complex64::ZERO; dims.nv],
+            scratch: vec![Complex64::ZERO; dims.nv],
+        }
+    }
+
+    /// The per-simulation communicator.
+    pub fn sim_comm(&self) -> &Communicator {
+        &self.sim_comm
+    }
+
+    /// The `nv`-splitting (str AllReduce) communicator.
+    pub fn nv_comm(&self) -> &Communicator {
+        &self.nv_comm
+    }
+
+    /// The toroidal communicator.
+    pub fn nt_comm(&self) -> &Communicator {
+        &self.nt_comm
+    }
+
+    /// The coll communicator (== `nv_comm` in CGYRO mode).
+    pub fn coll_comm(&self) -> &Communicator {
+        &self.coll_comm
+    }
+
+    /// Number of simulations sharing the coll exchange.
+    pub fn sims_in_coll(&self) -> usize {
+        self.sims_in_coll
+    }
+
+    /// This rank's slice of the constant tensor.
+    pub fn cmat(&self) -> &CollisionConstants {
+        &self.cmat
+    }
+}
+
+impl Topology for DistTopology {
+    fn reduce_moment(&self, buf: &mut [Complex64]) {
+        self.nv_comm.all_reduce_sum_complex(buf);
+    }
+
+    fn collision_step(&mut self, h: &mut Tensor3<Complex64>) {
+        let p = self.coll_comm.size();
+        let n1 = self.nv_comm.size();
+        let k = self.sims_in_coll;
+        debug_assert_eq!(p, k * n1);
+        let dims = self.layout.dims();
+        let nv_decomp = self.layout.nv_decomp();
+        let ntl = self.layout.nt_range().len();
+        let my_nc = self.coll_nc_decomp.count(self.coll_comm.rank());
+
+        // Forward transpose: send my simulation's nc blocks to every coll
+        // peer; receive all k simulations' nv blocks for my nc slice.
+        let send: Vec<Vec<Complex64>> = (0..p)
+            .map(|q| {
+                let mut buf =
+                    Vec::with_capacity(self.coll_nc_decomp.count(q) * h.shape().1 * ntl);
+                pack_str_block(h, self.coll_nc_decomp.range(q), &mut buf);
+                buf
+            })
+            .collect();
+        let recv = self.coll_comm.all_to_all_v(send);
+
+        let mut h_coll: Vec<Tensor3<Complex64>> =
+            (0..k).map(|_| Tensor3::new(dims.nv, my_nc, ntl)).collect();
+        for (r, block) in recv.iter().enumerate() {
+            let s = r / n1;
+            let i1 = r % n1;
+            unpack_into_coll(block, nv_decomp.range(i1), &mut h_coll[s]);
+        }
+
+        // Apply this rank's cmat slice to every simulation's buffer — the
+        // single stored tensor slice is reused k times (the arithmetic-
+        // intensity bonus of sharing).
+        for hc in h_coll.iter_mut() {
+            for ic_loc in 0..my_nc {
+                for itl in 0..ntl {
+                    for iv in 0..dims.nv {
+                        self.profile[iv] = hc[(iv, ic_loc, itl)];
+                    }
+                    self.cmat.apply(ic_loc, itl, &mut self.profile, &mut self.scratch);
+                    for iv in 0..dims.nv {
+                        hc[(iv, ic_loc, itl)] = self.profile[iv];
+                    }
+                }
+            }
+        }
+
+        // Reverse transpose: return each simulation's blocks to its owners.
+        let send_back: Vec<Vec<Complex64>> = (0..p)
+            .map(|r| {
+                let s = r / n1;
+                let i1 = r % n1;
+                let mut buf =
+                    Vec::with_capacity(nv_decomp.count(i1) * my_nc * ntl);
+                pack_coll_block(&h_coll[s], nv_decomp.range(i1), &mut buf);
+                buf
+            })
+            .collect();
+        let recv_back = self.coll_comm.all_to_all_v(send_back);
+        for (q, block) in recv_back.iter().enumerate() {
+            unpack_into_str(block, self.coll_nc_decomp.range(q), h);
+        }
+    }
+
+    fn nl_term(
+        &mut self,
+        h: &Tensor3<Complex64>,
+        phi: &[Complex64],
+        out: &mut Tensor3<Complex64>,
+    ) {
+        if self.nl.is_disabled() {
+            out.fill(Complex64::ZERO);
+            return;
+        }
+        let dims = self.layout.dims();
+        let n2 = self.nt_comm.size();
+        let nc2_decomp = Decomp1D::new(dims.nc, n2);
+        let nt_decomp = self.layout.nt_decomp();
+        let my_i2 = self.nt_comm.rank();
+        let nvl = h.shape().1;
+
+        // Transpose str -> nl over the toroidal communicator.
+        let send: Vec<Vec<Complex64>> = (0..n2)
+            .map(|j| {
+                let mut buf = Vec::new();
+                pack_str_block(h, nc2_decomp.range(j), &mut buf);
+                buf
+            })
+            .collect();
+        let recv = self.nt_comm.all_to_all_v(send);
+        let mut h_nl = Tensor3::new(nc2_decomp.count(my_i2), nvl, dims.nt);
+        for (j, block) in recv.iter().enumerate() {
+            unpack_into_nl(block, nt_decomp.range(j), &mut h_nl);
+        }
+
+        // Complete phi in the toroidal dimension (small gather).
+        let phi_blocks = self.nt_comm.all_gather(phi);
+        let mut phi_full = vec![Complex64::ZERO; dims.nc * dims.nt];
+        for (j, block) in phi_blocks.iter().enumerate() {
+            let r = nt_decomp.range(j);
+            let ntl_j = r.len();
+            for ic in 0..dims.nc {
+                for (itl, itor) in r.clone().enumerate() {
+                    phi_full[ic * dims.nt + itor] = block[ic * ntl_j + itl];
+                }
+            }
+        }
+
+        // Evaluate and transpose back.
+        let mut nl_out = Tensor3::new(nc2_decomp.count(my_i2), nvl, dims.nt);
+        self.nl.eval(&h_nl, &phi_full, nc2_decomp.start(my_i2), &mut nl_out);
+        let send_back: Vec<Vec<Complex64>> = (0..n2)
+            .map(|j| {
+                let mut buf = Vec::new();
+                pack_nl_block(&nl_out, nt_decomp.range(j), &mut buf);
+                buf
+            })
+            .collect();
+        let recv_back = self.nt_comm.all_to_all_v(send_back);
+        for (j, block) in recv_back.iter().enumerate() {
+            unpack_into_str_from_nl(block, nc2_decomp.range(j), out);
+        }
+    }
+
+    fn reduce_sim_scalars(&self, vals: &mut [f64]) {
+        self.sim_comm.all_reduce_sum_f64(vals);
+    }
+
+    fn reduce_sim_max(&self, vals: &mut [f64]) {
+        self.sim_comm.all_reduce_max_f64(vals);
+    }
+
+    fn nv_root(&self) -> bool {
+        self.nv_comm.rank() == 0
+    }
+
+    fn set_phase(&self, phase: &str) {
+        self.sim_comm.set_phase(phase);
+    }
+
+    fn layout(&self) -> PhaseLayout {
+        self.layout
+    }
+}

@@ -1,0 +1,184 @@
+//! Flux-tube geometry factors (s–α-like circular equilibrium).
+//!
+//! These supply the configuration dependence of the physics coefficients:
+//! the perpendicular wavenumber `k⊥²(ic, n)` entering both the gyroaverage
+//! and the classical-diffusion part of the collision operator (which is why
+//! `cmat` has configuration and toroidal indices at all), the curvature
+//! drift weight, and the parallel streaming metric.
+
+use crate::grid::ConfigGrid;
+use crate::input::CgyroInput;
+
+/// Precomputed geometry tables on the configuration grid.
+#[derive(Clone, Debug)]
+pub struct Geometry {
+    /// Safety factor.
+    pub q: f64,
+    /// Magnetic shear.
+    pub shear: f64,
+    /// `k⊥²` per `(ic, itor)`, flattened `ic·nt + itor`.
+    kperp2: Vec<f64>,
+    /// Curvature-drift weight per `ic`.
+    drift: Vec<f64>,
+    /// Parallel metric `1/(qR)` per `ic` (constant here, kept per-point for
+    /// generality).
+    bpar: Vec<f64>,
+    nt: usize,
+}
+
+impl Geometry {
+    /// Build geometry tables for an input deck.
+    pub fn new(input: &CgyroInput, cfg: &ConfigGrid) -> Self {
+        let nt = input.n_toroidal;
+        let ky = crate::grid::ky_modes(input);
+        let mut kperp2 = Vec::with_capacity(cfg.nc() * nt);
+        let mut drift = Vec::with_capacity(cfg.nc());
+        let mut bpar = Vec::with_capacity(cfg.nc());
+        // Miller-like shaping: elongation compresses the poloidal
+        // wavenumber at the midplane and stretches it at the top/bottom;
+        // triangularity shifts the poloidal angle (θ + arcsin(δ)·sin θ).
+        let sd = input.delta.clamp(-0.999, 0.999).asin();
+        for ic in 0..cfg.nc() {
+            let (ir, ith) = cfg.unflatten(ic);
+            let theta = cfg.theta[ith];
+            let theta_s = theta + sd * theta.sin();
+            let shape = 1.0 + (input.kappa - 1.0) * 0.5 * (1.0 - theta_s.cos());
+            let kx = cfg.kx[ir];
+            // s–α + shaping: k⊥² = kx_eff² + (ky·g(θ))².
+            for kyn in ky.iter().take(nt) {
+                let kx_eff = kx + input.shear * theta_s * kyn;
+                let ky_eff = kyn * shape;
+                kperp2.push(kx_eff * kx_eff + ky_eff * ky_eff);
+            }
+            // Curvature + ∇B drift weight at the shaped angle.
+            drift.push(theta_s.cos() + input.shear * theta_s * theta_s.sin());
+            bpar.push(1.0 / input.q.max(1e-6));
+        }
+        Self { q: input.q, shear: input.shear, kperp2, drift, bpar, nt }
+    }
+
+    /// `k⊥²` at `(ic, itor)`.
+    #[inline]
+    pub fn kperp2(&self, ic: usize, itor: usize) -> f64 {
+        self.kperp2[ic * self.nt + itor]
+    }
+
+    /// Curvature-drift weight at `ic`.
+    #[inline]
+    pub fn drift(&self, ic: usize) -> f64 {
+        self.drift[ic]
+    }
+
+    /// Parallel streaming metric at `ic`.
+    #[inline]
+    pub fn parallel_metric(&self, ic: usize) -> f64 {
+        self.bpar[ic]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (CgyroInput, ConfigGrid, Geometry) {
+        let input = CgyroInput::test_medium();
+        let cfg = ConfigGrid::new(&input);
+        let geo = Geometry::new(&input, &cfg);
+        (input, cfg, geo)
+    }
+
+    #[test]
+    fn kperp2_positive_and_grows_with_n() {
+        let (input, cfg, geo) = setup();
+        for ic in 0..cfg.nc() {
+            for n in 0..input.n_toroidal {
+                assert!(geo.kperp2(ic, n) > 0.0);
+            }
+            // At theta = -pi (first point of each field line) higher toroidal
+            // modes have larger ky^2 contribution for kx = 0.
+            let (ir, _) = cfg.unflatten(ic);
+            if cfg.kx[ir] == 0.0 {
+                for n in 1..input.n_toroidal {
+                    assert!(geo.kperp2(ic, n) > geo.kperp2(ic, n - 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drift_weight_is_unity_at_outboard_midplane() {
+        let (_, cfg, geo) = setup();
+        // theta = 0 exists in the grid (n_theta even, theta[n/2] = 0).
+        let ith0 = cfg.n_theta / 2;
+        assert!((cfg.theta[ith0]).abs() < 1e-12);
+        let ic = cfg.flatten(0, ith0);
+        assert!((geo.drift(ic) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shear_couples_theta_into_kperp() {
+        let (input, cfg, _) = setup();
+        let mut sheared = input.clone();
+        sheared.shear = 3.0;
+        let geo_hi = Geometry::new(&sheared, &cfg);
+        let mut unsheared = input.clone();
+        unsheared.shear = 0.0;
+        let geo_lo = Geometry::new(&unsheared, &cfg);
+        // Away from theta=0, kx=0: higher shear -> larger kperp2.
+        let ic = cfg.flatten(0, 1);
+        assert!(geo_hi.kperp2(ic, 0) > geo_lo.kperp2(ic, 0));
+        // Without shear, kperp2 is theta-independent at kx = 0.
+        let a = geo_lo.kperp2(cfg.flatten(0, 1), 0);
+        let b = geo_lo.kperp2(cfg.flatten(0, 3), 0);
+        assert!((a - b).abs() < 1e-14);
+    }
+
+    #[test]
+    fn circular_limit_matches_unshaped_geometry() {
+        // kappa = 1, delta = 0 must reproduce the unshaped formulas exactly
+        // (theta_s = theta, shape factor = 1).
+        let (input, cfg, geo) = setup();
+        assert_eq!(input.kappa, 1.0);
+        assert_eq!(input.delta, 0.0);
+        let ic = cfg.flatten(1, 3);
+        let theta = cfg.theta[3];
+        let kx = cfg.kx[1];
+        let ky = crate::grid::ky_modes(&input);
+        let kx_eff = kx + input.shear * theta * ky[0];
+        assert!((geo.kperp2(ic, 0) - (kx_eff * kx_eff + ky[0] * ky[0])).abs() < 1e-14);
+    }
+
+    #[test]
+    fn elongation_reduces_midplane_kperp_growth() {
+        // At theta=0 the shape factor is 1 regardless of kappa (midplane),
+        // while off-midplane kappa > 1 increases ky_eff.
+        let (input, cfg, _) = setup();
+        let mut shaped = input.clone();
+        shaped.kappa = 2.0;
+        let geo_c = Geometry::new(&input, &cfg);
+        let geo_s = Geometry::new(&shaped, &cfg);
+        let ith0 = cfg.n_theta / 2; // theta = 0
+        let ic0 = cfg.flatten(0, ith0);
+        assert!((geo_c.kperp2(ic0, 0) - geo_s.kperp2(ic0, 0)).abs() < 1e-14);
+        let ic_top = cfg.flatten(0, 0); // theta = -pi
+        assert!(geo_s.kperp2(ic_top, 0) > geo_c.kperp2(ic_top, 0));
+    }
+
+    #[test]
+    fn triangularity_shifts_the_drift_pattern() {
+        let (input, cfg, _) = setup();
+        let mut shaped = input.clone();
+        shaped.delta = 0.4;
+        let geo_c = Geometry::new(&input, &cfg);
+        let geo_s = Geometry::new(&shaped, &cfg);
+        // Some off-midplane point must differ.
+        let ic = cfg.flatten(0, 1);
+        assert_ne!(geo_c.drift(ic), geo_s.drift(ic));
+    }
+
+    #[test]
+    fn parallel_metric_uses_safety_factor() {
+        let (input, _cfg, geo) = setup();
+        assert!((geo.parallel_metric(0) - 1.0 / input.q).abs() < 1e-14);
+    }
+}

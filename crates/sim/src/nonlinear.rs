@@ -1,0 +1,366 @@
+//! The nl (nonlinear) phase: truncated toroidal-mode convolution.
+//!
+//! The Poisson-bracket nonlinearity couples toroidal modes, so evaluating
+//! it needs the **complete toroidal dimension** locally (paper §2) — the nl
+//! layout `(nc_loc2, nv_loc, nt)` reached by an AllToAll over the `n2`
+//! communicator. The paper mostly ignores this phase ("there is never a
+//! direct transition from it to the coll phase"); we implement it for
+//! completeness with a simplified E×B-like quadratic coupling:
+//!
+//! `NL_p = (i·c/2) Σ_{p1+p2=p} (ky_{p1} − ky_{p2}) φ_{p1} h_{p2}`
+//!
+//! over signed mode numbers `p ∈ ±{1..nt}` with reality `X_{−p} = X_p*`.
+
+use crate::input::CgyroInput;
+use xg_linalg::{fft::Fft, Complex64};
+use xg_tensor::Tensor3;
+
+/// Mode count at and above which the FFT (pseudo-spectral) evaluation is
+/// used instead of the direct O(nt²) convolution. Both paths compute the
+/// same truncated bracket (cross-validated in tests); the threshold is a
+/// deterministic function of the deck, so serial and distributed runs of
+/// one simulation always take the same path.
+pub const FFT_THRESHOLD: usize = 8;
+
+/// Nonlinear convolution kernel (toroidal-only truncated bracket).
+#[derive(Clone, Debug)]
+pub struct NlKernel {
+    /// `k_y` at physical mode `p` (1-based; `ky[p-1]`).
+    ky: Vec<f64>,
+    /// Coupling amplitude.
+    coupling: f64,
+    nt: usize,
+    /// Pseudo-spectral plan (dealiased length ≥ 3·nt+1, power of two);
+    /// `None` below [`FFT_THRESHOLD`].
+    plan: Option<Fft>,
+}
+
+impl NlKernel {
+    /// Build from the input deck.
+    pub fn new(input: &CgyroInput) -> Self {
+        let nt = input.n_toroidal;
+        let plan = if nt >= FFT_THRESHOLD {
+            Some(Fft::new(xg_linalg::next_pow2(3 * nt + 1)))
+        } else {
+            None
+        };
+        Self {
+            ky: crate::grid::ky_modes(input),
+            coupling: input.nonlinear_coupling,
+            nt,
+            plan,
+        }
+    }
+
+    /// True when the pseudo-spectral (FFT) path is active.
+    pub fn uses_fft(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// True when the coupling is exactly zero (linear run) — callers may
+    /// skip the nl transpose entirely.
+    pub fn is_disabled(&self) -> bool {
+        self.coupling == 0.0
+    }
+
+    /// Evaluate the nonlinear term on nl-layout data.
+    ///
+    /// * `h_nl`: `(nc_blk, nv_loc, nt)` — full toroidal dimension.
+    /// * `phi_full`: `nc × nt` row-major (`ic·nt + n`), the potential with
+    ///   the complete toroidal dimension.
+    /// * `nc_offset`: global `ic` of `h_nl`'s first configuration row.
+    /// * `out`: same shape as `h_nl`, overwritten.
+    pub fn eval(
+        &self,
+        h_nl: &Tensor3<Complex64>,
+        phi_full: &[Complex64],
+        nc_offset: usize,
+        out: &mut Tensor3<Complex64>,
+    ) {
+        let (_, _, nt) = h_nl.shape();
+        assert_eq!(out.shape(), h_nl.shape());
+        assert_eq!(nt, self.nt);
+        if self.is_disabled() {
+            out.fill(Complex64::ZERO);
+            return;
+        }
+        if let Some(plan) = &self.plan {
+            self.eval_fft(plan, h_nl, phi_full, nc_offset, out);
+            return;
+        }
+        self.eval_direct(h_nl, phi_full, nc_offset, out);
+    }
+
+    /// Direct O(nt²) evaluation of the truncated bracket (reference path;
+    /// used below [`FFT_THRESHOLD`] and by the cross-validation tests).
+    pub fn eval_direct(
+        &self,
+        h_nl: &Tensor3<Complex64>,
+        phi_full: &[Complex64],
+        nc_offset: usize,
+        out: &mut Tensor3<Complex64>,
+    ) {
+        let (nc_blk, nvl, nt) = h_nl.shape();
+        let half_c = 0.5 * self.coupling;
+        for icl in 0..nc_blk {
+            let ic = nc_offset + icl;
+            let phi = &phi_full[ic * nt..(ic + 1) * nt];
+            for ivl in 0..nvl {
+                let hline = h_nl.line(icl, ivl);
+                let oline = out.line_mut(icl, ivl);
+                for (n, o) in oline.iter_mut().enumerate() {
+                    let p = (n + 1) as i64; // physical target mode
+                    let mut acc = Complex64::ZERO;
+                    // Family 1: p1 + p2 = p, both positive.
+                    for p1 in 1..p {
+                        let p2 = p - p1;
+                        let k = self.ky[(p1 - 1) as usize] - self.ky[(p2 - 1) as usize];
+                        acc += (phi[(p1 - 1) as usize] * hline[(p2 - 1) as usize]).scale(k);
+                    }
+                    // Family 2: p1 − |p2| = p (p1 positive, p2 negative):
+                    // φ_{p1}·conj(h_{|p2|}), K = ky_{p1} + ky_{|p2|}.
+                    for q in 1..=(self.nt as i64) {
+                        let p1 = p + q;
+                        if p1 > self.nt as i64 {
+                            break;
+                        }
+                        let k = self.ky[(p1 - 1) as usize] + self.ky[(q - 1) as usize];
+                        acc += (phi[(p1 - 1) as usize] * hline[(q - 1) as usize].conj())
+                            .scale(k);
+                    }
+                    // Family 3: −|p1| + p2 = p (p1 negative, p2 positive):
+                    // conj(φ_{|p1|})·h_{p2}, K = −ky_{|p1|} − ky_{p2}.
+                    for q in 1..=(self.nt as i64) {
+                        let p2 = p + q;
+                        if p2 > self.nt as i64 {
+                            break;
+                        }
+                        let k = -(self.ky[(q - 1) as usize] + self.ky[(p2 - 1) as usize]);
+                        acc += (phi[(q - 1) as usize].conj() * hline[(p2 - 1) as usize])
+                            .scale(k);
+                    }
+                    *o = Complex64::new(0.0, half_c) * acc;
+                }
+            }
+        }
+    }
+
+    /// Pseudo-spectral evaluation: with `ky_p = p·ky_min` the bracket is
+    /// `NL_p = (i·c/2)·ky_min·[conv(∂φ, h) − conv(φ, ∂h)]_p` with
+    /// `(∂X)_p = p·X_p`, i.e. two pointwise products in a dealiased
+    /// real-space grid (the 3/2-rule, `M ≥ 3·nt+1`) — exactly how
+    /// production codes evaluate Poisson brackets.
+    fn eval_fft(
+        &self,
+        plan: &Fft,
+        h_nl: &Tensor3<Complex64>,
+        phi_full: &[Complex64],
+        nc_offset: usize,
+        out: &mut Tensor3<Complex64>,
+    ) {
+        let (nc_blk, nvl, nt) = h_nl.shape();
+        let m = plan.len();
+        let ky_min = self.ky[0];
+        debug_assert!(
+            self.ky.iter().enumerate().all(|(i, k)| (k - (i + 1) as f64 * ky_min).abs()
+                < 1e-12 * ky_min.abs().max(1e-300)),
+            "FFT path requires linear ky spectrum"
+        );
+        // Prefactor: i·(c/2)·ky_min·M (M undoes the 1/M² from the two
+        // inverse transforms against the 1/1 forward).
+        let pref = Complex64::new(0.0, 0.5 * self.coupling * ky_min * m as f64);
+
+        let mut u_phi = vec![Complex64::ZERO; m];
+        let mut v_phi = vec![Complex64::ZERO; m];
+        let mut u_h = vec![Complex64::ZERO; m];
+        let mut v_h = vec![Complex64::ZERO; m];
+        let mut w = vec![Complex64::ZERO; m];
+
+        for icl in 0..nc_blk {
+            let ic = nc_offset + icl;
+            let phi = &phi_full[ic * nt..(ic + 1) * nt];
+            // Signed spectra of φ and ∂φ (reality: X_{-p} = conj(X_p)).
+            u_phi.iter_mut().for_each(|z| *z = Complex64::ZERO);
+            v_phi.iter_mut().for_each(|z| *z = Complex64::ZERO);
+            for p in 1..=nt {
+                let x = phi[p - 1];
+                u_phi[p] = x;
+                u_phi[m - p] = x.conj();
+                v_phi[p] = x.scale(p as f64);
+                v_phi[m - p] = x.conj().scale(-(p as f64));
+            }
+            plan.inverse(&mut u_phi);
+            plan.inverse(&mut v_phi);
+
+            for ivl in 0..nvl {
+                let hline = h_nl.line(icl, ivl);
+                u_h.iter_mut().for_each(|z| *z = Complex64::ZERO);
+                v_h.iter_mut().for_each(|z| *z = Complex64::ZERO);
+                for p in 1..=nt {
+                    let x = hline[p - 1];
+                    u_h[p] = x;
+                    u_h[m - p] = x.conj();
+                    v_h[p] = x.scale(p as f64);
+                    v_h[m - p] = x.conj().scale(-(p as f64));
+                }
+                plan.inverse(&mut u_h);
+                plan.inverse(&mut v_h);
+
+                for j in 0..m {
+                    w[j] = v_phi[j] * u_h[j] - u_phi[j] * v_h[j];
+                }
+                plan.forward(&mut w);
+
+                let oline = out.line_mut(icl, ivl);
+                for (n, o) in oline.iter_mut().enumerate() {
+                    *o = pref * w[n + 1];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel(nt: usize, coupling: f64) -> NlKernel {
+        let mut input = CgyroInput::test_small();
+        input.n_toroidal = nt;
+        input.nonlinear_coupling = coupling;
+        NlKernel::new(&input)
+    }
+
+    fn tensor(nc: usize, nvl: usize, nt: usize, f: impl Fn(usize, usize, usize) -> Complex64) -> Tensor3<Complex64> {
+        Tensor3::from_fn(nc, nvl, nt, f)
+    }
+
+    #[test]
+    fn disabled_kernel_returns_zero() {
+        let k = kernel(3, 0.0);
+        assert!(k.is_disabled());
+        let h = tensor(2, 2, 3, |a, b, c| Complex64::new((a + b + c) as f64, 1.0));
+        let phi = vec![Complex64::ONE; 2 * 3];
+        let mut out = tensor(2, 2, 3, |_, _, _| Complex64::new(9.0, 9.0));
+        k.eval(&h, &phi, 0, &mut out);
+        assert!(out.as_slice().iter().all(|z| *z == Complex64::ZERO));
+    }
+
+    #[test]
+    fn quadratic_scaling_in_amplitude() {
+        // NL(λφ, λh) = λ²·NL(φ, h).
+        let k = kernel(4, 0.3);
+        let h = tensor(1, 1, 4, |_, _, n| Complex64::new(0.3 + n as f64 * 0.2, -0.1 * n as f64));
+        let phi: Vec<Complex64> =
+            (0..4).map(|n| Complex64::new(0.5 - 0.1 * n as f64, 0.2)).collect();
+        let mut out1 = tensor(1, 1, 4, |_, _, _| Complex64::ZERO);
+        k.eval(&h, &phi, 0, &mut out1);
+
+        let lam = 2.5;
+        let h2 = tensor(1, 1, 4, |a, b, n| h[(a, b, n)].scale(lam));
+        let phi2: Vec<Complex64> = phi.iter().map(|z| z.scale(lam)).collect();
+        let mut out2 = tensor(1, 1, 4, |_, _, _| Complex64::ZERO);
+        k.eval(&h2, &phi2, 0, &mut out2);
+        for (a, b) in out1.as_slice().iter().zip(out2.as_slice()) {
+            assert!((b.scale(1.0 / (lam * lam)) - *a).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn self_interaction_of_single_mode_vanishes_for_same_field() {
+        // With only mode p=1 populated and h = φ (same mode content), the
+        // antisymmetric coupling K(p1,p2) = ky1 − ky2 kills family 1 at
+        // p=2 (p1=p2=1), and families 2/3 cancel by conjugate symmetry at
+        // p=... check the p=2 output explicitly.
+        let k = kernel(4, 1.0);
+        let mut h = tensor(1, 1, 4, |_, _, _| Complex64::ZERO);
+        h[(0, 0, 0)] = Complex64::new(0.7, 0.3); // mode p=1
+        let mut phi = vec![Complex64::ZERO; 4];
+        phi[0] = Complex64::new(0.7, 0.3);
+        let mut out = tensor(1, 1, 4, |_, _, _| Complex64::ZERO);
+        k.eval(&h, &phi, 0, &mut out);
+        // Family 1 at target p=2: only (p1,p2)=(1,1), K=0 → zero.
+        assert!(out[(0, 0, 1)].abs() < 1e-14, "p=2 self-beat must vanish");
+    }
+
+    #[test]
+    fn offset_indexes_phi_correctly() {
+        let k = kernel(3, 0.4);
+        let nc = 4;
+        let h = tensor(2, 1, 3, |a, _, n| Complex64::new((a * 3 + n) as f64 + 0.5, 0.3));
+        let phi: Vec<Complex64> =
+            (0..nc * 3).map(|i| Complex64::new(i as f64 * 0.1, -(i as f64) * 0.05)).collect();
+        // Evaluate with offset 2: rows of h correspond to global ic = 2, 3.
+        let mut out_off = tensor(2, 1, 3, |_, _, _| Complex64::ZERO);
+        k.eval(&h, &phi, 2, &mut out_off);
+        // Same via a full-size tensor with rows placed at ic = 2, 3.
+        let h_full = tensor(nc, 1, 3, |a, _, n| {
+            if a >= 2 { h[(a - 2, 0, n)] } else { Complex64::ZERO }
+        });
+        let mut out_full = tensor(nc, 1, 3, |_, _, _| Complex64::ZERO);
+        k.eval(&h_full, &phi, 0, &mut out_full);
+        for icl in 0..2 {
+            for n in 0..3 {
+                assert_eq!(out_off[(icl, 0, n)], out_full[(icl + 2, 0, n)]);
+            }
+        }
+    }
+
+    #[test]
+    fn fft_path_matches_direct_convolution() {
+        // The pseudo-spectral path must agree with the direct O(nt²)
+        // reference for arbitrary spectra (to roundoff).
+        for nt in [8usize, 12, 16] {
+            let k = kernel(nt, 0.37);
+            assert!(k.uses_fft());
+            let nc = 3;
+            let nvl = 2;
+            let h = tensor(nc, nvl, nt, |a, b, n| {
+                Complex64::new(
+                    ((a * 7 + b * 3 + n) as f64 * 0.61).sin(),
+                    ((a + b * 5 + n * 2) as f64 * 0.37).cos(),
+                )
+            });
+            let phi: Vec<Complex64> = (0..nc * nt)
+                .map(|i| Complex64::new((i as f64 * 0.21).cos(), (i as f64 * 0.13).sin()))
+                .collect();
+            let mut via_fft = tensor(nc, nvl, nt, |_, _, _| Complex64::ZERO);
+            k.eval(&h, &phi, 0, &mut via_fft);
+            let mut direct = tensor(nc, nvl, nt, |_, _, _| Complex64::ZERO);
+            k.eval_direct(&h, &phi, 0, &mut direct);
+            let scale = direct
+                .as_slice()
+                .iter()
+                .map(|z| z.abs())
+                .fold(0.0f64, f64::max)
+                .max(1e-30);
+            for (a, b) in via_fft.as_slice().iter().zip(direct.as_slice()) {
+                assert!(
+                    (*a - *b).abs() < 1e-11 * scale,
+                    "nt={nt}: {a} vs {b} (scale {scale})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_mode_counts_use_direct_path() {
+        assert!(!kernel(4, 0.1).uses_fft());
+        assert!(kernel(8, 0.1).uses_fft());
+    }
+
+    #[test]
+    fn output_bounded_for_bounded_inputs() {
+        let k = kernel(6, 0.1);
+        let h = tensor(3, 2, 6, |a, b, c| {
+            Complex64::new(((a + b + c) as f64).sin(), ((a * b + c) as f64).cos())
+        });
+        let phi: Vec<Complex64> = (0..18).map(|i| Complex64::cis(i as f64)).collect();
+        let mut out = tensor(3, 2, 6, |_, _, _| Complex64::ZERO);
+        k.eval(&h, &phi, 0, &mut out);
+        for z in out.as_slice() {
+            assert!(z.is_finite());
+            assert!(z.abs() < 10.0);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Physics validation of the mini-CGYRO model: the linear instability
+//! behaves like the ITG-class drives the paper's ensembles sweep —
+//! growth rates increase with the temperature gradient, the system is
+//! stable without drive, and collisions are damping. This is what makes
+//! the gradient-sweep ensemble a *meaningful* workload rather than k
+//! copies of noise.
+
+use xg_sim::{serial_simulation, CgyroInput, History};
+
+fn growth_rate(rlt: f64, nu: f64) -> f64 {
+    let mut input = CgyroInput::test_small();
+    input.nonlinear_coupling = 0.0; // linear physics
+    input.nu_ee = nu;
+    input.steps_per_report = 25;
+    for s in &mut input.species {
+        s.rln = 1.0;
+        s.rlt = rlt;
+    }
+    let mut sim = serial_simulation(&input);
+    let mut hist = History::new();
+    for _ in 0..20 {
+        hist.push(sim.run_report_step());
+    }
+    hist.growth_rate(12).expect("field energy must stay positive")
+}
+
+#[test]
+fn no_gradient_drive_is_stable() {
+    let g = growth_rate(0.0, 0.05);
+    assert!(g < 0.0, "undriven plasma must decay, got gamma = {g}");
+}
+
+#[test]
+fn growth_rate_increases_with_temperature_gradient() {
+    let g3 = growth_rate(3.0, 0.05);
+    let g6 = growth_rate(6.0, 0.05);
+    let g9 = growth_rate(9.0, 0.05);
+    assert!(g3 > 0.0, "rlt=3 should be unstable: {g3}");
+    assert!(g6 > g3, "gamma must grow with drive: {g6} !> {g3}");
+    assert!(g9 > g6, "gamma must grow with drive: {g9} !> {g6}");
+}
+
+#[test]
+fn collisions_damp_the_instability() {
+    let g_lo = growth_rate(9.0, 0.0);
+    let g_hi = growth_rate(9.0, 2.0);
+    assert!(
+        g_hi < g_lo,
+        "collisions must reduce the growth rate: {g_hi} !< {g_lo}"
+    );
+    assert!(g_hi > 0.0, "moderate collisionality should not fully stabilize here");
+}
+
+#[test]
+fn heat_flux_is_outward_when_driven() {
+    // Quasilinear flux proxy must be positive (down-gradient transport)
+    // for a driven, unstable case once the mode is established.
+    let mut input = CgyroInput::test_small();
+    input.nonlinear_coupling = 0.0;
+    input.nu_ee = 0.05;
+    input.steps_per_report = 25;
+    for s in &mut input.species {
+        s.rln = 1.0;
+        s.rlt = 9.0;
+    }
+    let mut sim = serial_simulation(&input);
+    let mut hist = History::new();
+    for _ in 0..20 {
+        hist.push(sim.run_report_step());
+    }
+    let q = hist.mean_heat_flux(5).unwrap();
+    assert!(q > 0.0, "driven transport must be outward, got {q}");
+}
+
+#[test]
+fn eigenmode_frequency_fit_consistent_with_energy_fit() {
+    // Track a φ probe through a linear run: the γ recovered from the
+    // complex amplitude ratios must match the γ from the field-energy fit,
+    // and the mode must also carry a finite real frequency ω (drift wave).
+    use xg_sim::ComplexTrace;
+    let mut input = CgyroInput::test_small();
+    input.nonlinear_coupling = 0.0;
+    input.nu_ee = 0.05;
+    input.steps_per_report = 25;
+    for s in &mut input.species {
+        s.rln = 1.0;
+        s.rlt = 9.0;
+    }
+    let mut sim = serial_simulation(&input);
+    let mut hist = History::new();
+    // One probe per toroidal mode at the outboard midplane; the energy fit
+    // is dominated by the fastest-growing mode, so compare against the
+    // probe that ends up largest.
+    let nt = input.n_toroidal;
+    let ic_mid = input.n_theta / 2; // ir = 0, theta = 0
+    let mut traces: Vec<ComplexTrace> = (0..nt).map(|_| ComplexTrace::new()).collect();
+    for _ in 0..20 {
+        let d = sim.run_report_step();
+        hist.push(d);
+        for (n, tr) in traces.iter_mut().enumerate() {
+            tr.push(d.time, sim.phi()[ic_mid * nt + n]);
+        }
+    }
+    let g_energy = hist.growth_rate(10).unwrap();
+    let dominant = traces
+        .iter()
+        .max_by(|a, b| {
+            let fa = a.frequency(10).map(|(_, g)| g).unwrap_or(f64::NEG_INFINITY);
+            let fb = b.frequency(10).map(|(_, g)| g).unwrap_or(f64::NEG_INFINITY);
+            fa.total_cmp(&fb)
+        })
+        .unwrap();
+    let (omega, g_amp) = dominant.frequency(10).unwrap();
+    assert!(
+        (g_energy - g_amp).abs() < 0.25 * g_energy.abs().max(0.1),
+        "gamma estimates disagree: energy {g_energy} vs amplitude {g_amp}"
+    );
+    assert!(omega.abs() > 1e-3, "drift wave should rotate, omega = {omega}");
+}
+
+#[test]
+fn nonlinear_coupling_saturates_or_transfers_energy() {
+    // With quadratic coupling on, the trajectory must stay finite and the
+    // spectrum must not blow up over the same horizon the linear run
+    // amplifies through.
+    let mut input = CgyroInput::test_small();
+    input.nu_ee = 0.1;
+    input.nonlinear_coupling = 0.3;
+    input.steps_per_report = 25;
+    for s in &mut input.species {
+        s.rlt = 9.0;
+    }
+    let mut sim = serial_simulation(&input);
+    for _ in 0..20 {
+        let d = sim.run_report_step();
+        assert!(d.field_energy.is_finite() && d.h_norm2.is_finite());
+        assert!(d.h_norm2 < 1e6, "nonlinear run must remain bounded");
+    }
+}
+
+#[test]
+fn growth_rate_converges_with_velocity_resolution() {
+    // Refining the velocity grid must converge the growth rate: successive
+    // refinements get closer together (Cauchy-style check).
+    let gamma_at = |nxi: usize, nen: usize| -> f64 {
+        let mut input = CgyroInput::test_small();
+        input.nonlinear_coupling = 0.0;
+        input.nu_ee = 0.1;
+        input.n_xi = nxi;
+        input.n_energy = nen;
+        input.steps_per_report = 25;
+        for s in &mut input.species {
+            s.rln = 1.0;
+            s.rlt = 9.0;
+        }
+        let mut sim = serial_simulation(&input);
+        let mut hist = History::new();
+        for _ in 0..16 {
+            hist.push(sim.run_report_step());
+        }
+        hist.growth_rate(8).expect("positive energies")
+    };
+    let g_coarse = gamma_at(4, 3);
+    let g_mid = gamma_at(8, 5);
+    let g_fine = gamma_at(12, 7);
+    let d1 = (g_mid - g_coarse).abs();
+    let d2 = (g_fine - g_mid).abs();
+    assert!(
+        d2 < d1,
+        "refinement must converge: |mid-coarse| = {d1:.3e}, |fine-mid| = {d2:.3e}"
+    );
+    // And the answer is physical (unstable ITG-like mode).
+    assert!(g_fine > 0.0);
+}

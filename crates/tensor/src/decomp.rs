@@ -1,0 +1,189 @@
+//! Balanced 1-D block decomposition.
+//!
+//! Data partitioning in CGYRO "happens by splitting and distributing the
+//! tensors in all but one dimension" (paper §2). Every split in this
+//! reproduction — `nv` over the str communicator, `nc` over the coll
+//! communicator (per-simulation in CGYRO mode, ensemble-wide in XGYRO
+//! mode), `nt` over the toroidal communicator — is an instance of this
+//! balanced block decomposition.
+
+use std::ops::Range;
+
+/// A balanced block decomposition of `total` indices over `parts` owners.
+///
+/// The first `total % parts` owners receive one extra index, so block sizes
+/// differ by at most one and the map is a bijection onto `0..total`.
+///
+/// ```
+/// use xg_tensor::Decomp1D;
+///
+/// let d = Decomp1D::new(10, 3); // blocks of 4, 3, 3
+/// assert_eq!(d.range(0), 0..4);
+/// assert_eq!(d.range(2), 7..10);
+/// assert_eq!(d.owner(5), 1);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Decomp1D {
+    total: usize,
+    parts: usize,
+}
+
+impl Decomp1D {
+    /// Create a decomposition of `total` indices over `parts` owners.
+    /// `parts` must be nonzero.
+    pub fn new(total: usize, parts: usize) -> Self {
+        assert!(parts > 0, "decomposition needs at least one part");
+        Self { total, parts }
+    }
+
+    /// Global index count.
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of owners.
+    #[inline]
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// True when every part has the same size.
+    #[inline]
+    pub fn is_even(&self) -> bool {
+        self.total.is_multiple_of(self.parts)
+    }
+
+    /// Number of indices owned by `part`.
+    #[inline]
+    pub fn count(&self, part: usize) -> usize {
+        debug_assert!(part < self.parts);
+        let base = self.total / self.parts;
+        let extra = self.total % self.parts;
+        base + usize::from(part < extra)
+    }
+
+    /// First global index owned by `part`.
+    #[inline]
+    pub fn start(&self, part: usize) -> usize {
+        debug_assert!(part <= self.parts);
+        let base = self.total / self.parts;
+        let extra = self.total % self.parts;
+        part * base + part.min(extra)
+    }
+
+    /// Global index range owned by `part`.
+    #[inline]
+    pub fn range(&self, part: usize) -> Range<usize> {
+        self.start(part)..self.start(part) + self.count(part)
+    }
+
+    /// The owner of global index `idx`.
+    pub fn owner(&self, idx: usize) -> usize {
+        assert!(idx < self.total, "index {idx} out of range {}", self.total);
+        let base = self.total / self.parts;
+        let extra = self.total % self.parts;
+        let fat = (base + 1) * extra; // indices covered by the fat parts
+        if base == 0 {
+            // More parts than indices: index i is owned by part i.
+            return idx;
+        }
+        if idx < fat {
+            idx / (base + 1)
+        } else {
+            extra + (idx - fat) / base
+        }
+    }
+
+    /// Local offset of global index `idx` within its owner's block.
+    pub fn local_index(&self, idx: usize) -> usize {
+        idx - self.start(self.owner(idx))
+    }
+
+    /// Largest block size over all parts.
+    pub fn max_count(&self) -> usize {
+        if self.parts == 0 {
+            0
+        } else {
+            self.count(0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split() {
+        let d = Decomp1D::new(12, 4);
+        assert!(d.is_even());
+        for p in 0..4 {
+            assert_eq!(d.count(p), 3);
+            assert_eq!(d.range(p), p * 3..p * 3 + 3);
+        }
+        assert_eq!(d.owner(0), 0);
+        assert_eq!(d.owner(11), 3);
+        assert_eq!(d.local_index(7), 1);
+    }
+
+    #[test]
+    fn uneven_split_front_loaded() {
+        let d = Decomp1D::new(10, 4); // 3,3,2,2
+        assert!(!d.is_even());
+        assert_eq!(d.count(0), 3);
+        assert_eq!(d.count(1), 3);
+        assert_eq!(d.count(2), 2);
+        assert_eq!(d.count(3), 2);
+        assert_eq!(d.range(2), 6..8);
+        assert_eq!(d.max_count(), 3);
+    }
+
+    #[test]
+    fn owner_matches_ranges_exhaustively() {
+        for total in [1usize, 2, 7, 16, 31] {
+            for parts in 1..=8usize {
+                let d = Decomp1D::new(total, parts);
+                let mut seen = vec![false; total];
+                for p in 0..parts {
+                    for g in d.range(p) {
+                        assert_eq!(d.owner(g), p, "total={total} parts={parts} g={g}");
+                        assert!(!seen[g], "index {g} covered twice");
+                        seen[g] = true;
+                        assert_eq!(d.start(p) + d.local_index(g), g);
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "total={total} parts={parts}: gap");
+            }
+        }
+    }
+
+    #[test]
+    fn more_parts_than_indices() {
+        let d = Decomp1D::new(3, 5); // 1,1,1,0,0
+        assert_eq!(d.count(0), 1);
+        assert_eq!(d.count(3), 0);
+        assert_eq!(d.range(4), 3..3);
+        assert_eq!(d.owner(2), 2);
+    }
+
+    #[test]
+    fn single_part_owns_all() {
+        let d = Decomp1D::new(9, 1);
+        assert_eq!(d.range(0), 0..9);
+        assert_eq!(d.owner(8), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one part")]
+    fn zero_parts_panics() {
+        let _ = Decomp1D::new(4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn owner_out_of_range_panics() {
+        let d = Decomp1D::new(4, 2);
+        let _ = d.owner(4);
+    }
+}

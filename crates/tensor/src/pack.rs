@@ -1,0 +1,320 @@
+//! Pack/unpack kernels for the str ↔ coll transposes.
+//!
+//! The transpose between the str layout `(nc, nv_loc, nt_loc)` and the coll
+//! layout `(nv, nc_loc, nt_loc)` is performed with an AllToAll over the
+//! communicator that splits `nv`/`nc` (the `n1` ranks in CGYRO mode, the
+//! `k·n1` ensemble row in XGYRO mode). These kernels produce the contiguous
+//! per-peer send blocks and scatter received blocks into place; they are the
+//! only place where the wire format of the transpose is defined:
+//!
+//! * **str → coll**, block for peer `j`: `[ic ∈ nc_range(j)][iv_loc][it_loc]`
+//! * **coll → str**, block for peer `j`: `[iv ∈ nv_range(j)][ic_loc][it_loc]`
+//!
+//! Both directions are exact inverses, which the property tests assert for
+//! arbitrary (including uneven) decompositions.
+
+use crate::tensor::Tensor3;
+use std::ops::Range;
+
+/// Pack the str-layout block destined for the peer owning `nc_range`.
+///
+/// `h_str` has shape `(nc, nv_loc, nt_loc)`. The output block is ordered
+/// `[ic][iv_loc][it_loc]` and appended to `buf`.
+pub fn pack_str_block<T: Copy>(h_str: &Tensor3<T>, nc_range: Range<usize>, buf: &mut Vec<T>) {
+    let (nc, nv_loc, nt_loc) = h_str.shape();
+    assert!(nc_range.end <= nc, "nc_range {nc_range:?} outside nc={nc}");
+    // Rows of the str tensor are contiguous (nv_loc × nt_loc panels).
+    let row_len = nv_loc * nt_loc;
+    for ic in nc_range {
+        let row_start = ic * row_len;
+        buf.extend_from_slice(&h_str.as_slice()[row_start..row_start + row_len]);
+    }
+}
+
+/// Unpack a block received from the str-side peer owning `nv_range` into the
+/// coll-layout tensor `h_coll` of shape `(nv, nc_loc, nt_loc)`.
+///
+/// The block is ordered `[ic_loc][iv ∈ nv_range][it_loc]` (the sender's str
+/// row order restricted to this rank's `nc` slice).
+pub fn unpack_into_coll<T: Copy>(block: &[T], nv_range: Range<usize>, h_coll: &mut Tensor3<T>) {
+    let (nv, nc_loc, nt_loc) = h_coll.shape();
+    assert!(nv_range.end <= nv, "nv_range {nv_range:?} outside nv={nv}");
+    let nv_blk = nv_range.len();
+    assert_eq!(
+        block.len(),
+        nv_blk * nc_loc * nt_loc,
+        "block size mismatch: got {}, expected {}",
+        block.len(),
+        nv_blk * nc_loc * nt_loc
+    );
+    let mut src = 0;
+    for ic_loc in 0..nc_loc {
+        for iv in nv_range.clone() {
+            let dst = (iv * nc_loc + ic_loc) * nt_loc;
+            h_coll.as_mut_slice()[dst..dst + nt_loc].copy_from_slice(&block[src..src + nt_loc]);
+            src += nt_loc;
+        }
+    }
+}
+
+/// Pack the coll-layout block destined for the peer owning `nv_range`.
+///
+/// `h_coll` has shape `(nv, nc_loc, nt_loc)`; the block is the contiguous
+/// rows `nv_range`, ordered `[iv][ic_loc][it_loc]`.
+pub fn pack_coll_block<T: Copy>(h_coll: &Tensor3<T>, nv_range: Range<usize>, buf: &mut Vec<T>) {
+    let (nv, nc_loc, nt_loc) = h_coll.shape();
+    assert!(nv_range.end <= nv, "nv_range {nv_range:?} outside nv={nv}");
+    let start = nv_range.start * nc_loc * nt_loc;
+    let len = nv_range.len() * nc_loc * nt_loc;
+    buf.extend_from_slice(&h_coll.as_slice()[start..start + len]);
+}
+
+/// Unpack a block received from the coll-side peer owning `nc_range` into
+/// the str-layout tensor `h_str` of shape `(nc, nv_loc, nt_loc)`.
+///
+/// The block is ordered `[iv_loc][ic ∈ nc_range][it_loc]` (the sender's coll
+/// row order restricted to this rank's `nv` slice).
+pub fn unpack_into_str<T: Copy>(block: &[T], nc_range: Range<usize>, h_str: &mut Tensor3<T>) {
+    let (nc, nv_loc, nt_loc) = h_str.shape();
+    assert!(nc_range.end <= nc, "nc_range {nc_range:?} outside nc={nc}");
+    let nc_blk = nc_range.len();
+    assert_eq!(
+        block.len(),
+        nv_loc * nc_blk * nt_loc,
+        "block size mismatch: got {}, expected {}",
+        block.len(),
+        nv_loc * nc_blk * nt_loc
+    );
+    let mut src = 0;
+    for iv_loc in 0..nv_loc {
+        for ic in nc_range.clone() {
+            let dst = (ic * nv_loc + iv_loc) * nt_loc;
+            h_str.as_mut_slice()[dst..dst + nt_loc].copy_from_slice(&block[src..src + nt_loc]);
+            src += nt_loc;
+        }
+    }
+}
+
+/// Unpack a block received from the str-side peer owning `nt_range` into
+/// the nl-layout tensor `h_nl` of shape `(nc_blk, nv_loc, nt)`.
+///
+/// The block is ordered `[ic_loc][iv_loc][it ∈ nt_range]` (the sender's str
+/// rows restricted to this rank's `nc` slice, carrying the sender's local
+/// toroidal slice).
+pub fn unpack_into_nl<T: Copy>(block: &[T], nt_range: Range<usize>, h_nl: &mut Tensor3<T>) {
+    let (nc_blk, nv_loc, nt) = h_nl.shape();
+    assert!(nt_range.end <= nt, "nt_range {nt_range:?} outside nt={nt}");
+    let ntl = nt_range.len();
+    assert_eq!(
+        block.len(),
+        nc_blk * nv_loc * ntl,
+        "block size mismatch: got {}, expected {}",
+        block.len(),
+        nc_blk * nv_loc * ntl
+    );
+    let mut src = 0;
+    for ic in 0..nc_blk {
+        for ivl in 0..nv_loc {
+            let dst = (ic * nv_loc + ivl) * nt + nt_range.start;
+            h_nl.as_mut_slice()[dst..dst + ntl].copy_from_slice(&block[src..src + ntl]);
+            src += ntl;
+        }
+    }
+}
+
+/// Inverse of [`pack_str_block`]: write a block ordered
+/// `[ic ∈ nc_range][iv_loc][it_loc]` back into the str-layout tensor's rows.
+pub fn unpack_into_str_from_nl<T: Copy>(
+    block: &[T],
+    nc_range: Range<usize>,
+    h_str: &mut Tensor3<T>,
+) {
+    let (nc, nv_loc, nt_loc) = h_str.shape();
+    assert!(nc_range.end <= nc, "nc_range {nc_range:?} outside nc={nc}");
+    let row_len = nv_loc * nt_loc;
+    assert_eq!(
+        block.len(),
+        nc_range.len() * row_len,
+        "block size mismatch: got {}, expected {}",
+        block.len(),
+        nc_range.len() * row_len
+    );
+    let mut src = 0;
+    for ic in nc_range {
+        let dst = ic * row_len;
+        h_str.as_mut_slice()[dst..dst + row_len].copy_from_slice(&block[src..src + row_len]);
+        src += row_len;
+    }
+}
+
+/// Pack the nl-layout block destined for the str-side peer owning
+/// `nt_range`: shape `(nc_blk, nv_loc, nt)` restricted to those toroidal
+/// modes, ordered `[ic_loc][iv_loc][it ∈ nt_range]`.
+pub fn pack_nl_block<T: Copy>(h_nl: &Tensor3<T>, nt_range: Range<usize>, buf: &mut Vec<T>) {
+    let (nc_blk, nv_loc, nt) = h_nl.shape();
+    assert!(nt_range.end <= nt, "nt_range {nt_range:?} outside nt={nt}");
+    for ic in 0..nc_blk {
+        for ivl in 0..nv_loc {
+            let start = (ic * nv_loc + ivl) * nt + nt_range.start;
+            buf.extend_from_slice(&h_nl.as_slice()[start..start + nt_range.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::Decomp1D;
+
+    /// Reference serial transpose: str (nc, nv, nt) -> coll (nv, nc, nt).
+    fn serial_transpose(h: &Tensor3<u64>) -> Tensor3<u64> {
+        let (nc, nv, nt) = h.shape();
+        Tensor3::from_fn(nv, nc, nt, |iv, ic, it| h[(ic, iv, it)])
+    }
+
+    /// Run the full distributed transpose for every (n1_str_parts,
+    /// nc_parts) pair and check it matches the serial transpose.
+    fn roundtrip(nc: usize, nv: usize, nt: usize, nv_parts: usize, nc_parts: usize) {
+        let nv_d = Decomp1D::new(nv, nv_parts);
+        let nc_d = Decomp1D::new(nc, nc_parts);
+        // Global str state distributed over nv_parts "ranks".
+        let global = Tensor3::from_fn(nc, nv, nt, |a, b, c| (a * 10_000 + b * 100 + c) as u64);
+        let str_bufs: Vec<Tensor3<u64>> = (0..nv_parts)
+            .map(|p| {
+                let r = nv_d.range(p);
+                Tensor3::from_fn(nc, r.len(), nt, |ic, ivl, it| global[(ic, r.start + ivl, it)])
+            })
+            .collect();
+
+        // "AllToAll": every str rank packs a block per coll rank.
+        let mut coll_bufs: Vec<Tensor3<u64>> = (0..nc_parts)
+            .map(|q| Tensor3::new(nv, nc_d.count(q), nt))
+            .collect();
+        for (p, hstr) in str_bufs.iter().enumerate() {
+            for (q, hcoll) in coll_bufs.iter_mut().enumerate() {
+                let mut block = Vec::new();
+                pack_str_block(hstr, nc_d.range(q), &mut block);
+                unpack_into_coll(&block, nv_d.range(p), hcoll);
+            }
+        }
+
+        // Check against the serial transpose.
+        let want = serial_transpose(&global);
+        for (q, hcoll) in coll_bufs.iter().enumerate() {
+            let r = nc_d.range(q);
+            for iv in 0..nv {
+                for (icl, ic) in r.clone().enumerate() {
+                    for it in 0..nt {
+                        assert_eq!(hcoll[(iv, icl, it)], want[(iv, ic, it)]);
+                    }
+                }
+            }
+        }
+
+        // Reverse transpose: coll -> str, must reproduce the originals.
+        let mut str_back: Vec<Tensor3<u64>> = (0..nv_parts)
+            .map(|p| Tensor3::new(nc, nv_d.count(p), nt))
+            .collect();
+        for (q, hcoll) in coll_bufs.iter().enumerate() {
+            for (p, hstr) in str_back.iter_mut().enumerate() {
+                let mut block = Vec::new();
+                pack_coll_block(hcoll, nv_d.range(p), &mut block);
+                unpack_into_str(&block, nc_d.range(q), hstr);
+            }
+        }
+        for (orig, back) in str_bufs.iter().zip(&str_back) {
+            assert_eq!(orig, back);
+        }
+    }
+
+    #[test]
+    fn transpose_even_square_parts() {
+        roundtrip(8, 8, 4, 4, 4);
+    }
+
+    #[test]
+    fn transpose_uneven_dims() {
+        roundtrip(10, 7, 3, 3, 3);
+    }
+
+    #[test]
+    fn transpose_mismatched_part_counts() {
+        // XGYRO case: nc split finer (ensemble-wide) than nv (per-sim).
+        roundtrip(12, 6, 2, 2, 6);
+        roundtrip(12, 6, 2, 3, 12);
+    }
+
+    #[test]
+    fn transpose_single_part() {
+        roundtrip(5, 4, 3, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size mismatch")]
+    fn unpack_wrong_size_panics() {
+        let mut h: Tensor3<u64> = Tensor3::new(4, 2, 2);
+        unpack_into_coll(&[0, 1, 2], 0..2, &mut h);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside nc")]
+    fn pack_out_of_range_panics() {
+        let h: Tensor3<u64> = Tensor3::new(4, 2, 2);
+        let mut buf = Vec::new();
+        pack_str_block(&h, 2..5, &mut buf);
+    }
+
+    #[test]
+    fn nl_transpose_roundtrip() {
+        // str (nc, nvl, ntl) shards over the nt communicator -> nl layout
+        // (nc2_loc, nvl, nt) and back.
+        let (nc, nvl, nt, n2) = (6usize, 3usize, 5usize, 2usize);
+        let nt_d = Decomp1D::new(nt, n2);
+        let nc2_d = Decomp1D::new(nc, n2);
+        let global = Tensor3::from_fn(nc, nvl, nt, |a, b, c| (a * 100 + b * 10 + c) as u64);
+        // Build the per-rank str shards (full nc, local nt).
+        let str_shards: Vec<Tensor3<u64>> = (0..n2)
+            .map(|p| {
+                let r = nt_d.range(p);
+                Tensor3::from_fn(nc, nvl, r.len(), |ic, ivl, itl| {
+                    global[(ic, ivl, r.start + itl)]
+                })
+            })
+            .collect();
+        // Forward: every rank packs nc2 blocks, receivers complete nt.
+        let mut nl_shards: Vec<Tensor3<u64>> = (0..n2)
+            .map(|q| Tensor3::new(nc2_d.count(q), nvl, nt))
+            .collect();
+        for (p, s) in str_shards.iter().enumerate() {
+            for (q, d) in nl_shards.iter_mut().enumerate() {
+                let mut blk = Vec::new();
+                pack_str_block(s, nc2_d.range(q), &mut blk);
+                unpack_into_nl(&blk, nt_d.range(p), d);
+            }
+        }
+        for (q, d) in nl_shards.iter().enumerate() {
+            let r = nc2_d.range(q);
+            for (icl, ic) in r.clone().enumerate() {
+                for ivl in 0..nvl {
+                    for it in 0..nt {
+                        assert_eq!(d[(icl, ivl, it)], global[(ic, ivl, it)]);
+                    }
+                }
+            }
+        }
+        // Reverse: back to str shards.
+        let mut back: Vec<Tensor3<u64>> = (0..n2)
+            .map(|p| Tensor3::new(nc, nvl, nt_d.count(p)))
+            .collect();
+        for (q, d) in nl_shards.iter().enumerate() {
+            for (p, s) in back.iter_mut().enumerate() {
+                let mut blk = Vec::new();
+                pack_nl_block(d, nt_d.range(p), &mut blk);
+                unpack_into_str_from_nl(&blk, nc2_d.range(q), s);
+            }
+        }
+        for (orig, b) in str_shards.iter().zip(&back) {
+            assert_eq!(orig, b);
+        }
+    }
+}

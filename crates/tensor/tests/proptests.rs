@@ -1,0 +1,173 @@
+//! Property-based tests: the decomposition is a partition, the transpose
+//! pack/unpack pair is a bijection for arbitrary shapes and part counts.
+
+use proptest::prelude::*;
+use xg_tensor::{
+    pack_coll_block, pack_str_block, unpack_into_coll, unpack_into_str, Decomp1D, Tensor3,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn decomp_is_partition(total in 0usize..200, parts in 1usize..17) {
+        let d = Decomp1D::new(total, parts);
+        let mut covered = 0usize;
+        let mut next = 0usize;
+        for p in 0..parts {
+            let r = d.range(p);
+            prop_assert_eq!(r.start, next, "blocks must be contiguous");
+            next = r.end;
+            covered += r.len();
+            prop_assert_eq!(r.len(), d.count(p));
+            // Block sizes differ by at most one and are non-increasing.
+            if p > 0 {
+                prop_assert!(d.count(p) <= d.count(p - 1));
+                prop_assert!(d.count(p - 1) - d.count(p) <= 1);
+            }
+        }
+        prop_assert_eq!(covered, total);
+        prop_assert_eq!(next, total);
+        for g in 0..total {
+            let o = d.owner(g);
+            prop_assert!(d.range(o).contains(&g));
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip_bijection(
+        nc in 1usize..12,
+        nv in 1usize..12,
+        nt in 1usize..5,
+        nv_parts in 1usize..5,
+        nc_parts in 1usize..9,
+    ) {
+        let nv_d = Decomp1D::new(nv, nv_parts);
+        let nc_d = Decomp1D::new(nc, nc_parts);
+
+        // Distribute a tagged global tensor into str-layout shards.
+        let str_shards: Vec<Tensor3<u32>> = (0..nv_parts)
+            .map(|p| {
+                let r = nv_d.range(p);
+                Tensor3::from_fn(nc, r.len(), nt, |ic, ivl, it| {
+                    (ic * 10_000 + (r.start + ivl) * 100 + it) as u32
+                })
+            })
+            .collect();
+
+        // Forward transpose into coll-layout shards.
+        let mut coll_shards: Vec<Tensor3<u32>> = (0..nc_parts)
+            .map(|q| Tensor3::new(nv, nc_d.count(q), nt))
+            .collect();
+        for (p, s) in str_shards.iter().enumerate() {
+            for (q, c) in coll_shards.iter_mut().enumerate() {
+                let mut blk = Vec::new();
+                pack_str_block(s, nc_d.range(q), &mut blk);
+                unpack_into_coll(&blk, nv_d.range(p), c);
+            }
+        }
+
+        // Every coll entry carries the tag of its global index.
+        for (q, c) in coll_shards.iter().enumerate() {
+            let r = nc_d.range(q);
+            for iv in 0..nv {
+                for (icl, ic) in r.clone().enumerate() {
+                    for it in 0..nt {
+                        prop_assert_eq!(c[(iv, icl, it)], (ic * 10_000 + iv * 100 + it) as u32);
+                    }
+                }
+            }
+        }
+
+        // Reverse transpose restores the str shards exactly.
+        let mut back: Vec<Tensor3<u32>> = (0..nv_parts)
+            .map(|p| Tensor3::new(nc, nv_d.count(p), nt))
+            .collect();
+        for (q, c) in coll_shards.iter().enumerate() {
+            for (p, s) in back.iter_mut().enumerate() {
+                let mut blk = Vec::new();
+                pack_coll_block(c, nv_d.range(p), &mut blk);
+                unpack_into_str(&blk, nc_d.range(q), s);
+            }
+        }
+        for (orig, b) in str_shards.iter().zip(&back) {
+            prop_assert_eq!(orig, b);
+        }
+    }
+
+    #[test]
+    fn nl_transpose_roundtrip_bijection(
+        nc in 1usize..10,
+        nvl in 1usize..5,
+        nt in 1usize..8,
+        n2 in 1usize..5,
+    ) {
+        use xg_tensor::{pack_nl_block, unpack_into_nl, unpack_into_str_from_nl};
+        let nt_d = Decomp1D::new(nt, n2);
+        let nc2_d = Decomp1D::new(nc, n2);
+        // Tagged str shards (full nc, local nt).
+        let shards: Vec<Tensor3<u32>> = (0..n2)
+            .map(|p| {
+                let r = nt_d.range(p);
+                Tensor3::from_fn(nc, nvl, r.len(), |ic, ivl, itl| {
+                    (ic * 10_000 + ivl * 100 + (r.start + itl)) as u32
+                })
+            })
+            .collect();
+        // Forward to nl layout.
+        let mut nl: Vec<Tensor3<u32>> =
+            (0..n2).map(|q| Tensor3::new(nc2_d.count(q), nvl, nt)).collect();
+        for (p, s) in shards.iter().enumerate() {
+            for (q, d) in nl.iter_mut().enumerate() {
+                let mut blk = Vec::new();
+                pack_str_block(s, nc2_d.range(q), &mut blk);
+                unpack_into_nl(&blk, nt_d.range(p), d);
+            }
+        }
+        for (q, d) in nl.iter().enumerate() {
+            let r = nc2_d.range(q);
+            for (icl, ic) in r.clone().enumerate() {
+                for ivl in 0..nvl {
+                    for it in 0..nt {
+                        prop_assert_eq!(
+                            d[(icl, ivl, it)],
+                            (ic * 10_000 + ivl * 100 + it) as u32
+                        );
+                    }
+                }
+            }
+        }
+        // And back.
+        let mut back: Vec<Tensor3<u32>> =
+            (0..n2).map(|p| Tensor3::new(nc, nvl, nt_d.count(p))).collect();
+        for (q, d) in nl.iter().enumerate() {
+            for (p, s) in back.iter_mut().enumerate() {
+                let mut blk = Vec::new();
+                pack_nl_block(d, nt_d.range(p), &mut blk);
+                unpack_into_str_from_nl(&blk, nc2_d.range(q), s);
+            }
+        }
+        for (orig, b) in shards.iter().zip(&back) {
+            prop_assert_eq!(orig, b);
+        }
+    }
+
+    #[test]
+    fn pack_volume_matches_block_size(
+        nc in 1usize..10,
+        nv_loc in 1usize..6,
+        nt_loc in 1usize..4,
+        split in 1usize..5,
+    ) {
+        let h: Tensor3<u8> = Tensor3::new(nc, nv_loc, nt_loc);
+        let d = Decomp1D::new(nc, split);
+        let mut total = 0;
+        for q in 0..split {
+            let mut buf = Vec::new();
+            pack_str_block(&h, d.range(q), &mut buf);
+            prop_assert_eq!(buf.len(), d.count(q) * nv_loc * nt_loc);
+            total += buf.len();
+        }
+        prop_assert_eq!(total, h.len());
+    }
+}

@@ -1,0 +1,83 @@
+//! Plan a paper-scale simulation campaign on the Frontier-like machine
+//! model: how many nodes does an `nl03c` study need, and what does running
+//! it as XGYRO ensembles buy?
+//!
+//! This is the decision a fusion group actually faces: N parameter-sweep
+//! variants, a fixed node-hour budget, CGYRO-sequential vs XGYRO.
+//!
+//! ```sh
+//! cargo run --release --example frontier_campaign_planner
+//! ```
+
+use xgyro_repro::cluster::{
+    min_nodes, plan, simulate_cgyro_sequential, simulate_xgyro, SchedulePolicy,
+};
+use xgyro_repro::costmodel::MachineModel;
+use xgyro_repro::sim::CgyroInput;
+
+fn main() {
+    let input = CgyroInput::nl03c_like();
+    let machine = MachineModel::frontier_like();
+    let policy = SchedulePolicy::production();
+    let d = input.dims();
+    println!(
+        "campaign deck: nl03c-like (nc={} nv={} nt={}), cmat = {:.2} TB",
+        d.nc,
+        d.nv,
+        d.nt,
+        xgyro_repro::sim::cmat_total_bytes(&input) as f64 / 1e12
+    );
+    println!("machine: {} ({} ranks/node, {:.0} GB usable per rank)\n",
+        machine.name, machine.ranks_per_node, machine.usable_mem_per_rank() as f64 / 1e9);
+
+    // Minimum allocation for one simulation (the paper: 32 nodes).
+    let single = min_nodes(&input, 1, &machine, 256).expect("nl03c fits on the machine");
+    println!(
+        "single CGYRO simulation: minimum {} nodes ({} ranks, grid {}x{}, {:.1} GB/rank)",
+        single.nodes,
+        single.ranks,
+        single.grid.n1,
+        single.grid.n2,
+        single.per_rank_bytes as f64 / 1e9
+    );
+
+    // The campaign: 8 variants, 10 reporting steps each, on 32 nodes.
+    let k = 8;
+    let reports = 10;
+    let nodes = single.nodes;
+    let cg = simulate_cgyro_sequential(&input, single.grid, k, nodes, &machine, &policy);
+    let xgp = plan(&input, k, nodes, &machine).expect("ensemble plan");
+    assert!(xgp.feasible());
+    let xg = simulate_xgyro(&input, xgp.grid, k, nodes, &machine, &policy);
+
+    let cg_hours = cg.total() * reports as f64 / 3600.0 * nodes as f64;
+    let xg_hours = xg.total() * reports as f64 / 3600.0 * nodes as f64;
+    println!("\ncampaign: {k} variants x {reports} reporting steps on {nodes} nodes");
+    println!("  CGYRO sequential: {:7.1} s/report-step -> {:6.1} node-hours", cg.total(), cg_hours);
+    println!("  XGYRO ensemble:   {:7.1} s/report-step -> {:6.1} node-hours", xg.total(), xg_hours);
+    println!("  saving: {:.0}% ({:.2}x more science per node-hour)",
+        100.0 * (1.0 - xg_hours / cg_hours),
+        cg_hours / xg_hours
+    );
+
+    // How the saving scales with ensemble size.
+    println!("\nensemble-size sweep at {nodes} nodes:");
+    println!("  k    feasible  s/report  speedup  str-comm s");
+    for k in [1usize, 2, 4, 8, 16] {
+        match plan(&input, k, nodes, &machine) {
+            Some(p) if p.feasible() => {
+                let x = simulate_xgyro(&input, p.grid, k, nodes, &machine, &policy);
+                let c = simulate_cgyro_sequential(&input, single.grid, k, nodes, &machine, &policy);
+                println!(
+                    "  {:<4} {:<9} {:>8.1} {:>7.2}x {:>10.1}",
+                    k,
+                    "yes",
+                    x.total(),
+                    c.total() / x.total(),
+                    x.str_comm()
+                );
+            }
+            _ => println!("  {:<4} {:<9} (per-sim state no longer fits)", k, "no"),
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! # xgyro-repro
+//!
+//! Umbrella crate for the XGYRO reproduction workspace. Re-exports the
+//! public APIs of every member crate so examples and integration tests can
+//! use a single dependency. See `README.md` for the architecture overview
+//! and `DESIGN.md` for the system inventory and experiment index.
+
+pub use xg_bench as bench;
+pub use xg_cluster as cluster;
+pub use xg_comm as comm;
+pub use xg_costmodel as costmodel;
+pub use xg_linalg as linalg;
+pub use xg_sim as sim;
+pub use xg_tensor as tensor;
+pub use xgyro_core as xgyro;

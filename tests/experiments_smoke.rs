@@ -1,0 +1,119 @@
+//! Every paper experiment must run and report its confirmation line.
+//! (The experiment functions contain their own hard assertions; this test
+//! additionally pins the key substrings of each report.)
+
+#[test]
+fn f1_confirms_communicator_reuse() {
+    let r = xgyro_repro::bench::figure1();
+    assert!(r.contains("CONFIRMED"), "{r}");
+    assert!(r.contains("'nv'"));
+}
+
+#[test]
+fn f3_confirms_communicator_separation() {
+    let r = xgyro_repro::bench::figure3();
+    assert!(r.contains("CONFIRMED"), "{r}");
+    assert!(r.contains("coll-ens"));
+}
+
+#[test]
+fn f2_reports_speedup_in_paper_band() {
+    let r = xgyro_repro::bench::figure2();
+    assert!(r.contains("speedup"), "{r}");
+    // Extract the speedup line and check the value band.
+    let line = r.lines().find(|l| l.contains("speedup (total)")).unwrap();
+    let v: f64 = line
+        .split(':')
+        .nth(1)
+        .unwrap()
+        .trim()
+        .trim_end_matches('x')
+        .parse()
+        .unwrap();
+    assert!((1.2..2.0).contains(&v), "speedup {v} out of paper band (1.5x)");
+}
+
+#[test]
+fn memory_claims_report_10x_band() {
+    let r = xgyro_repro::bench::memory_claims();
+    // Every strong-scaling row must report a ratio near 10x.
+    let ratios: Vec<f64> = r
+        .lines()
+        .filter(|l| l.trim_end().ends_with('x') && l.contains('.'))
+        .filter_map(|l| l.split_whitespace().last()?.trim_end_matches('x').parse().ok())
+        .collect();
+    assert!(!ratios.is_empty());
+    for v in ratios {
+        assert!((8.0..14.0).contains(&v), "ratio {v} not ≈10x");
+    }
+}
+
+#[test]
+fn node_claims_report_32_node_minimum() {
+    let r = xgyro_repro::bench::node_claims();
+    let single = r.lines().find(|l| l.trim().starts_with("1 ")).unwrap();
+    assert!(single.contains("32"), "single-sim minimum must be 32 nodes: {single}");
+    let eight = r.lines().find(|l| l.trim().starts_with("8 ")).unwrap();
+    assert!(eight.contains("32"), "k=8 must fit on 32 nodes: {eight}");
+}
+
+#[test]
+fn correctness_claims_hold() {
+    let r = xgyro_repro::bench::correctness_claims();
+    assert!(r.contains("mismatched trajectories: 0"), "{r}");
+    assert!(r.contains("exactly 1/k"));
+}
+
+#[test]
+fn sweep_shows_monotone_speedup() {
+    let r = xgyro_repro::bench::ensemble_sweep_claims();
+    let speedups: Vec<f64> = r
+        .lines()
+        .filter(|l| l.contains("yes"))
+        .filter_map(|l| {
+            l.split_whitespace()
+                .find(|t| t.ends_with('x'))?
+                .trim_end_matches('x')
+                .parse()
+                .ok()
+        })
+        .collect();
+    assert!(speedups.len() >= 4, "{r}");
+    for w in speedups.windows(2) {
+        assert!(w[1] >= w[0] - 1e-9, "speedup must grow with k: {speedups:?}");
+    }
+    assert!(r.contains("NO"), "k=16 must be reported infeasible");
+}
+
+#[test]
+fn ablations_run() {
+    let r = xgyro_repro::bench::ablations();
+    assert!(r.contains("feasible: false"), "replicated cmat must not fit: {r}");
+    assert!(r.contains("bitwise identical: true"));
+}
+
+#[test]
+fn scaling_shows_efficiency_decay() {
+    let r = xgyro_repro::bench::scaling_claims();
+    assert!(r.contains("efficiency"), "{r}");
+    // The 32-node row is the baseline with efficiency 1.00.
+    assert!(r.contains("1.00"));
+}
+
+#[test]
+fn machine_transfer_reports_all_presets() {
+    let r = xgyro_repro::bench::machine_transfer_claims();
+    for name in ["frontier-like", "perlmutter-like", "slow-fabric"] {
+        assert!(r.contains(name), "missing {name}: {r}");
+    }
+    // Every evaluated machine shows a >1x speedup.
+    let speedups: Vec<f64> = r
+        .lines()
+        .filter_map(|l| {
+            let t = l.split_whitespace().rev().nth(1)?;
+            t.strip_suffix('x')?.parse().ok()
+        })
+        .collect();
+    assert!(speedups.len() >= 3, "{r}");
+    assert!(speedups.iter().all(|&s| s > 1.0), "{speedups:?}");
+}

@@ -1,0 +1,124 @@
+//! Failure injection and negative paths: the system must fail loudly and
+//! informatively, never hang or silently corrupt.
+
+use xgyro_repro::comm::World;
+use xgyro_repro::sim::CgyroInput;
+use xgyro_repro::tensor::ProcGrid;
+use xgyro_repro::xgyro::{EnsembleConfig, EnsembleError};
+
+#[test]
+#[should_panic(expected = "panicked")]
+fn rank_panic_mid_collective_aborts_cleanly() {
+    // One rank dies between collectives; the others are blocked inside an
+    // AllReduce. Poisoning must wake them and surface the root cause
+    // instead of deadlocking the test suite.
+    World::new(4).run(|c| {
+        if c.rank() == 3 {
+            panic!("injected failure on rank 3");
+        }
+        let mut v = vec![0.0f64; 1024];
+        c.all_reduce_sum_f64(&mut v);
+        c.all_reduce_sum_f64(&mut v);
+    });
+}
+
+#[test]
+#[should_panic(expected = "length mismatch")]
+fn mismatched_allreduce_lengths_detected() {
+    World::new(2).run(|c| {
+        let mut v = vec![0.0f64; if c.rank() == 0 { 8 } else { 9 }];
+        c.all_reduce_sum_f64(&mut v);
+    });
+}
+
+#[test]
+fn ensemble_admission_rejects_every_cmat_dependency_change() {
+    let base = CgyroInput::test_small();
+    let grid = ProcGrid::new(1, 1);
+    type Mutation = Box<dyn Fn(&mut CgyroInput)>;
+    let mutations: Vec<(&str, Mutation)> = vec![
+        ("nu_ee", Box::new(|i: &mut CgyroInput| i.nu_ee *= 2.0)),
+        ("n_xi", Box::new(|i: &mut CgyroInput| i.n_xi += 2)),
+        ("n_energy", Box::new(|i: &mut CgyroInput| i.n_energy += 1)),
+        ("n_radial", Box::new(|i: &mut CgyroInput| i.n_radial *= 2)),
+        ("n_toroidal", Box::new(|i: &mut CgyroInput| i.n_toroidal += 1)),
+        ("delta_t", Box::new(|i: &mut CgyroInput| i.delta_t *= 0.5)),
+        ("q", Box::new(|i: &mut CgyroInput| i.q += 0.5)),
+        ("shear", Box::new(|i: &mut CgyroInput| i.shear += 0.3)),
+        ("ky_min", Box::new(|i: &mut CgyroInput| i.ky_min *= 1.5)),
+        ("species mass", Box::new(|i: &mut CgyroInput| i.species[0].mass *= 2.0)),
+        ("species temp", Box::new(|i: &mut CgyroInput| i.species[1].temp = 1.7)),
+        ("species dens", Box::new(|i: &mut CgyroInput| i.species[0].dens = 0.9)),
+    ];
+    for (name, mutate) in mutations {
+        let mut other = base.clone();
+        mutate(&mut other);
+        let err = EnsembleConfig::new(vec![base.clone(), other], grid)
+            .expect_err(&format!("{name} change must be rejected"));
+        assert!(
+            matches!(err, EnsembleError::CmatKeyMismatch { index: 1, .. }),
+            "{name}: wrong error {err:?}"
+        );
+    }
+}
+
+#[test]
+fn ensemble_admission_accepts_every_sweep_parameter_change() {
+    let base = CgyroInput::test_small();
+    let grid = ProcGrid::new(1, 1);
+    type Mutation = Box<dyn Fn(&mut CgyroInput)>;
+    let mutations: Vec<(&str, Mutation)> = vec![
+        ("rln", Box::new(|i: &mut CgyroInput| i.species[0].rln = 9.0)),
+        ("rlt", Box::new(|i: &mut CgyroInput| i.species[1].rlt = 0.0)),
+        ("seed", Box::new(|i: &mut CgyroInput| i.seed = 777)),
+        ("nonlinear_coupling", Box::new(|i: &mut CgyroInput| i.nonlinear_coupling = 0.4)),
+        ("upwind_diss", Box::new(|i: &mut CgyroInput| i.upwind_diss = 0.02)),
+    ];
+    for (name, mutate) in mutations {
+        let mut other = base.clone();
+        mutate(&mut other);
+        EnsembleConfig::new(vec![base.clone(), other], grid)
+            .unwrap_or_else(|e| panic!("{name} sweep must be accepted: {e}"));
+    }
+}
+
+#[test]
+fn mixed_reporting_cadence_rejected_despite_matching_cmat() {
+    // steps_per_report is not a cmat input (sharing would be fine) but the
+    // shared coll exchange steps the whole ensemble in lockstep, so mixed
+    // cadences are refused at admission with a dedicated error.
+    let base = CgyroInput::test_small();
+    let mut other = base.clone();
+    other.steps_per_report = 99;
+    assert_eq!(base.cmat_key(), other.cmat_key(), "cadence is not a cmat input");
+    let err = EnsembleConfig::new(vec![base, other], ProcGrid::new(1, 1)).unwrap_err();
+    assert!(
+        matches!(err, EnsembleError::CadenceMismatch { index: 1, expected: 10, found: 99 }),
+        "wrong error: {err:?}"
+    );
+    assert!(err.to_string().contains("lockstep"));
+}
+
+#[test]
+fn invalid_decks_rejected_before_any_allocation() {
+    let mut bad = CgyroInput::test_small();
+    bad.n_theta = 3; // below stencil width
+    assert!(bad.validate().is_err());
+    let err = EnsembleConfig::new(vec![bad], ProcGrid::new(1, 1)).unwrap_err();
+    assert!(matches!(err, EnsembleError::InvalidMember { .. }));
+}
+
+#[test]
+fn planner_returns_none_not_nonsense_for_impossible_jobs() {
+    use xgyro_repro::costmodel::MachineModel;
+    let input = CgyroInput::nl03c_like();
+    let machine = MachineModel::frontier_like();
+    // 3 sims cannot split 8-rank nodes evenly at small node counts where
+    // ranks % k != 0.
+    assert!(xgyro_repro::cluster::plan(&input, 3, 1, &machine).is_none());
+    // A deck too big for the search bound reports None rather than a bogus
+    // plan.
+    let mut huge = input.clone();
+    huge.n_radial *= 64;
+    assert!(xgyro_repro::cluster::min_nodes(&huge, 1, &machine, 8).is_none());
+}

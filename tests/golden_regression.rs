@@ -1,0 +1,81 @@
+//! Golden-trajectory regression: pinned diagnostic values for the preset
+//! decks. These catch unintended numerical changes (a sign flip in a
+//! stencil, a reordered reduction, a changed coefficient) that all other
+//! tests — which compare implementations *against each other* — would
+//! miss, because every implementation would drift together.
+//!
+//! If a deliberate physics/numerics change lands, regenerate with:
+//! `cargo test -p xgyro-repro --test golden_regression -- --nocapture`
+//! (the failing assertion prints the measured values).
+
+use xg_sim::{serial_simulation, CgyroInput};
+
+/// Relative tolerance: golden values are recorded to ~10 digits; platform
+/// libm differences stay far below this.
+const RTOL: f64 = 1e-8;
+
+fn close(got: f64, want: f64, what: &str) {
+    assert!(
+        (got - want).abs() <= RTOL * (1.0 + want.abs()),
+        "{what}: got {got:.12e}, golden {want:.12e}"
+    );
+}
+
+#[test]
+fn golden_small_deck_10_steps() {
+    let input = CgyroInput::test_small();
+    let mut sim = serial_simulation(&input);
+    sim.run_steps(10);
+    let d = sim.diagnostics();
+    println!(
+        "measured: field_energy={:.12e} heat_flux={:.12e} h_norm2={:.12e}",
+        d.field_energy, d.heat_flux, d.h_norm2
+    );
+    close(d.field_energy, GOLDEN_SMALL.0, "field_energy");
+    close(d.heat_flux, GOLDEN_SMALL.1, "heat_flux");
+    close(d.h_norm2, GOLDEN_SMALL.2, "h_norm2");
+}
+
+#[test]
+fn golden_medium_deck_5_steps() {
+    let input = CgyroInput::test_medium();
+    let mut sim = serial_simulation(&input);
+    sim.run_steps(5);
+    let d = sim.diagnostics();
+    println!(
+        "measured: field_energy={:.12e} heat_flux={:.12e} h_norm2={:.12e}",
+        d.field_energy, d.heat_flux, d.h_norm2
+    );
+    close(d.field_energy, GOLDEN_MEDIUM.0, "field_energy");
+    close(d.heat_flux, GOLDEN_MEDIUM.1, "heat_flux");
+    close(d.h_norm2, GOLDEN_MEDIUM.2, "h_norm2");
+}
+
+#[test]
+fn golden_em_shaped_deck_5_steps() {
+    // Electromagnetic + shaped-geometry configuration: anchors the A∥ and
+    // Miller-shaping code paths.
+    let mut input = CgyroInput::test_small();
+    input.beta_e = 0.01;
+    input.kappa = 1.4;
+    input.delta = 0.2;
+    let mut sim = serial_simulation(&input);
+    sim.run_steps(5);
+    let d = sim.diagnostics();
+    println!(
+        "measured: field_energy={:.12e} heat_flux={:.12e} h_norm2={:.12e}",
+        d.field_energy, d.heat_flux, d.h_norm2
+    );
+    close(d.field_energy, GOLDEN_EM_SHAPED.0, "field_energy");
+    close(d.heat_flux, GOLDEN_EM_SHAPED.1, "heat_flux");
+    close(d.h_norm2, GOLDEN_EM_SHAPED.2, "h_norm2");
+}
+
+// Golden values recorded from the reference implementation (see module
+// docs for the regeneration procedure).
+const GOLDEN_SMALL: (f64, f64, f64) =
+    (3.465762975820e-5, 4.038833772074e-6, 8.477427960119e-4);
+const GOLDEN_MEDIUM: (f64, f64, f64) =
+    (8.280195299827e-5, 3.469928111349e-5, 1.777685022687e-2);
+const GOLDEN_EM_SHAPED: (f64, f64, f64) =
+    (3.243005566617e-5, -3.357274549809e-7, 9.145370594168e-4);

@@ -3,21 +3,28 @@
 //!
 //! ```text
 //! xgplan --deck input.cgyro [--machine FILE|PRESET] [--variants N]
-//!        [--nodes N] [--reports R]
+//!        [--nodes N] [--reports R] [--mtbf-hours H] [--restart-s S]
 //! ```
 //!
 //! Prints: the deck's memory law, the minimum feasible allocation, the
-//! per-ensemble-size forecast on the chosen node count, and the cheapest
-//! batching of the requested variants.
+//! per-ensemble-size forecast on the chosen node count — including the
+//! MTBF-aware expected time-to-solution (a k-member job occupies k× the
+//! nodes, so its MTBF is k× worse; checkpoint/restart overhead is priced
+//! at the Young-optimal cadence) — an MTBF sensitivity sweep, and the
+//! cheapest batching of the requested variants.
 
 use std::process::exit;
+use xg_cluster::FailureModel;
 use xg_costmodel::{parse_machine, preset, MachineModel, PRESET_NAMES};
 use xg_sim::load_deck;
 
 fn usage() -> ! {
     eprintln!(
         "usage: xgplan --deck input.cgyro [--machine FILE|PRESET] [--variants N]\n\
-         \u{20}                [--nodes N] [--reports R]\n\
+         \u{20}                [--nodes N] [--reports R] [--mtbf-hours H] [--restart-s S]\n\
+         \u{20}  --mtbf-hours: single-node MTBF in hours (default ~52000, a\n\
+         \u{20}                9000-node system failing every ~6 hours)\n\
+         \u{20}  --restart-s:  restart/requeue cost in seconds (default 600)\n\
          presets: {}",
         PRESET_NAMES.join(", ")
     );
@@ -30,6 +37,8 @@ fn main() {
     let mut variants = 8usize;
     let mut nodes: Option<usize> = None;
     let mut reports = 10usize;
+    let mut mtbf_hours: Option<f64> = None;
+    let mut restart_s = 600.0f64;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -58,6 +67,13 @@ fn main() {
             }
             "--reports" => {
                 reports = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--mtbf-hours" => {
+                mtbf_hours =
+                    Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--restart-s" => {
+                restart_s = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
             }
             _ => usage(),
         }
@@ -100,8 +116,30 @@ fn main() {
     );
 
     let nodes = nodes.unwrap_or(single.nodes);
-    println!("\nensemble forecast on {nodes} nodes (seconds per reporting step):");
-    println!("  k     feasible   s/report   speedup vs CGYROxk");
+    if mtbf_hours.is_some_and(|h| h <= 0.0 || h.is_nan()) {
+        eprintln!("xgplan: --mtbf-hours must be positive");
+        exit(1);
+    }
+    if restart_s < 0.0 || restart_s.is_nan() {
+        eprintln!("xgplan: --restart-s must be non-negative");
+        exit(1);
+    }
+    let fm = FailureModel {
+        node_mtbf_s: mtbf_hours
+            .map(|h| h * 3600.0)
+            .unwrap_or(FailureModel::frontier_like().node_mtbf_s),
+        restart_s,
+    };
+    println!(
+        "\nfailure model: node MTBF {:.0} h, job MTBF on {} nodes {:.1} h, restart {:.0} s",
+        fm.node_mtbf_s / 3600.0,
+        nodes,
+        fm.job_mtbf(nodes) / 3600.0,
+        fm.restart_s
+    );
+    println!("\nensemble forecast on {nodes} nodes ({reports} reporting steps):");
+    println!("  k     feasible   s/report   speedup    ETTS(h)   ETTS-speedup");
+    let mut sweep_k = None;
     for k in [1usize, 2, 4, 8, 16, 32] {
         if k > variants.max(1) * 4 {
             break;
@@ -112,16 +150,63 @@ fn main() {
                 let cg = xg_cluster::simulate_cgyro_sequential(
                     &input, single.grid, k, nodes, &machine, &policy,
                 );
+                // Expected time-to-solution: the k-member job checkpoints k
+                // member images and fails k× as often as one simulation's
+                // allocation would; the sequential baseline runs k separate
+                // k=1 jobs on the same nodes.
+                let xg_etts = xg_cluster::expected_time_to_solution(
+                    &input,
+                    k,
+                    nodes,
+                    reports as f64 * xg.total(),
+                    &machine,
+                    &fm,
+                );
+                let cg_etts_s = k as f64
+                    * xg_cluster::expected_time_to_solution(
+                        &input,
+                        1,
+                        nodes,
+                        reports as f64 * cg.total() / k as f64,
+                        &machine,
+                        &fm,
+                    )
+                    .etts_s;
                 println!(
-                    "  {:<5} {:>8}   {:>8.1}   {:>8.2}x",
+                    "  {:<5} {:>8}   {:>8.1}   {:>7.2}x   {:>8.2}   {:>11.2}x",
                     k,
                     "yes",
                     xg.total(),
-                    cg.total() / xg.total()
+                    cg.total() / xg.total(),
+                    xg_etts.etts_s / 3600.0,
+                    cg_etts_s / xg_etts.etts_s
                 );
+                sweep_k = Some((k, reports as f64 * xg.total()));
             }
             Some(_) => println!("  {:<5} {:>8}", k, "no (memory)"),
             None => println!("  {:<5} {:>8}", k, "no (no valid grid)"),
+        }
+    }
+
+    if let Some((k, work_s)) = sweep_k {
+        println!(
+            "\nMTBF sensitivity (k={k}, {nodes} nodes, {:.1} h of failure-free work):",
+            work_s / 3600.0
+        );
+        println!("  node-MTBF(h)   job-MTBF(h)   ckpt-cadence(min)   ETTS(h)   overhead");
+        let mtbfs: Vec<f64> =
+            [0.1, 0.3, 1.0, 3.0, 10.0].iter().map(|f| f * fm.node_mtbf_s).collect();
+        for row in
+            xg_cluster::mtbf_sweep(&input, k, nodes, work_s, &machine, fm.restart_s, &mtbfs)
+        {
+            println!(
+                "  {:>12.0}   {:>11.1}   {:>17.1}   {:>7.2}   {:>7.1}%",
+                row.node_mtbf_s / 3600.0,
+                row.job_mtbf_s / 3600.0,
+                row.tau_s / 60.0,
+                row.etts_s / 3600.0,
+                row.overhead * 100.0
+            );
         }
     }
 

@@ -14,6 +14,7 @@ pub mod memory;
 pub mod planner;
 pub mod replay;
 pub mod report;
+pub mod resilience;
 pub mod simtime;
 
 pub use campaign::{optimize_campaign, CampaignOption, CampaignPlan};
@@ -21,6 +22,10 @@ pub use memory::{cmat_ratio, rank_inventory, total_bytes, BufferCategory, Buffer
 pub use planner::{min_nodes, plan, valid_grids, JobPlan};
 pub use replay::{replay, ReplayError, ReplayOutcome};
 pub use report::{cgyro_timing_log, figure2_table, parse_timing_totals};
+pub use resilience::{
+    checkpoint_write_s, ensemble_checkpoint_bytes, expected_runtime,
+    expected_time_to_solution, mtbf_sweep, young_interval, EttsReport, FailureModel, SweepRow,
+};
 pub use simtime::{
     simulate_cgyro_sequential, simulate_ensemble_member, simulate_xgyro, ScenarioReport,
     SchedulePolicy,

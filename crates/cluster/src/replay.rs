@@ -144,13 +144,34 @@ pub fn replay(
                             break;
                         }
                     }
+                    // Fault and recovery markers are *local* events: they
+                    // advance only the logging rank's clock by the recorded
+                    // downtime (`bytes` = microseconds) and never
+                    // rendezvous — survivor traces of an aborted segment
+                    // have unequal lengths, so treating these as
+                    // collectives would deadlock the replay.
+                    OpKind::Fault | OpKind::Recover => {
+                        charge_compute(r, next_op[r], &mut clock);
+                        let t = op_time(machine, placement, rec);
+                        clock[r] += t;
+                        per_rank_bd[r].add(&rec.phase, &format!("comm:{}", rec.op), t);
+                        next_op[r] += 1;
+                        done_ops += 1;
+                        progressed = true;
+                    }
                     _ => break,
                 }
             }
         }
 
-        // 2. Find a collective whose every member is ready for it.
+        // 2. Find a collective whose every member is ready for it. A
+        //    collective referencing a member whose trace is *exhausted* is
+        //    orphaned — that peer died (faulted) before logging it, so it
+        //    can never fire; the logging rank aborts it locally instead of
+        //    deadlocking the replay (this is what lets faulty traces with
+        //    `Fault`/`Recover` records replay end to end).
         let mut fired = None;
+        let mut orphan: Option<usize> = None;
         'search: for r in 0..nranks {
             if next_op[r] >= traces[r].len() {
                 continue;
@@ -159,12 +180,14 @@ pub fn replay(
             if matches!(rec.op, OpKind::Send | OpKind::Recv) {
                 continue;
             }
+            let mut any_exhausted = false;
             for &m in &rec.members {
                 if m >= nranks {
                     return Err(ReplayError::MissingRank(m));
                 }
                 let Some(peer_rec) = traces[m].get(next_op[m]) else {
-                    continue 'search;
+                    any_exhausted = true;
+                    continue;
                 };
                 if peer_rec.op != rec.op
                     || peer_rec.members != rec.members
@@ -172,6 +195,10 @@ pub fn replay(
                 {
                     continue 'search;
                 }
+            }
+            if any_exhausted {
+                orphan = orphan.or(Some(r));
+                continue;
             }
             fired = Some(rec.members.clone());
             break;
@@ -198,6 +225,18 @@ pub fn replay(
                 next_op[m] += 1;
                 done_ops += 1;
             }
+            progressed = true;
+        } else if let Some(r) = orphan {
+            // Abort the orphaned collective for this rank alone: it paid
+            // the (deadline-bounded) wire time, observed the failure and
+            // moved on; the dead peer contributes nothing further.
+            let rec = traces[r][next_op[r]].clone();
+            charge_compute(r, next_op[r], &mut clock);
+            let t = op_time(machine, placement, &rec);
+            clock[r] += t;
+            per_rank_bd[r].add(&rec.phase, &format!("comm:{}", rec.op), t);
+            next_op[r] += 1;
+            done_ops += 1;
             progressed = true;
         }
 
@@ -301,6 +340,56 @@ mod tests {
         // With zero injected compute, waits can only come from op-count
         // asymmetries; every rank still terminates.
         assert_eq!(out.finish_times.len(), cfg.total_ranks());
+    }
+
+    #[test]
+    fn orphaned_collective_aborts_locally_instead_of_deadlocking() {
+        // Ranks 0 and 1 logged an AllReduce with members [0, 1, 2], but
+        // rank 2 died before logging it — its trace ends with only a
+        // Fault marker. The collective can never fire; the survivors must
+        // abort it locally (charging its wire time) rather than deadlock.
+        let (m, p) = machine();
+        let coll = rec(OpKind::AllReduce, "str", vec![0, 1, 2], 256);
+        let fault = rec(OpKind::Fault, "fault", vec![2], 1_000);
+        let traces = vec![vec![coll.clone()], vec![coll], vec![fault]];
+        let out = replay(&traces, &m, p, |_, _| 0.0).unwrap();
+        assert!(out.finish_times.iter().all(|t| t.is_finite() && *t > 0.0));
+        // The fault marker's downtime (bytes = microseconds) lands on the
+        // dead rank's clock.
+        assert!((out.finish_times[2] - 1e-3).abs() < 1e-12);
+        assert!(out.breakdown.get("str", "comm:AllReduce") > 0.0);
+    }
+
+    #[test]
+    fn faulty_recovery_trace_replays_through_csv_round_trip() {
+        // End-to-end satellite: a seeded crash during a resilient run
+        // produces an aborted-segment trace set; export it to the trace
+        // CSV, parse it back, and replay it — no deadlock, and the Fault
+        // marker survives the round trip into the cost breakdown.
+        let base = xg_sim::CgyroInput::test_small();
+        let cfg = xgyro_core::gradient_sweep(&base, 3, xg_tensor::ProcGrid::new(1, 1));
+        let out = xgyro_core::run_xgyro_resilient(
+            &cfg,
+            2,
+            2,
+            xg_comm::FaultPlan::crash(1, 5),
+            std::time::Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(out.events.len(), 1, "the seeded crash must have fired");
+        let faulty = &out.faulty_segments[0];
+        let csv = xg_comm::traces_to_csv(faulty);
+        let parsed = xg_comm::traces_from_csv(&csv).unwrap();
+        assert_eq!(&parsed, faulty, "trace CSV round trip must be lossless");
+        let (m, p) = machine();
+        let replayed = replay(&parsed, &m, p, |_, _| 0.0).unwrap();
+        assert!(replayed.finish_times.iter().all(|t| t.is_finite()));
+        let faults: usize = parsed
+            .iter()
+            .flatten()
+            .filter(|r| matches!(r.op, OpKind::Fault | OpKind::Recover))
+            .count();
+        assert!(faults > 0, "aborted segment must carry fault/recover markers");
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! Recovery-cost accounting: MTBF-aware expected time-to-solution.
+//!
+//! Sharing `cmat` lets k simulations run as one job — but that job now
+//! occupies k× the nodes, so its mean time between failures is k× worse
+//! than one simulation's. An honest ensemble-vs-sequential comparison must
+//! therefore price checkpoint/restart overhead, not just per-step speed.
+//! This module implements the standard first-order model:
+//!
+//! * **Young's interval** `τ = √(2 δ M) − δ`: the checkpoint cadence
+//!   minimizing expected overhead for checkpoint write time `δ` and job
+//!   MTBF `M`;
+//! * **Daly's expected runtime** for work `W` at cadence `τ`:
+//!   `E[T] = e^{R/M} · M · (e^{(τ+δ)/M} − 1) · W/τ`, where `R` is the
+//!   restart cost — exact for exponentially distributed failures under the
+//!   first-order rework approximation;
+//! * a checkpoint-size model for an XGYRO ensemble (k member images of the
+//!   full distribution function, drained at node injection bandwidth).
+//!
+//! `xgplan` folds this into its forecast so the reported speedup is an
+//! expected-time-to-solution ratio, not a failure-free fantasy.
+
+use xg_costmodel::MachineModel;
+use xg_sim::CgyroInput;
+
+/// Failure characteristics of the machine and scheduler.
+#[derive(Clone, Copy, Debug)]
+pub struct FailureModel {
+    /// Mean time between failures of a *single node*, seconds.
+    pub node_mtbf_s: f64,
+    /// Fixed cost of a restart (requeue, relaunch, re-read checkpoint),
+    /// seconds.
+    pub restart_s: f64,
+}
+
+impl FailureModel {
+    /// Leadership-class defaults: ~6 node-years MTBF per node (a 9000-node
+    /// system failing every ~6 hours), 10-minute restart.
+    pub fn frontier_like() -> Self {
+        Self { node_mtbf_s: 1.9e8, restart_s: 600.0 }
+    }
+
+    /// Job-level MTBF on `nodes` nodes (failures are independent, so rates
+    /// add).
+    pub fn job_mtbf(&self, nodes: usize) -> f64 {
+        assert!(nodes > 0, "a job needs at least one node");
+        self.node_mtbf_s / nodes as f64
+    }
+}
+
+/// Young's optimal checkpoint interval for write cost `delta_s` and job
+/// MTBF `mtbf_s` (both seconds). Degenerates gracefully: never below
+/// `delta_s` (checkpointing more often than a checkpoint takes is
+/// self-defeating).
+pub fn young_interval(delta_s: f64, mtbf_s: f64) -> f64 {
+    assert!(delta_s >= 0.0 && mtbf_s > 0.0);
+    ((2.0 * delta_s * mtbf_s).sqrt() - delta_s).max(delta_s)
+}
+
+/// Daly's expected wall time to complete `work_s` seconds of failure-free
+/// work, checkpointing every `tau_s` at cost `delta_s`, with job MTBF
+/// `mtbf_s` and restart cost `restart_s`.
+pub fn expected_runtime(
+    work_s: f64,
+    tau_s: f64,
+    delta_s: f64,
+    mtbf_s: f64,
+    restart_s: f64,
+) -> f64 {
+    assert!(work_s >= 0.0 && tau_s > 0.0 && mtbf_s > 0.0);
+    let m = mtbf_s;
+    let segments = work_s / tau_s;
+    (restart_s / m).exp() * m * (((tau_s + delta_s) / m).exp_m1()) * segments
+}
+
+/// Bytes of one coherent XGYRO ensemble checkpoint: k member images of the
+/// full distribution function (complex f64 per `(nc, nv, nt)` point).
+pub fn ensemble_checkpoint_bytes(input: &CgyroInput, k: usize) -> u64 {
+    let d = input.dims();
+    (d.nc * d.nv * d.nt) as u64 * 16 * k as u64
+}
+
+/// Seconds to write one ensemble checkpoint from `nodes` nodes: the images
+/// drain through each node's injection bandwidth in parallel.
+pub fn checkpoint_write_s(bytes: u64, nodes: usize, machine: &MachineModel) -> f64 {
+    assert!(nodes > 0);
+    bytes as f64 / (machine.nic_bw * nodes as f64)
+}
+
+/// MTBF-aware expected time-to-solution for one scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct EttsReport {
+    /// Failure-free work, seconds.
+    pub work_s: f64,
+    /// Job MTBF on this allocation, seconds.
+    pub job_mtbf_s: f64,
+    /// Checkpoint write cost, seconds.
+    pub delta_s: f64,
+    /// Chosen (Young-optimal) checkpoint cadence, seconds.
+    pub tau_s: f64,
+    /// Expected wall time including checkpoints, rework and restarts.
+    pub etts_s: f64,
+}
+
+impl EttsReport {
+    /// Fractional overhead of resilience over failure-free execution.
+    pub fn overhead(&self) -> f64 {
+        if self.work_s == 0.0 {
+            return 0.0;
+        }
+        self.etts_s / self.work_s - 1.0
+    }
+}
+
+/// Price `work_s` seconds of failure-free work for a k-member ensemble on
+/// `nodes` nodes under `fm`, checkpointing at the Young-optimal cadence.
+pub fn expected_time_to_solution(
+    input: &CgyroInput,
+    k: usize,
+    nodes: usize,
+    work_s: f64,
+    machine: &MachineModel,
+    fm: &FailureModel,
+) -> EttsReport {
+    let m = fm.job_mtbf(nodes);
+    let delta = checkpoint_write_s(ensemble_checkpoint_bytes(input, k), nodes, machine);
+    let tau = young_interval(delta, m).min(work_s.max(delta));
+    let etts = expected_runtime(work_s, tau, delta, m, fm.restart_s);
+    EttsReport { work_s, job_mtbf_s: m, delta_s: delta, tau_s: tau, etts_s: etts }
+}
+
+/// One row of a cadence × MTBF sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepRow {
+    /// Node MTBF assumed for this row, seconds.
+    pub node_mtbf_s: f64,
+    /// Job MTBF on the allocation, seconds.
+    pub job_mtbf_s: f64,
+    /// Young-optimal cadence, seconds.
+    pub tau_s: f64,
+    /// Expected time-to-solution, seconds.
+    pub etts_s: f64,
+    /// Overhead over failure-free work.
+    pub overhead: f64,
+}
+
+/// Sweep expected time-to-solution across node-MTBF assumptions (same
+/// deck, ensemble and allocation), one row per value in `node_mtbfs_s`.
+pub fn mtbf_sweep(
+    input: &CgyroInput,
+    k: usize,
+    nodes: usize,
+    work_s: f64,
+    machine: &MachineModel,
+    restart_s: f64,
+    node_mtbfs_s: &[f64],
+) -> Vec<SweepRow> {
+    node_mtbfs_s
+        .iter()
+        .map(|&node_mtbf_s| {
+            let fm = FailureModel { node_mtbf_s, restart_s };
+            let r = expected_time_to_solution(input, k, nodes, work_s, machine, &fm);
+            SweepRow {
+                node_mtbf_s,
+                job_mtbf_s: r.job_mtbf_s,
+                tau_s: r.tau_s,
+                etts_s: r.etts_s,
+                overhead: r.overhead(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_mtbf_scales_inversely_with_nodes() {
+        let fm = FailureModel { node_mtbf_s: 1e8, restart_s: 60.0 };
+        assert_eq!(fm.job_mtbf(1), 1e8);
+        assert_eq!(fm.job_mtbf(100), 1e6);
+        // The ensemble-size penalty: 8x the nodes, 1/8 the MTBF.
+        assert_eq!(fm.job_mtbf(32 * 8), fm.job_mtbf(32) / 8.0);
+    }
+
+    #[test]
+    fn young_interval_matches_closed_form() {
+        let tau = young_interval(100.0, 1e6);
+        assert!((tau - ((2.0f64 * 100.0 * 1e6).sqrt() - 100.0)).abs() < 1e-9);
+        // Pathological regime: never below the write cost itself.
+        assert_eq!(young_interval(100.0, 10.0), 100.0);
+    }
+
+    #[test]
+    fn expected_runtime_approaches_ideal_as_mtbf_grows() {
+        // With an enormous MTBF, E[T] -> W + (W/tau) * delta.
+        let w = 1e5;
+        let tau = 1e4;
+        let delta = 50.0;
+        let t = expected_runtime(w, tau, delta, 1e15, 600.0);
+        let ideal = w + (w / tau) * delta;
+        assert!((t - ideal).abs() / ideal < 1e-3, "{t} vs {ideal}");
+        // And grows monotonically as MTBF shrinks.
+        let worse = expected_runtime(w, tau, delta, 1e5, 600.0);
+        assert!(worse > t);
+    }
+
+    #[test]
+    fn young_cadence_beats_extreme_cadences() {
+        let (w, delta, m, r) = (1e6, 30.0, 2e4, 600.0);
+        let tau = young_interval(delta, m);
+        let at_young = expected_runtime(w, tau, delta, m, r);
+        let too_often = expected_runtime(w, tau / 20.0, delta, m, r);
+        let too_rare = expected_runtime(w, tau * 20.0, delta, m, r);
+        assert!(at_young < too_often, "{at_young} vs {too_often}");
+        assert!(at_young < too_rare, "{at_young} vs {too_rare}");
+    }
+
+    #[test]
+    fn checkpoint_bytes_scale_with_k() {
+        let input = CgyroInput::test_small();
+        let one = ensemble_checkpoint_bytes(&input, 1);
+        assert_eq!(ensemble_checkpoint_bytes(&input, 8), 8 * one);
+        let d = input.dims();
+        assert_eq!(one, (d.nc * d.nv * d.nt) as u64 * 16);
+    }
+
+    #[test]
+    fn etts_reports_are_coherent() {
+        let input = CgyroInput::nl03c_like();
+        let m = MachineModel::frontier_like();
+        let fm = FailureModel::frontier_like();
+        let r = expected_time_to_solution(&input, 8, 256, 36.0 * 3600.0, &m, &fm);
+        assert!(r.etts_s > r.work_s, "resilience is never free");
+        assert!(r.overhead() > 0.0 && r.overhead() < 1.0, "overhead {:.3}", r.overhead());
+        assert!(r.tau_s > r.delta_s);
+        // Same work on a k=1 allocation (1/8 the nodes): less overhead.
+        let r1 = expected_time_to_solution(&input, 1, 32, 36.0 * 3600.0, &m, &fm);
+        assert!(r1.overhead() < r.overhead());
+    }
+
+    #[test]
+    fn sweep_overhead_decreases_with_mtbf() {
+        let input = CgyroInput::nl03c_like();
+        let m = MachineModel::frontier_like();
+        let rows = mtbf_sweep(
+            &input,
+            8,
+            256,
+            24.0 * 3600.0,
+            &m,
+            600.0,
+            &[1e7, 1e8, 1e9],
+        );
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].overhead > rows[1].overhead);
+        assert!(rows[1].overhead > rows[2].overhead);
+        assert!(rows.iter().all(|r| r.etts_s.is_finite() && r.etts_s > 0.0));
+    }
+}

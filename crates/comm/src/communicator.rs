@@ -10,13 +10,25 @@
 //! communicator-rank order, so repeated runs and re-partitioned ensembles
 //! with identical sub-grids produce bitwise-identical results — the
 //! property the equivalence experiment (T-correct) relies on.
+//!
+//! Every blocking operation exists in two forms: the plain form (panics on
+//! peer failure — the legacy abort path) and a `try_` form returning
+//! `Result<_, CommError>`. When the world was built with a deadline
+//! ([`crate::World::with_deadline`]), a dead or stalled peer surfaces as a
+//! typed [`CommError`] within the deadline instead of hanging forever; the
+//! plain forms re-throw that error as a panic payload, which
+//! [`crate::World::run_fallible`] catches and converts back — so an
+//! unmodified simulation stack still yields typed failures at the world
+//! boundary.
 
-use crate::exchange::Slot;
+use crate::exchange::{Slot, SlotError};
+use crate::fault::{CommError, FaultKind, FaultPlan, FaultState};
 use crate::p2p::Mailbox;
 use crate::stats::{OpKind, TrafficLog};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 use xg_linalg::Complex64;
 
 /// Shared world-level infrastructure every communicator hangs off.
@@ -24,14 +36,24 @@ pub(crate) struct WorldShared {
     pub(crate) mailboxes: Vec<Mailbox>,
     pub(crate) next_comm_id: AtomicU64,
     pub(crate) slot_registry: parking_lot::Mutex<Vec<std::sync::Weak<Slot>>>,
+    /// Deadline for blocking waits; `None` means wait forever (legacy).
+    pub(crate) deadline: Option<Duration>,
+    /// Fault-injection state, when a plan was installed.
+    pub(crate) fault: Option<FaultState>,
 }
 
 impl WorldShared {
-    pub(crate) fn new(size: usize) -> Arc<Self> {
+    pub(crate) fn new(
+        size: usize,
+        deadline: Option<Duration>,
+        plan: Option<FaultPlan>,
+    ) -> Arc<Self> {
         Arc::new(Self {
             mailboxes: (0..size).map(|_| Mailbox::new()).collect(),
             next_comm_id: AtomicU64::new(1),
             slot_registry: parking_lot::Mutex::new(Vec::new()),
+            deadline,
+            fault: plan.map(|p| FaultState::new(p, size)),
         })
     }
 
@@ -49,6 +71,19 @@ impl WorldShared {
         }
         for mb in &self.mailboxes {
             mb.poison();
+        }
+    }
+
+    /// Mark every live slot and mailbox failed: global rank `rank` is known
+    /// dead, so blocked peers surface typed [`CommError`]s promptly.
+    pub(crate) fn fail_all(&self, rank: usize, detail: &str) {
+        for w in self.slot_registry.lock().iter() {
+            if let Some(s) = w.upgrade() {
+                s.fail(rank, detail);
+            }
+        }
+        for mb in &self.mailboxes {
+            mb.fail(rank, detail);
         }
     }
 }
@@ -124,28 +159,119 @@ impl Communicator {
         self.log.set_phase(phase);
     }
 
+    /// Count one issued operation against the fault plan; fire any fault
+    /// scheduled at this point. Delays and stalls sleep here (and leave an
+    /// [`OpKind::Fault`] record, `bytes` = downtime µs); a crash marks the
+    /// whole world failed and returns the error the dying rank observes.
+    fn preflight(&self) -> Result<(), CommError> {
+        let Some(fault) = &self.world.fault else {
+            return Ok(());
+        };
+        match fault.on_op(self.global_rank) {
+            None => Ok(()),
+            Some(FaultKind::Delay(ms)) => {
+                self.log.record(OpKind::Fault, &self.label, &[self.global_rank], ms * 1000);
+                std::thread::sleep(Duration::from_millis(ms));
+                Ok(())
+            }
+            Some(FaultKind::Stall(ms)) => {
+                self.log.record(OpKind::Fault, &self.label, &[self.global_rank], ms * 1000);
+                std::thread::sleep(Duration::from_millis(ms));
+                // Proceed: if the stall exceeded the deadline, peers have
+                // already timed out and failed the slot, and the next wait
+                // on it returns the typed error to this rank too.
+                Ok(())
+            }
+            Some(FaultKind::Crash) => {
+                self.log.record(OpKind::Fault, &self.label, &[self.global_rank], 0);
+                let detail = format!(
+                    "injected crash at op {}",
+                    fault.ops_issued(self.global_rank).saturating_sub(1)
+                );
+                self.world.fail_all(self.global_rank, &detail);
+                Err(CommError::PeerFailed { rank: self.global_rank, detail })
+            }
+        }
+    }
+
+    /// Map a slot-level failure to a world-level [`CommError`]: failed
+    /// ranks are already global; timeout `missing` lists are slot-local
+    /// and translate through the member table. A timeout also marks the
+    /// whole world failed (the first missing rank is the presumed culprit)
+    /// so every other rank fails fast instead of timing out serially.
+    fn slot_error(&self, op: OpKind, e: SlotError) -> CommError {
+        match e {
+            SlotError::Failed { rank, detail } => CommError::PeerFailed { rank, detail },
+            SlotError::Timeout { waited_ms, missing } => {
+                let missing: Vec<usize> = missing
+                    .into_iter()
+                    .map(|i| self.members.get(i).copied().unwrap_or(i))
+                    .collect();
+                let culprit = missing.first().copied().unwrap_or(self.global_rank);
+                self.world.fail_all(culprit, "collective timed out");
+                CommError::Timeout { op: op.to_string(), waited_ms, missing }
+            }
+        }
+    }
+
+    /// Preflight + log + deadline-aware exchange: the shared body of every
+    /// fallible collective.
+    fn run_collective<T, R, F>(
+        &self,
+        op: OpKind,
+        bytes: u64,
+        contribution: T,
+        assemble: F,
+    ) -> Result<Arc<R>, CommError>
+    where
+        T: Send + 'static,
+        R: Send + Sync + 'static,
+        F: FnOnce(Vec<T>) -> R,
+    {
+        self.preflight()?;
+        self.log.record(op, &self.label, &self.members, bytes);
+        self.slot
+            .try_exchange(self.rank, contribution, assemble, self.world.deadline)
+            .map_err(|e| self.slot_error(op, e))
+    }
+
     /// Synchronize all ranks.
     pub fn barrier(&self) {
-        self.log.record(OpKind::Barrier, &self.label, &self.members, 0);
-        self.slot.exchange(self.rank, (), |_| ());
+        self.try_barrier().unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// Fallible [`Communicator::barrier`].
+    pub fn try_barrier(&self) -> Result<(), CommError> {
+        self.run_collective(OpKind::Barrier, 0, (), |_| ()).map(|_| ())
     }
 
     /// Gather every rank's slice; returns the per-rank vectors in rank
     /// order.
     pub fn all_gather<T: Clone + Send + Sync + 'static>(&self, local: &[T]) -> Vec<Vec<T>> {
+        self.try_all_gather(local).unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// Fallible [`Communicator::all_gather`].
+    pub fn try_all_gather<T: Clone + Send + Sync + 'static>(
+        &self,
+        local: &[T],
+    ) -> Result<Vec<Vec<T>>, CommError> {
         let bytes = std::mem::size_of_val(local) as u64;
-        self.log.record(OpKind::AllGather, &self.label, &self.members, bytes);
-        let res = self.slot.exchange(self.rank, local.to_vec(), |items| items);
-        (*res).clone()
+        let res = self.run_collective(OpKind::AllGather, bytes, local.to_vec(), |items| items)?;
+        Ok((*res).clone())
     }
 
     /// Element-wise sum-reduction of `buf` across all ranks, result
     /// replacing `buf` on every rank. Deterministic (rank-order) summation.
     pub fn all_reduce_sum_f64(&self, buf: &mut [f64]) {
+        self.try_all_reduce_sum_f64(buf).unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// Fallible [`Communicator::all_reduce_sum_f64`].
+    pub fn try_all_reduce_sum_f64(&self, buf: &mut [f64]) -> Result<(), CommError> {
         let bytes = std::mem::size_of_val(buf) as u64;
-        self.log.record(OpKind::AllReduce, &self.label, &self.members, bytes);
         let n = buf.len();
-        let res = self.slot.exchange(self.rank, buf.to_vec(), move |items| {
+        let res = self.run_collective(OpKind::AllReduce, bytes, buf.to_vec(), move |items| {
             let mut acc = vec![0.0f64; n];
             for item in items {
                 assert_eq!(item.len(), n, "AllReduce length mismatch across ranks");
@@ -154,16 +280,21 @@ impl Communicator {
                 }
             }
             acc
-        });
+        })?;
         buf.copy_from_slice(&res);
+        Ok(())
     }
 
     /// Element-wise complex sum-reduction (deterministic rank order).
     pub fn all_reduce_sum_complex(&self, buf: &mut [Complex64]) {
+        self.try_all_reduce_sum_complex(buf).unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// Fallible [`Communicator::all_reduce_sum_complex`].
+    pub fn try_all_reduce_sum_complex(&self, buf: &mut [Complex64]) -> Result<(), CommError> {
         let bytes = std::mem::size_of_val(buf) as u64;
-        self.log.record(OpKind::AllReduce, &self.label, &self.members, bytes);
         let n = buf.len();
-        let res = self.slot.exchange(self.rank, buf.to_vec(), move |items| {
+        let res = self.run_collective(OpKind::AllReduce, bytes, buf.to_vec(), move |items| {
             let mut acc = vec![Complex64::ZERO; n];
             for item in items {
                 assert_eq!(item.len(), n, "AllReduce length mismatch across ranks");
@@ -172,16 +303,21 @@ impl Communicator {
                 }
             }
             acc
-        });
+        })?;
         buf.copy_from_slice(&res);
+        Ok(())
     }
 
     /// Element-wise max-reduction (used for CFL/diagnostic scalars).
     pub fn all_reduce_max_f64(&self, buf: &mut [f64]) {
+        self.try_all_reduce_max_f64(buf).unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// Fallible [`Communicator::all_reduce_max_f64`].
+    pub fn try_all_reduce_max_f64(&self, buf: &mut [f64]) -> Result<(), CommError> {
         let bytes = std::mem::size_of_val(buf) as u64;
-        self.log.record(OpKind::AllReduce, &self.label, &self.members, bytes);
         let n = buf.len();
-        let res = self.slot.exchange(self.rank, buf.to_vec(), move |items| {
+        let res = self.run_collective(OpKind::AllReduce, bytes, buf.to_vec(), move |items| {
             let mut acc = vec![f64::NEG_INFINITY; n];
             for item in items {
                 assert_eq!(item.len(), n, "AllReduce length mismatch across ranks");
@@ -190,8 +326,9 @@ impl Communicator {
                 }
             }
             acc
-        });
+        })?;
         buf.copy_from_slice(&res);
+        Ok(())
     }
 
     /// Personalized all-to-all: `send[j]` goes to communicator rank `j`;
@@ -215,12 +352,19 @@ impl Communicator {
         &self,
         send: Vec<Vec<T>>,
     ) -> Vec<Vec<T>> {
+        self.try_all_to_all_v(send).unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// Fallible [`Communicator::all_to_all_v`].
+    pub fn try_all_to_all_v<T: Clone + Send + Sync + 'static>(
+        &self,
+        send: Vec<Vec<T>>,
+    ) -> Result<Vec<Vec<T>>, CommError> {
         let p = self.size();
         assert_eq!(send.len(), p, "all_to_all_v needs one block per peer");
         let bytes: u64 =
             send.iter().map(|b| (b.len() * std::mem::size_of::<T>()) as u64).sum();
-        self.log.record(OpKind::AllToAll, &self.label, &self.members, bytes);
-        let res = self.slot.exchange(self.rank, send, move |items| {
+        let res = self.run_collective(OpKind::AllToAll, bytes, send, move |items| {
             // items[src][dst] -> matrix[dst][src]. Pop from the back of each
             // source's block list so every block moves exactly once: source
             // `src`'s last block (dst = p−1) lands in row p−1, and each row
@@ -233,8 +377,8 @@ impl Communicator {
                 }
             }
             matrix
-        });
-        res[self.rank].clone()
+        })?;
+        Ok(res[self.rank].clone())
     }
 
     /// Broadcast from `root`: the root passes `Some(value)`, everyone else
@@ -244,6 +388,15 @@ impl Communicator {
         root: usize,
         value: Option<T>,
     ) -> T {
+        self.try_broadcast(root, value).unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// Fallible [`Communicator::broadcast`].
+    pub fn try_broadcast<T: Clone + Send + Sync + 'static>(
+        &self,
+        root: usize,
+        value: Option<T>,
+    ) -> Result<T, CommError> {
         assert!(root < self.size(), "broadcast root out of range");
         assert_eq!(
             value.is_some(),
@@ -251,21 +404,24 @@ impl Communicator {
             "exactly the root must provide the broadcast value"
         );
         let bytes = std::mem::size_of::<T>() as u64;
-        self.log.record(OpKind::Broadcast, &self.label, &self.members, bytes);
-        let res = self.slot.exchange(self.rank, value, move |mut items| {
+        let res = self.run_collective(OpKind::Broadcast, bytes, value, move |mut items| {
             items.swap_remove(root).expect("root deposited None")
-        });
-        (*res).clone()
+        })?;
+        Ok((*res).clone())
     }
 
     /// Sum-reduce to `root` only: the root returns the element-wise sum,
     /// everyone else an empty vector (MPI_Reduce).
     pub fn reduce_sum_f64(&self, root: usize, buf: &[f64]) -> Vec<f64> {
+        self.try_reduce_sum_f64(root, buf).unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// Fallible [`Communicator::reduce_sum_f64`].
+    pub fn try_reduce_sum_f64(&self, root: usize, buf: &[f64]) -> Result<Vec<f64>, CommError> {
         assert!(root < self.size(), "reduce root out of range");
         let bytes = std::mem::size_of_val(buf) as u64;
-        self.log.record(OpKind::AllReduce, &self.label, &self.members, bytes);
         let n = buf.len();
-        let res = self.slot.exchange(self.rank, buf.to_vec(), move |items| {
+        let res = self.run_collective(OpKind::AllReduce, bytes, buf.to_vec(), move |items| {
             let mut acc = vec![0.0f64; n];
             for item in items {
                 assert_eq!(item.len(), n, "reduce length mismatch across ranks");
@@ -274,12 +430,8 @@ impl Communicator {
                 }
             }
             acc
-        });
-        if self.rank == root {
-            (*res).clone()
-        } else {
-            Vec::new()
-        }
+        })?;
+        Ok(if self.rank == root { (*res).clone() } else { Vec::new() })
     }
 
     /// Gather every rank's slice to `root` only; non-root ranks receive an
@@ -289,15 +441,19 @@ impl Communicator {
         root: usize,
         local: &[T],
     ) -> Vec<Vec<T>> {
+        self.try_gather(root, local).unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// Fallible [`Communicator::gather`].
+    pub fn try_gather<T: Clone + Send + Sync + 'static>(
+        &self,
+        root: usize,
+        local: &[T],
+    ) -> Result<Vec<Vec<T>>, CommError> {
         assert!(root < self.size(), "gather root out of range");
         let bytes = std::mem::size_of_val(local) as u64;
-        self.log.record(OpKind::AllGather, &self.label, &self.members, bytes);
-        let res = self.slot.exchange(self.rank, local.to_vec(), |items| items);
-        if self.rank == root {
-            (*res).clone()
-        } else {
-            Vec::new()
-        }
+        let res = self.run_collective(OpKind::AllGather, bytes, local.to_vec(), |items| items)?;
+        Ok(if self.rank == root { (*res).clone() } else { Vec::new() })
     }
 
     /// Scatter: `root` provides one block per rank; every rank returns its
@@ -307,6 +463,15 @@ impl Communicator {
         root: usize,
         blocks: Option<Vec<Vec<T>>>,
     ) -> Vec<T> {
+        self.try_scatter(root, blocks).unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// Fallible [`Communicator::scatter`].
+    pub fn try_scatter<T: Clone + Send + Sync + 'static>(
+        &self,
+        root: usize,
+        blocks: Option<Vec<Vec<T>>>,
+    ) -> Result<Vec<T>, CommError> {
         assert!(root < self.size(), "scatter root out of range");
         assert_eq!(
             blocks.is_some(),
@@ -320,24 +485,32 @@ impl Communicator {
             .as_ref()
             .map(|b| b.iter().map(|x| (x.len() * std::mem::size_of::<T>()) as u64).sum())
             .unwrap_or(0);
-        self.log.record(OpKind::Broadcast, &self.label, &self.members, bytes);
-        let res = self.slot.exchange(self.rank, blocks, move |mut items| {
+        let res = self.run_collective(OpKind::Broadcast, bytes, blocks, move |mut items| {
             items.swap_remove(root).expect("root deposited None")
-        });
-        res[self.rank].clone()
+        })?;
+        Ok(res[self.rank].clone())
     }
 
     /// Reduce-scatter (sum): element-wise sum of every rank's `buf`, then
     /// each rank keeps only its `counts[rank]`-sized block of the result.
     /// `Σ counts` must equal `buf.len()` on every rank.
     pub fn reduce_scatter_sum_f64(&self, buf: &[f64], counts: &[usize]) -> Vec<f64> {
+        self.try_reduce_scatter_sum_f64(buf, counts)
+            .unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// Fallible [`Communicator::reduce_scatter_sum_f64`].
+    pub fn try_reduce_scatter_sum_f64(
+        &self,
+        buf: &[f64],
+        counts: &[usize],
+    ) -> Result<Vec<f64>, CommError> {
         assert_eq!(counts.len(), self.size(), "one count per rank");
         let total: usize = counts.iter().sum();
         assert_eq!(total, buf.len(), "counts must tile the buffer");
         let bytes = std::mem::size_of_val(buf) as u64;
-        self.log.record(OpKind::AllReduce, &self.label, &self.members, bytes);
         let n = buf.len();
-        let res = self.slot.exchange(self.rank, buf.to_vec(), move |items| {
+        let res = self.run_collective(OpKind::AllReduce, bytes, buf.to_vec(), move |items| {
             let mut acc = vec![0.0f64; n];
             for item in items {
                 assert_eq!(item.len(), n, "reduce_scatter length mismatch across ranks");
@@ -346,16 +519,26 @@ impl Communicator {
                 }
             }
             acc
-        });
+        })?;
         let start: usize = counts[..self.rank].iter().sum();
-        res[start..start + counts[self.rank]].to_vec()
+        Ok(res[start..start + counts[self.rank]].to_vec())
     }
 
     /// Combined send+recv with the same peer (deadlock-free pairwise
     /// exchange).
     pub fn sendrecv<T: Send + 'static>(&self, peer: usize, tag: u64, data: T) -> T {
-        self.send(peer, tag, data);
-        self.recv(peer, tag)
+        self.try_sendrecv(peer, tag, data).unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// Fallible [`Communicator::sendrecv`].
+    pub fn try_sendrecv<T: Send + 'static>(
+        &self,
+        peer: usize,
+        tag: u64,
+        data: T,
+    ) -> Result<T, CommError> {
+        self.try_send(peer, tag, data)?;
+        self.try_recv(peer, tag)
     }
 
     /// Split into disjoint sub-communicators by `color`; ranks within a
@@ -378,27 +561,33 @@ impl Communicator {
         let world = self.world.clone();
         let world2 = self.world.clone();
         let grank = self.global_rank;
-        let res = self.slot.exchange(
-            self.rank,
-            (color, key, grank),
-            move |items| {
-                // Group by color; order members by (key, global_rank).
-                let mut groups: HashMap<u64, Vec<(u64, usize)>> = HashMap::new();
-                for (c, k, g) in items {
-                    groups.entry(c).or_default().push((k, g));
-                }
-                let mut out: HashMap<u64, (Arc<Slot>, Vec<usize>, u64)> = HashMap::new();
-                for (c, mut v) in groups {
-                    v.sort_unstable();
-                    let members: Vec<usize> = v.into_iter().map(|(_, g)| g).collect();
-                    let slot = Arc::new(Slot::new(members.len()));
-                    world2.register_slot(&slot);
-                    let id = world2.next_comm_id.fetch_add(1, Ordering::Relaxed);
-                    out.insert(c, (slot, members, id));
-                }
-                out
-            },
-        );
+        let res = self
+            .slot
+            .try_exchange(
+                self.rank,
+                (color, key, grank),
+                move |items| {
+                    // Group by color; order members by (key, global_rank).
+                    let mut groups: HashMap<u64, Vec<(u64, usize)>> = HashMap::new();
+                    for (c, k, g) in items {
+                        groups.entry(c).or_default().push((k, g));
+                    }
+                    let mut out: HashMap<u64, (Arc<Slot>, Vec<usize>, u64)> = HashMap::new();
+                    for (c, mut v) in groups {
+                        v.sort_unstable();
+                        let members: Vec<usize> = v.into_iter().map(|(_, g)| g).collect();
+                        let slot = Arc::new(Slot::new(members.len()));
+                        world2.register_slot(&slot);
+                        let id = world2.next_comm_id.fetch_add(1, Ordering::Relaxed);
+                        out.insert(c, (slot, members, id));
+                    }
+                    out
+                },
+                self.world.deadline,
+            )
+            .unwrap_or_else(|e| {
+                std::panic::panic_any(self.slot_error(OpKind::Barrier, e))
+            });
         let (slot, members, comm_id) = res.get(&color).expect("own color must exist").clone();
         let rank = members
             .iter()
@@ -418,21 +607,47 @@ impl Communicator {
 
     /// Blocking typed send to communicator rank `dest`.
     pub fn send<T: Send + 'static>(&self, dest: usize, tag: u64, data: T) {
+        self.try_send(dest, tag, data).unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// Fallible [`Communicator::send`]. Delivery itself cannot block; the
+    /// error case is this rank's own injected fault firing here.
+    pub fn try_send<T: Send + 'static>(
+        &self,
+        dest: usize,
+        tag: u64,
+        data: T,
+    ) -> Result<(), CommError> {
         assert!(dest < self.size(), "send dest out of range");
+        self.preflight()?;
         let bytes = std::mem::size_of::<T>() as u64;
         self.log.record(OpKind::Send, &self.label, &self.members, bytes);
         let gdest = self.members[dest];
         let full_tag = (self.comm_id << 24) | (tag & 0xFF_FFFF);
         self.world.mailboxes[gdest].deliver(self.global_rank, full_tag, Box::new(data));
+        Ok(())
     }
 
     /// Blocking typed receive from communicator rank `src`.
     pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
+        self.try_recv(src, tag).unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// Fallible [`Communicator::recv`]: a dead peer or an expired deadline
+    /// yields a typed [`CommError`] instead of blocking forever.
+    pub fn try_recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Result<T, CommError> {
         assert!(src < self.size(), "recv src out of range");
+        self.preflight()?;
         self.log.record(OpKind::Recv, &self.label, &self.members, 0);
         let gsrc = self.members[src];
         let full_tag = (self.comm_id << 24) | (tag & 0xFF_FFFF);
-        self.world.mailboxes[self.global_rank].recv(gsrc, full_tag)
+        let out = self.world.mailboxes[self.global_rank]
+            .try_recv(gsrc, full_tag, self.world.deadline);
+        if let Err(CommError::Timeout { .. }) = &out {
+            // The sender never showed up within the deadline; presume it
+            // dead so the rest of the world fails fast too.
+            self.world.fail_all(gsrc, "recv timed out");
+        }
+        out
     }
-
 }

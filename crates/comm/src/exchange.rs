@@ -14,9 +14,35 @@
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 type BoxedAny = Box<dyn Any + Send>;
 type SharedAny = Arc<dyn Any + Send + Sync>;
+
+/// Why a fallible exchange could not complete.
+///
+/// Distinct from poisoning: a poisoned slot means a rank *panicked* and the
+/// whole run is aborting (untyped, legacy path); a failed slot means a rank
+/// is *known dead or unresponsive* and survivors get this typed error to
+/// act on (e.g. degraded-mode recovery).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SlotError {
+    /// A participant is known dead. `rank` is the slot-rank index of the
+    /// culprit when known (first missing depositor for timeouts).
+    Failed {
+        /// Slot-rank index of the dead participant.
+        rank: usize,
+        /// Cause ("injected crash", "collective timed out", …).
+        detail: String,
+    },
+    /// The deadline expired before the round completed.
+    Timeout {
+        /// Milliseconds waited before giving up.
+        waited_ms: u64,
+        /// Slot-rank indices that had not deposited when time ran out.
+        missing: Vec<usize>,
+    },
+}
 
 /// Rendezvous slot for one communicator.
 pub struct Slot {
@@ -31,6 +57,7 @@ struct SlotState {
     deposits: Vec<Option<BoxedAny>>,
     result: Option<SharedAny>,
     poisoned: bool,
+    failed: Option<(usize, String)>,
 }
 
 impl Slot {
@@ -45,6 +72,7 @@ impl Slot {
                 deposits: (0..size).map(|_| None).collect(),
                 result: None,
                 poisoned: false,
+                failed: None,
             }),
             cv: Condvar::new(),
         }
@@ -54,6 +82,18 @@ impl Slot {
     /// then panic instead of blocking forever.
     pub fn poison(&self) {
         self.state.lock().poisoned = true;
+        self.cv.notify_all();
+    }
+
+    /// Mark the slot failed (participant `rank` is known dead); wakes all
+    /// waiters, which then surface [`SlotError::Failed`] from
+    /// [`Slot::try_exchange`] instead of blocking forever. The first cause
+    /// wins; later calls are no-ops.
+    pub fn fail(&self, rank: usize, detail: &str) {
+        let mut st = self.state.lock();
+        if st.failed.is_none() {
+            st.failed = Some((rank, detail.to_string()));
+        }
         self.cv.notify_all();
     }
 
@@ -74,15 +114,53 @@ impl Slot {
         R: Send + Sync + 'static,
         F: FnOnce(Vec<T>) -> R,
     {
+        match self.try_exchange(rank, contribution, assemble, None) {
+            Ok(r) => r,
+            Err(SlotError::Failed { rank, detail }) => {
+                panic!("collective aborted: participant {rank} failed: {detail}")
+            }
+            Err(SlotError::Timeout { .. }) => {
+                unreachable!("no deadline was set, so the wait cannot time out")
+            }
+        }
+    }
+
+    /// Like [`Slot::exchange`], but with an optional deadline: instead of
+    /// blocking indefinitely on a dead or stalled peer, the wait gives up
+    /// after `deadline`, marks the slot failed (so every other participant
+    /// fails fast too) and returns [`SlotError::Timeout`]. A slot another
+    /// participant already marked failed yields [`SlotError::Failed`]
+    /// immediately.
+    ///
+    /// A panicked (poisoned) peer still panics — that is the legacy
+    /// untyped abort path and is deliberately left intact.
+    pub fn try_exchange<T, R, F>(
+        &self,
+        rank: usize,
+        contribution: T,
+        assemble: F,
+        deadline: Option<Duration>,
+    ) -> Result<Arc<R>, SlotError>
+    where
+        T: Send + 'static,
+        R: Send + Sync + 'static,
+        F: FnOnce(Vec<T>) -> R,
+    {
+        let start = Instant::now();
         let mut st = self.state.lock();
         let size = st.deposits.len();
         assert!(rank < size, "rank {rank} out of range for slot of {size}");
 
         // Wait for the previous round to fully drain before depositing.
-        while st.result.is_some() && !st.poisoned {
-            self.cv.wait(&mut st);
+        while st.result.is_some() && !st.poisoned && st.failed.is_none() {
+            if self.wait_step(&mut st, deadline, start) {
+                return Err(self.give_up(&mut st, rank, start));
+            }
         }
         assert!(!st.poisoned, "collective aborted: another rank panicked");
+        if let Some((r, detail)) = &st.failed {
+            return Err(SlotError::Failed { rank: *r, detail: detail.clone() });
+        }
         let epoch = st.epoch;
         assert!(
             st.deposits[rank].is_none(),
@@ -108,10 +186,20 @@ impl Slot {
             st.arrived = 0;
             self.cv.notify_all();
         } else {
-            while st.epoch == epoch && st.result.is_none() && !st.poisoned {
-                self.cv.wait(&mut st);
+            while st.epoch == epoch && st.result.is_none() && !st.poisoned && st.failed.is_none()
+            {
+                if self.wait_step(&mut st, deadline, start) {
+                    return Err(self.give_up(&mut st, rank, start));
+                }
             }
             assert!(!st.poisoned, "collective aborted: another rank panicked");
+            // Prefer delivering a completed round over reporting a failure
+            // that arrived concurrently; the next operation will fail.
+            if st.epoch == epoch && st.result.is_none() {
+                if let Some((r, detail)) = &st.failed {
+                    return Err(SlotError::Failed { rank: *r, detail: detail.clone() });
+                }
+            }
         }
 
         let shared = st.result.clone().expect("result must be present");
@@ -124,7 +212,52 @@ impl Slot {
         }
         drop(st);
 
-        shared.downcast::<R>().expect("mixed result types in one collective")
+        Ok(shared.downcast::<R>().expect("mixed result types in one collective"))
+    }
+
+    /// One bounded (or unbounded) condvar wait; true means the deadline
+    /// expired.
+    fn wait_step(
+        &self,
+        st: &mut parking_lot::MutexGuard<'_, SlotState>,
+        deadline: Option<Duration>,
+        start: Instant,
+    ) -> bool {
+        match deadline {
+            None => {
+                self.cv.wait(st);
+                false
+            }
+            Some(d) => {
+                let elapsed = start.elapsed();
+                if elapsed >= d {
+                    return true;
+                }
+                self.cv.wait_for(st, d - elapsed);
+                // Re-check conditions and remaining time on the next loop
+                // iteration; spurious wakeups are handled the same way.
+                false
+            }
+        }
+    }
+
+    /// Deadline expired: build the timeout error. Marking the rest of the
+    /// world failed is the caller's job — the slot only knows slot-local
+    /// rank indices, while failure records carry global ranks.
+    fn give_up(
+        &self,
+        st: &mut parking_lot::MutexGuard<'_, SlotState>,
+        rank: usize,
+        start: Instant,
+    ) -> SlotError {
+        let missing: Vec<usize> = st
+            .deposits
+            .iter()
+            .enumerate()
+            .filter(|(i, d)| *i != rank && d.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        SlotError::Timeout { waited_ms: start.elapsed().as_millis() as u64, missing }
     }
 }
 

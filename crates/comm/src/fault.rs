@@ -1,0 +1,209 @@
+//! Seeded fault injection for the thread-backed MPI substitute.
+//!
+//! Real ensemble jobs at XGYRO scale run long enough that node failures are
+//! an operational fact, not a corner case: a k-member ensemble occupies k×
+//! the nodes of one CGYRO run, so its job-level MTBF is k× worse. This
+//! module provides the substrate for exercising that regime
+//! deterministically:
+//!
+//! * a [`FaultPlan`] describes *what* goes wrong — which world rank, at
+//!   which operation count, in which way ([`FaultKind`]);
+//! * [`CommError`] is the typed result surviving ranks observe when the
+//!   plan fires, replacing an indefinite hang inside a blocking collective;
+//! * plans are injected via [`crate::World::with_fault_plan`] and surfaced
+//!   through [`crate::World::run_fallible`].
+//!
+//! Injection is **deterministic**: the trigger is a per-rank count of
+//! communication operations issued (not wall-clock), so a seeded plan
+//! reproduces the same failure point on every run — the property the
+//! degraded-mode equivalence tests rely on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Typed communication failure observed by a surviving rank.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// A peer rank is known dead (crashed, or evicted after a timeout);
+    /// the collective or receive cannot complete.
+    PeerFailed {
+        /// Global (world) rank of the failed peer.
+        rank: usize,
+        /// Human-readable cause ("injected crash at op 17", "timeout", …).
+        detail: String,
+    },
+    /// A blocking wait exceeded the configured deadline with no progress
+    /// and no identified dead peer (e.g. a stalled — not crashed — rank).
+    Timeout {
+        /// Operation that timed out ("AllReduce", "Recv", …).
+        op: String,
+        /// How long the rank waited before giving up.
+        waited_ms: u64,
+        /// Global ranks that had not arrived when the deadline expired
+        /// (best effort; empty when unknown).
+        missing: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::PeerFailed { rank, detail } => {
+                write!(f, "peer rank {rank} failed: {detail}")
+            }
+            CommError::Timeout { op, waited_ms, missing } => {
+                write!(f, "{op} timed out after {waited_ms} ms; missing ranks {missing:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// What an injected fault does when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The rank dies: every peer's blocking operation returns
+    /// [`CommError::PeerFailed`], and the rank itself returns the same
+    /// error from the operation it crashed at.
+    Crash,
+    /// The rank goes silent for this many milliseconds before issuing the
+    /// operation. Meant to exceed the world deadline, so peers observe
+    /// [`CommError::Timeout`]; the stalled rank finds the collective
+    /// aborted when it wakes.
+    Stall(u64),
+    /// The rank is late by this many milliseconds but recovers. Meant to
+    /// stay under the deadline: no error anywhere, but the wait shows up
+    /// in the traffic trace as an [`crate::OpKind::Fault`] record.
+    Delay(u64),
+}
+
+/// One scheduled fault: `rank` misbehaves when issuing its `at_op`-th
+/// communication operation (0-based, counted per rank across all
+/// communicators).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Global (world) rank that misbehaves.
+    pub rank: usize,
+    /// 0-based index of the communication operation at which to fire.
+    pub at_op: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of injected faults for one [`crate::World`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// Empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a fault; builder-style.
+    pub fn with(mut self, spec: FaultSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Convenience: crash `rank` at its `at_op`-th operation.
+    pub fn crash(rank: usize, at_op: u64) -> Self {
+        Self::new().with(FaultSpec { rank, at_op, kind: FaultKind::Crash })
+    }
+
+    /// Seeded single-crash plan: derive (rank, op index) from `seed` via
+    /// SplitMix64 so property tests can sweep random failure points
+    /// reproducibly. The op index lands in `[0, max_op)`.
+    pub fn seeded_crash(seed: u64, world_size: usize, max_op: u64) -> Self {
+        assert!(world_size > 0 && max_op > 0, "seeded_crash needs a non-empty domain");
+        let r = splitmix64(seed);
+        let o = splitmix64(seed.wrapping_add(1));
+        Self::crash((r % world_size as u64) as usize, o % max_op)
+    }
+
+    /// The scheduled faults.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Live per-world injection state: the plan plus per-rank op counters.
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    counters: Vec<AtomicU64>,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan, world_size: usize) -> Self {
+        Self { plan, counters: (0..world_size).map(|_| AtomicU64::new(0)).collect() }
+    }
+
+    /// Count one operation issued by `global_rank` and return the fault
+    /// scheduled at that point, if any.
+    pub(crate) fn on_op(&self, global_rank: usize) -> Option<FaultKind> {
+        let n = self.counters[global_rank].fetch_add(1, Ordering::Relaxed);
+        self.plan
+            .specs
+            .iter()
+            .find(|s| s.rank == global_rank && s.at_op == n)
+            .map(|s| s.kind)
+    }
+
+    /// Current op count for `global_rank` (for diagnostics).
+    pub(crate) fn ops_issued(&self, global_rank: usize) -> u64 {
+        self.counters[global_rank].load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plan_is_deterministic_and_in_range() {
+        for seed in 0..50u64 {
+            let a = FaultPlan::seeded_crash(seed, 8, 100);
+            let b = FaultPlan::seeded_crash(seed, 8, 100);
+            assert_eq!(a, b);
+            let s = &a.specs()[0];
+            assert!(s.rank < 8);
+            assert!(s.at_op < 100);
+            assert_eq!(s.kind, FaultKind::Crash);
+        }
+    }
+
+    #[test]
+    fn fault_state_fires_exactly_once_at_the_scheduled_op() {
+        let st = FaultState::new(FaultPlan::crash(1, 2), 3);
+        assert_eq!(st.on_op(1), None); // op 0
+        assert_eq!(st.on_op(1), None); // op 1
+        assert_eq!(st.on_op(1), Some(FaultKind::Crash)); // op 2
+        assert_eq!(st.on_op(1), None); // op 3
+        assert_eq!(st.on_op(0), None);
+        assert_eq!(st.ops_issued(1), 4);
+        assert_eq!(st.ops_issued(2), 0);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CommError::PeerFailed { rank: 3, detail: "injected crash".into() };
+        assert!(e.to_string().contains("rank 3"));
+        let t = CommError::Timeout { op: "AllReduce".into(), waited_ms: 50, missing: vec![2] };
+        assert!(t.to_string().contains("AllReduce"));
+        assert!(t.to_string().contains("[2]"));
+    }
+}

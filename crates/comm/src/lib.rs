@@ -17,17 +17,24 @@
 //!   per-simulation grids reproduce bitwise-identical trajectories.
 //! * A panic on any rank poisons every slot and mailbox, so the run aborts
 //!   promptly with the offending rank identified instead of deadlocking.
+//! * Fault tolerance is opt-in: [`World::with_deadline`] bounds every
+//!   blocking wait, [`World::with_fault_plan`] injects seeded failures
+//!   (crash / stall / delay), and [`World::run_fallible`] reports each
+//!   rank's ending as a typed [`world::RankOutcome`] instead of re-throwing
+//!   the first panic — the substrate for degraded-mode ensemble recovery.
 
 #![warn(missing_docs)]
 
 pub mod communicator;
 pub mod exchange;
+pub mod fault;
 pub mod p2p;
 pub mod stats;
 pub mod tracefile;
 pub mod world;
 
 pub use communicator::Communicator;
+pub use fault::{CommError, FaultKind, FaultPlan, FaultSpec};
 pub use stats::{OpKind, OpRecord, TrafficLog};
 pub use tracefile::{traces_from_csv, traces_to_csv, TraceFileError};
-pub use world::World;
+pub use world::{RankOutcome, RankPanic, World};

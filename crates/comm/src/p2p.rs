@@ -4,9 +4,11 @@
 //! needs send/recv for halo-style exchanges and for the diagnostics
 //! gather-to-root paths; the nl phase's neighbour exchanges use it too.
 
+use crate::fault::CommError;
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::collections::VecDeque;
+use std::time::{Duration, Instant};
 
 type BoxedAny = Box<dyn Any + Send>;
 
@@ -27,6 +29,7 @@ pub struct Mailbox {
 struct MailboxState {
     messages: VecDeque<Envelope>,
     poisoned: bool,
+    failed: Option<(usize, String)>,
 }
 
 impl Default for Mailbox {
@@ -44,6 +47,17 @@ impl Mailbox {
     /// Mark poisoned (a peer died); wakes blocked receivers, which panic.
     pub fn poison(&self) {
         self.queue.lock().poisoned = true;
+        self.cv.notify_all();
+    }
+
+    /// Mark failed (global rank `rank` is known dead); wakes blocked
+    /// receivers, which surface [`CommError::PeerFailed`] from
+    /// [`Mailbox::try_recv`]. The first cause wins.
+    pub fn fail(&self, rank: usize, detail: &str) {
+        let mut q = self.queue.lock();
+        if q.failed.is_none() {
+            q.failed = Some((rank, detail.to_string()));
+        }
         self.cv.notify_all();
     }
 
@@ -68,6 +82,49 @@ impl Mailbox {
             }
             assert!(!q.poisoned, "recv aborted: another rank panicked");
             self.cv.wait(&mut q);
+        }
+    }
+
+    /// Like [`Mailbox::recv`], but fallible: returns
+    /// [`CommError::PeerFailed`] when the mailbox has been failed (a peer
+    /// is known dead) and [`CommError::Timeout`] when `deadline` expires
+    /// before a matching message arrives. Messages already queued are
+    /// delivered even on a failed mailbox (they were sent before the
+    /// failure). Poisoning still panics, as in [`Mailbox::recv`].
+    pub fn try_recv<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u64,
+        deadline: Option<Duration>,
+    ) -> Result<T, CommError> {
+        let start = Instant::now();
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(pos) = q.messages.iter().position(|e| e.src == src && e.tag == tag) {
+                let env = q.messages.remove(pos).expect("position just found");
+                return Ok(*env
+                    .payload
+                    .downcast::<T>()
+                    .expect("point-to-point type mismatch between send and recv"));
+            }
+            assert!(!q.poisoned, "recv aborted: another rank panicked");
+            if let Some((rank, detail)) = &q.failed {
+                return Err(CommError::PeerFailed { rank: *rank, detail: detail.clone() });
+            }
+            match deadline {
+                None => self.cv.wait(&mut q),
+                Some(d) => {
+                    let elapsed = start.elapsed();
+                    if elapsed >= d {
+                        return Err(CommError::Timeout {
+                            op: "Recv".to_string(),
+                            waited_ms: elapsed.as_millis() as u64,
+                            missing: vec![src],
+                        });
+                    }
+                    self.cv.wait_for(&mut q, d - elapsed);
+                }
+            }
         }
     }
 

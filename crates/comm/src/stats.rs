@@ -32,6 +32,14 @@ pub enum OpKind {
     Send,
     /// Point-to-point receive.
     Recv,
+    /// An injected or observed fault event (crash, stall, delay). `bytes`
+    /// carries the downtime in microseconds; `members` holds the affected
+    /// rank(s).
+    Fault,
+    /// A recovery event (checkpoint rollback + degraded-mode restart).
+    /// `bytes` carries the recovery cost in microseconds; `members` holds
+    /// the surviving ranks.
+    Recover,
 }
 
 impl fmt::Display for OpKind {
@@ -44,6 +52,8 @@ impl fmt::Display for OpKind {
             OpKind::Barrier => "Barrier",
             OpKind::Send => "Send",
             OpKind::Recv => "Recv",
+            OpKind::Fault => "Fault",
+            OpKind::Recover => "Recover",
         };
         f.write_str(s)
     }

@@ -40,6 +40,8 @@ fn op_to_str(op: OpKind) -> &'static str {
         OpKind::Barrier => "Barrier",
         OpKind::Send => "Send",
         OpKind::Recv => "Recv",
+        OpKind::Fault => "Fault",
+        OpKind::Recover => "Recover",
     }
 }
 
@@ -52,6 +54,8 @@ fn op_from_str(s: &str) -> Option<OpKind> {
         "Barrier" => OpKind::Barrier,
         "Send" => OpKind::Send,
         "Recv" => OpKind::Recv,
+        "Fault" => OpKind::Fault,
+        "Recover" => OpKind::Recover,
         _ => return None,
     })
 }
@@ -178,6 +182,8 @@ mod tests {
             OpKind::Barrier,
             OpKind::Send,
             OpKind::Recv,
+            OpKind::Fault,
+            OpKind::Recover,
         ] {
             assert_eq!(op_from_str(op_to_str(op)), Some(op));
         }

@@ -5,12 +5,73 @@
 //! order. If any rank panics, all communication primitives are poisoned so
 //! the remaining ranks abort promptly, and the panic is re-thrown with the
 //! failing rank identified.
+//!
+//! For fault-tolerant callers there is [`World::run_fallible`]: combined
+//! with [`World::with_deadline`] (bounded blocking waits) and
+//! [`World::with_fault_plan`] (seeded fault injection), a dead or stalled
+//! rank surfaces as a typed [`RankOutcome::Failed`] on every surviving rank
+//! instead of hanging the job — the substrate the degraded-mode ensemble
+//! recovery in `xgyro-core` is built on.
 
 use crate::communicator::{Communicator, WorldShared};
 use crate::exchange::Slot;
+use crate::fault::{CommError, FaultPlan};
 use crate::stats::TrafficLog;
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// How one rank's closure ended under [`World::run_fallible`].
+#[derive(Debug)]
+pub enum RankOutcome<R> {
+    /// The rank completed and returned a value.
+    Ok(R),
+    /// The rank observed a typed communication failure (dead peer,
+    /// expired deadline, or its own injected crash).
+    Failed(CommError),
+    /// The rank panicked with something other than a [`CommError`]
+    /// (message extracted best-effort).
+    Panicked(String),
+}
+
+impl<R> RankOutcome<R> {
+    /// True for [`RankOutcome::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RankOutcome::Ok(_))
+    }
+
+    /// The value, if the rank completed.
+    pub fn ok(self) -> Option<R> {
+        match self {
+            RankOutcome::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The typed failure, if the rank failed.
+    pub fn err(&self) -> Option<&CommError> {
+        match self {
+            RankOutcome::Failed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Re-thrown panic payload for a rank whose panic value was neither a
+/// string nor a [`CommError`]: the original payload is preserved intact so
+/// callers that panic with structured values can downcast them back.
+pub struct RankPanic {
+    /// The rank that panicked.
+    pub rank: usize,
+    /// The rank's original panic payload.
+    pub payload: Box<dyn std::any::Any + Send>,
+}
+
+impl std::fmt::Debug for RankPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RankPanic {{ rank: {}, payload: <opaque> }}", self.rank)
+    }
+}
 
 /// A fixed-size group of simulated MPI ranks.
 ///
@@ -27,13 +88,30 @@ use std::sync::Arc;
 /// ```
 pub struct World {
     size: usize,
+    deadline: Option<Duration>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl World {
     /// Create a world of `size` ranks (no threads yet).
     pub fn new(size: usize) -> Self {
         assert!(size > 0, "world needs at least one rank");
-        Self { size }
+        Self { size, deadline: None, fault_plan: None }
+    }
+
+    /// Bound every blocking wait (collectives and receives) by `deadline`:
+    /// instead of hanging on a dead or stalled peer, operations give up
+    /// and surface [`CommError::Timeout`] / [`CommError::PeerFailed`].
+    /// Without a deadline, waits block forever (the legacy behavior).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Install a seeded fault-injection plan; see [`FaultPlan`].
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
     }
 
     /// Number of ranks.
@@ -49,7 +127,7 @@ impl World {
         F: Fn(Communicator) -> R + Send + Sync,
         R: Send,
     {
-        let shared = WorldShared::new(self.size);
+        let shared = WorldShared::new(self.size, self.deadline, self.fault_plan.clone());
         let world_slot = Arc::new(Slot::new(self.size));
         shared.register_slot(&world_slot);
         let logs: Vec<Arc<TrafficLog>> = (0..self.size).map(|_| TrafficLog::new()).collect();
@@ -79,30 +157,42 @@ impl World {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("rank thread itself must not die"))
+                    .enumerate()
+                    .map(|(rank, h)| {
+                        h.join().unwrap_or_else(|e| {
+                            // The worker thread itself died (panic escaped
+                            // the catch_unwind, e.g. inside poison_all).
+                            // Report which rank's thread it was instead of
+                            // tearing down the harness.
+                            shared.poison_all();
+                            Err(Box::new(format!(
+                                "worker thread for rank {rank} died: {}",
+                                panic_message(&e)
+                            )) as Box<dyn std::any::Any + Send>)
+                        })
+                    })
                     .collect()
             });
 
         let mut out = Vec::with_capacity(self.size);
-        let mut first_failure: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
+        let mut failures: Vec<(usize, Box<dyn std::any::Any + Send>)> = Vec::new();
         for (rank, res) in results.into_iter().enumerate() {
             match res {
                 Ok(r) => out.push((r, logs[rank].records())),
-                Err(e) => {
-                    // Prefer reporting a root-cause panic over the induced
-                    // "another rank panicked" aborts.
-                    let induced = panic_is_induced(&e);
-                    match &first_failure {
-                        Some((_, prev)) if !panic_is_induced(prev) => {}
-                        _ if !induced => first_failure = Some((rank, e)),
-                        None => first_failure = Some((rank, e)),
-                        _ => {}
-                    }
-                }
+                Err(e) => failures.push((rank, e)),
             }
         }
-        if let Some((rank, e)) = first_failure {
-            std::panic::panic_any(format!("rank {rank} panicked: {}", panic_message(&e)));
+        if !failures.is_empty() {
+            // Two-pass root-cause selection: prefer the first failure a
+            // rank *originated* over panics induced by another rank's
+            // death; fall back to the first failure in rank order when
+            // every payload looks induced.
+            let root = failures
+                .iter()
+                .position(|(rank, e)| is_root_cause(*rank, e))
+                .unwrap_or(0);
+            let (rank, e) = failures.swap_remove(root);
+            rethrow(rank, e);
         }
         out
     }
@@ -115,6 +205,82 @@ impl World {
     {
         self.run_with_logs(f).into_iter().map(|(r, _)| r).collect()
     }
+
+    /// Run `f` on every rank, surviving failures: instead of re-throwing
+    /// the first panic, every rank's ending is reported as a
+    /// [`RankOutcome`] next to its traffic log.
+    ///
+    /// Typed communication failures — whether returned as `Err` by `f` or
+    /// thrown as a [`CommError`] panic payload from the plain (panicking)
+    /// collectives deep inside an unmodified call stack — come back as
+    /// [`RankOutcome::Failed`]. Only non-`CommError` panics poison the
+    /// world and report as [`RankOutcome::Panicked`].
+    pub fn run_fallible<F, R>(&self, f: F) -> Vec<(RankOutcome<R>, Vec<crate::stats::OpRecord>)>
+    where
+        F: Fn(Communicator) -> Result<R, CommError> + Send + Sync,
+        R: Send,
+    {
+        let shared = WorldShared::new(self.size, self.deadline, self.fault_plan.clone());
+        let world_slot = Arc::new(Slot::new(self.size));
+        shared.register_slot(&world_slot);
+        let logs: Vec<Arc<TrafficLog>> = (0..self.size).map(|_| TrafficLog::new()).collect();
+        let f = &f;
+
+        let outcomes: Vec<RankOutcome<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.size)
+                .map(|rank| {
+                    let comm = Communicator::new_world(
+                        rank,
+                        self.size,
+                        world_slot.clone(),
+                        shared.clone(),
+                        logs[rank].clone(),
+                    );
+                    let shared = shared.clone();
+                    scope.spawn(move || {
+                        match std::panic::catch_unwind(AssertUnwindSafe(|| f(comm))) {
+                            Ok(Ok(r)) => RankOutcome::Ok(r),
+                            Ok(Err(e)) => {
+                                // A rank bowing out early is indistinguishable
+                                // from death for its peers; make sure they
+                                // fail fast rather than time out one by one.
+                                // (No-op if the world is already failed —
+                                // the first cause wins.)
+                                shared.fail_all(rank, &format!("rank {rank} aborted: {e}"));
+                                RankOutcome::Failed(e)
+                            }
+                            Err(payload) => match payload.downcast::<CommError>() {
+                                Ok(e) => RankOutcome::Failed(*e),
+                                Err(payload) => {
+                                    shared.poison_all();
+                                    RankOutcome::Panicked(panic_message(&payload))
+                                }
+                            },
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(rank, h)| {
+                    h.join().unwrap_or_else(|e| {
+                        shared.poison_all();
+                        RankOutcome::Panicked(format!(
+                            "worker thread for rank {rank} died: {}",
+                            panic_message(&e)
+                        ))
+                    })
+                })
+                .collect()
+        });
+
+        outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(rank, o)| (o, logs[rank].records()))
+            .collect()
+    }
 }
 
 fn panic_message(e: &Box<dyn std::any::Any + Send>) -> String {
@@ -122,18 +288,42 @@ fn panic_message(e: &Box<dyn std::any::Any + Send>) -> String {
         (*s).to_string()
     } else if let Some(s) = e.downcast_ref::<String>() {
         s.clone()
+    } else if let Some(c) = e.downcast_ref::<CommError>() {
+        c.to_string()
+    } else if let Some(p) = e.downcast_ref::<RankPanic>() {
+        format!("rank {} panicked: {}", p.rank, panic_message(&p.payload))
     } else {
         "<non-string panic payload>".to_string()
     }
 }
 
-fn panic_is_induced(e: &Box<dyn std::any::Any + Send>) -> bool {
-    panic_message(e).contains("another rank panicked")
+/// Did `rank` originate this failure, or was it induced by another rank's
+/// death (poisoning, typed peer-failure, timeout)?
+fn is_root_cause(rank: usize, e: &Box<dyn std::any::Any + Send>) -> bool {
+    if let Some(c) = e.downcast_ref::<CommError>() {
+        return match c {
+            CommError::PeerFailed { rank: r, .. } => *r == rank,
+            CommError::Timeout { .. } => false,
+        };
+    }
+    !panic_message(e).contains("another rank panicked")
+}
+
+/// Re-throw a rank failure: string-like payloads (including [`CommError`])
+/// keep the legacy `"rank N panicked: <msg>"` format; any other payload is
+/// preserved intact inside a [`RankPanic`] so callers can downcast it.
+fn rethrow(rank: usize, e: Box<dyn std::any::Any + Send>) -> ! {
+    let stringy = e.is::<&str>() || e.is::<String>() || e.is::<CommError>();
+    if stringy {
+        std::panic::panic_any(format!("rank {rank} panicked: {}", panic_message(&e)));
+    }
+    std::panic::panic_any(RankPanic { rank, payload: e })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultKind, FaultSpec};
 
     #[test]
     fn ranks_get_distinct_ids_in_order() {
@@ -163,6 +353,42 @@ mod tests {
     }
 
     #[test]
+    fn root_cause_panic_wins_over_induced_aborts() {
+        // Even when a low-numbered rank reports the induced abort first,
+        // the re-thrown panic must name the rank that originated it.
+        let err = std::panic::catch_unwind(|| {
+            World::new(4).run(|c| {
+                if c.rank() == 3 {
+                    panic!("original failure");
+                }
+                c.barrier();
+            });
+        })
+        .unwrap_err();
+        let msg = panic_message(&err);
+        assert!(msg.contains("rank 3 panicked"), "got: {msg}");
+        assert!(msg.contains("original failure"), "got: {msg}");
+    }
+
+    #[test]
+    fn non_string_payloads_are_preserved() {
+        #[derive(Debug, PartialEq)]
+        struct Custom(u32);
+        let err = std::panic::catch_unwind(|| {
+            World::new(3).run(|c| {
+                if c.rank() == 1 {
+                    std::panic::panic_any(Custom(7));
+                }
+                c.barrier();
+            });
+        })
+        .unwrap_err();
+        let rp = err.downcast::<RankPanic>().expect("payload must be a RankPanic");
+        assert_eq!(rp.rank, 1);
+        assert_eq!(*rp.payload.downcast::<Custom>().unwrap(), Custom(7));
+    }
+
+    #[test]
     fn logs_are_returned_per_rank() {
         let out = World::new(3).run_with_logs(|c| {
             c.set_phase("str");
@@ -174,6 +400,63 @@ mod tests {
             assert_eq!(log.len(), 1);
             assert_eq!(log[0].phase, "str");
             assert_eq!(log[0].participants, 3);
+        }
+    }
+
+    #[test]
+    fn run_fallible_without_faults_returns_ok_everywhere() {
+        let out = World::new(4).run_fallible(|c| {
+            let mut v = vec![c.rank() as f64];
+            c.try_all_reduce_sum_f64(&mut v)?;
+            Ok(v[0])
+        });
+        assert_eq!(out.len(), 4);
+        for (o, log) in out {
+            assert_eq!(o.ok(), Some(6.0));
+            assert_eq!(log.len(), 1);
+        }
+    }
+
+    #[test]
+    fn injected_crash_yields_typed_failures_not_hangs() {
+        let plan = FaultPlan::new().with(FaultSpec {
+            rank: 1,
+            at_op: 2,
+            kind: FaultKind::Crash,
+        });
+        let out = World::new(3)
+            .with_deadline(Duration::from_secs(5))
+            .with_fault_plan(plan)
+            .run_fallible(|c| {
+                for _ in 0..5 {
+                    c.try_barrier()?;
+                }
+                Ok(c.rank())
+            });
+        for (rank, (o, _)) in out.iter().enumerate() {
+            let e = o.err().unwrap_or_else(|| panic!("rank {rank} must fail, got {o:?}"));
+            match e {
+                CommError::PeerFailed { rank: r, .. } => assert_eq!(*r, 1),
+                other => panic!("rank {rank}: expected PeerFailed, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn deep_panicking_collectives_surface_typed_errors() {
+        // The sim stack uses the plain (panicking) collectives; a crash
+        // must still come back typed through run_fallible.
+        let plan = FaultPlan::crash(0, 1);
+        let out = World::new(2)
+            .with_deadline(Duration::from_secs(5))
+            .with_fault_plan(plan)
+            .run_fallible(|c| {
+                c.barrier(); // op 0
+                c.barrier(); // op 1: rank 0 crashes here
+                Ok(())
+            });
+        for (o, _) in &out {
+            assert!(matches!(o, RankOutcome::Failed(CommError::PeerFailed { rank: 0, .. })));
         }
     }
 }

@@ -1,0 +1,279 @@
+//! Fault-injection coverage across the collective surface.
+//!
+//! Every blocking operation must surface a typed [`CommError`] on every
+//! surviving rank when a peer crashes or stalls — never hang, never
+//! poison-panic (poisoning is reserved for real bugs, i.e. untyped
+//! panics). The proptest at the bottom drives the whole stack with a
+//! seeded random failure point and asserts the no-deadlock guarantee the
+//! degraded-mode runner builds on.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use xg_comm::{CommError, FaultKind, FaultPlan, FaultSpec, OpKind, RankOutcome, World};
+
+const DEADLINE: Duration = Duration::from_secs(5);
+
+/// Run `f` in a 4-rank world where rank 2 crashes at its `at_op`-th
+/// operation, and return each rank's outcome.
+fn crash_world<R: Send>(
+    at_op: u64,
+    f: impl Fn(xg_comm::Communicator) -> Result<R, CommError> + Send + Sync,
+) -> Vec<RankOutcome<R>> {
+    World::new(4)
+        .with_deadline(DEADLINE)
+        .with_fault_plan(FaultPlan::crash(2, at_op))
+        .run_fallible(f)
+        .into_iter()
+        .map(|(o, _)| o)
+        .collect()
+}
+
+/// Every rank must report the crashed peer (rank 2) — typed, no hang.
+fn assert_all_see_rank2_failed<R>(outcomes: &[RankOutcome<R>]) {
+    assert_eq!(outcomes.len(), 4);
+    for (r, o) in outcomes.iter().enumerate() {
+        match o.err() {
+            Some(CommError::PeerFailed { rank, .. }) => {
+                assert_eq!(*rank, 2, "rank {r} blamed the wrong peer")
+            }
+            other => panic!("rank {r}: expected PeerFailed{{rank: 2}}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn crash_surfaces_in_all_gather() {
+    let out = crash_world(1, |c| {
+        c.try_barrier()?; // op 0 everywhere; rank 2 dies at op 1
+        let g = c.try_all_gather(&[c.rank()])?;
+        Ok(g.len())
+    });
+    assert_all_see_rank2_failed(&out);
+}
+
+#[test]
+fn crash_surfaces_in_all_to_all_v() {
+    let out = crash_world(1, |c| {
+        c.try_barrier()?;
+        let parts: Vec<Vec<u64>> = (0..c.size()).map(|d| vec![(c.rank() * d) as u64]).collect();
+        let got = c.try_all_to_all_v(parts)?;
+        Ok(got.len())
+    });
+    assert_all_see_rank2_failed(&out);
+}
+
+#[test]
+fn crash_surfaces_in_broadcast() {
+    let out = crash_world(1, |c| {
+        c.try_barrier()?;
+        let v = c.try_broadcast(0, if c.rank() == 0 { Some(41u64) } else { None })?;
+        Ok(v)
+    });
+    assert_all_see_rank2_failed(&out);
+}
+
+#[test]
+fn crash_surfaces_in_reduce_scatter() {
+    let out = crash_world(1, |c| {
+        c.try_barrier()?;
+        let buf = vec![1.0f64; 4];
+        let counts = vec![1usize; 4];
+        let mine = c.try_reduce_scatter_sum_f64(&buf, &counts)?;
+        Ok(mine.len())
+    });
+    assert_all_see_rank2_failed(&out);
+}
+
+#[test]
+fn crash_surfaces_in_sendrecv() {
+    let out = crash_world(1, |c| {
+        c.try_barrier()?;
+        // Pairwise exchange 0<->1, 2<->3: ranks 0 and 1 complete their
+        // exchange; rank 3's partner is dead.
+        let peer = c.rank() ^ 1;
+        let got = c.try_sendrecv(peer, 7, c.rank() as u64)?;
+        Ok(got)
+    });
+    // Rank 3 must fail with the dead peer; 0 and 1 exchanged before any
+    // dependence on rank 2 and may succeed or fail depending on timing of
+    // the fail-all broadcast — but must never hang (run_fallible returned).
+    match out[3].err() {
+        Some(CommError::PeerFailed { rank, .. }) => assert_eq!(*rank, 2),
+        Some(CommError::Timeout { .. }) => {}
+        None => panic!("rank 3 cannot complete a sendrecv with a dead peer"),
+    }
+    match out[2].err() {
+        Some(CommError::PeerFailed { rank, .. }) => assert_eq!(*rank, 2),
+        other => panic!("crashed rank must self-report: {other:?}"),
+    }
+}
+
+#[test]
+fn crash_surfaces_in_all_reduce_variants() {
+    let out = crash_world(1, |c| {
+        c.try_barrier()?;
+        let mut f = [c.rank() as f64];
+        c.try_all_reduce_sum_f64(&mut f)?;
+        let mut m = [c.rank() as f64];
+        c.try_all_reduce_max_f64(&mut m)?;
+        Ok(f[0] + m[0])
+    });
+    assert_all_see_rank2_failed(&out);
+}
+
+#[test]
+fn crash_surfaces_in_gather_and_scatter() {
+    let out = crash_world(1, |c| {
+        c.try_barrier()?;
+        let g = c.try_gather(0, &[c.rank() as u64])?;
+        let s = c.try_scatter(
+            0,
+            if c.rank() == 0 { Some((0..c.size() as u64).map(|i| vec![i]).collect()) } else { None },
+        )?;
+        Ok((g.len(), s.len()))
+    });
+    assert_all_see_rank2_failed(&out);
+}
+
+#[test]
+fn stall_past_deadline_times_out_survivors() {
+    // Rank 1 goes silent for 10× the deadline; peers must give up with a
+    // typed error naming the stalled/failed rank rather than wait.
+    let deadline = Duration::from_millis(150);
+    let outcomes: Vec<_> = World::new(3)
+        .with_deadline(deadline)
+        .with_fault_plan(
+            FaultPlan::new().with(FaultSpec { rank: 1, at_op: 1, kind: FaultKind::Stall(1500) }),
+        )
+        .run_fallible(|c| {
+            c.try_barrier()?;
+            c.try_barrier()?;
+            Ok(c.rank())
+        })
+        .into_iter()
+        .map(|(o, _)| o)
+        .collect();
+    for (r, o) in outcomes.iter().enumerate() {
+        if r == 1 {
+            continue; // the stalled rank wakes into an already-failed world
+        }
+        match o.err() {
+            Some(CommError::PeerFailed { rank, .. }) => assert_eq!(*rank, 1),
+            Some(CommError::Timeout { missing, .. }) => assert!(missing.contains(&1)),
+            None => panic!("rank {r} must not complete past a stalled peer"),
+        }
+    }
+}
+
+#[test]
+fn delay_under_deadline_is_harmless_and_traced() {
+    let results = World::new(2)
+        .with_deadline(DEADLINE)
+        .with_fault_plan(
+            FaultPlan::new().with(FaultSpec { rank: 0, at_op: 1, kind: FaultKind::Delay(30) }),
+        )
+        .run_fallible(|c| {
+            c.try_barrier()?;
+            let g = c.try_all_gather(&[c.rank()])?;
+            Ok(g.concat())
+        });
+    for (r, (o, trace)) in results.into_iter().enumerate() {
+        assert_eq!(o.ok().expect("delay must not fail the run"), vec![0, 1]);
+        let faults = trace.iter().filter(|t| t.op == OpKind::Fault).count();
+        assert_eq!(faults, usize::from(r == 0), "only the delayed rank logs the fault");
+    }
+}
+
+#[test]
+fn recv_from_crashed_peer_fails_typed() {
+    let outcomes: Vec<_> = World::new(2)
+        .with_deadline(Duration::from_millis(200))
+        .with_fault_plan(FaultPlan::crash(0, 0))
+        .run_fallible(|c| {
+            if c.rank() == 1 {
+                let v: u64 = c.try_recv(0, 9)?;
+                Ok(v)
+            } else {
+                c.try_send(1, 9, 7u64)?;
+                Ok(0)
+            }
+        })
+        .into_iter()
+        .map(|(o, _)| o)
+        .collect();
+    match outcomes[1].err() {
+        Some(CommError::PeerFailed { rank, .. }) => assert_eq!(*rank, 0),
+        Some(CommError::Timeout { .. }) => {}
+        None => panic!("recv from a dead rank must not succeed"),
+    }
+}
+
+#[test]
+fn crashed_rank_self_reports_with_op_index() {
+    let out = crash_world(3, |c| {
+        for _ in 0..8 {
+            c.try_barrier()?;
+        }
+        Ok(())
+    });
+    match out[2].err() {
+        Some(CommError::PeerFailed { rank, detail }) => {
+            assert_eq!(*rank, 2);
+            assert!(detail.contains("op 3"), "detail should name the op index: {detail}");
+        }
+        other => panic!("expected self-reported crash, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(24))]
+
+    /// The no-deadlock guarantee: for ANY seeded single-rank crash point,
+    /// every rank of a world running a mixed collective workload returns a
+    /// RankOutcome within the deadline — typed failure or success, never a
+    /// hang (a hang would blow the test harness's clock, and the deadline
+    /// bounds every wait inside).
+    #[test]
+    fn random_crash_never_deadlocks(seed in 0u64..5000) {
+        let plan = FaultPlan::seeded_crash(seed, 4, 12);
+        let crashed = plan.specs()[0].rank;
+        let outcomes: Vec<_> = World::new(4)
+            .with_deadline(Duration::from_secs(2))
+            .with_fault_plan(plan)
+            .run_fallible(|c| {
+                // A workload touching every collective family.
+                c.try_barrier()?;
+                let mut acc = [c.rank() as f64];
+                c.try_all_reduce_sum_f64(&mut acc)?;
+                let g = c.try_all_gather(&[c.rank() as u64])?;
+                let parts: Vec<Vec<u64>> =
+                    (0..c.size()).map(|d| vec![(c.rank() + d) as u64]).collect();
+                let a2a = c.try_all_to_all_v(parts)?;
+                let b = c.try_broadcast(0, if c.rank() == 0 { Some(1u8) } else { None })?;
+                c.try_barrier()?;
+                Ok(acc[0] + g.len() as f64 + a2a.len() as f64 + b as f64)
+            })
+            .into_iter()
+            .map(|(o, _)| o)
+            .collect();
+        // All four ranks returned (no hang). The crashed rank must report
+        // a typed failure naming itself.
+        prop_assert_eq!(outcomes.len(), 4);
+        match outcomes[crashed].err() {
+            Some(CommError::PeerFailed { rank, .. }) => prop_assert_eq!(*rank, crashed),
+            Some(CommError::Timeout { .. }) => {}
+            None => {
+                // at_op may exceed the ops this workload issues — then the
+                // fault never fires and everyone succeeds.
+                for o in &outcomes {
+                    prop_assert!(o.is_ok());
+                }
+            }
+        }
+        // No survivor may be left hanging in an untyped state: outcomes
+        // are Ok or Failed, never Panicked.
+        for o in &outcomes {
+            prop_assert!(!matches!(o, RankOutcome::Panicked(_)));
+        }
+    }
+}

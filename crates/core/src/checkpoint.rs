@@ -18,13 +18,13 @@ use xg_tensor::{PhaseLayout, Tensor3};
 /// A coherent checkpoint of every ensemble member.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EnsembleCheckpoint {
-    cmat_key: u64,
-    k: usize,
-    time: f64,
-    steps_taken: u64,
+    pub(crate) cmat_key: u64,
+    pub(crate) k: usize,
+    pub(crate) time: f64,
+    pub(crate) steps_taken: u64,
     /// Per-member global state (str layout `(nc, nv, nt)` flattened).
-    members: Vec<Vec<Complex64>>,
-    dims: (usize, usize, usize),
+    pub(crate) members: Vec<Vec<Complex64>>,
+    pub(crate) dims: (usize, usize, usize),
 }
 
 /// Checkpoint-specific failures.
@@ -58,6 +58,25 @@ impl EnsembleCheckpoint {
     /// Simulation time at capture time.
     pub fn time(&self) -> f64 {
         self.time
+    }
+
+    /// Number of member images held.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Degraded-mode eviction: drop member `index`'s restart image so the
+    /// checkpoint seeds the surviving (k−1)-way ensemble. The member states
+    /// are untouched — a resume from the evicted checkpoint is bitwise
+    /// identical to a fresh (k−1)-member run that reached the same step.
+    pub fn evict_member(&self, index: usize) -> Result<Self, CheckpointError> {
+        if index >= self.k || self.k == 1 {
+            return Err(CheckpointError::WrongEnsemble);
+        }
+        let mut out = self.clone();
+        out.members.remove(index);
+        out.k -= 1;
+        Ok(out)
     }
 
     /// Serialize to bytes (little-endian, versioned).

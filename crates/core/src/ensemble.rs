@@ -174,6 +174,22 @@ impl EnsembleConfig {
     pub fn cmat_key(&self) -> u64 {
         self.members[0].cmat_key()
     }
+
+    /// Degraded-mode eviction: drop member `index`, producing the (k−1)-way
+    /// ensemble the survivors re-form after a failure. The result is
+    /// exactly what [`EnsembleConfig::new`] would build from the surviving
+    /// decks — all admission invariants (shared `cmat` key, cadence, grid)
+    /// are preserved by removal. Errors with [`EnsembleError::Empty`] when
+    /// evicting the last member.
+    pub fn evict_member(&self, index: usize) -> Result<Self, EnsembleError> {
+        assert!(index < self.members.len(), "evict_member: no member {index}");
+        if self.members.len() == 1 {
+            return Err(EnsembleError::Empty);
+        }
+        let mut members = self.members.clone();
+        members.remove(index);
+        Ok(Self { members, grid: self.grid })
+    }
 }
 
 impl EnsembleConfig {

@@ -13,17 +13,23 @@
 //! * [`runner`] — functional execution of the ensemble (and of the
 //!   sequential CGYRO baseline) over the thread-backed comm substrate;
 //! * [`report`] — the memory-sharing law and communication-trace
-//!   summaries.
+//!   summaries;
+//! * [`recovery`] — degraded-mode execution: checkpointed segments over
+//!   the fallible comm substrate, with failed members evicted and the
+//!   survivors resumed bitwise-identically from the last coherent
+//!   checkpoint.
 
 #![warn(missing_docs)]
 
 pub mod checkpoint;
 pub mod ensemble;
+pub mod recovery;
 pub mod report;
 pub mod runner;
 pub mod topology;
 
 pub use checkpoint::{run_xgyro_checkpointed, CheckpointError, EnsembleCheckpoint};
+pub use recovery::{run_xgyro_resilient, RecoveryError, RecoveryEvent, RecoveryOutcome};
 pub use ensemble::{gradient_sweep, EnsembleConfig, EnsembleError};
 pub use report::{cmat_memory_law, summarize_trace, CmatMemoryLaw, TraceSummary};
 pub use runner::{

@@ -1,0 +1,392 @@
+//! Degraded-mode ensemble recovery.
+//!
+//! A k-member XGYRO job occupies k× the nodes of one CGYRO run, so its
+//! job-level MTBF is k× worse — at production scale a member loss is a
+//! *when*, not an *if*. The classic MPI answer is to kill the whole job and
+//! resubmit; [`run_xgyro_resilient`] instead runs the ensemble in
+//! checkpointed segments over the fallible comm substrate
+//! ([`xg_comm::World::run_fallible`]) and, when a rank fails:
+//!
+//! 1. every survivor surfaces a typed [`xg_comm::CommError`] within the
+//!    configured deadline (no hangs — the whole point of the substrate);
+//! 2. the failed world rank is decoded to its member simulation via
+//!    [`crate::topology::assignment`] and that member is **evicted** from
+//!    both the [`EnsembleConfig`] and the latest coherent
+//!    [`EnsembleCheckpoint`];
+//! 3. the run resumes from that checkpoint as a (k−1)-member ensemble —
+//!    the Figure-3 topology is rebuilt and the shared `cmat` rows are
+//!    re-distributed over the survivors automatically by
+//!    [`crate::topology::build_xgyro_topology`].
+//!
+//! Because every reduction combines contributions in communicator-rank
+//! order and member trajectories only couple through the *shared, constant*
+//! `cmat` (identical for any k), the degraded continuation is **bitwise
+//! identical** to an unfaulted run of the surviving members alone — the
+//! property `tests/degraded_mode.rs` asserts.
+
+use crate::checkpoint::{CheckpointError, EnsembleCheckpoint};
+use crate::ensemble::{EnsembleConfig, EnsembleError};
+use crate::runner::{RunOutcome, SimResult};
+use crate::topology::{assignment, build_xgyro_topology};
+use std::time::{Duration, Instant};
+use xg_comm::{CommError, FaultPlan, OpKind, OpRecord, RankOutcome, World};
+use xg_linalg::Complex64;
+use xg_sim::Simulation;
+use xg_tensor::{PhaseLayout, Tensor3};
+
+/// Why a resilient run could not complete.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryError {
+    /// The rolled-back checkpoint could not seed the degraded ensemble.
+    Checkpoint(CheckpointError),
+    /// Eviction was impossible (e.g. the last surviving member failed).
+    Ensemble(EnsembleError),
+    /// A rank died with an untyped panic — a bug, not a modeled fault; the
+    /// run cannot be recovered and the panic message is preserved here.
+    Unrecoverable(String),
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Checkpoint(e) => write!(f, "recovery checkpoint rejected: {e}"),
+            RecoveryError::Ensemble(e) => write!(f, "cannot form degraded ensemble: {e}"),
+            RecoveryError::Unrecoverable(m) => write!(f, "unrecoverable rank death: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// One observed failure and the recovery action taken.
+#[derive(Debug, Clone)]
+pub struct RecoveryEvent {
+    /// Global world rank (in the world that was running when the fault
+    /// fired) that failed.
+    pub failed_rank: usize,
+    /// **Original** member index (position in the initial config) of the
+    /// evicted simulation.
+    pub failed_member: usize,
+    /// Typed cause observed by the survivors.
+    pub cause: CommError,
+    /// Step count of the checkpoint the survivors rolled back to (0 when
+    /// the fault predates the first checkpoint).
+    pub resumed_from_step: u64,
+    /// Steps of lost work re-executed because of this failure (the
+    /// abandoned segment's length).
+    pub steps_replayed: u64,
+    /// Original member indices still running after the eviction.
+    pub survivors: Vec<usize>,
+}
+
+/// The outcome of a resilient run.
+#[derive(Debug)]
+pub struct RecoveryOutcome {
+    /// Final results of the surviving members. `SimResult::sim` holds each
+    /// member's **original** index, so results line up with the initial
+    /// sweep even after evictions. Traces concatenate every segment
+    /// (including aborted ones, whose logs carry the `Fault` records).
+    pub outcome: RunOutcome,
+    /// Coherent checkpoint of the survivors at `total_steps`.
+    pub checkpoint: EnsembleCheckpoint,
+    /// Every failure/recovery, in order.
+    pub events: Vec<RecoveryEvent>,
+    /// The per-rank traces of each *aborted* segment, one entry per
+    /// recovery event. Unlike `outcome.traces` (a flat concatenation for
+    /// accounting), each entry here is a coherent single-world trace set —
+    /// exportable via [`xg_comm::traces_to_csv`] and replayable by
+    /// `xg-cluster`'s discrete-event replay, `Fault`/`Recover` records and
+    /// all.
+    pub faulty_segments: Vec<Vec<Vec<OpRecord>>>,
+    /// Original member indices that survived to the end.
+    pub surviving_members: Vec<usize>,
+    /// Total steps of lost work re-executed across all recoveries.
+    pub steps_replayed: u64,
+}
+
+/// What one checkpointed segment attempt produced.
+enum Segment {
+    /// All ranks completed; ensemble state is coherent at the new step.
+    Done(Box<(RunOutcome, EnsembleCheckpoint)>),
+    /// A rank failed; survivors reported typed errors. Carries the culprit
+    /// world rank, the cause, the partial traces (with `Fault` records) and
+    /// the wall-clock cost of the abandoned attempt in microseconds.
+    Failed { rank: usize, cause: CommError, traces: Vec<Vec<OpRecord>>, wasted_us: u64 },
+    /// A rank died with an untyped panic.
+    Panicked(String),
+}
+
+/// Run the ensemble to `total_steps` over the fallible substrate,
+/// checkpointing every `ckpt_every` steps and recovering from failures in
+/// degraded (k−1) mode. `plan` seeds the faults to inject (empty plan:
+/// plain checkpointed execution); a spec's `at_op` counts operations over
+/// the *whole* run (the plan is rebased across segment boundaries), so a
+/// fault can land in any segment — including after checkpoints exist.
+/// `deadline` bounds every blocking wait — it is what converts a dead peer
+/// into a typed error instead of a hang.
+pub fn run_xgyro_resilient(
+    config: &EnsembleConfig,
+    total_steps: usize,
+    ckpt_every: usize,
+    plan: FaultPlan,
+    deadline: Duration,
+) -> Result<RecoveryOutcome, RecoveryError> {
+    assert!(ckpt_every > 0, "checkpoint cadence must be positive");
+    let mut cfg = config.clone();
+    // Current config position -> original member index.
+    let mut original: Vec<usize> = (0..cfg.k()).collect();
+    let mut checkpoint: Option<EnsembleCheckpoint> = None;
+    let mut armed = if plan.is_empty() { None } else { Some(plan) };
+    let mut events = Vec::new();
+    let mut faulty_segments = Vec::new();
+    let mut steps_replayed = 0u64;
+    let mut traces: Vec<Vec<OpRecord>> = Vec::new();
+    let mut last: Option<RunOutcome> = None;
+    let mut done = 0usize;
+
+    while done < total_steps {
+        let seg = ckpt_every.min(total_steps - done);
+        match run_segment(&cfg, seg, checkpoint.as_ref(), armed.clone(), deadline) {
+            Segment::Done(boxed) => {
+                let (outcome, cp) = *boxed;
+                done += seg;
+                // Rebase the armed plan: each segment runs in a fresh
+                // world whose per-rank op counters start at zero, so
+                // subtract the ops each rank already issued. This makes a
+                // spec's `at_op` a *global* op index over the whole
+                // resilient run — a plan can target any segment.
+                armed = armed.map(|p| {
+                    let mut rebased = FaultPlan::new();
+                    for s in p.specs() {
+                        let issued = outcome.traces[s.rank]
+                            .iter()
+                            .filter(|r| !matches!(r.op, OpKind::Fault | OpKind::Recover))
+                            .count() as u64;
+                        if s.at_op < issued {
+                            // Already fired inside this segment (a Delay,
+                            // or a Stall the segment survived) — one-shot.
+                            continue;
+                        }
+                        let mut s = s.clone();
+                        s.at_op -= issued;
+                        rebased = rebased.with(s);
+                    }
+                    rebased
+                });
+                traces.extend(outcome.traces.iter().cloned());
+                checkpoint = Some(cp);
+                last = Some(outcome);
+            }
+            Segment::Failed { rank, cause, traces: mut partial, wasted_us } => {
+                armed = None; // the injected fault fired; don't re-fire on retry
+                let a = assignment(&cfg, rank);
+                let failed_member = original[a.sim];
+                cfg = cfg.evict_member(a.sim).map_err(RecoveryError::Ensemble)?;
+                original.remove(a.sim);
+                if let Some(cp) = checkpoint.take() {
+                    checkpoint = Some(cp.evict_member(a.sim).map_err(RecoveryError::Checkpoint)?);
+                }
+                let resumed_from_step =
+                    checkpoint.as_ref().map(|c| c.steps_taken()).unwrap_or(0);
+                // Stamp every survivor's partial trace with a Recover
+                // record: members = the degraded world's ranks, bytes = the
+                // wall-clock cost of the abandoned attempt in microseconds.
+                let survivors_ranks: Vec<usize> = (0..cfg.total_ranks()).collect();
+                for (r, t) in partial.iter_mut().enumerate() {
+                    if r != rank {
+                        t.push(OpRecord {
+                            op: OpKind::Recover,
+                            comm_label: "world".to_string(),
+                            participants: survivors_ranks.len(),
+                            members: survivors_ranks.clone(),
+                            bytes: wasted_us,
+                            phase: "recover".to_string(),
+                        });
+                    }
+                }
+                faulty_segments.push(partial.clone());
+                traces.extend(partial);
+                steps_replayed += seg as u64;
+                events.push(RecoveryEvent {
+                    failed_rank: rank,
+                    failed_member,
+                    cause,
+                    resumed_from_step,
+                    steps_replayed: seg as u64,
+                    survivors: original.clone(),
+                });
+                // `done` is unchanged: the abandoned segment re-runs from
+                // the rolled-back checkpoint with the degraded ensemble.
+            }
+            Segment::Panicked(msg) => return Err(RecoveryError::Unrecoverable(msg)),
+        }
+    }
+
+    let mut outcome = match last {
+        Some(o) => o,
+        None => {
+            // total_steps == 0: produce an empty-but-coherent outcome by
+            // running a zero-step segment.
+            match run_segment(&cfg, 0, checkpoint.as_ref(), None, deadline) {
+                Segment::Done(boxed) => {
+                    let (o, cp) = *boxed;
+                    checkpoint = Some(cp);
+                    o
+                }
+                Segment::Failed { cause, .. } => {
+                    return Err(RecoveryError::Unrecoverable(cause.to_string()))
+                }
+                Segment::Panicked(msg) => return Err(RecoveryError::Unrecoverable(msg)),
+            }
+        }
+    };
+    // Report survivors under their original sweep indices, and carry the
+    // full multi-segment trace set.
+    for (i, s) in outcome.sims.iter_mut().enumerate() {
+        s.sim = original[i];
+    }
+    outcome.traces = traces;
+    Ok(RecoveryOutcome {
+        outcome,
+        checkpoint: checkpoint.expect("loop ran at least one segment"),
+        events,
+        faulty_segments,
+        surviving_members: original,
+        steps_replayed,
+    })
+}
+
+/// Run one segment of `steps` over the fallible substrate, resuming from
+/// `resume_from` when given, and classify the result.
+fn run_segment(
+    cfg: &EnsembleConfig,
+    steps: usize,
+    resume_from: Option<&EnsembleCheckpoint>,
+    plan: Option<FaultPlan>,
+    deadline: Duration,
+) -> Segment {
+    let grid = cfg.grid();
+    let dims = cfg.members()[0].dims();
+    let mut world = World::new(cfg.total_ranks()).with_deadline(deadline);
+    if let Some(p) = plan {
+        world = world.with_fault_plan(p);
+    }
+    let start = Instant::now();
+    let results = world.run_fallible(|comm| {
+        let (a, topo) = build_xgyro_topology(cfg, &comm);
+        let layout = PhaseLayout::new(dims, grid, grid.rank(a.i1, a.i2));
+        let mut sim = Simulation::new(cfg.members()[a.sim].clone(), topo);
+        if let Some(cp) = resume_from {
+            // Carve this rank's local slice out of the member's global
+            // state (same layout walk as `run_xgyro_checkpointed`).
+            let global = &cp.members[a.sim];
+            let (nc, nvl, ntl) = layout.str_shape();
+            let mut local = vec![Complex64::ZERO; nc * nvl * ntl];
+            for ic in 0..nc {
+                for (ivl, iv) in layout.nv_range().enumerate() {
+                    for (itl, it) in layout.nt_range().enumerate() {
+                        local[(ic * nvl + ivl) * ntl + itl] =
+                            global[(ic * dims.nv + iv) * dims.nt + it];
+                    }
+                }
+            }
+            sim.restore_state(&local, cp.time, cp.steps_taken);
+        }
+        sim.run_steps(steps);
+        let d = sim.diagnostics();
+        Ok((a, layout, sim.h().clone(), sim.time(), sim.steps_taken(), d))
+    });
+    let wasted_us = start.elapsed().as_micros() as u64;
+
+    let mut traces = Vec::with_capacity(results.len());
+    let mut oks = Vec::with_capacity(results.len());
+    let mut cause: Option<(usize, CommError)> = None;
+    let mut panicked: Option<String> = None;
+    for (rank, (out, trace)) in results.into_iter().enumerate() {
+        match out {
+            RankOutcome::Ok(v) => oks.push(v),
+            RankOutcome::Failed(e) => {
+                let better = match (&cause, &e) {
+                    // Prefer a PeerFailed cause (it names the culprit) over
+                    // a bare Timeout; keep the first of each kind.
+                    (None, _) => true,
+                    (Some((_, CommError::Timeout { .. })), CommError::PeerFailed { .. }) => true,
+                    _ => false,
+                };
+                if better {
+                    let culprit = match &e {
+                        CommError::PeerFailed { rank, .. } => *rank,
+                        CommError::Timeout { missing, .. } => {
+                            *missing.first().unwrap_or(&rank)
+                        }
+                    };
+                    cause = Some((culprit, e));
+                }
+            }
+            RankOutcome::Panicked(m) => panicked = Some(m),
+        }
+        traces.push(trace);
+    }
+    if let Some(m) = panicked {
+        return Segment::Panicked(m);
+    }
+    if let Some((rank, cause)) = cause {
+        return Segment::Failed { rank, cause, traces, wasted_us };
+    }
+
+    // All ranks completed: reassemble members, final tensors, diagnostics.
+    let mut members: Vec<Vec<Complex64>> =
+        (0..cfg.k()).map(|_| vec![Complex64::ZERO; dims.state_len()]).collect();
+    let mut shards: Vec<Vec<(PhaseLayout, Tensor3<Complex64>)>> =
+        (0..cfg.k()).map(|_| Vec::new()).collect();
+    let mut sims: Vec<SimResult> = (0..cfg.k())
+        .map(|i| SimResult {
+            sim: i,
+            h: Tensor3::new(1, 1, 1),
+            diagnostics: xg_sim::Diagnostics {
+                time: 0.0,
+                field_energy: 0.0,
+                heat_flux: 0.0,
+                h_norm2: 0.0,
+            },
+            cmat_bytes_per_rank: Vec::new(),
+        })
+        .collect();
+    let mut time = 0.0;
+    let mut steps_taken = 0;
+    for (a, layout, h, t, s, d) in oks {
+        for ic in 0..dims.nc {
+            for (ivl, iv) in layout.nv_range().enumerate() {
+                for (itl, it) in layout.nt_range().enumerate() {
+                    members[a.sim][(ic * dims.nv + iv) * dims.nt + it] = h[(ic, ivl, itl)];
+                }
+            }
+        }
+        shards[a.sim].push((layout, h));
+        time = t;
+        steps_taken = s;
+        sims[a.sim].diagnostics = d;
+    }
+    for (i, sh) in shards.into_iter().enumerate() {
+        let mut g = Tensor3::new(dims.nc, dims.nv, dims.nt);
+        for (layout, h) in sh {
+            for ic in 0..dims.nc {
+                for (ivl, iv) in layout.nv_range().enumerate() {
+                    for (itl, it) in layout.nt_range().enumerate() {
+                        g[(ic, iv, it)] = h[(ic, ivl, itl)];
+                    }
+                }
+            }
+        }
+        sims[i].h = g;
+    }
+    let checkpoint = EnsembleCheckpoint {
+        cmat_key: cfg.cmat_key(),
+        k: cfg.k(),
+        time,
+        steps_taken,
+        members,
+        dims: (dims.nc, dims.nv, dims.nt),
+    };
+    Segment::Done(Box::new((RunOutcome { sims, traces }, checkpoint)))
+}

@@ -84,6 +84,9 @@ pub fn op_time(m: &MachineModel, placement: Placement, rec: &OpRecord) -> f64 {
         // the record alone — the members list holds the communicator).
         OpKind::Send => m.alpha_inter + rec.bytes as f64 / m.beta_inter,
         OpKind::Recv => 0.0,
+        // Fault/recovery markers carry their downtime directly as
+        // microseconds in `bytes`; they are local events, not transfers.
+        OpKind::Fault | OpKind::Recover => rec.bytes as f64 * 1e-6,
     }
 }
 

@@ -1,0 +1,19 @@
+//! Offline stand-in for `crossbeam`. The workspace declares the dependency
+//! but currently only needs scoped threads and mpsc-style channels, both of
+//! which std provides; this crate re-exposes them under crossbeam's names.
+
+/// Scoped threads (std's scope has the same shape as crossbeam's).
+pub mod thread {
+    /// Run `f` with a scope in which spawned threads are joined on exit.
+    pub fn scope<'env, F, T>(f: F) -> Result<T, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(f))
+    }
+}
+
+/// Channels (std mpsc under crossbeam's module name).
+pub mod channel {
+    pub use std::sync::mpsc::{channel as unbounded, Receiver, RecvError, SendError, Sender};
+}

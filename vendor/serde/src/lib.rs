@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`: marker traits plus no-op derive macros.
+//! The workspace serializes through hand-rolled text/binary formats, so the
+//! traits carry no methods — they exist so `use serde::{Serialize,
+//! Deserialize}` and `#[derive(Serialize, Deserialize)]` compile unchanged.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

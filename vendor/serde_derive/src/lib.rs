@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde_derive`. The workspace derives
+//! `Serialize`/`Deserialize` on config structs but performs all actual
+//! (de)serialization through hand-rolled text formats, so the derives can
+//! expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -2,9 +2,41 @@
 //!
 //! Usage: `paper_figures [<experiment-id>|all]` or `paper_figures --write-dir DIR`
 //! (defaults to `all`). See DESIGN.md §5 for the experiment index.
+//!
+//! `paper_figures bench-collision [--quick] [--out PATH]` runs the measured
+//! naive/blocked/threaded collision-apply sweep and writes the JSON artifact
+//! (default `BENCH_collision.json` in the working directory).
+
+fn bench_collision(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = match args.iter().position(|a| a == "--out") {
+        Some(pos) => match args.get(pos + 1) {
+            Some(p) => p.clone(),
+            None => {
+                eprintln!("--out needs a path");
+                std::process::exit(2);
+            }
+        },
+        None => "BENCH_collision.json".to_string(),
+    };
+    let cfg = if quick {
+        xg_bench::CollisionBenchConfig::quick()
+    } else {
+        xg_bench::CollisionBenchConfig::full()
+    };
+    let results = xg_bench::run_collision_bench(&cfg);
+    print!("{}", xg_bench::collision_bench_report(&results, cfg.threads));
+    std::fs::write(&out_path, xg_bench::collision_bench_json(&results, cfg.threads))
+        .expect("write bench json");
+    println!("wrote {out_path}");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench-collision") {
+        bench_collision(&args[1..]);
+        return;
+    }
     // Optional: --write-dir DIR saves each experiment to DIR/<id>.txt.
     if let Some(pos) = args.iter().position(|a| a == "--write-dir") {
         let Some(dir) = args.get(pos + 1) else {

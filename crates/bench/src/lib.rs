@@ -8,6 +8,11 @@
 
 #![warn(missing_docs)]
 
+pub mod collision_perf;
 pub mod experiments;
 
+pub use collision_perf::{
+    collision_bench_json, collision_bench_report, run_collision_bench, CollisionBenchConfig,
+    CollisionBenchResult,
+};
 pub use experiments::*;

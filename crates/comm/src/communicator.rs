@@ -381,6 +381,49 @@ impl Communicator {
         Ok(res[self.rank].clone())
     }
 
+    /// Move-semantics [`Communicator::all_to_all_v`]: identical exchange,
+    /// but each rank *takes ownership* of its received blocks instead of
+    /// cloning them out of the shared assembled result. Blocks therefore
+    /// move exactly once end-to-end, `T` only needs `Send` (not `Clone` or
+    /// `Sync`), and the returned `Vec<Vec<T>>` allocations can be recycled
+    /// as the next transpose's send buffers.
+    pub fn all_to_all_v_take<T: Send + 'static>(&self, send: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        self.try_all_to_all_v_take(send).unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// Fallible [`Communicator::all_to_all_v_take`].
+    pub fn try_all_to_all_v_take<T: Send + 'static>(
+        &self,
+        send: Vec<Vec<T>>,
+    ) -> Result<Vec<Vec<T>>, CommError> {
+        let p = self.size();
+        assert_eq!(send.len(), p, "all_to_all_v needs one block per peer");
+        let bytes: u64 =
+            send.iter().map(|b| (b.len() * std::mem::size_of::<T>()) as u64).sum();
+        let rank = self.rank;
+        // The assembled result is shared behind an Arc, so per-rank rows sit
+        // behind mutexes holding Options: each rank locks its own row once
+        // and moves it out, leaving None behind.
+        let res = self.run_collective(OpKind::AllToAll, bytes, send, move |items| {
+            let mut matrix: Vec<Vec<Vec<T>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
+            for (src, mut blocks) in items.into_iter().enumerate() {
+                assert_eq!(blocks.len(), p, "rank {src} sent wrong number of blocks");
+                for row in matrix.iter_mut().rev() {
+                    row.push(blocks.pop().expect("block count checked"));
+                }
+            }
+            matrix
+                .into_iter()
+                .map(|row| parking_lot::Mutex::new(Some(row)))
+                .collect::<Vec<_>>()
+        })?;
+        let row = res[rank]
+            .lock()
+            .take()
+            .expect("each rank takes its own row exactly once per exchange");
+        Ok(row)
+    }
+
     /// Broadcast from `root`: the root passes `Some(value)`, everyone else
     /// `None`; all ranks return the root's value.
     pub fn broadcast<T: Clone + Send + Sync + 'static>(

@@ -13,6 +13,7 @@
 
 use parking_lot::Mutex;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Kind of communication operation.
@@ -84,6 +85,10 @@ pub struct OpRecord {
 #[derive(Debug, Default)]
 pub struct TrafficLog {
     inner: Mutex<LogInner>,
+    /// Bytes of communication-buffer capacity drained (cleared and handed
+    /// back for reuse) instead of freed and reallocated — the steady-state
+    /// allocation savings of persistent send/recv buffers.
+    drained_capacity: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -148,6 +153,19 @@ impl TrafficLog {
         self.inner.lock().records.iter().filter(|r| pred(r)).map(|r| r.bytes).sum()
     }
 
+    /// Account `bytes` of buffer capacity as drained-and-reused rather
+    /// than freed: called by steady-state paths that recycle persistent
+    /// send/recv blocks between transposes or steps.
+    pub fn note_drained_capacity(&self, bytes: u64) {
+        self.drained_capacity.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Total bytes of buffer capacity recycled so far (see
+    /// [`TrafficLog::note_drained_capacity`]).
+    pub fn drained_capacity_bytes(&self) -> u64 {
+        self.drained_capacity.load(Ordering::Relaxed)
+    }
+
     /// Count of operations of `op` in phase `phase` (any phase if empty).
     pub fn count_ops(&self, op: OpKind, phase: &str) -> usize {
         self.inner
@@ -201,6 +219,18 @@ mod tests {
         log.clear();
         assert!(log.is_empty());
         assert_eq!(log.phase(), "nl");
+    }
+
+    #[test]
+    fn drained_capacity_accumulates() {
+        let log = TrafficLog::new();
+        assert_eq!(log.drained_capacity_bytes(), 0);
+        log.note_drained_capacity(1024);
+        log.note_drained_capacity(512);
+        assert_eq!(log.drained_capacity_bytes(), 1536);
+        // Clearing op records does not reset the recycling counter.
+        log.clear();
+        assert_eq!(log.drained_capacity_bytes(), 1536);
     }
 
     #[test]

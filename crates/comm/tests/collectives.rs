@@ -92,6 +92,64 @@ fn all_to_all_v_with_empty_blocks() {
 }
 
 #[test]
+fn all_to_all_v_take_matches_clone_variant() {
+    let p = 4;
+    let out = World::new(p).run(|c| {
+        let send: Vec<Vec<u32>> = (0..p)
+            .map(|j| vec![(c.rank() * 100 + j) as u32; c.rank() + j + 1])
+            .collect();
+        let cloned = c.all_to_all_v(send.clone());
+        let taken = c.all_to_all_v_take(send);
+        (cloned, taken)
+    });
+    for (me, (cloned, taken)) in out.into_iter().enumerate() {
+        assert_eq!(cloned, taken);
+        for (src, blk) in taken.into_iter().enumerate() {
+            assert_eq!(blk, vec![(src * 100 + me) as u32; src + me + 1]);
+        }
+    }
+}
+
+#[test]
+fn all_to_all_v_take_moves_non_clone_payloads() {
+    // The take variant only needs T: Send — exchange a type without Clone.
+    #[derive(Debug, PartialEq)]
+    struct Payload(usize);
+    let p = 3;
+    let out = World::new(p).run(|c| {
+        let send: Vec<Vec<Payload>> =
+            (0..p).map(|j| vec![Payload(c.rank() * 10 + j)]).collect();
+        c.all_to_all_v_take(send)
+    });
+    for (me, recv) in out.into_iter().enumerate() {
+        for (src, blk) in recv.into_iter().enumerate() {
+            assert_eq!(blk, vec![Payload(src * 10 + me)]);
+        }
+    }
+}
+
+#[test]
+fn all_to_all_v_take_recycles_recv_capacity() {
+    // Received blocks are owned: clearing and refilling them as the next
+    // round's send buffers must round-trip correctly.
+    let p = 3;
+    let out = World::new(p).run(|c| {
+        let send: Vec<Vec<u64>> = (0..p).map(|j| vec![(c.rank() + j) as u64; 8]).collect();
+        let mut recv = c.all_to_all_v_take(send);
+        for (j, blk) in recv.iter_mut().enumerate() {
+            blk.clear();
+            blk.extend(std::iter::repeat_n((c.rank() * 1000 + j) as u64, 4));
+        }
+        c.all_to_all_v_take(recv)
+    });
+    for (me, recv) in out.into_iter().enumerate() {
+        for (src, blk) in recv.into_iter().enumerate() {
+            assert_eq!(blk, vec![(src * 1000 + me) as u64; 4]);
+        }
+    }
+}
+
+#[test]
 fn broadcast_from_each_root() {
     for root in 0..3 {
         let out = World::new(3).run(|c| {

@@ -9,7 +9,9 @@ use crate::complex::Complex64;
 use crate::matrix::RealMatrix;
 
 /// Dense `C = A·B`. Loop order `i-k-j` over row-major data so the inner loop
-/// streams both `B`'s row and `C`'s row.
+/// streams both `B`'s row and `C`'s row. No sparsity short-circuit: the
+/// matrices this feeds (collision propagator panels) are dense, so a
+/// zero-test in the inner loop only costs branch mispredicts.
 pub fn matmul(a: &RealMatrix, b: &RealMatrix) -> RealMatrix {
     assert_eq!(
         a.cols(),
@@ -24,12 +26,9 @@ pub fn matmul(a: &RealMatrix, b: &RealMatrix) -> RealMatrix {
     let mut c = RealMatrix::zeros(m, n);
     for i in 0..m {
         let arow = a.row(i);
+        let crow = c.row_mut(i);
         for (kk, &aik) in arow.iter().enumerate().take(k) {
-            if aik == 0.0 {
-                continue;
-            }
             let brow = b.row(kk);
-            let crow = c.row_mut(i);
             for j in 0..n {
                 crow[j] += aik * brow[j];
             }
@@ -106,11 +105,92 @@ pub fn matvec_complex_inplace(a: &RealMatrix, x: &mut [Complex64], scratch: &mut
     x.copy_from_slice(scratch);
 }
 
+/// Out-of-place flat-panel matvec: `y = A·x` with `A` a raw row-major
+/// `n×n` panel. Same arithmetic as [`matvec_complex_flat`]; exists so call
+/// sites that already own a destination buffer avoid the
+/// `matvec → copy_from_slice` round-trip of the in-place form.
+#[inline]
+pub fn matvec_complex_flat_into(a: &[f64], n: usize, x: &[Complex64], y: &mut [Complex64]) {
+    matvec_complex_flat(a, n, n, x, y);
+}
+
+/// Batched multi-RHS panel apply: `Y = A·X` with `A` a real row-major
+/// `n×n` panel and `X`, `Y` blocks of `nrhs` complex vectors stored
+/// RHS-major (`x[r*n..(r+1)*n]` is right-hand side `r`).
+///
+/// This is the ensemble collision kernel: k members share one `cmat`
+/// panel, so each panel row is loaded once and reused across up to four
+/// right-hand sides held in split re/im register accumulators (then a
+/// 2-wide and 1-wide remainder). Per (row, rhs) the accumulation order is
+/// a single accumulator pair over ascending `j` — exactly the sequence
+/// [`matvec_complex_flat`] performs — so results are bitwise identical to
+/// applying the naive kernel per column, independent of `nrhs`.
+pub fn apply_panel_multi(a: &[f64], n: usize, x: &[Complex64], y: &mut [Complex64], nrhs: usize) {
+    assert_eq!(a.len(), n * n, "panel size mismatch");
+    assert_eq!(x.len(), n * nrhs, "x block size mismatch");
+    assert_eq!(y.len(), n * nrhs, "y block size mismatch");
+    let mut r = 0;
+    while r + 4 <= nrhs {
+        let (x0, x1, x2, x3) =
+            (&x[r * n..(r + 1) * n], &x[(r + 1) * n..(r + 2) * n], &x[(r + 2) * n..(r + 3) * n], &x[(r + 3) * n..(r + 4) * n]);
+        for i in 0..n {
+            let row = &a[i * n..(i + 1) * n];
+            let (mut re0, mut im0) = (0.0, 0.0);
+            let (mut re1, mut im1) = (0.0, 0.0);
+            let (mut re2, mut im2) = (0.0, 0.0);
+            let (mut re3, mut im3) = (0.0, 0.0);
+            for j in 0..n {
+                let aij = row[j];
+                re0 += aij * x0[j].re;
+                im0 += aij * x0[j].im;
+                re1 += aij * x1[j].re;
+                im1 += aij * x1[j].im;
+                re2 += aij * x2[j].re;
+                im2 += aij * x2[j].im;
+                re3 += aij * x3[j].re;
+                im3 += aij * x3[j].im;
+            }
+            y[r * n + i] = Complex64::new(re0, im0);
+            y[(r + 1) * n + i] = Complex64::new(re1, im1);
+            y[(r + 2) * n + i] = Complex64::new(re2, im2);
+            y[(r + 3) * n + i] = Complex64::new(re3, im3);
+        }
+        r += 4;
+    }
+    if r + 2 <= nrhs {
+        let (x0, x1) = (&x[r * n..(r + 1) * n], &x[(r + 1) * n..(r + 2) * n]);
+        for i in 0..n {
+            let row = &a[i * n..(i + 1) * n];
+            let (mut re0, mut im0) = (0.0, 0.0);
+            let (mut re1, mut im1) = (0.0, 0.0);
+            for j in 0..n {
+                let aij = row[j];
+                re0 += aij * x0[j].re;
+                im0 += aij * x0[j].im;
+                re1 += aij * x1[j].re;
+                im1 += aij * x1[j].im;
+            }
+            y[r * n + i] = Complex64::new(re0, im0);
+            y[(r + 1) * n + i] = Complex64::new(re1, im1);
+        }
+        r += 2;
+    }
+    if r < nrhs {
+        matvec_complex_flat(a, n, n, &x[r * n..(r + 1) * n], &mut y[r * n..(r + 1) * n]);
+    }
+}
+
 /// Number of floating-point operations for one real×complex matvec of size
 /// `m×n` (used by the performance model; counts mul+add on both components).
 #[inline]
 pub const fn matvec_complex_flops(m: usize, n: usize) -> u64 {
     4 * (m as u64) * (n as u64)
+}
+
+/// Flop count for one multi-RHS panel apply of `nrhs` right-hand sides.
+#[inline]
+pub const fn apply_panel_multi_flops(n: usize, nrhs: usize) -> u64 {
+    matvec_complex_flops(n, n) * (nrhs as u64)
 }
 
 #[cfg(test)]
@@ -210,5 +290,53 @@ mod tests {
     #[test]
     fn flop_count_formula() {
         assert_eq!(matvec_complex_flops(10, 20), 800);
+        assert_eq!(apply_panel_multi_flops(8, 3), 4 * 8 * 8 * 3);
+    }
+
+    #[test]
+    fn flat_into_matches_inplace_path() {
+        let n = 7;
+        let a: Vec<f64> = (0..n * n).map(|i| ((i * i) as f64).cos()).collect();
+        let x: Vec<Complex64> =
+            (0..n).map(|i| Complex64::new(i as f64 * 0.3, 1.0 - i as f64)).collect();
+        let mut y1 = vec![Complex64::ZERO; n];
+        let mut y2 = vec![Complex64::ZERO; n];
+        matvec_complex_flat(&a, n, n, &x, &mut y1);
+        matvec_complex_flat_into(&a, n, &x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn multi_rhs_bitwise_matches_naive_per_column() {
+        // Every remainder path: nrhs covering 4-wide, 2-wide and 1-wide tails.
+        for &nrhs in &[1usize, 2, 3, 4, 5, 6, 7, 8, 9] {
+            for &n in &[1usize, 2, 5, 16, 33] {
+                let a: Vec<f64> =
+                    (0..n * n).map(|i| ((i as f64) * 0.137).sin() * 2.0 - 0.3).collect();
+                let x: Vec<Complex64> = (0..n * nrhs)
+                    .map(|i| Complex64::new(((i * 7) as f64).cos(), ((i * 3) as f64).sin()))
+                    .collect();
+                let mut y = vec![Complex64::ZERO; n * nrhs];
+                apply_panel_multi(&a, n, &x, &mut y, nrhs);
+                for r in 0..nrhs {
+                    let mut yr = vec![Complex64::ZERO; n];
+                    matvec_complex_flat(&a, n, n, &x[r * n..(r + 1) * n], &mut yr);
+                    // Bitwise, not approximate: the blocked kernel keeps one
+                    // accumulator pair per (row, rhs) in the same order.
+                    for i in 0..n {
+                        assert_eq!(y[r * n + i].re.to_bits(), yr[i].re.to_bits());
+                        assert_eq!(y[r * n + i].im.to_bits(), yr[i].im.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_rhs_zero_rhs_is_noop() {
+        let a = vec![1.0; 9];
+        let x: Vec<Complex64> = vec![];
+        let mut y: Vec<Complex64> = vec![];
+        apply_panel_multi(&a, 3, &x, &mut y, 0);
     }
 }

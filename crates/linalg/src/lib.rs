@@ -26,8 +26,8 @@ pub use complex::{Complex64, I};
 pub use eigen::spectral_radius;
 pub use fft::{next_pow2, Fft};
 pub use gemm::{
-    matmul, matvec, matvec_complex, matvec_complex_flat, matvec_complex_flops,
-    matvec_complex_inplace,
+    apply_panel_multi, apply_panel_multi_flops, matmul, matvec, matvec_complex,
+    matvec_complex_flat, matvec_complex_flat_into, matvec_complex_flops, matvec_complex_inplace,
 };
 pub use lu::{solve_into, LuFactors, SingularMatrix};
 pub use matrix::RealMatrix;

@@ -108,6 +108,29 @@ impl CollisionConstants {
         x.copy_from_slice(scratch);
     }
 
+    /// Out-of-place propagator apply: `y = A·x`. Same arithmetic as
+    /// [`Self::apply`] without the scratch round-trip, for call sites that
+    /// own separate input/output profiles.
+    pub fn apply_into(&self, ic_loc: usize, it_loc: usize, x: &[Complex64], y: &mut [Complex64]) {
+        xg_linalg::matvec_complex_flat_into(self.panel(ic_loc, it_loc), self.nv, x, y);
+    }
+
+    /// Batched multi-RHS propagator apply at one `(ic, itor)` pair:
+    /// `Y = A·X` with `nrhs` stacked velocity profiles (`x[r·nv..(r+1)·nv]`
+    /// is profile `r`). The shared panel is streamed once per call instead
+    /// of once per profile; results are bitwise identical to `nrhs`
+    /// single-RHS applies (see [`xg_linalg::apply_panel_multi`]).
+    pub fn apply_multi(
+        &self,
+        ic_loc: usize,
+        it_loc: usize,
+        x: &[Complex64],
+        y: &mut [Complex64],
+        nrhs: usize,
+    ) {
+        xg_linalg::apply_panel_multi(self.panel(ic_loc, it_loc), self.nv, x, y, nrhs);
+    }
+
     /// Bytes of constant-tensor storage held by this slice.
     pub fn bytes(&self) -> u64 {
         (self.tensor.len() * std::mem::size_of::<f64>()) as u64
@@ -272,6 +295,38 @@ mod tests {
                     RealMatrix::from_fn(nv, nv, |i, j| a[(i, j)] * sw[i] / sw[j]);
                 let (rho, _) = xg_linalg::spectral_radius(&a_sym, 1e-10, 3000);
                 assert!(rho <= 1.0 + 1e-8, "rho = {rho} at ({ic},{it})");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_variants_are_bitwise_equivalent() {
+        let input = CgyroInput::test_small();
+        let (v, cfg, geo, op) = setup(&input);
+        let cm = CollisionConstants::build(&input, &v, &cfg, &geo, &op, 0..3, 0..2);
+        let nv = v.nv();
+        let nrhs = 5;
+        let block: Vec<Complex64> = (0..nrhs * nv)
+            .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.53).cos()))
+            .collect();
+        for ic in 0..3 {
+            for it in 0..2 {
+                // Reference: in-place apply per profile.
+                let mut want = block.clone();
+                let mut scratch = vec![Complex64::ZERO; nv];
+                for r in 0..nrhs {
+                    cm.apply(ic, it, &mut want[r * nv..(r + 1) * nv], &mut scratch);
+                }
+                // Out-of-place single-RHS.
+                for r in 0..nrhs {
+                    let mut y = vec![Complex64::ZERO; nv];
+                    cm.apply_into(ic, it, &block[r * nv..(r + 1) * nv], &mut y);
+                    assert_eq!(&y, &want[r * nv..(r + 1) * nv]);
+                }
+                // Batched multi-RHS.
+                let mut y = vec![Complex64::ZERO; nrhs * nv];
+                cm.apply_multi(ic, it, &block, &mut y, nrhs);
+                assert_eq!(y, want);
             }
         }
     }

@@ -25,12 +25,14 @@ use crate::geometry::Geometry;
 use crate::grid::{ConfigGrid, VelocityGrid};
 use crate::input::CgyroInput;
 use crate::nonlinear::NlKernel;
+use crate::pool::StepPool;
 use crate::stepper::Topology;
 use xg_comm::Communicator;
 use xg_linalg::Complex64;
 use xg_tensor::{
-    pack_coll_block, pack_nl_block, pack_str_block, unpack_into_coll, unpack_into_nl,
-    unpack_into_str, unpack_into_str_from_nl, Decomp1D, PhaseLayout, ProcGrid, Tensor3,
+    pack_coll_profiles_block, pack_nl_block, pack_str_block, unpack_into_coll_profiles,
+    unpack_into_nl, unpack_into_str, unpack_into_str_from_nl, Decomp1D, PhaseLayout, ProcGrid,
+    Tensor3,
 };
 
 /// Distributed topology for one rank of one simulation.
@@ -47,8 +49,17 @@ pub struct DistTopology {
     sims_in_coll: usize,
     cmat: CollisionConstants,
     nl: NlKernel,
-    profile: Vec<Complex64>,
-    scratch: Vec<Complex64>,
+    /// Profile-contiguous coll-side staging: shape `(my_nc, nt_loc, k·nv)`
+    /// — the k members' velocity profiles at one `(ic, it)` stacked into
+    /// one contiguous multi-RHS block.
+    coll_in: Tensor3<Complex64>,
+    coll_out: Tensor3<Complex64>,
+    /// Persistent forward-transpose send buffers, recycled from the
+    /// previous step's reverse-transpose receive blocks (per-peer sizes
+    /// match exactly between the two directions).
+    fwd_send: Vec<Vec<Complex64>>,
+    /// Worker pool for the panel loop over `(ic, it)`.
+    pool: StepPool,
 }
 
 impl DistTopology {
@@ -128,6 +139,10 @@ impl DistTopology {
             layout.nt_range(),
         );
         let nl = NlKernel::new(input);
+        let my_nc = coll_nc_decomp.count(coll_comm.rank());
+        let ntl = layout.nt_range().len();
+        let lanes = sims_in_coll * dims.nv;
+        let p = coll_comm.size();
         Self {
             layout,
             sim_comm,
@@ -138,8 +153,10 @@ impl DistTopology {
             sims_in_coll,
             cmat,
             nl,
-            profile: vec![Complex64::ZERO; dims.nv],
-            scratch: vec![Complex64::ZERO; dims.nv],
+            coll_in: Tensor3::new(my_nc, ntl, lanes),
+            coll_out: Tensor3::new(my_nc, ntl, lanes),
+            fwd_send: (0..p).map(|_| Vec::new()).collect(),
+            pool: StepPool::from_env(),
         }
     }
 
@@ -172,6 +189,17 @@ impl DistTopology {
     pub fn cmat(&self) -> &CollisionConstants {
         &self.cmat
     }
+
+    /// Resize the collision worker pool (output is bitwise independent of
+    /// the width; used by determinism tests).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool = StepPool::new(threads);
+    }
+
+    /// Collision worker-pool width (including the calling thread).
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
 }
 
 impl Topology for DistTopology {
@@ -187,60 +215,64 @@ impl Topology for DistTopology {
         let dims = self.layout.dims();
         let nv_decomp = self.layout.nv_decomp();
         let ntl = self.layout.nt_range().len();
-        let my_nc = self.coll_nc_decomp.count(self.coll_comm.rank());
+        let elem = std::mem::size_of::<Complex64>() as u64;
 
         // Forward transpose: send my simulation's nc blocks to every coll
-        // peer; receive all k simulations' nv blocks for my nc slice.
-        let send: Vec<Vec<Complex64>> = (0..p)
-            .map(|q| {
-                let mut buf =
-                    Vec::with_capacity(self.coll_nc_decomp.count(q) * h.shape().1 * ntl);
-                pack_str_block(h, self.coll_nc_decomp.range(q), &mut buf);
-                buf
-            })
-            .collect();
-        let recv = self.coll_comm.all_to_all_v(send);
+        // peer; receive all k simulations' nv blocks for my nc slice. The
+        // send buffers are last step's reverse-receive blocks, drained and
+        // refilled (per-peer sizes match exactly between directions).
+        let mut send = std::mem::take(&mut self.fwd_send);
+        let mut drained: u64 = 0;
+        for (q, buf) in send.iter_mut().enumerate() {
+            drained += buf.capacity() as u64 * elem;
+            buf.clear();
+            pack_str_block(h, self.coll_nc_decomp.range(q), buf);
+        }
+        let recv = self.coll_comm.all_to_all_v_take(send);
 
-        let mut h_coll: Vec<Tensor3<Complex64>> =
-            (0..k).map(|_| Tensor3::new(dims.nv, my_nc, ntl)).collect();
+        // Unpack all k simulations' blocks into one profile-contiguous
+        // tensor: member s's velocity profile occupies lanes
+        // [s·nv, (s+1)·nv) of the contiguous line at each (ic, it).
         for (r, block) in recv.iter().enumerate() {
-            let s = r / n1;
-            let i1 = r % n1;
-            unpack_into_coll(block, nv_decomp.range(i1), &mut h_coll[s]);
+            unpack_into_coll_profiles(
+                block,
+                nv_decomp.range(r % n1),
+                (r / n1) * dims.nv,
+                &mut self.coll_in,
+            );
         }
 
-        // Apply this rank's cmat slice to every simulation's buffer — the
-        // single stored tensor slice is reused k times (the arithmetic-
-        // intensity bonus of sharing).
-        for hc in h_coll.iter_mut() {
-            for ic_loc in 0..my_nc {
-                for itl in 0..ntl {
-                    for iv in 0..dims.nv {
-                        self.profile[iv] = hc[(iv, ic_loc, itl)];
-                    }
-                    self.cmat.apply(ic_loc, itl, &mut self.profile, &mut self.scratch);
-                    for iv in 0..dims.nv {
-                        hc[(iv, ic_loc, itl)] = self.profile[iv];
-                    }
-                }
-            }
-        }
+        // Apply this rank's cmat slice to every simulation's profile in one
+        // batched multi-RHS pass per (ic, it): the stored panel is streamed
+        // once for all k members (the arithmetic-intensity bonus of
+        // sharing), and the pair loop fans out over the worker pool.
+        let cmat = &self.cmat;
+        let coll_in = &self.coll_in;
+        self.pool.for_each_chunk(self.coll_out.as_mut_slice(), k * dims.nv, |pair, out| {
+            cmat.apply_multi(pair / ntl, pair % ntl, coll_in.line(pair / ntl, pair % ntl), out, k);
+        });
 
-        // Reverse transpose: return each simulation's blocks to its owners.
-        let send_back: Vec<Vec<Complex64>> = (0..p)
-            .map(|r| {
-                let s = r / n1;
-                let i1 = r % n1;
-                let mut buf =
-                    Vec::with_capacity(nv_decomp.count(i1) * my_nc * ntl);
-                pack_coll_block(&h_coll[s], nv_decomp.range(i1), &mut buf);
-                buf
-            })
-            .collect();
-        let recv_back = self.coll_comm.all_to_all_v(send_back);
+        // Reverse transpose: return each simulation's blocks to its owners,
+        // recycling the forward receive blocks as send buffers.
+        let mut send_back = recv;
+        for (r, buf) in send_back.iter_mut().enumerate() {
+            drained += buf.capacity() as u64 * elem;
+            buf.clear();
+            pack_coll_profiles_block(
+                &self.coll_out,
+                nv_decomp.range(r % n1),
+                (r / n1) * dims.nv,
+                buf,
+            );
+        }
+        let recv_back = self.coll_comm.all_to_all_v_take(send_back);
         for (q, block) in recv_back.iter().enumerate() {
             unpack_into_str(block, self.coll_nc_decomp.range(q), h);
         }
+        // The reverse receive blocks become the next step's forward send
+        // buffers; account the recycled capacity.
+        self.fwd_send = recv_back;
+        self.coll_comm.log().note_drained_capacity(drained);
     }
 
     fn nl_term(

@@ -27,6 +27,7 @@ pub mod grid;
 pub mod input;
 pub mod moments;
 pub mod nonlinear;
+pub mod pool;
 pub mod restart;
 pub mod serial;
 pub mod stepper;
@@ -40,5 +41,6 @@ pub use collision::CollisionOperator;
 pub use dist::DistTopology;
 pub use input::{CgyroInput, Species};
 pub use moments::{moments_table, species_moments, SpeciesMoments};
+pub use pool::{StepPool, THREADS_ENV};
 pub use serial::{serial_simulation, SerialTopology};
 pub use stepper::{initial_value, Diagnostics, Simulation, Topology};

@@ -1,0 +1,249 @@
+//! Persistent worker pool for the collision panel loop.
+//!
+//! The collision apply is embarrassingly parallel over `(ic, it)` pairs:
+//! every pair owns a disjoint slice of the profile-contiguous coll tensor
+//! and reads a disjoint `cmat` panel. A [`StepPool`] keeps `threads − 1`
+//! workers parked on channels across steps (no per-step spawn cost, unlike
+//! the vendored `crossbeam::thread::scope`, which spawns fresh OS threads
+//! every call) and fans the pair loop out over them.
+//!
+//! **Determinism:** work is partitioned by *chunk index*, each output chunk
+//! is written by exactly one thread, and the per-chunk computation never
+//! reads another chunk's output — so results are bitwise identical for any
+//! thread count, which the topology tests assert against the single-thread
+//! path.
+//!
+//! Pool width comes from the `XGYRO_THREADS` environment variable (default
+//! 1). At width 1 no threads are spawned and [`StepPool::run`] degenerates
+//! to a plain inline call — the serial fallback.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
+use std::thread::JoinHandle;
+use xg_tensor::Decomp1D;
+
+/// Environment variable selecting the stepping-pool width.
+pub const THREADS_ENV: &str = "XGYRO_THREADS";
+
+/// A task handed to one worker: the lifetime-erased loop body plus the
+/// completion channel for this round. The body reference is only valid
+/// until the round's completion message is sent (see safety note in
+/// [`StepPool::run`]).
+type Task = (&'static (dyn Fn(usize) + Sync), Sender<std::thread::Result<()>>);
+
+struct Worker {
+    tx: Sender<Task>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Persistent thread pool for deterministic data-parallel stepping loops.
+pub struct StepPool {
+    workers: Vec<Worker>,
+}
+
+impl StepPool {
+    /// Pool of `threads` total participants (the calling thread plus
+    /// `threads − 1` spawned workers). `threads == 0` is treated as 1.
+    pub fn new(threads: usize) -> Self {
+        let workers = (1..threads.max(1))
+            .map(|tid| {
+                let (tx, rx) = channel::<Task>();
+                let handle = std::thread::Builder::new()
+                    .name(format!("xgyro-step-{tid}"))
+                    .spawn(move || {
+                        while let Ok((f, done)) = rx.recv() {
+                            let r = catch_unwind(AssertUnwindSafe(|| f(tid)));
+                            // Receiver gone means the round was abandoned
+                            // (pool dropped mid-panic); just park again.
+                            let _ = done.send(r);
+                        }
+                    })
+                    .expect("failed to spawn stepping worker");
+                Worker { tx, handle: Some(handle) }
+            })
+            .collect();
+        Self { workers }
+    }
+
+    /// Pool sized from `XGYRO_THREADS` (default 1 — serial fallback).
+    pub fn from_env() -> Self {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(1);
+        Self::new(threads)
+    }
+
+    /// Total participants (calling thread + workers).
+    pub fn threads(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Run `f(tid)` once per participant (`tid ∈ 0..threads()`), with
+    /// `f(0)` on the calling thread. Blocks until every participant is
+    /// done; a panic in any participant is re-raised here after all others
+    /// finish.
+    pub fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        if self.workers.is_empty() {
+            f(0);
+            return;
+        }
+        // SAFETY: the erased 'static lifetime never outlives this call —
+        // each worker uses the reference only before sending its completion
+        // message, and we do not return (or unwind) before collecting one
+        // message per worker.
+        let f_static: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(f) };
+        let (done_tx, done_rx) = channel();
+        for w in &self.workers {
+            w.tx.send((f_static, done_tx.clone())).expect("stepping worker died");
+        }
+        let mut first_panic = catch_unwind(AssertUnwindSafe(|| f(0))).err();
+        for _ in &self.workers {
+            if let Err(p) = done_rx.recv().expect("stepping worker died") {
+                first_panic.get_or_insert(p);
+            }
+        }
+        if let Some(p) = first_panic {
+            resume_unwind(p);
+        }
+    }
+
+    /// Split `data` into `data.len() / chunk` contiguous chunks and run
+    /// `f(chunk_index, chunk)` for every chunk, statically partitioned
+    /// across the pool in index order ([`Decomp1D`] blocks). Each chunk is
+    /// visited by exactly one thread, so the result is independent of the
+    /// pool width. `data.len()` must be a multiple of `chunk`.
+    pub fn for_each_chunk<T, F>(&self, data: &mut [T], chunk: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(chunk > 0, "chunk size must be positive");
+        assert_eq!(data.len() % chunk, 0, "data length must be a multiple of the chunk size");
+        let n_chunks = data.len() / chunk;
+        if n_chunks == 0 {
+            return;
+        }
+        let decomp = Decomp1D::new(n_chunks, self.threads());
+        let base = data.as_mut_ptr() as usize;
+        self.run(&|tid| {
+            for c in decomp.range(tid) {
+                // SAFETY: chunks are disjoint (`Decomp1D` ranges partition
+                // 0..n_chunks and chunks tile `data`), each visited by
+                // exactly one participant, and `data` is mutably borrowed
+                // for the whole (blocking) round.
+                let chunk_slice = unsafe {
+                    std::slice::from_raw_parts_mut((base as *mut T).add(c * chunk), chunk)
+                };
+                f(c, chunk_slice);
+            }
+        });
+    }
+}
+
+impl Drop for StepPool {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            // Closing the channel ends the worker loop.
+            let (dead_tx, _) = channel::<Task>();
+            let _ = std::mem::replace(&mut w.tx, dead_tx);
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn serial_pool_runs_inline() {
+        let pool = StepPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let main_id = std::thread::current().id();
+        pool.run(&|tid| {
+            assert_eq!(tid, 0);
+            assert_eq!(std::thread::current().id(), main_id);
+        });
+    }
+
+    #[test]
+    fn every_participant_runs_once() {
+        for threads in [1, 2, 3, 7] {
+            let pool = StepPool::new(threads);
+            let hits = AtomicUsize::new(0);
+            pool.run(&|_tid| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(hits.load(Ordering::SeqCst), threads);
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_rounds() {
+        let pool = StepPool::new(4);
+        for round in 0..50 {
+            let sum = AtomicUsize::new(0);
+            pool.run(&|tid| {
+                sum.fetch_add(tid + round, Ordering::SeqCst);
+            });
+            assert_eq!(sum.load(Ordering::SeqCst), 6 + 4 * round);
+        }
+    }
+
+    #[test]
+    fn chunks_cover_data_exactly_once_for_any_width() {
+        let n_chunks = 13;
+        let chunk = 5;
+        for threads in [1, 2, 3, 8, 32] {
+            let pool = StepPool::new(threads);
+            let mut data = vec![0u64; n_chunks * chunk];
+            pool.for_each_chunk(&mut data, chunk, |c, s| {
+                for (i, v) in s.iter_mut().enumerate() {
+                    *v += (c * 100 + i) as u64;
+                }
+            });
+            for c in 0..n_chunks {
+                for i in 0..chunk {
+                    assert_eq!(data[c * chunk + i], (c * 100 + i) as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_data_is_a_noop() {
+        let pool = StepPool::new(3);
+        let mut data: Vec<u8> = Vec::new();
+        pool.for_each_chunk(&mut data, 4, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = StepPool::new(3);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|tid| {
+                if tid == 1 {
+                    panic!("boom from worker");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        // The pool survives a panicked round.
+        let hits = AtomicUsize::new(0);
+        pool.run(&|_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = StepPool::new(0);
+        assert_eq!(pool.threads(), 1);
+    }
+}

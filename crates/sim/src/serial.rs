@@ -10,24 +10,44 @@ use crate::geometry::Geometry;
 use crate::grid::{ConfigGrid, VelocityGrid};
 use crate::input::CgyroInput;
 use crate::nonlinear::NlKernel;
+use crate::pool::StepPool;
 use crate::stepper::{Simulation, Topology};
 use xg_linalg::Complex64;
-use xg_tensor::{PhaseLayout, ProcGrid, Tensor3};
+use xg_tensor::{
+    pack_coll_profiles_block, unpack_into_coll_profiles, unpack_into_str, PhaseLayout, ProcGrid,
+    Tensor3,
+};
 
 /// Serial topology: one rank owns everything.
 pub struct SerialTopology {
     layout: PhaseLayout,
     cmat: CollisionConstants,
     nl: NlKernel,
-    // Collision scratch.
-    profile: Vec<Complex64>,
-    scratch: Vec<Complex64>,
+    // Collision pipeline: profile-contiguous staging buffers (`(nc, nt,
+    // nv)` so each velocity profile is one contiguous slice) and the
+    // persistent worker pool that fans the panel loop out over (ic, it).
+    cp_in: Tensor3<Complex64>,
+    cp_out: Tensor3<Complex64>,
+    rev_buf: Vec<Complex64>,
+    pool: StepPool,
     nl_out: Tensor3<Complex64>,
 }
 
 impl SerialTopology {
     /// Build the serial topology (including the full constant tensor).
+    /// Collision threading follows `XGYRO_THREADS` (default 1).
     pub fn new(input: &CgyroInput) -> Self {
+        Self::with_pool(input, StepPool::from_env())
+    }
+
+    /// Like [`SerialTopology::new`] with an explicit collision thread
+    /// count (used by determinism tests; output is bitwise independent of
+    /// the count).
+    pub fn with_threads(input: &CgyroInput, threads: usize) -> Self {
+        Self::with_pool(input, StepPool::new(threads))
+    }
+
+    fn with_pool(input: &CgyroInput, pool: StepPool) -> Self {
         let dims = input.dims();
         let layout = PhaseLayout::new(dims, ProcGrid::new(1, 1), 0);
         let v = VelocityGrid::new(input);
@@ -41,8 +61,10 @@ impl SerialTopology {
             layout,
             cmat,
             nl,
-            profile: vec![Complex64::ZERO; dims.nv],
-            scratch: vec![Complex64::ZERO; dims.nv],
+            cp_in: Tensor3::new(dims.nc, dims.nt, dims.nv),
+            cp_out: Tensor3::new(dims.nc, dims.nt, dims.nv),
+            rev_buf: Vec::with_capacity(dims.nc * dims.nt * dims.nv),
+            pool,
             nl_out: Tensor3::new(dims.nc, dims.nv, dims.nt),
         }
     }
@@ -56,6 +78,11 @@ impl SerialTopology {
     pub fn cmat_fingerprint(&self) -> u64 {
         self.cmat.fingerprint()
     }
+
+    /// Collision worker-pool width (including the calling thread).
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
 }
 
 impl Topology for SerialTopology {
@@ -65,19 +92,21 @@ impl Topology for SerialTopology {
 
     fn collision_step(&mut self, h: &mut Tensor3<Complex64>) {
         let (nc, nv, nt) = h.shape();
-        for ic in 0..nc {
-            for itor in 0..nt {
-                // Gather the velocity profile at (ic, itor) — strided in
-                // the str layout.
-                for iv in 0..nv {
-                    self.profile[iv] = h[(ic, iv, itor)];
-                }
-                self.cmat.apply(ic, itor, &mut self.profile, &mut self.scratch);
-                for iv in 0..nv {
-                    h[(ic, iv, itor)] = self.profile[iv];
-                }
-            }
-        }
+        // Stage into the profile-contiguous layout: the str slice
+        // `[ic][iv][it]` is exactly the full-range wire block, so one
+        // unpack replaces the per-element strided gather.
+        unpack_into_coll_profiles(h.as_slice(), 0..nv, 0, &mut self.cp_in);
+        // One contiguous out-of-place panel apply per (ic, it), statically
+        // fanned over the pool (bitwise independent of the pool width).
+        let cmat = &self.cmat;
+        let cp_in = &self.cp_in;
+        self.pool.for_each_chunk(self.cp_out.as_mut_slice(), nv, |pair, out| {
+            cmat.apply_into(pair / nt, pair % nt, cp_in.line(pair / nt, pair % nt), out);
+        });
+        // Scatter back through the same wire format.
+        self.rev_buf.clear();
+        pack_coll_profiles_block(&self.cp_out, 0..nv, 0, &mut self.rev_buf);
+        unpack_into_str(&self.rev_buf, 0..nc, h);
     }
 
     fn nl_term(

@@ -147,6 +147,80 @@ pub fn unpack_into_str_from_nl<T: Copy>(
     }
 }
 
+/// Unpack a block received from the str-side peer owning `nv_range` into a
+/// *profile-contiguous* coll tensor `h_cp` of shape
+/// `(nc_loc, nt_loc, lanes)`, writing velocity index `iv` into lane
+/// `lane + iv`.
+///
+/// Same wire format as [`unpack_into_coll`] (`[ic_loc][iv ∈ nv_range]
+/// [it_loc]`), but the destination layout keeps the whole velocity profile
+/// at one `(ic, it)` contiguous: `h_cp.line(ic, it)[lane + iv]`. With
+/// `lanes = k·nv` the k ensemble members' profiles stack into one
+/// multi-RHS block per `(ic, it)`; `lane = s·nv` selects member `s`.
+/// Lane-for-lane this is the exact permutation of the legacy coll layout:
+/// `h_coll[(iv, ic, it)] == h_cp[(ic, it, lane + iv)]`.
+pub fn unpack_into_coll_profiles<T: Copy>(
+    block: &[T],
+    nv_range: Range<usize>,
+    lane: usize,
+    h_cp: &mut Tensor3<T>,
+) {
+    let (nc_loc, nt_loc, lanes) = h_cp.shape();
+    assert!(
+        lane + nv_range.end <= lanes,
+        "lane {lane} + nv_range {nv_range:?} outside lanes={lanes}"
+    );
+    let nv_blk = nv_range.len();
+    assert_eq!(
+        block.len(),
+        nv_blk * nc_loc * nt_loc,
+        "block size mismatch: got {}, expected {}",
+        block.len(),
+        nv_blk * nc_loc * nt_loc
+    );
+    let dst = h_cp.as_mut_slice();
+    let mut src = 0;
+    for ic in 0..nc_loc {
+        for iv in nv_range.clone() {
+            let base = ic * nt_loc * lanes + lane + iv;
+            for it in 0..nt_loc {
+                dst[base + it * lanes] = block[src];
+                src += 1;
+            }
+        }
+    }
+}
+
+/// Pack the coll-side block destined for the str peer owning `nv_range`
+/// from a profile-contiguous tensor `h_cp` of shape `(nc_loc, nt_loc,
+/// lanes)`, reading velocity index `iv` from lane `lane + iv`.
+///
+/// Produces the same wire format as [`pack_coll_block`]
+/// (`[iv ∈ nv_range][ic_loc][it_loc]`), so receivers keep using
+/// [`unpack_into_str`] unchanged.
+pub fn pack_coll_profiles_block<T: Copy>(
+    h_cp: &Tensor3<T>,
+    nv_range: Range<usize>,
+    lane: usize,
+    buf: &mut Vec<T>,
+) {
+    let (nc_loc, nt_loc, lanes) = h_cp.shape();
+    assert!(
+        lane + nv_range.end <= lanes,
+        "lane {lane} + nv_range {nv_range:?} outside lanes={lanes}"
+    );
+    let src = h_cp.as_slice();
+    buf.reserve(nv_range.len() * nc_loc * nt_loc);
+    for iv in nv_range {
+        for ic in 0..nc_loc {
+            let base = ic * nt_loc * lanes + lane + iv;
+            for it in 0..nt_loc {
+                buf.push(src[base + it * lanes]);
+            }
+        }
+    }
+}
+
 /// Pack the nl-layout block destined for the str-side peer owning
 /// `nt_range`: shape `(nc_blk, nv_loc, nt)` restricted to those toroidal
 /// modes, ordered `[ic_loc][iv_loc][it ∈ nt_range]`.
@@ -262,6 +336,79 @@ mod tests {
         let h: Tensor3<u64> = Tensor3::new(4, 2, 2);
         let mut buf = Vec::new();
         pack_str_block(&h, 2..5, &mut buf);
+    }
+
+    #[test]
+    fn profile_layout_is_exact_permutation_of_coll_layout() {
+        // Unpacking the same wire block into the legacy (nv, nc, nt) layout
+        // and the profile-contiguous (nc, nt, nv) layout must agree
+        // element-for-element under the documented permutation.
+        let (nc, nv, nt) = (5usize, 7usize, 3usize);
+        let hstr = Tensor3::from_fn(nc, nv, nt, |a, b, c| (a * 1000 + b * 10 + c) as u64);
+        let mut block = Vec::new();
+        pack_str_block(&hstr, 0..nc, &mut block);
+        let mut h_coll: Tensor3<u64> = Tensor3::new(nv, nc, nt);
+        let mut h_cp: Tensor3<u64> = Tensor3::new(nc, nt, nv);
+        unpack_into_coll(&block, 0..nv, &mut h_coll);
+        unpack_into_coll_profiles(&block, 0..nv, 0, &mut h_cp);
+        for iv in 0..nv {
+            for ic in 0..nc {
+                for it in 0..nt {
+                    assert_eq!(h_coll[(iv, ic, it)], h_cp[(ic, it, iv)]);
+                }
+            }
+        }
+        // And the profile line is the contiguous velocity profile.
+        assert_eq!(h_cp.line(2, 1), (0..nv).map(|iv| 2001 + 10 * iv as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn profile_pack_matches_coll_pack_wire_format() {
+        let (nc, nv, nt) = (4usize, 6usize, 2usize);
+        let h_coll = Tensor3::from_fn(nv, nc, nt, |a, b, c| (a * 100 + b * 10 + c) as u64);
+        let h_cp = Tensor3::from_fn(nc, nt, nv, |ic, it, iv| h_coll[(iv, ic, it)]);
+        for range in [0..nv, 1..4, 2..2, 5..6] {
+            let mut b1 = Vec::new();
+            let mut b2 = Vec::new();
+            pack_coll_block(&h_coll, range.clone(), &mut b1);
+            pack_coll_profiles_block(&h_cp, range, 0, &mut b2);
+            assert_eq!(b1, b2);
+        }
+    }
+
+    #[test]
+    fn profile_lanes_stack_members() {
+        // Two members' profiles interleave into one (nc, nt, 2*nv) tensor;
+        // lane = s*nv selects member s, and round-trips per member.
+        let (nc, nv, nt, k) = (3usize, 4usize, 2usize, 2usize);
+        let members: Vec<Tensor3<u64>> = (0..k)
+            .map(|s| {
+                Tensor3::from_fn(nc, nv, nt, |a, b, c| {
+                    (s * 100_000 + a * 1000 + b * 10 + c) as u64
+                })
+            })
+            .collect();
+        let mut h_cp: Tensor3<u64> = Tensor3::new(nc, nt, k * nv);
+        for (s, m) in members.iter().enumerate() {
+            let mut block = Vec::new();
+            pack_str_block(m, 0..nc, &mut block);
+            unpack_into_coll_profiles(&block, 0..nv, s * nv, &mut h_cp);
+        }
+        for (s, m) in members.iter().enumerate() {
+            // Reverse: pack member s back out and scatter into a str tensor.
+            let mut block = Vec::new();
+            pack_coll_profiles_block(&h_cp, 0..nv, s * nv, &mut block);
+            let mut back: Tensor3<u64> = Tensor3::new(nc, nv, nt);
+            unpack_into_str(&block, 0..nc, &mut back);
+            assert_eq!(&back, m);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside lanes")]
+    fn profile_unpack_lane_overflow_panics() {
+        let mut h: Tensor3<u64> = Tensor3::new(2, 2, 4);
+        unpack_into_coll_profiles(&[0u64; 8], 0..2, 3, &mut h);
     }
 
     #[test]

@@ -153,6 +153,102 @@ proptest! {
     }
 
     #[test]
+    fn profile_layout_matches_legacy_coll_permutation(
+        nc in 1usize..12,
+        nv in 1usize..12,
+        nt in 1usize..5,
+        nv_parts in 1usize..5,
+        nc_parts in 1usize..9,
+        k in 1usize..4,
+    ) {
+        use xg_tensor::{pack_coll_profiles_block, unpack_into_coll_profiles};
+        let nv_d = Decomp1D::new(nv, nv_parts);
+        let nc_d = Decomp1D::new(nc, nc_parts);
+
+        // k members' str shards, tagged by (member, global indices).
+        let tag = |s: usize, ic: usize, iv: usize, it: usize| {
+            (s * 1_000_000 + ic * 10_000 + iv * 100 + it) as u32
+        };
+        let str_shards: Vec<Vec<Tensor3<u32>>> = (0..k)
+            .map(|s| {
+                (0..nv_parts)
+                    .map(|p| {
+                        let r = nv_d.range(p);
+                        Tensor3::from_fn(nc, r.len(), nt, |ic, ivl, it| {
+                            tag(s, ic, r.start + ivl, it)
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Forward transpose: legacy per-member coll shards vs one stacked
+        // profile-contiguous tensor per coll rank with lane = s*nv.
+        let mut coll_legacy: Vec<Vec<Tensor3<u32>>> = (0..k)
+            .map(|_| (0..nc_parts).map(|q| Tensor3::new(nv, nc_d.count(q), nt)).collect())
+            .collect();
+        let mut coll_prof: Vec<Tensor3<u32>> =
+            (0..nc_parts).map(|q| Tensor3::new(nc_d.count(q), nt, k * nv)).collect();
+        for s in 0..k {
+            for (p, shard) in str_shards[s].iter().enumerate() {
+                for q in 0..nc_parts {
+                    let mut blk = Vec::new();
+                    pack_str_block(shard, nc_d.range(q), &mut blk);
+                    unpack_into_coll(&blk, nv_d.range(p), &mut coll_legacy[s][q]);
+                    unpack_into_coll_profiles(
+                        &blk, nv_d.range(p), s * nv, &mut coll_prof[q],
+                    );
+                }
+            }
+        }
+        for q in 0..nc_parts {
+            for s in 0..k {
+                for iv in 0..nv {
+                    for icl in 0..nc_d.count(q) {
+                        for it in 0..nt {
+                            prop_assert_eq!(
+                                coll_legacy[s][q][(iv, icl, it)],
+                                coll_prof[q][(icl, it, s * nv + iv)]
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // Reverse: packing from the profile layout produces the same wire
+        // blocks as the legacy pack, and round-trips the str shards.
+        for q in 0..nc_parts {
+            for (s, legacy_member) in coll_legacy.iter().enumerate() {
+                for p in 0..nv_parts {
+                    let mut legacy = Vec::new();
+                    let mut prof = Vec::new();
+                    pack_coll_block(&legacy_member[q], nv_d.range(p), &mut legacy);
+                    pack_coll_profiles_block(&coll_prof[q], nv_d.range(p), s * nv, &mut prof);
+                    prop_assert_eq!(&legacy, &prof);
+                }
+            }
+        }
+        let mut back: Vec<Vec<Tensor3<u32>>> = (0..k)
+            .map(|_| (0..nv_parts).map(|p| Tensor3::new(nc, nv_d.count(p), nt)).collect())
+            .collect();
+        for (q, prof_shard) in coll_prof.iter().enumerate() {
+            for (s, member_back) in back.iter_mut().enumerate() {
+                for (p, shard_back) in member_back.iter_mut().enumerate() {
+                    let mut blk = Vec::new();
+                    pack_coll_profiles_block(prof_shard, nv_d.range(p), s * nv, &mut blk);
+                    unpack_into_str(&blk, nc_d.range(q), shard_back);
+                }
+            }
+        }
+        for s in 0..k {
+            for (orig, b) in str_shards[s].iter().zip(&back[s]) {
+                prop_assert_eq!(orig, b);
+            }
+        }
+    }
+
+    #[test]
     fn pack_volume_matches_block_size(
         nc in 1usize..10,
         nv_loc in 1usize..6,

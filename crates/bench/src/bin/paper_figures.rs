@@ -6,10 +6,13 @@
 //! `paper_figures bench-collision [--quick] [--out PATH]` runs the measured
 //! naive/blocked/threaded collision-apply sweep and writes the JSON artifact
 //! (default `BENCH_collision.json` in the working directory).
+//!
+//! `paper_figures bench-str-reduce [--quick] [--out PATH]` runs the measured
+//! unfused/fused/reduce-scatter str-phase reduction sweep and writes the
+//! JSON artifact (default `BENCH_str_reduce.json`).
 
-fn bench_collision(args: &[String]) {
-    let quick = args.iter().any(|a| a == "--quick");
-    let out_path = match args.iter().position(|a| a == "--out") {
+fn out_path_arg(args: &[String], default: &str) -> String {
+    match args.iter().position(|a| a == "--out") {
         Some(pos) => match args.get(pos + 1) {
             Some(p) => p.clone(),
             None => {
@@ -17,8 +20,13 @@ fn bench_collision(args: &[String]) {
                 std::process::exit(2);
             }
         },
-        None => "BENCH_collision.json".to_string(),
-    };
+        None => default.to_string(),
+    }
+}
+
+fn bench_collision(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = out_path_arg(args, "BENCH_collision.json");
     let cfg = if quick {
         xg_bench::CollisionBenchConfig::quick()
     } else {
@@ -31,10 +39,29 @@ fn bench_collision(args: &[String]) {
     println!("wrote {out_path}");
 }
 
+fn bench_str_reduce(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = out_path_arg(args, "BENCH_str_reduce.json");
+    let cfg = if quick {
+        xg_bench::StrReduceBenchConfig::quick()
+    } else {
+        xg_bench::StrReduceBenchConfig::full()
+    };
+    let results = xg_bench::run_str_reduce_bench(&cfg);
+    print!("{}", xg_bench::str_reduce_bench_report(&results));
+    std::fs::write(&out_path, xg_bench::str_reduce_bench_json(&results))
+        .expect("write bench json");
+    println!("wrote {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("bench-collision") {
         bench_collision(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("bench-str-reduce") {
+        bench_str_reduce(&args[1..]);
         return;
     }
     // Optional: --write-dir DIR saves each experiment to DIR/<id>.txt.

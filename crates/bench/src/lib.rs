@@ -10,9 +10,14 @@
 
 pub mod collision_perf;
 pub mod experiments;
+pub mod str_reduce;
 
 pub use collision_perf::{
     collision_bench_json, collision_bench_report, run_collision_bench, CollisionBenchConfig,
     CollisionBenchResult,
 };
 pub use experiments::*;
+pub use str_reduce::{
+    run_str_reduce_bench, str_reduce_bench_json, str_reduce_bench_report, StrReduceBenchConfig,
+    StrReduceBenchResult,
+};

@@ -81,6 +81,31 @@ fn main() {
             for (phase, cat, secs) in out.breakdown.iter() {
                 println!("  {phase:<8} {cat:<16} {:.6}", secs);
             }
+
+            // str-phase reduction shape: fused runs show fewer, fatter
+            // collectives (one packed AllReduce per RK stage) than unfused
+            // ones, so calls and bytes/call make the algorithm visible
+            // straight from the trace.
+            let rank0 = traces.first().map(Vec::as_slice).unwrap_or(&[]);
+            let str_reductions: Vec<_> = rank0
+                .iter()
+                .filter(|r| {
+                    r.phase == "str"
+                        && matches!(
+                            r.op,
+                            xg_comm::OpKind::AllReduce | xg_comm::OpKind::AllGather
+                        )
+                })
+                .collect();
+            if !str_reductions.is_empty() {
+                let calls = str_reductions.len();
+                let bytes: u64 = str_reductions.iter().map(|r| r.bytes).sum();
+                println!(
+                    "\nstr-phase reductions (rank 0): {calls} calls, {bytes} bytes, \
+                     {:.0} bytes/call",
+                    bytes as f64 / calls as f64
+                );
+            }
         }
         Err(e) => {
             eprintln!("xgreplay: {e}");

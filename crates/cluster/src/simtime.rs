@@ -32,6 +32,10 @@ pub struct SchedulePolicy {
     /// Separate moment AllReduce operations per stage (production CGYRO:
     /// 3 field components + 3 species upwind moments).
     pub moment_reductions_per_stage: usize,
+    /// Moments packed into each reduction (buffer-size multiplier). `1`
+    /// models the legacy one-call-per-moment schedule; the fused schedule
+    /// carries several moments per call, trading latency terms for bytes.
+    pub moments_per_reduction: usize,
     /// Nonlinear transpose round-trips per step.
     pub nl_roundtrips_per_step: usize,
     /// Collision transpose round-trips per step.
@@ -54,6 +58,7 @@ impl SchedulePolicy {
         Self {
             rk_stages: 4,
             moment_reductions_per_stage: 6,
+            moments_per_reduction: 1,
             nl_roundtrips_per_step: 1,
             coll_roundtrips_per_step: 1,
             str_flops_per_point: 80,
@@ -64,13 +69,14 @@ impl SchedulePolicy {
         }
     }
 
-    /// Op counts of our functional mini-code (2 moments per stage, nl
-    /// round-trip every stage) — used to cross-check functional traces
-    /// against the symbolic schedule.
+    /// Op counts of our functional mini-code (one fused reduction carrying
+    /// 2 moments per stage, nl round-trip every stage) — used to
+    /// cross-check functional traces against the symbolic schedule.
     pub fn mini() -> Self {
         Self {
             rk_stages: 4,
-            moment_reductions_per_stage: 2,
+            moment_reductions_per_stage: 1,
+            moments_per_reduction: 2,
             nl_roundtrips_per_step: 4,
             coll_roundtrips_per_step: 1,
             str_flops_per_point: 80,
@@ -164,7 +170,7 @@ pub fn simulate_ensemble_member(
     let nt_loc = Decomp1D::new(d.nt, grid.n2).max_count();
     let state_elems = (d.nc * nv_loc * nt_loc) as u64;
     let state_bytes = state_elems * 16;
-    let moment_bytes = (d.nc * nt_loc) as u64 * 16;
+    let moment_bytes = (d.nc * nt_loc * policy.moments_per_reduction) as u64 * 16;
 
     let mut b = PhaseBreakdown::new();
 

@@ -28,6 +28,7 @@
 pub mod communicator;
 pub mod exchange;
 pub mod fault;
+pub mod nonblocking;
 pub mod p2p;
 pub mod stats;
 pub mod tracefile;
@@ -35,6 +36,7 @@ pub mod world;
 
 pub use communicator::Communicator;
 pub use fault::{CommError, FaultKind, FaultPlan, FaultSpec};
+pub use nonblocking::PendingOp;
 pub use stats::{OpKind, OpRecord, TrafficLog};
 pub use tracefile::{traces_from_csv, traces_to_csv, TraceFileError};
 pub use world::{RankOutcome, RankPanic, World};

@@ -1,0 +1,137 @@
+//! Handle-based nonblocking collectives.
+//!
+//! `start_*` methods hand the blocking collective to a helper thread and
+//! return a [`PendingOp`] immediately; the caller overlaps local compute
+//! with the in-flight exchange and later calls [`PendingOp::wait`] (or
+//! [`PendingOp::try_wait`]) for the result. The helper thread runs the
+//! exact same `try_*` path as the blocking form, so FaultPlan injection,
+//! deadline bounds and typed [`CommError`]s are inherited unchanged — a
+//! peer crash or stall between `start` and `wait` surfaces as the same
+//! typed error the blocking call would have returned, never a hang.
+//!
+//! The one-outstanding-op-per-communicator rule of the rendezvous slots
+//! still applies: do not issue another operation on the same communicator
+//! (from this rank) until the pending one is waited. Overlapping pipelines
+//! use a second communicator (see the dist collision exchange) exactly as
+//! real MPI codes use a second `MPI_Comm` for double-buffered transposes.
+
+use crate::communicator::Communicator;
+use crate::fault::CommError;
+use std::thread::JoinHandle;
+use xg_linalg::Complex64;
+
+/// An in-flight nonblocking collective (the analogue of an `MPI_Request`).
+///
+/// Must be consumed with [`PendingOp::wait`] or [`PendingOp::try_wait`];
+/// dropping it without waiting detaches the helper thread, which still
+/// completes (or fails) the collective on behalf of this rank so peers are
+/// never left hanging.
+#[must_use = "a pending collective must be wait()ed for its result"]
+pub struct PendingOp<T> {
+    handle: JoinHandle<Result<T, CommError>>,
+}
+
+impl<T> PendingOp<T> {
+    fn spawn(f: impl FnOnce() -> Result<T, CommError> + Send + 'static) -> Self
+    where
+        T: Send + 'static,
+    {
+        Self { handle: std::thread::spawn(f) }
+    }
+
+    /// Block until the collective completes; panics with the typed
+    /// [`CommError`] as payload on failure (the plain-form convention, so
+    /// `World::run_fallible` converts it back to a `RankOutcome`).
+    pub fn wait(self) -> T {
+        self.try_wait().unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// Block until the collective completes, returning a typed error on
+    /// peer failure, injected fault, or deadline expiry.
+    pub fn try_wait(self) -> Result<T, CommError> {
+        match self.handle.join() {
+            Ok(res) => res,
+            // The helper runs only `try_` paths, so a panic there is either
+            // a typed error thrown through a plain-form call or a real bug.
+            Err(payload) => match payload.downcast::<CommError>() {
+                Ok(e) => Err(*e),
+                Err(other) => std::panic::resume_unwind(other),
+            },
+        }
+    }
+
+    /// True once the collective has completed (successfully or not);
+    /// `wait` will not block after this returns true.
+    pub fn is_finished(&self) -> bool {
+        self.handle.is_finished()
+    }
+}
+
+impl Communicator {
+    /// Nonblocking [`Communicator::all_reduce_sum_complex`]: takes the
+    /// buffer by value, returns a handle whose `wait` yields the reduced
+    /// buffer (bitwise identical to the blocking form's rank-order sum).
+    pub fn start_all_reduce_sum_complex(
+        &self,
+        mut buf: Vec<Complex64>,
+    ) -> PendingOp<Vec<Complex64>> {
+        let c = self.clone();
+        PendingOp::spawn(move || {
+            c.try_all_reduce_sum_complex(&mut buf)?;
+            Ok(buf)
+        })
+    }
+
+    /// Nonblocking [`Communicator::all_to_all_v_take`]: the transpose runs
+    /// on a helper thread while this rank computes; `wait` returns the
+    /// received blocks with the same move semantics as the blocking form.
+    pub fn start_all_to_all_v_take<T: Send + 'static>(
+        &self,
+        send: Vec<Vec<T>>,
+    ) -> PendingOp<Vec<Vec<T>>> {
+        let c = self.clone();
+        PendingOp::spawn(move || c.try_all_to_all_v_take(send))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::World;
+    use xg_linalg::Complex64;
+
+    #[test]
+    fn nonblocking_allreduce_matches_blocking() {
+        let out = World::new(3).run(|c| {
+            let buf: Vec<Complex64> =
+                (0..5).map(|i| Complex64::new(i as f64, c.rank() as f64)).collect();
+            let mut blocking = buf.clone();
+            let pending = c.start_all_reduce_sum_complex(buf);
+            let reduced = pending.wait();
+            c.all_reduce_sum_complex(&mut blocking);
+            (reduced, blocking)
+        });
+        for (nb, b) in out {
+            assert_eq!(nb, b);
+        }
+    }
+
+    #[test]
+    fn nonblocking_transpose_overlaps_compute() {
+        let p = 4;
+        let out = World::new(p).run(|c| {
+            let send: Vec<Vec<u32>> =
+                (0..p).map(|j| vec![(c.rank() * 100 + j) as u32; j + 1]).collect();
+            let pending = c.start_all_to_all_v_take(send);
+            // "Compute" while the exchange is in flight.
+            let local: u32 = (0..100u32).sum();
+            let recv = pending.wait();
+            (local, recv)
+        });
+        for (me, (local, recv)) in out.into_iter().enumerate() {
+            assert_eq!(local, 4950);
+            for (src, blk) in recv.into_iter().enumerate() {
+                assert_eq!(blk, vec![(src * 100 + me) as u32; me + 1]);
+            }
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Integration tests for the collective operations across real threads.
 
-use xg_comm::{OpKind, World};
+use std::time::Duration;
+use xg_comm::{CommError, FaultKind, FaultPlan, FaultSpec, OpKind, World};
 use xg_linalg::Complex64;
 
 #[test]
@@ -281,6 +282,110 @@ fn traffic_log_captures_ops_per_phase() {
         assert_eq!(a2a.len(), 1);
         assert_eq!(a2a[0].phase, "coll");
         assert_eq!(a2a[0].bytes, 4 * 16 * 8);
+    }
+}
+
+// --- Nonblocking handles under fault injection -------------------------
+//
+// A crash, stall, or delay firing between `start` and `wait` must surface
+// as a typed CommError from `try_wait` (or complete harmlessly for a
+// bounded delay) — never a hang. Deadlines bound every internal wait.
+
+#[test]
+fn nonblocking_allreduce_crash_between_start_and_wait_is_typed() {
+    let outcomes: Vec<_> = World::new(4)
+        .with_deadline(Duration::from_secs(5))
+        .with_fault_plan(FaultPlan::crash(2, 1))
+        .run_fallible(|c| {
+            c.try_barrier()?; // op 0 everywhere; rank 2 dies at op 1
+            let pending = c.start_all_reduce_sum_complex(vec![Complex64::new(1.0, 0.0); 8]);
+            let buf = pending.try_wait()?;
+            Ok(buf.len())
+        })
+        .into_iter()
+        .map(|(o, _)| o)
+        .collect();
+    for (r, o) in outcomes.iter().enumerate() {
+        match o.err() {
+            Some(CommError::PeerFailed { rank, .. }) => assert_eq!(*rank, 2),
+            Some(CommError::Timeout { missing, .. }) => assert!(missing.contains(&2)),
+            None => panic!("rank {r} must not complete an allreduce past a crashed peer"),
+        }
+    }
+}
+
+#[test]
+fn nonblocking_transpose_crash_between_start_and_wait_is_typed() {
+    let outcomes: Vec<_> = World::new(4)
+        .with_deadline(Duration::from_secs(5))
+        .with_fault_plan(FaultPlan::crash(2, 1))
+        .run_fallible(|c| {
+            c.try_barrier()?;
+            let send: Vec<Vec<u64>> =
+                (0..c.size()).map(|j| vec![(c.rank() + j) as u64]).collect();
+            let pending = c.start_all_to_all_v_take(send);
+            let recv = pending.try_wait()?;
+            Ok(recv.len())
+        })
+        .into_iter()
+        .map(|(o, _)| o)
+        .collect();
+    for (r, o) in outcomes.iter().enumerate() {
+        match o.err() {
+            Some(CommError::PeerFailed { rank, .. }) => assert_eq!(*rank, 2),
+            Some(CommError::Timeout { missing, .. }) => assert!(missing.contains(&2)),
+            None => panic!("rank {r} must not complete a transpose past a crashed peer"),
+        }
+    }
+}
+
+#[test]
+fn nonblocking_stall_past_deadline_times_out_waiters() {
+    // Rank 1 stalls 10× the deadline inside the collective its peers have
+    // already started; every waiter must get a typed error, not hang.
+    let outcomes: Vec<_> = World::new(3)
+        .with_deadline(Duration::from_millis(150))
+        .with_fault_plan(
+            FaultPlan::new().with(FaultSpec { rank: 1, at_op: 1, kind: FaultKind::Stall(1500) }),
+        )
+        .run_fallible(|c| {
+            c.try_barrier()?;
+            let pending = c.start_all_reduce_sum_complex(vec![Complex64::ZERO; 4]);
+            let buf = pending.try_wait()?;
+            Ok(buf.len())
+        })
+        .into_iter()
+        .map(|(o, _)| o)
+        .collect();
+    for (r, o) in outcomes.iter().enumerate() {
+        if r == 1 {
+            continue; // the stalled rank wakes into an already-failed world
+        }
+        match o.err() {
+            Some(CommError::PeerFailed { rank, .. }) => assert_eq!(*rank, 1),
+            Some(CommError::Timeout { missing, .. }) => assert!(missing.contains(&1)),
+            None => panic!("rank {r} must not complete past a stalled peer"),
+        }
+    }
+}
+
+#[test]
+fn nonblocking_delay_under_deadline_completes_with_fault_record() {
+    let results = World::new(2)
+        .with_deadline(Duration::from_secs(5))
+        .with_fault_plan(
+            FaultPlan::new().with(FaultSpec { rank: 0, at_op: 1, kind: FaultKind::Delay(30) }),
+        )
+        .run_fallible(|c| {
+            c.try_barrier()?;
+            let pending = c.start_all_reduce_sum_complex(vec![Complex64::new(1.0, 0.0); 2]);
+            pending.try_wait()
+        });
+    for (r, (o, trace)) in results.into_iter().enumerate() {
+        let buf = o.ok().expect("bounded delay must not fail the run");
+        assert_eq!(buf, vec![Complex64::new(2.0, 0.0); 2]);
+        let faults = trace.iter().filter(|t| t.op == OpKind::Fault).count();
+        assert_eq!(faults, usize::from(r == 0), "only the delayed rank logs the fault");
     }
 }
 

@@ -97,7 +97,7 @@ fn figure3_comm_pattern() {
         let ar = s.str_allreduce().expect("str AllReduce must appear");
         assert_eq!(ar.comm_label, "nv");
         assert_eq!(ar.participants, grid.n1, "AllReduce stays per-simulation");
-        assert_eq!(ar.count, 8, "2 moments × 4 RK stages");
+        assert_eq!(ar.count, 4, "one fused collective × 4 RK stages");
         let a2a = s.coll_alltoall().expect("coll AllToAll must appear");
         assert_eq!(a2a.comm_label, "coll-ens", "coll comm must be separated");
         assert_eq!(a2a.participants, k * grid.n1, "coll spans the ensemble");

@@ -21,7 +21,7 @@ pub mod machine;
 pub mod machinefile;
 
 pub use account::{critical_path, op_time, trace_breakdown, PhaseBreakdown};
-pub use algorithms::{allreduce_time_with, AllReduceAlgo, ALL_ALGOS};
+pub use algorithms::{allreduce_time_with, best_allreduce_algo, AllReduceAlgo, ALL_ALGOS};
 pub use collective::{
     allgather_time, allreduce_time, alltoall_time, barrier_time, broadcast_time, CollectiveShape,
 };

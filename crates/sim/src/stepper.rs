@@ -14,7 +14,7 @@ use crate::grid::{ConfigGrid, VelocityGrid};
 use crate::input::CgyroInput;
 use crate::streaming::StrKernel;
 use xg_linalg::Complex64;
-use xg_tensor::{PhaseLayout, Tensor3};
+use xg_tensor::{pack_moments, unpack_moments, PhaseLayout, Tensor3};
 
 /// The parallel-topology seam. See module docs.
 pub trait Topology {
@@ -22,6 +22,20 @@ pub trait Topology {
     /// AllReduce over the `nv`-splitting communicator. No-op when `nv` is
     /// not split.
     fn reduce_moment(&self, buf: &mut [Complex64]);
+
+    /// Complete `moments` equally-sized velocity-moment partial sums packed
+    /// contiguously in `buf` (the fused str-phase reduction). The default
+    /// reduces each section separately — bitwise identical to the fused
+    /// form because the rank-order elementwise sum of a concatenation is the
+    /// concatenation of the per-section sums. Distributed topologies
+    /// override this to issue one collective (or a reduce-scatter +
+    /// allgather pair) for the whole packed buffer.
+    fn reduce_moment_block(&self, buf: &mut [Complex64], moments: usize) {
+        let n = buf.len() / moments.max(1);
+        for chunk in buf.chunks_mut(n.max(1)).take(moments) {
+            self.reduce_moment(chunk);
+        }
+    }
 
     /// The collision step: redistribute `h` into the coll layout (possibly
     /// ensemble-wide), apply the locally held `cmat` slice, redistribute
@@ -94,6 +108,8 @@ pub struct Simulation<T: Topology> {
     phi: Vec<Complex64>,
     apar: Vec<Complex64>,
     upw: Vec<Complex64>,
+    /// Staging buffer for the fused str-phase reduction (packed moments).
+    fused: Vec<Complex64>,
     time: f64,
     steps_taken: u64,
 }
@@ -157,6 +173,7 @@ impl<T: Topology> Simulation<T> {
         Self {
             upw: phi.clone(),
             apar: phi.clone(),
+            fused: Vec::new(),
             phi,
             h0: zeros3.clone(),
             stage: zeros3.clone(),
@@ -223,22 +240,32 @@ impl<T: Topology> Simulation<T> {
     /// (str + drive + upwind correction + nl).
     fn eval_rhs(&mut self, stage: &Tensor3<Complex64>) {
         self.topo.set_phase("str");
-        // Field solve: partial moment + AllReduce + normalize (Figure 1,
-        // AllReduce #1).
+        // Fused str-phase reduction: compute all velocity-moment partials
+        // first (none depends on a completed reduction), pack them into one
+        // contiguous staging buffer, and complete them with a single
+        // collective per RK stage instead of Figure 1's three (two
+        // electrostatic — the A∥ slot is elided). Elementwise rank-order
+        // summation makes this bitwise identical to the sequential form.
         self.field.partial_moment(stage, &mut self.phi);
-        self.topo.reduce_moment(&mut self.phi);
-        self.field.finalize(&mut self.phi);
-        // Parallel Ampère solve (electromagnetic runs only): a second
-        // moment family on the same communicator — `apar` stays exactly
-        // zero in electrostatic runs.
         if self.field.em_enabled() {
             self.field.partial_current(stage, &mut self.apar);
-            self.topo.reduce_moment(&mut self.apar);
+            self.strk.partial_upwind(stage, &mut self.upw);
+            pack_moments(&[&self.phi, &self.apar, &self.upw], &mut self.fused);
+            self.topo.reduce_moment_block(&mut self.fused, 3);
+            unpack_moments(
+                &self.fused,
+                &mut [&mut self.phi, &mut self.apar, &mut self.upw],
+            );
+        } else {
+            self.strk.partial_upwind(stage, &mut self.upw);
+            pack_moments(&[&self.phi, &self.upw], &mut self.fused);
+            self.topo.reduce_moment_block(&mut self.fused, 2);
+            unpack_moments(&self.fused, &mut [&mut self.phi, &mut self.upw]);
+        }
+        self.field.finalize(&mut self.phi);
+        if self.field.em_enabled() {
             self.field.finalize_apar(&mut self.apar);
         }
-        // Upwind moment (Figure 1, AllReduce #2).
-        self.strk.partial_upwind(stage, &mut self.upw);
-        self.topo.reduce_moment(&mut self.upw);
         // Streaming/drift/drive stencil work.
         self.strk.rhs(stage, &self.phi, &self.apar, &self.upw, &mut self.rhs);
         // Nonlinear phase (its own transposes; never feeds coll directly).
@@ -379,6 +406,10 @@ impl<T: Topology> Simulation<T> {
                 }
             }
         }
+        // The heat moment is a diagnostics-only reduction, not part of the
+        // field solve — tag it separately so traces can distinguish
+        // reporting-cadence traffic from per-stage field traffic.
+        self.topo.set_phase("diag");
         self.topo.reduce_moment(&mut heat);
 
         // Local (per-(ic,it)-unique) sums.

@@ -150,14 +150,15 @@ fn comm_pattern_shows_nv_comm_reuse() {
             .iter()
             .filter(|r| r.op == xg_comm::OpKind::AllReduce && r.phase == "str")
             .collect();
-        // 2 AllReduce (field + upwind) × 4 RK stages.
-        assert_eq!(ar.len(), 8, "expected 8 str AllReduces, got {}", ar.len());
+        // 1 fused AllReduce (field + upwind packed) × 4 RK stages.
+        assert_eq!(ar.len(), 4, "expected 4 fused str AllReduces, got {}", ar.len());
         assert!(ar.iter().all(|r| r.comm_label == "nv"));
         let a2a: Vec<_> = log
             .iter()
             .filter(|r| r.op == xg_comm::OpKind::AllToAll && r.phase == "coll")
             .collect();
-        assert_eq!(a2a.len(), 2, "coll transpose there and back");
+        // Pipelined per-slice transpose: nt_loc = 2 slices × 2 directions.
+        assert_eq!(a2a.len(), 4, "coll transpose there and back per slice");
         assert!(
             a2a.iter().all(|r| r.comm_label == "nv"),
             "CGYRO must reuse the nv communicator for the coll transpose"

@@ -62,8 +62,8 @@ fn em_run_adds_one_allreduce_family_per_stage() {
     };
     let es = count_str_ar(&em_deck(0.0));
     let em = count_str_ar(&em_deck(0.01));
-    assert_eq!(es, 8, "electrostatic: (field + upwind) x 4 stages");
-    assert_eq!(em, 12, "electromagnetic: (field + current + upwind) x 4 stages");
+    assert_eq!(es, 4, "electrostatic: one fused (field + upwind) collective x 4 stages");
+    assert_eq!(em, 4, "electromagnetic: one fused (field + current + upwind) collective x 4 stages");
 }
 
 #[test]

@@ -1,0 +1,273 @@
+//! Acceptance tests for the fused / reduce-scatter / unfused str-phase
+//! reduction layer: exactly one collective per RK stage when fused, bitwise
+//! identity across all three algorithms (including ragged decompositions),
+//! and bitwise identity of the pipelined collision exchange against the
+//! blocked one.
+
+use proptest::prelude::*;
+use xg_comm::World;
+use xg_linalg::Complex64;
+use xg_sim::{CgyroInput, DistTopology, ResolvedReduceAlgo, Simulation};
+use xg_tensor::{PhaseLayout, ProcGrid, Tensor3};
+
+/// Run a distributed simulation with the str reduction algorithm pinned,
+/// returning the reassembled global distribution.
+fn run_with_algo(
+    input: &CgyroInput,
+    grid: ProcGrid,
+    steps: usize,
+    algo: ResolvedReduceAlgo,
+) -> Tensor3<Complex64> {
+    let dims = input.dims();
+    let world = World::new(grid.size());
+    let results = world.run(move |comm| {
+        let mut topo = DistTopology::cgyro(input, grid, comm);
+        topo.set_reduce_algo(algo);
+        let layout = PhaseLayout::new(dims, grid, topo.sim_comm().rank());
+        let mut sim = Simulation::new(input.clone(), topo);
+        sim.run_steps(steps);
+        (layout.nv_range(), layout.nt_range(), sim.h().clone())
+    });
+    reassemble(dims, results)
+}
+
+/// Run with the collision pipeline forced on or off (algorithm left on the
+/// default resolution), returning the reassembled global distribution.
+fn run_with_pipeline(
+    input: &CgyroInput,
+    grid: ProcGrid,
+    steps: usize,
+    pipeline: bool,
+) -> Tensor3<Complex64> {
+    let dims = input.dims();
+    let world = World::new(grid.size());
+    let results = world.run(move |comm| {
+        let mut topo = DistTopology::cgyro(input, grid, comm);
+        topo.set_coll_pipeline(pipeline);
+        let layout = PhaseLayout::new(dims, grid, topo.sim_comm().rank());
+        let mut sim = Simulation::new(input.clone(), topo);
+        sim.run_steps(steps);
+        (layout.nv_range(), layout.nt_range(), sim.h().clone())
+    });
+    reassemble(dims, results)
+}
+
+fn reassemble(
+    dims: xg_tensor::SimDims,
+    results: Vec<(
+        std::ops::Range<usize>,
+        std::ops::Range<usize>,
+        Tensor3<Complex64>,
+    )>,
+) -> Tensor3<Complex64> {
+    let mut global = Tensor3::new(dims.nc, dims.nv, dims.nt);
+    for (nv_r, nt_r, h) in results {
+        for ic in 0..dims.nc {
+            for (ivl, iv) in nv_r.clone().enumerate() {
+                for (itl, it) in nt_r.clone().enumerate() {
+                    global[(ic, iv, it)] = h[(ic, ivl, itl)];
+                }
+            }
+        }
+    }
+    global
+}
+
+#[test]
+fn fused_electrostatic_runs_one_collective_per_rk_stage() {
+    // Acceptance criterion: with the fused algorithm pinned, an
+    // electrostatic step issues exactly ONE str-phase collective per RK
+    // stage (4 stages), each carrying 2 packed moments (phi + upwind).
+    let input = CgyroInput::test_small();
+    assert_eq!(input.beta_e, 0.0, "test_small must be electrostatic");
+    let grid = ProcGrid::new(2, 1);
+    let world = World::new(grid.size());
+    let out = world.run_with_logs(|comm| {
+        let log = comm.log().clone();
+        let mut topo = DistTopology::cgyro(&input, grid, comm);
+        topo.set_reduce_algo(ResolvedReduceAlgo::Fused);
+        let mut sim = Simulation::new(input.clone(), topo);
+        sim.step();
+        (
+            log.fused_reduction_stats(),
+            log.unfused_reduction_stats(),
+        )
+    });
+    for (((fused_calls, fused_moments, fused_bytes), (unfused_calls, _)), records) in out {
+        let str_collectives: Vec<_> = records
+            .iter()
+            .filter(|r| r.phase == "str")
+            .collect();
+        assert_eq!(
+            str_collectives.len(),
+            4,
+            "one fused collective per RK stage, got {}",
+            str_collectives.len()
+        );
+        assert!(str_collectives
+            .iter()
+            .all(|r| r.op == xg_comm::OpKind::AllReduce));
+        // The TrafficLog counters agree: 4 fused calls carrying 2 moments
+        // each, and no unfused str reductions at all.
+        assert_eq!(fused_calls, 4);
+        assert_eq!(fused_moments, 8);
+        assert!(fused_bytes > 0);
+        assert_eq!(unfused_calls, 0, "no unfused reductions when fused");
+    }
+}
+
+#[test]
+fn fused_electromagnetic_packs_three_moments_per_stage() {
+    let mut input = CgyroInput::test_small();
+    input.beta_e = 0.004;
+    let grid = ProcGrid::new(2, 1);
+    let world = World::new(grid.size());
+    let out = world.run_with_logs(|comm| {
+        let log = comm.log().clone();
+        let mut topo = DistTopology::cgyro(&input, grid, comm);
+        topo.set_reduce_algo(ResolvedReduceAlgo::Fused);
+        let mut sim = Simulation::new(input.clone(), topo);
+        sim.step();
+        log.fused_reduction_stats()
+    });
+    for ((calls, moments, _), records) in out {
+        let n = records.iter().filter(|r| r.phase == "str").count();
+        assert_eq!(n, 4, "EM fusion still one collective per stage");
+        assert_eq!(calls, 4);
+        assert_eq!(moments, 12, "phi + apar + upwind packed per stage");
+    }
+}
+
+#[test]
+fn unfused_algo_issues_separate_collectives_and_counts_them() {
+    let input = CgyroInput::test_small();
+    let grid = ProcGrid::new(2, 1);
+    let world = World::new(grid.size());
+    let out = world.run_with_logs(|comm| {
+        let log = comm.log().clone();
+        let mut topo = DistTopology::cgyro(&input, grid, comm);
+        topo.set_reduce_algo(ResolvedReduceAlgo::Unfused);
+        let mut sim = Simulation::new(input.clone(), topo);
+        sim.step();
+        (log.fused_reduction_stats(), log.unfused_reduction_stats())
+    });
+    for (((fused_calls, _, _), (unfused_calls, unfused_bytes)), records) in out {
+        let n = records.iter().filter(|r| r.phase == "str").count();
+        assert_eq!(n, 8, "2 moments × 4 RK stages when unfused");
+        assert_eq!(fused_calls, 0);
+        assert_eq!(unfused_calls, 8);
+        assert!(unfused_bytes > 0);
+    }
+}
+
+#[test]
+fn reduce_scatter_runs_scatter_then_gather_per_stage() {
+    let input = CgyroInput::test_small();
+    let grid = ProcGrid::new(3, 1);
+    let world = World::new(grid.size());
+    let out = world.run_with_logs(|comm| {
+        let mut topo = DistTopology::cgyro(&input, grid, comm);
+        topo.set_reduce_algo(ResolvedReduceAlgo::ReduceScatter);
+        let mut sim = Simulation::new(input.clone(), topo);
+        sim.step();
+    });
+    for (_, records) in out {
+        // reduce_scatter is logged as an AllReduce-family op; the gather
+        // half shows up as an AllGather — one of each per RK stage.
+        let rs = records
+            .iter()
+            .filter(|r| r.phase == "str" && r.op == xg_comm::OpKind::AllReduce)
+            .count();
+        let ag = records
+            .iter()
+            .filter(|r| r.phase == "str" && r.op == xg_comm::OpKind::AllGather)
+            .count();
+        assert_eq!(rs, 4, "one reduce-scatter per RK stage");
+        assert_eq!(ag, 4, "one allgather per RK stage");
+    }
+}
+
+#[test]
+fn all_three_algorithms_are_bitwise_identical_on_ragged_grids() {
+    // nv = 24 in test_small; n1 = 5 gives parts [5,5,5,5,4] — ragged.
+    let mut input = CgyroInput::test_small();
+    input.nonlinear_coupling = 0.2;
+    for grid in [ProcGrid::new(2, 1), ProcGrid::new(5, 1), ProcGrid::new(3, 2)] {
+        let fused = run_with_algo(&input, grid, 3, ResolvedReduceAlgo::Fused);
+        let rs = run_with_algo(&input, grid, 3, ResolvedReduceAlgo::ReduceScatter);
+        let unfused = run_with_algo(&input, grid, 3, ResolvedReduceAlgo::Unfused);
+        assert_eq!(
+            fused.as_slice(),
+            rs.as_slice(),
+            "fused vs reduce-scatter differ on grid {}x{}",
+            grid.n1,
+            grid.n2
+        );
+        assert_eq!(
+            fused.as_slice(),
+            unfused.as_slice(),
+            "fused vs unfused differ on grid {}x{}",
+            grid.n1,
+            grid.n2
+        );
+    }
+}
+
+#[test]
+fn electromagnetic_algorithms_are_bitwise_identical() {
+    let mut input = CgyroInput::test_small();
+    input.beta_e = 0.004;
+    let grid = ProcGrid::new(5, 1);
+    let fused = run_with_algo(&input, grid, 3, ResolvedReduceAlgo::Fused);
+    let rs = run_with_algo(&input, grid, 3, ResolvedReduceAlgo::ReduceScatter);
+    let unfused = run_with_algo(&input, grid, 3, ResolvedReduceAlgo::Unfused);
+    assert_eq!(fused.as_slice(), rs.as_slice());
+    assert_eq!(fused.as_slice(), unfused.as_slice());
+}
+
+#[test]
+fn pipelined_collision_exchange_is_bitwise_identical_to_blocked() {
+    // nt = 8 on a (2, 1) grid gives nt_loc = 8 slices to pipeline; the
+    // FFT nonlinear bracket makes the state rich enough to catch any
+    // mis-sliced pack/unpack.
+    let mut input = CgyroInput::test_small();
+    input.n_toroidal = 8;
+    input.nonlinear_coupling = 0.15;
+    let grid = ProcGrid::new(2, 1);
+    let piped = run_with_pipeline(&input, grid, 3, true);
+    let blocked = run_with_pipeline(&input, grid, 3, false);
+    assert_eq!(piped.as_slice(), blocked.as_slice());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Acceptance criterion: fused, reduce-scatter, and unfused reductions
+    /// are bitwise identical for arbitrary small decks across ragged
+    /// decompositions.
+    #[test]
+    fn reduce_algos_bitwise_identical_for_any_deck(
+        n_xi in 3usize..6,
+        n_energy in 2usize..4,
+        n_radial in 2usize..4,
+        n1 in 2usize..6,
+        em in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let em = em == 1;
+        let mut input = CgyroInput::test_small();
+        input.n_xi = n_xi;
+        input.n_energy = n_energy;
+        input.n_radial = n_radial;
+        input.seed = seed;
+        if em {
+            input.beta_e = 0.003;
+        }
+        let grid = ProcGrid::new(n1, 1);
+        let fused = run_with_algo(&input, grid, 2, ResolvedReduceAlgo::Fused);
+        let rs = run_with_algo(&input, grid, 2, ResolvedReduceAlgo::ReduceScatter);
+        let unfused = run_with_algo(&input, grid, 2, ResolvedReduceAlgo::Unfused);
+        prop_assert_eq!(fused.as_slice(), rs.as_slice());
+        prop_assert_eq!(fused.as_slice(), unfused.as_slice());
+    }
+}

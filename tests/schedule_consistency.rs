@@ -25,7 +25,8 @@ fn functional_trace_matches_mini_schedule_counts() {
     let nv_loc = Decomp1D::new(dims.nv, grid.n1).count(0);
     let nt_loc = Decomp1D::new(dims.nt, grid.n2).count(0);
 
-    // str AllReduce: moments × stages × steps, each nc·nt_loc complex.
+    // str AllReduce: fused reductions × stages × steps, each carrying
+    // `moments_per_reduction` packed nc·nt_loc moment buffers.
     let str_ar: Vec<_> = trace
         .iter()
         .filter(|r| r.op == OpKind::AllReduce && r.phase == "str")
@@ -36,7 +37,11 @@ fn functional_trace_matches_mini_schedule_counts() {
         "str AllReduce count"
     );
     for r in &str_ar {
-        assert_eq!(r.bytes, (dims.nc * nt_loc * 16) as u64, "moment buffer bytes");
+        assert_eq!(
+            r.bytes,
+            (dims.nc * nt_loc * policy.moments_per_reduction * 16) as u64,
+            "fused moment buffer bytes"
+        );
         assert_eq!(r.participants, grid.n1);
     }
 

@@ -1,0 +1,256 @@
+//! Measured campaign-batching benchmark: N sweep jobs served through the
+//! `xg-serve` campaign service (cmat-key batching on) vs the same N decks
+//! run back-to-back as independent `k = 1` XGYRO jobs.
+//!
+//! This is the measurement behind `BENCH_batching.json` and the serving
+//! chapter's efficiency claim: grouping key-compatible jobs into one
+//! shared-cmat ensemble builds the collisional constant tensor **once per
+//! batch** instead of once per job, so the batched campaign's wall time
+//! and memory both shrink as occupancy grows. Both paths execute on the
+//! same process grid with one worker, so the comparison isolates
+//! amortization, not parallelism.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+use xg_serve::{CampaignServer, JobSpec, JobState, ServerConfig};
+use xg_sim::CgyroInput;
+use xgyro_core::{run_xgyro, EnsembleConfig};
+
+/// Sweep configuration for the campaign-batching benchmark.
+pub struct BatchingBenchConfig {
+    /// Campaign sizes (total submitted jobs) to sweep.
+    pub n_jobs_values: Vec<usize>,
+    /// Distinct cmat keys per campaign (jobs are dealt round-robin).
+    pub n_keys_values: Vec<usize>,
+    /// Time steps per job (must be a multiple of the deck's report cadence).
+    pub steps: usize,
+}
+
+impl BatchingBenchConfig {
+    /// The full sweep used to generate `BENCH_batching.json`.
+    pub fn full() -> Self {
+        Self { n_jobs_values: vec![6, 12], n_keys_values: vec![1, 2, 3], steps: 20 }
+    }
+
+    /// Tiny smoke-test sweep for CI (seconds, not minutes).
+    pub fn quick() -> Self {
+        Self { n_jobs_values: vec![6], n_keys_values: vec![1, 2], steps: 10 }
+    }
+}
+
+/// One measured `(n_jobs, n_keys)` campaign.
+pub struct BatchingBenchResult {
+    /// Jobs submitted.
+    pub n_jobs: usize,
+    /// Distinct cmat keys among them.
+    pub n_keys: usize,
+    /// Batch-size cap the grouper applied (planner-fed).
+    pub k_max: usize,
+    /// Shared-cmat batches the campaign dispatched.
+    pub batches: usize,
+    /// Mean jobs per batch.
+    pub mean_occupancy: f64,
+    /// Wall ms, submit-through-drain on the campaign server.
+    pub batched_ms: f64,
+    /// Wall ms, the same decks as independent `k = 1` runs.
+    pub unbatched_ms: f64,
+    /// unbatched / batched.
+    pub speedup: f64,
+    /// cmat bytes the batching avoided allocating (server metric).
+    pub cmat_saved_bytes: u64,
+    /// Saved fraction of the unbatched cmat footprint.
+    pub saved_ratio: f64,
+}
+
+/// The campaign decks: `n_jobs` gradient variants dealt round-robin over
+/// `n_keys` collisionality values (distinct `nu_ee` → distinct cmat key).
+fn sweep_decks(n_jobs: usize, n_keys: usize) -> Vec<CgyroInput> {
+    let base = CgyroInput::test_small();
+    (0..n_jobs)
+        .map(|i| {
+            let mut d = base.with_gradients(1.0 + 0.2 * i as f64, 2.0 + 0.1 * i as f64);
+            d.nu_ee = 0.1 * (1 + i % n_keys) as f64;
+            d
+        })
+        .collect()
+}
+
+/// Run the sweep. Each point serves the campaign once and replays the same
+/// decks unbatched on the identical process grid.
+pub fn run_batching_bench(cfg: &BatchingBenchConfig) -> Vec<BatchingBenchResult> {
+    let mut out = Vec::new();
+    for &n_jobs in &cfg.n_jobs_values {
+        for &n_keys in &cfg.n_keys_values {
+            out.push(measure_point(n_jobs, n_keys, cfg.steps));
+        }
+    }
+    out
+}
+
+fn measure_point(n_jobs: usize, n_keys: usize, steps: usize) -> BatchingBenchResult {
+    let mut scfg = ServerConfig::local_test();
+    // One worker and drain-driven flushing: serialized execution on both
+    // sides, so the delta is cmat amortization, not thread parallelism.
+    scfg.workers = 1;
+    scfg.linger = Duration::from_secs(600);
+    scfg.queue_capacity = n_jobs.max(scfg.queue_capacity);
+    let k_max = scfg.k_max;
+    let grid = scfg.grid;
+    let decks = sweep_decks(n_jobs, n_keys);
+
+    let server = CampaignServer::start(scfg);
+    let t0 = Instant::now();
+    let ids: Vec<_> = decks
+        .iter()
+        .map(|d| {
+            server
+                .submit(JobSpec::new(d.clone(), steps))
+                .expect("bench campaign fits the queue")
+        })
+        .collect();
+    assert!(server.drain(Duration::from_secs(600)), "campaign drain timed out");
+    let batched = t0.elapsed();
+    for id in &ids {
+        assert_eq!(server.status(*id).expect("known job").state, JobState::Done);
+    }
+    let json = server.metrics_json();
+    let cmat_saved_bytes = metric_u64(&json, "cmat_saved_bytes");
+    let cmat_unbatched_bytes = metric_u64(&json, "cmat_unbatched_bytes");
+    let batches = ids
+        .iter()
+        .map(|id| server.status(*id).expect("known job").batch)
+        .collect::<std::collections::BTreeSet<_>>()
+        .len();
+    server.shutdown();
+
+    let t0 = Instant::now();
+    for d in &decks {
+        let cfg = EnsembleConfig::new(vec![d.clone()], grid).expect("valid deck");
+        let out = run_xgyro(&cfg, steps);
+        assert_eq!(out.sims.len(), 1);
+    }
+    let unbatched = t0.elapsed();
+
+    let (batched_ms, unbatched_ms) =
+        (batched.as_secs_f64() * 1e3, unbatched.as_secs_f64() * 1e3);
+    BatchingBenchResult {
+        n_jobs,
+        n_keys,
+        k_max,
+        batches,
+        mean_occupancy: n_jobs as f64 / batches as f64,
+        batched_ms,
+        unbatched_ms,
+        speedup: unbatched_ms / batched_ms,
+        cmat_saved_bytes,
+        saved_ratio: cmat_saved_bytes as f64 / cmat_unbatched_bytes as f64,
+    }
+}
+
+/// Pull `"key": N` out of the server's metrics JSON (hand-rolled on both
+/// sides: the workspace deliberately has no JSON dependency).
+fn metric_u64(json: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\": ");
+    let at = json.find(&pat).unwrap_or_else(|| panic!("metric {key} missing: {json}"));
+    json[at + pat.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("integer metric")
+}
+
+/// Render the results as the `BENCH_batching.json` document.
+pub fn batching_bench_json(results: &[BatchingBenchResult]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"batching\",\n");
+    s.push_str(
+        "  \"description\": \"campaign served through xg-serve with cmat-key batching \
+         vs the same decks as independent k=1 XGYRO runs, one worker, same grid\",\n",
+    );
+    s.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"n_jobs\": {}, \"n_keys\": {}, \"k_max\": {}, \"batches\": {}, \
+             \"mean_occupancy\": {:.2}, \"batched_ms\": {:.1}, \"unbatched_ms\": {:.1}, \
+             \"speedup\": {:.3}, \"cmat_saved_bytes\": {}, \"saved_ratio\": {:.4}}}",
+            r.n_jobs,
+            r.n_keys,
+            r.k_max,
+            r.batches,
+            r.mean_occupancy,
+            r.batched_ms,
+            r.unbatched_ms,
+            r.speedup,
+            r.cmat_saved_bytes,
+            r.saved_ratio
+        );
+        s.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Human-readable table of the same results.
+pub fn batching_bench_report(results: &[BatchingBenchResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "P3: campaign batching efficiency (served vs k=1 runs)");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>6} {:>6} {:>8} {:>6} {:>12} {:>12} {:>8} {:>12} {:>7}",
+        "jobs", "keys", "k_max", "batches", "occ", "batched_ms", "unbatch_ms", "speedup",
+        "saved_B", "saved%"
+    );
+    for r in results {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>6} {:>6} {:>8} {:>6.2} {:>12.1} {:>12.1} {:>8.2} {:>12} {:>7.1}",
+            r.n_jobs,
+            r.n_keys,
+            r.k_max,
+            r.batches,
+            r.mean_occupancy,
+            r.batched_ms,
+            r.unbatched_ms,
+            r.speedup,
+            r.cmat_saved_bytes,
+            100.0 * r.saved_ratio
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_produces_wellformed_results() {
+        let cfg = BatchingBenchConfig {
+            n_jobs_values: vec![3],
+            n_keys_values: vec![1],
+            steps: 10,
+        };
+        let results = run_batching_bench(&cfg);
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        // 3 jobs, 1 key, k_max 3 → one full batch saving 2 cmat copies.
+        assert_eq!(r.batches, 1);
+        assert_eq!(r.mean_occupancy, 3.0);
+        assert_eq!(
+            r.cmat_saved_bytes,
+            xg_costmodel::cmat_saved_bytes(3, CgyroInput::test_small().dims())
+        );
+        assert!(r.batched_ms > 0.0 && r.unbatched_ms > 0.0);
+        assert!(r.speedup.is_finite() && r.saved_ratio > 0.0);
+        let json = batching_bench_json(&results);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"bench\": \"batching\""));
+        assert!(json.contains("\"speedup\""));
+        let report = batching_bench_report(&results);
+        assert!(report.contains("speedup"));
+    }
+}

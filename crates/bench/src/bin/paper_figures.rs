@@ -10,6 +10,10 @@
 //! `paper_figures bench-str-reduce [--quick] [--out PATH]` runs the measured
 //! unfused/fused/reduce-scatter str-phase reduction sweep and writes the
 //! JSON artifact (default `BENCH_str_reduce.json`).
+//!
+//! `paper_figures bench-batching [--quick] [--out PATH]` serves sweep
+//! campaigns through `xg-serve` against an unbatched k=1 baseline and
+//! writes the JSON artifact (default `BENCH_batching.json`).
 
 fn out_path_arg(args: &[String], default: &str) -> String {
     match args.iter().position(|a| a == "--out") {
@@ -54,6 +58,21 @@ fn bench_str_reduce(args: &[String]) {
     println!("wrote {out_path}");
 }
 
+fn bench_batching(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = out_path_arg(args, "BENCH_batching.json");
+    let cfg = if quick {
+        xg_bench::BatchingBenchConfig::quick()
+    } else {
+        xg_bench::BatchingBenchConfig::full()
+    };
+    let results = xg_bench::run_batching_bench(&cfg);
+    print!("{}", xg_bench::batching_bench_report(&results));
+    std::fs::write(&out_path, xg_bench::batching_bench_json(&results))
+        .expect("write bench json");
+    println!("wrote {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("bench-collision") {
@@ -62,6 +81,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("bench-str-reduce") {
         bench_str_reduce(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("bench-batching") {
+        bench_batching(&args[1..]);
         return;
     }
     // Optional: --write-dir DIR saves each experiment to DIR/<id>.txt.

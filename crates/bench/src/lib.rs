@@ -8,10 +8,15 @@
 
 #![warn(missing_docs)]
 
+pub mod batching;
 pub mod collision_perf;
 pub mod experiments;
 pub mod str_reduce;
 
+pub use batching::{
+    batching_bench_json, batching_bench_report, run_batching_bench, BatchingBenchConfig,
+    BatchingBenchResult,
+};
 pub use collision_perf::{
     collision_bench_json, collision_bench_report, run_collision_bench, CollisionBenchConfig,
     CollisionBenchResult,

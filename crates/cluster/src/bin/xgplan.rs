@@ -165,7 +165,9 @@ fn main() {
         fm.restart_s
     );
     println!("\nensemble forecast on {nodes} nodes ({reports} reporting steps):");
-    println!("  k     feasible   s/report   speedup    ETTS(h)   ETTS-speedup   str-reduce");
+    println!(
+        "  k     feasible   s/report   speedup    ETTS(h)   ETTS-speedup   cmat-saved(TB)   str-reduce"
+    );
     let mut sweep_k = None;
     for k in [1usize, 2, 4, 8, 16, 32] {
         if k > variants.max(1) * 4 {
@@ -200,13 +202,14 @@ fn main() {
                     )
                     .etts_s;
                 println!(
-                    "  {:<5} {:>8}   {:>8.1}   {:>7.2}x   {:>8.2}   {:>11.2}x   {}",
+                    "  {:<5} {:>8}   {:>8.1}   {:>7.2}x   {:>8.2}   {:>11.2}x   {:>14.3}   {}",
                     k,
                     "yes",
                     xg.total(),
                     cg.total() / xg.total(),
                     xg_etts.etts_s / 3600.0,
                     cg_etts_s / xg_etts.etts_s,
+                    xg_costmodel::memory::cmat_saved_bytes(k, d) as f64 / 1e12,
                     predicted_str_algo(&input, p.grid, &machine)
                 );
                 sweep_k = Some((k, reports as f64 * xg.total()));

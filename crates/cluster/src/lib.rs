@@ -19,7 +19,7 @@ pub mod simtime;
 
 pub use campaign::{optimize_campaign, CampaignOption, CampaignPlan};
 pub use memory::{cmat_ratio, rank_inventory, total_bytes, BufferCategory, BufferSpec};
-pub use planner::{min_nodes, plan, valid_grids, JobPlan};
+pub use planner::{max_feasible_k, min_nodes, plan, valid_grids, JobPlan};
 pub use replay::{replay, ReplayError, ReplayOutcome};
 pub use report::{cgyro_timing_log, figure2_table, parse_timing_totals};
 pub use resilience::{

@@ -86,6 +86,26 @@ pub fn plan(
     })
 }
 
+/// Largest ensemble size `k ≤ k_cap` that fits a **fixed** `nodes`
+/// allocation of `machine` — the serving-side batch-size budget. On a fixed
+/// allocation, growing the batch shrinks each member's share of the rank
+/// pool, so the per-rank state footprint grows with `k` and eventually
+/// blows the memory budget (for the `nl03c`-like deck on 32 Frontier-like
+/// nodes the sweep saturates at `k = 8`, the paper's setup). Intermediate
+/// ensemble sizes with no CGYRO-valid decomposition are skipped rather
+/// than treated as a ceiling. Returns `0` when not even one simulation
+/// fits — such a job must be rejected at admission, not queued.
+pub fn max_feasible_k(
+    input: &CgyroInput,
+    nodes: usize,
+    machine: &MachineModel,
+    k_cap: usize,
+) -> usize {
+    (1..=k_cap)
+        .rfind(|&k| plan(input, k, nodes, machine).is_some_and(|p| p.feasible()))
+        .unwrap_or(0)
+}
+
 /// Smallest node count on which `k` simulations fit as one XGYRO job
 /// (`k = 1` is a plain CGYRO job). Searches up to `max_nodes`.
 pub fn min_nodes(
@@ -180,6 +200,20 @@ mod tests {
         assert_eq!(cg.cmat_bytes, xg.cmat_bytes);
         // But XGYRO carries 8x the per-rank state.
         assert!(xg.per_rank_bytes > cg.per_rank_bytes);
+    }
+
+    #[test]
+    fn max_feasible_k_saturates_at_the_paper_ensemble_size() {
+        // nl03c on the 32-node minimum allocation: 8 members fit, 16 do
+        // not — the batch-size budget a campaign service must respect.
+        let input = CgyroInput::nl03c_like();
+        assert_eq!(max_feasible_k(&input, 32, &frontier(), 32), 8);
+        // A deck that fits nowhere on the allocation yields 0 (reject).
+        assert_eq!(max_feasible_k(&input, 1, &frontier(), 8), 0);
+        // Tiny decks are never memory-bound at small k.
+        let small = CgyroInput::test_small();
+        let m = MachineModel::small_cluster();
+        assert!(max_feasible_k(&small, 1, &m, 2) >= 1);
     }
 
     #[test]

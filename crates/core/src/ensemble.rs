@@ -30,6 +30,11 @@ pub enum EnsembleError {
         expected: u64,
         /// Key of the offending member.
         found: u64,
+        /// The cmat-relevant inputs on which the offender disagrees with
+        /// member 0, each as `"name (member-0 value vs offender value)"`
+        /// (from [`CgyroInput::cmat_divergence`]). Empty only in the
+        /// astronomically unlikely event of a pure hash collision.
+        diverging: Vec<String>,
     },
     /// The per-simulation process grid is invalid for these dims.
     BadGrid {
@@ -58,11 +63,18 @@ impl std::fmt::Display for EnsembleError {
             EnsembleError::InvalidMember { index, reason } => {
                 write!(f, "member {index} is invalid: {reason}")
             }
-            EnsembleError::CmatKeyMismatch { index, expected, found } => write!(
-                f,
-                "member {index} cannot share cmat: key {found:#x} != {expected:#x} \
-                 (its collision-relevant inputs differ from member 0)"
-            ),
+            EnsembleError::CmatKeyMismatch { index, expected, found, diverging } => {
+                write!(
+                    f,
+                    "member {index} cannot share cmat: its key {found:#018x} != member 0's \
+                     {expected:#018x}"
+                )?;
+                if diverging.is_empty() {
+                    write!(f, " (no differing input found: cmat key hash collision?)")
+                } else {
+                    write!(f, "; differing collision-relevant inputs: {}", diverging.join(", "))
+                }
+            }
             EnsembleError::BadGrid { reason } => write!(f, "bad process grid: {reason}"),
             EnsembleError::CadenceMismatch { index, expected, found } => write!(
                 f,
@@ -118,6 +130,7 @@ impl EnsembleConfig {
                     index: i,
                     expected: key0,
                     found: k,
+                    diverging: members[0].cmat_divergence(m),
                 });
             }
         }
@@ -244,9 +257,11 @@ mod tests {
         other.nu_ee *= 2.0;
         let err = EnsembleConfig::new(vec![base, other], ProcGrid::new(1, 1)).unwrap_err();
         match err {
-            EnsembleError::CmatKeyMismatch { index, expected, found } => {
+            EnsembleError::CmatKeyMismatch { index, expected, found, diverging } => {
                 assert_eq!(index, 1);
                 assert_ne!(expected, found);
+                assert_eq!(diverging.len(), 1);
+                assert!(diverging[0].starts_with("nu_ee"), "{diverging:?}");
             }
             e => panic!("wrong error: {e}"),
         }
@@ -288,8 +303,28 @@ mod tests {
         let base = CgyroInput::test_small();
         let mut other = base.clone();
         other.q = 9.0;
+        let key0 = base.cmat_key();
+        let rogue = other.cmat_key();
         let err = EnsembleConfig::new(vec![base, other], ProcGrid::new(1, 1)).unwrap_err();
         let msg = err.to_string();
-        assert!(msg.contains("cannot share cmat"), "{msg}");
+        // The message must name the offender, print both keys, and point at
+        // the exact input that broke sharing — not a bare "mismatch".
+        assert!(msg.contains("member 1"), "{msg}");
+        assert!(msg.contains(&format!("{rogue:#018x}")), "{msg}");
+        assert!(msg.contains(&format!("{key0:#018x}")), "{msg}");
+        assert!(msg.contains("q (2 vs 9)"), "{msg}");
+    }
+
+    #[test]
+    fn mismatch_diagnosis_names_every_differing_input() {
+        let base = CgyroInput::test_small();
+        let mut other = base.clone();
+        other.nu_ee = 0.7;
+        other.delta_t = 0.004;
+        let err =
+            EnsembleConfig::new(vec![base, other], ProcGrid::new(1, 1)).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("nu_ee (0.1 vs 0.7)"), "{msg}");
+        assert!(msg.contains("delta_t (0.01 vs 0.004)"), "{msg}");
     }
 }

@@ -131,11 +131,42 @@ pub fn run_xgyro_resilient(
     plan: FaultPlan,
     deadline: Duration,
 ) -> Result<RecoveryOutcome, RecoveryError> {
+    run_xgyro_resilient_from(config, None, total_steps, ckpt_every, plan, deadline)
+}
+
+/// [`run_xgyro_resilient`], seeded from a prior [`EnsembleCheckpoint`].
+///
+/// This is the serving-side entry point: a campaign service executing a
+/// batch in bounded segments (so it can apply cancellations or rebalance at
+/// segment boundaries) calls this repeatedly, feeding each call the
+/// checkpoint the previous one returned. `total_steps` counts steps *beyond*
+/// the checkpoint; the returned checkpoint's absolute step counter keeps
+/// advancing across calls. With `resume_from = None` this is exactly
+/// [`run_xgyro_resilient`]. The checkpoint must match the config's identity
+/// (cmat key, k, dims) or the run is rejected with
+/// [`RecoveryError::Checkpoint`].
+pub fn run_xgyro_resilient_from(
+    config: &EnsembleConfig,
+    resume_from: Option<EnsembleCheckpoint>,
+    total_steps: usize,
+    ckpt_every: usize,
+    plan: FaultPlan,
+    deadline: Duration,
+) -> Result<RecoveryOutcome, RecoveryError> {
     assert!(ckpt_every > 0, "checkpoint cadence must be positive");
+    if let Some(cp) = resume_from.as_ref() {
+        let d = config.members()[0].dims();
+        if cp.cmat_key != config.cmat_key()
+            || cp.k != config.k()
+            || cp.dims != (d.nc, d.nv, d.nt)
+        {
+            return Err(RecoveryError::Checkpoint(CheckpointError::WrongEnsemble));
+        }
+    }
     let mut cfg = config.clone();
     // Current config position -> original member index.
     let mut original: Vec<usize> = (0..cfg.k()).collect();
-    let mut checkpoint: Option<EnsembleCheckpoint> = None;
+    let mut checkpoint: Option<EnsembleCheckpoint> = resume_from;
     let mut armed = if plan.is_empty() { None } else { Some(plan) };
     let mut events = Vec::new();
     let mut faulty_segments = Vec::new();

@@ -170,3 +170,99 @@ fn evicting_the_last_member_is_an_error() {
     let err = run_xgyro_resilient(&cfg, 4, 2, FaultPlan::crash(0, 3), DEADLINE).unwrap_err();
     assert!(matches!(err, xgyro_core::RecoveryError::Ensemble(EnsembleError::Empty)));
 }
+
+#[test]
+fn segmented_resume_is_bitwise_identical_to_one_shot() {
+    // The serving path: a batch runs in bounded segments, each seeded from
+    // the previous segment's checkpoint. Splitting must be invisible.
+    let base = CgyroInput::test_small();
+    let cfg = gradient_sweep(&base, 2, ProcGrid::new(1, 1));
+    let whole = run_xgyro(&cfg, 6);
+    let first = xgyro_core::run_xgyro_resilient_from(
+        &cfg,
+        None,
+        3,
+        3,
+        FaultPlan::new(),
+        DEADLINE,
+    )
+    .expect("clean first segment");
+    assert_eq!(first.checkpoint.steps_taken(), 3);
+    let second = xgyro_core::run_xgyro_resilient_from(
+        &cfg,
+        Some(first.checkpoint),
+        3,
+        3,
+        FaultPlan::new(),
+        DEADLINE,
+    )
+    .expect("clean second segment");
+    assert_eq!(second.checkpoint.steps_taken(), 6);
+    for (got, want) in second.outcome.sims.iter().zip(whole.sims.iter()) {
+        assert_eq!(got.h, want.h, "segmented member {} diverged", got.sim);
+    }
+}
+
+#[test]
+fn resume_rejects_a_foreign_checkpoint() {
+    let base = CgyroInput::test_small();
+    let cfg = gradient_sweep(&base, 2, ProcGrid::new(1, 1));
+    let seg = xgyro_core::run_xgyro_resilient_from(
+        &cfg,
+        None,
+        2,
+        2,
+        FaultPlan::new(),
+        DEADLINE,
+    )
+    .expect("clean run");
+    // A different collisionality is a different ensemble identity.
+    let mut hot = base.clone();
+    hot.nu_ee *= 2.0;
+    let other = gradient_sweep(&hot, 2, ProcGrid::new(1, 1));
+    let err = xgyro_core::run_xgyro_resilient_from(
+        &other,
+        Some(seg.checkpoint),
+        2,
+        2,
+        FaultPlan::new(),
+        DEADLINE,
+    )
+    .unwrap_err();
+    assert!(matches!(err, xgyro_core::RecoveryError::Checkpoint(_)), "{err}");
+}
+
+#[test]
+fn segmented_resume_recovers_from_mid_segment_faults() {
+    // A fault in the *second* serving segment evicts the member without
+    // poisoning the checkpoint chain: survivors end bitwise-identical to
+    // an unfaulted run of the survivors alone.
+    let base = CgyroInput::test_small();
+    let cfg = gradient_sweep(&base, 3, ProcGrid::new(1, 1));
+    let first = xgyro_core::run_xgyro_resilient_from(
+        &cfg,
+        None,
+        3,
+        3,
+        FaultPlan::new(),
+        DEADLINE,
+    )
+    .expect("clean first segment");
+    // Each call runs in a fresh world, so the second call's op counters
+    // start at zero: op 4 lands inside the resumed segment.
+    let second = xgyro_core::run_xgyro_resilient_from(
+        &cfg,
+        Some(first.checkpoint),
+        3,
+        3,
+        FaultPlan::crash(1, 4),
+        DEADLINE,
+    )
+    .expect("recoverable");
+    assert_eq!(second.surviving_members, vec![0, 2]);
+    assert_eq!(second.checkpoint.steps_taken(), 6);
+    let clean = run_xgyro(&survivors_config(&cfg, 1), 6);
+    for (got, want) in second.outcome.sims.iter().zip(clean.sims.iter()) {
+        assert_eq!(got.h, want.h, "survivor (original member {}) diverged", got.sim);
+    }
+}

@@ -19,6 +19,7 @@ pub mod collective;
 pub mod compute;
 pub mod machine;
 pub mod machinefile;
+pub mod memory;
 
 pub use account::{critical_path, op_time, trace_breakdown, PhaseBreakdown};
 pub use algorithms::{allreduce_time_with, best_allreduce_algo, AllReduceAlgo, ALL_ALGOS};
@@ -28,3 +29,4 @@ pub use collective::{
 pub use compute::{matvec_stack, real_complex_matvec, streaming_update, KernelCost};
 pub use machine::{MachineModel, Placement};
 pub use machinefile::{parse_machine, preset, MachineFileError, PRESET_NAMES};
+pub use memory::{cmat_saved_bytes, cmat_total_bytes};

@@ -1,0 +1,69 @@
+//! Memory laws of the shared constant tensor.
+//!
+//! The paper's Figure-3 claim in byte form: a k-member ensemble whose
+//! members agree on everything `cmat` depends on holds **one** copy of the
+//! constant tensor where k independent CGYRO jobs would hold k. These
+//! helpers express that law once so every consumer — the `xgplan` campaign
+//! planner, the `xg-serve` batching metrics, reports — quotes the same
+//! numbers and can never drift from each other.
+
+use xg_tensor::SimDims;
+
+/// Total bytes of the collisional constant tensor for a simulation of
+/// `dims`: `nv² · nc · nt · 8` (one dense real `nv × nv` propagator per
+/// configuration/toroidal pair).
+pub fn cmat_total_bytes(dims: SimDims) -> u64 {
+    (dims.nv as u64) * (dims.nv as u64) * (dims.nc as u64) * (dims.nt as u64) * 8
+}
+
+/// Bytes saved by running `k` cmat-compatible simulations as one shared-cmat
+/// ensemble instead of `k` independent jobs: the ensemble holds one copy of
+/// the constant tensor, the unbatched alternative holds `k`.
+///
+/// `k = 0` and `k = 1` save nothing (no sharing happens).
+///
+/// ```
+/// use xg_costmodel::memory::{cmat_saved_bytes, cmat_total_bytes};
+/// use xg_tensor::SimDims;
+///
+/// let dims = SimDims::new(32, 24, 2);
+/// assert_eq!(cmat_saved_bytes(1, dims), 0);
+/// assert_eq!(cmat_saved_bytes(8, dims), 7 * cmat_total_bytes(dims));
+/// ```
+pub fn cmat_saved_bytes(k: usize, dims: SimDims) -> u64 {
+    (k.saturating_sub(1) as u64) * cmat_total_bytes(dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_matches_the_paper_law() {
+        let dims = SimDims::new(131072, 576, 16);
+        let b = cmat_total_bytes(dims);
+        // nl03c-like: ≈ 5.57 TB.
+        assert!(b > 5 << 40 && b < 6 << 40, "cmat = {b}");
+    }
+
+    #[test]
+    fn saved_is_k_minus_one_copies() {
+        let dims = SimDims::new(32, 24, 2);
+        let one = cmat_total_bytes(dims);
+        assert_eq!(cmat_saved_bytes(0, dims), 0);
+        assert_eq!(cmat_saved_bytes(1, dims), 0);
+        assert_eq!(cmat_saved_bytes(2, dims), one);
+        assert_eq!(cmat_saved_bytes(8, dims), 7 * one);
+    }
+
+    #[test]
+    fn saved_grows_monotonically_in_k() {
+        let dims = SimDims::new(64, 48, 4);
+        let mut prev = 0;
+        for k in 1..=16 {
+            let s = cmat_saved_bytes(k, dims);
+            assert!(s >= prev);
+            prev = s;
+        }
+    }
+}

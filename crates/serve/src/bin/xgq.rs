@@ -1,0 +1,159 @@
+//! `xgq` — the campaign client.
+//!
+//! ```text
+//! xgq [--addr HOST:PORT] <command>
+//!   submit --deck FILE [--steps N] [--tag T] [--grad RLN,RLT] [--seed S]
+//!          [--dry-run]
+//!   status JOB            one-shot state snapshot
+//!   watch JOB             stream lifecycle events until terminal
+//!   cancel JOB            cancel (preempts at the next checkpoint if running)
+//!   list                  every job the server knows about
+//!   metrics [--out FILE]  metrics JSON (stdout or FILE)
+//!   drain [--ms MS]       flush pending batches, wait until quiet
+//!   shutdown              stop the server
+//!   ping                  liveness check
+//! ```
+//!
+//! `--grad`/`--seed` rewrite the deck client-side before submission — the
+//! sweep idiom: one base deck, many gradient variants, all landing in one
+//! shared-cmat batch. `--dry-run` asks the server (via the same grouping
+//! code path used for real submissions) for the deck's cmat key and the
+//! batch the job would join, without admitting anything.
+
+use std::process::exit;
+use xg_serve::wire::Client;
+use xg_sim::{load_deck, write_deck};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: xgq [--addr HOST:PORT] <command>\n\
+         \u{20} submit --deck FILE [--steps N] [--tag T] [--grad RLN,RLT] [--seed S] [--dry-run]\n\
+         \u{20} status JOB | watch JOB | cancel JOB | list\n\
+         \u{20} metrics [--out FILE] | drain [--ms MS] | shutdown | ping"
+    );
+    exit(2)
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("xgq: {msg}");
+    exit(1)
+}
+
+/// `OK …` → print and succeed; `ERR …` → print and fail.
+fn finish(resp: &str) -> ! {
+    if resp.starts_with("OK") {
+        println!("{resp}");
+        exit(0)
+    }
+    fail(resp)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr =
+        std::env::var("XGQ_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".to_string());
+    let mut rest = &args[..];
+    if rest.first().map(String::as_str) == Some("--addr") {
+        addr = rest.get(1).cloned().unwrap_or_else(|| usage());
+        rest = &rest[2..];
+    }
+    let Some(cmd) = rest.first() else { usage() };
+    let rest = &rest[1..];
+    let mut client = Client::connect(&addr)
+        .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
+    match cmd.as_str() {
+        "ping" => finish(&client.roundtrip("PING").unwrap_or_else(|e| fail(&e.to_string()))),
+        "submit" => submit(&mut client, rest),
+        "status" | "cancel" => {
+            let job = rest.first().unwrap_or_else(|| usage());
+            let verb = if cmd == "status" { "STATUS" } else { "CANCEL" };
+            finish(
+                &client
+                    .roundtrip(&format!("{verb} {job}"))
+                    .unwrap_or_else(|e| fail(&e.to_string())),
+            )
+        }
+        "watch" => {
+            let job = rest.first().unwrap_or_else(|| usage());
+            match client.subscribe(job, |ev| println!("{ev}")) {
+                Ok(_) => exit(0),
+                Err(e) => fail(&e.to_string()),
+            }
+        }
+        "list" => {
+            let lines = client.list().unwrap_or_else(|e| fail(&e.to_string()));
+            for l in lines {
+                println!("{l}");
+            }
+            exit(0)
+        }
+        "metrics" => {
+            let json = client.metrics().unwrap_or_else(|e| fail(&e.to_string()));
+            match kv_flag(rest, "--out") {
+                Some(path) => std::fs::write(&path, &json)
+                    .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}"))),
+                None => print!("{json}"),
+            }
+            exit(0)
+        }
+        "drain" => {
+            let ms = kv_flag(rest, "--ms").unwrap_or_else(|| "60000".into());
+            finish(
+                &client
+                    .roundtrip(&format!("DRAIN ms={ms}"))
+                    .unwrap_or_else(|e| fail(&e.to_string())),
+            )
+        }
+        "shutdown" => {
+            finish(&client.roundtrip("SHUTDOWN").unwrap_or_else(|e| fail(&e.to_string())))
+        }
+        _ => usage(),
+    }
+}
+
+fn submit(client: &mut Client, rest: &[String]) -> ! {
+    let mut deck_path = None;
+    let mut steps = None;
+    let mut tag = String::new();
+    let mut grad: Option<(f64, f64)> = None;
+    let mut seed: Option<u64> = None;
+    let mut dry_run = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deck" => deck_path = it.next().cloned(),
+            "--steps" => steps = it.next().and_then(|v| v.parse::<usize>().ok()),
+            "--tag" => tag = it.next().cloned().unwrap_or_default(),
+            "--grad" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                grad = v
+                    .split_once(',')
+                    .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)));
+                if grad.is_none() {
+                    usage()
+                }
+            }
+            "--seed" => seed = it.next().and_then(|v| v.parse().ok()),
+            "--dry-run" => dry_run = true,
+            _ => usage(),
+        }
+    }
+    let deck_path = deck_path.unwrap_or_else(|| usage());
+    let mut input = load_deck(std::path::Path::new(&deck_path))
+        .unwrap_or_else(|e| fail(&format!("cannot load {deck_path}: {e}")));
+    if let Some((rln, rlt)) = grad {
+        input = input.with_gradients(rln, rlt);
+    }
+    if let Some(s) = seed {
+        input = input.with_seed(s);
+    }
+    let steps = steps.unwrap_or(input.steps_per_report);
+    let resp = client
+        .submit_deck(&write_deck(&input), steps, &tag, dry_run)
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    finish(&resp)
+}
+
+fn kv_flag(rest: &[String], key: &str) -> Option<String> {
+    rest.iter().position(|a| a == key).and_then(|i| rest.get(i + 1).cloned())
+}

@@ -1,0 +1,102 @@
+//! `xgqueued` — the campaign service daemon.
+//!
+//! ```text
+//! xgqueued [--addr HOST:PORT] [--k-max K] [--linger-ms MS]
+//!          [--queue-capacity N] [--workers W] [--ckpt-every STEPS]
+//!          [--deadline-ms MS] [--nodes N] [--machine PRESET]
+//!          [--grid N1xN2] [--fault RANK:AT_OP]
+//! ```
+//!
+//! Binds the wire protocol (see `xg_serve::wire`) and serves until a client
+//! sends `SHUTDOWN`. `--fault` injects one crash into the first dispatched
+//! batch — the chaos hook the CI fault-injection checks use.
+
+use std::net::TcpListener;
+use std::process::exit;
+use std::time::Duration;
+use xg_comm::FaultPlan;
+use xg_costmodel::{preset, PRESET_NAMES};
+use xg_serve::server::{CampaignServer, ServerConfig};
+use xg_tensor::ProcGrid;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: xgqueued [--addr HOST:PORT] [--k-max K] [--linger-ms MS]\n\
+         \u{20}                [--queue-capacity N] [--workers W] [--ckpt-every STEPS]\n\
+         \u{20}                [--deadline-ms MS] [--nodes N] [--machine PRESET]\n\
+         \u{20}                [--grid N1xN2] [--fault RANK:AT_OP]\n\
+         presets: {}",
+        PRESET_NAMES.join(", ")
+    );
+    exit(2)
+}
+
+fn parse_or_usage<T: std::str::FromStr>(v: Option<String>) -> T {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut cfg = ServerConfig::local_test();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().unwrap_or_else(|| usage()),
+            "--k-max" => cfg.k_max = parse_or_usage(it.next()),
+            "--linger-ms" => cfg.linger = Duration::from_millis(parse_or_usage(it.next())),
+            "--queue-capacity" => cfg.queue_capacity = parse_or_usage(it.next()),
+            "--workers" => cfg.workers = parse_or_usage(it.next()),
+            "--ckpt-every" => cfg.ckpt_every = parse_or_usage(it.next()),
+            "--deadline-ms" => {
+                cfg.deadline = Duration::from_millis(parse_or_usage(it.next()))
+            }
+            "--nodes" => cfg.nodes = parse_or_usage(it.next()),
+            "--machine" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                cfg.machine = preset(&v).unwrap_or_else(|| {
+                    eprintln!("xgqueued: unknown machine preset '{v}'");
+                    usage()
+                });
+            }
+            "--grid" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                let (n1, n2) = v
+                    .split_once('x')
+                    .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+                    .unwrap_or_else(|| usage());
+                cfg.grid = ProcGrid::new(n1, n2);
+            }
+            "--fault" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                let (rank, at_op) = v
+                    .split_once(':')
+                    .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+                    .unwrap_or_else(|| usage());
+                cfg.fault_plan = Some(FaultPlan::crash(rank, at_op));
+            }
+            _ => usage(),
+        }
+    }
+    if cfg.k_max == 0 || cfg.workers == 0 || cfg.ckpt_every == 0 {
+        eprintln!("xgqueued: k-max, workers and ckpt-every must be positive");
+        exit(1);
+    }
+    let listener = TcpListener::bind(&addr).unwrap_or_else(|e| {
+        eprintln!("xgqueued: cannot bind {addr}: {e}");
+        exit(1);
+    });
+    let addr = listener.local_addr().map(|a| a.to_string()).unwrap_or(addr);
+    println!(
+        "xgqueued listening on {addr} (k_max={}, linger={}ms, workers={}, nodes={} x {})",
+        cfg.k_max,
+        cfg.linger.as_millis(),
+        cfg.workers,
+        cfg.nodes,
+        cfg.machine.name
+    );
+    let server = CampaignServer::start(cfg);
+    if let Err(e) = xg_serve::wire::serve(listener, server) {
+        eprintln!("xgqueued: {e}");
+        exit(1);
+    }
+}

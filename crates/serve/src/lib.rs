@@ -1,0 +1,44 @@
+//! xg-serve: a cmat-key-aware ensemble campaign service.
+//!
+//! Gyrokinetic campaigns are streams of many related CGYRO jobs. The paper's
+//! observation — members sharing the collisional constant tensor structure
+//! can run as one XGYRO ensemble, storing and exchanging **one** `cmat`
+//! instead of k — turns job scheduling into a grouping problem: the more
+//! compatible jobs run together, the more memory and collective traffic the
+//! campaign saves. This crate is the long-running service that does the
+//! grouping automatically:
+//!
+//! * **admission** ([`AdmitError`], [`check_spec`]) — a bounded queue with
+//!   typed, synchronous rejection (invalid deck, misaligned steps, decks no
+//!   allocation can hold, backpressure when full);
+//! * **batching** ([`Grouper`]) — jobs group by [`BatchKey`] (the
+//!   `cmat_key` plus the lockstep execution parameters) into maximal
+//!   batches, capped by the operator's `k_max` *and* the planner's memory
+//!   budget ([`xg_cluster::max_feasible_k`]), flushed when full, when the
+//!   linger deadline expires, or on drain;
+//! * **execution** ([`CampaignServer`]) — a bounded worker pool runs each
+//!   batch as one XGYRO ensemble via the resilient checkpointed runner
+//!   ([`xgyro_core::run_xgyro_resilient_from`]): a faulted member is
+//!   evicted and marked `Failed` without killing its batch-mates, and
+//!   cancellations preempt at checkpoint boundaries;
+//! * **observability** ([`JobState`] lifecycle events via poll or
+//!   subscription, [`Metrics`] as JSON — including the batch-occupancy
+//!   histogram and `cmat` bytes saved, computed with the same
+//!   [`xg_costmodel`] law `xgplan` forecasts with);
+//! * **wire protocol** ([`wire`]) — the line protocol served by the
+//!   `xgqueued` binary and spoken by the `xgq` client.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod batcher;
+pub mod job;
+pub mod metrics;
+pub mod server;
+pub mod wire;
+
+pub use admission::{check_spec, AdmitError};
+pub use batcher::{BatchKey, FlushReason, Grouper, GrouperConfig, Placement};
+pub use job::{BatchId, JobEvent, JobId, JobOutcome, JobSpec, JobState, JobStatus};
+pub use metrics::Metrics;
+pub use server::{CampaignServer, ServerConfig};

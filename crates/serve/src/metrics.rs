@@ -1,0 +1,195 @@
+//! Campaign metrics, exported as JSON.
+//!
+//! The headline series is `cmat_saved_bytes`: for every dispatched batch of
+//! size `k` the service stores one constant tensor instead of `k`, saving
+//! `(k − 1) ×` the tensor ([`xg_costmodel::memory::cmat_saved_bytes`] — the
+//! same law `xgplan` forecasts with, so the serving metrics and the
+//! planning forecasts can never drift apart). The occupancy histogram shows
+//! how close the batcher gets to the ideal of always-full batches; queue
+//! latency shows what that packing costs in waiting.
+//!
+//! All JSON is hand-rolled (the workspace's serde is a vendored marker-only
+//! stub); keys are emitted in a fixed order so snapshots diff cleanly.
+
+use crate::admission::AdmitError;
+use crate::batcher::FlushReason;
+use crate::job::JobState;
+use std::collections::BTreeMap;
+use xg_tensor::SimDims;
+
+/// Counter registry. The server updates it under its state lock; `to_json`
+/// takes a snapshot of the live job states at export time.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Total accepted submissions.
+    pub submitted: u64,
+    /// Rejections by [`AdmitError::kind`].
+    pub rejected: BTreeMap<&'static str, u64>,
+    /// Dispatched-batch occupancy histogram: batch size k → batches.
+    pub occupancy: BTreeMap<usize, u64>,
+    /// Flush triggers by [`FlushReason`].
+    pub flushes: BTreeMap<&'static str, u64>,
+    /// Total constant-tensor bytes NOT allocated thanks to batching,
+    /// summed over dispatched batches.
+    pub cmat_saved_bytes: u64,
+    /// What the same jobs would have allocated unbatched (k copies per
+    /// batch) — the denominator for the savings ratio.
+    pub cmat_unbatched_bytes: u64,
+    /// Queue-latency (admission → dispatch) accumulators, milliseconds.
+    pub latency_count: u64,
+    /// Sum of observed latencies.
+    pub latency_sum_ms: u64,
+    /// Largest observed latency.
+    pub latency_max_ms: u64,
+}
+
+impl Metrics {
+    /// Record an accepted submission.
+    pub fn on_submit(&mut self) {
+        self.submitted += 1;
+    }
+
+    /// Record a rejection.
+    pub fn on_reject(&mut self, err: &AdmitError) {
+        *self.rejected.entry(err.kind()).or_insert(0) += 1;
+    }
+
+    /// Record a dispatched batch of `k` members sharing one tensor of
+    /// `dims`, flushed for `reason`.
+    pub fn on_dispatch(&mut self, k: usize, dims: SimDims, reason: FlushReason) {
+        *self.occupancy.entry(k).or_insert(0) += 1;
+        *self.flushes.entry(reason_key(reason)).or_insert(0) += 1;
+        self.cmat_saved_bytes += xg_costmodel::cmat_saved_bytes(k, dims);
+        self.cmat_unbatched_bytes += k as u64 * xg_costmodel::cmat_total_bytes(dims);
+    }
+
+    /// Record one job's queue latency at dispatch.
+    pub fn on_queue_latency(&mut self, ms: u64) {
+        self.latency_count += 1;
+        self.latency_sum_ms += ms;
+        self.latency_max_ms = self.latency_max_ms.max(ms);
+    }
+
+    /// Serialize, folding in a snapshot of live job states
+    /// (`(state, count)` for every [`JobState`]).
+    pub fn to_json(&self, jobs_by_state: &[(JobState, usize)]) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n  \"schema\": \"xg-serve-metrics-v1\",\n");
+        s.push_str(&format!("  \"submitted\": {},\n", self.submitted));
+        s.push_str("  \"jobs_by_state\": {");
+        for (i, (state, n)) in jobs_by_state.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{state}\": {n}"));
+        }
+        s.push_str("},\n");
+        s.push_str("  \"rejected\": {");
+        push_map(&mut s, self.rejected.iter().map(|(k, v)| (k.to_string(), *v)));
+        s.push_str("},\n");
+        s.push_str("  \"batch_occupancy\": {");
+        push_map(&mut s, self.occupancy.iter().map(|(k, v)| (format!("k={k}"), *v)));
+        s.push_str("},\n");
+        s.push_str("  \"flush_reasons\": {");
+        push_map(&mut s, self.flushes.iter().map(|(k, v)| (k.to_string(), *v)));
+        s.push_str("},\n");
+        s.push_str(&format!("  \"cmat_saved_bytes\": {},\n", self.cmat_saved_bytes));
+        s.push_str(&format!(
+            "  \"cmat_unbatched_bytes\": {},\n",
+            self.cmat_unbatched_bytes
+        ));
+        let ratio = if self.cmat_unbatched_bytes == 0 {
+            0.0
+        } else {
+            self.cmat_saved_bytes as f64 / self.cmat_unbatched_bytes as f64
+        };
+        s.push_str(&format!("  \"cmat_saved_ratio\": {ratio:.6},\n"));
+        s.push_str(&format!(
+            "  \"queue_latency_ms\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"mean\": {:.3}}}\n",
+            self.latency_count,
+            self.latency_sum_ms,
+            self.latency_max_ms,
+            if self.latency_count == 0 {
+                0.0
+            } else {
+                self.latency_sum_ms as f64 / self.latency_count as f64
+            }
+        ));
+        s.push_str("}\n");
+        s
+    }
+}
+
+fn reason_key(reason: FlushReason) -> &'static str {
+    match reason {
+        FlushReason::Full => "full",
+        FlushReason::MemoryBudget => "memory-budget",
+        FlushReason::Linger => "linger",
+        FlushReason::Drain => "drain",
+    }
+}
+
+fn push_map(s: &mut String, entries: impl Iterator<Item = (String, u64)>) {
+    for (i, (k, v)) in entries.enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("\"{k}\": {v}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xg_sim::CgyroInput;
+
+    #[test]
+    fn savings_track_the_costmodel_law() {
+        let dims = CgyroInput::test_small().dims();
+        let mut m = Metrics::default();
+        m.on_dispatch(3, dims, FlushReason::Full);
+        m.on_dispatch(2, dims, FlushReason::Linger);
+        let one = xg_costmodel::cmat_total_bytes(dims);
+        assert_eq!(m.cmat_saved_bytes, 2 * one + one);
+        assert_eq!(m.cmat_unbatched_bytes, 5 * one);
+        assert_eq!(m.occupancy[&3], 1);
+        assert_eq!(m.occupancy[&2], 1);
+        assert_eq!(m.flushes["full"], 1);
+        assert_eq!(m.flushes["linger"], 1);
+    }
+
+    #[test]
+    fn json_has_the_advertised_keys() {
+        let dims = CgyroInput::test_small().dims();
+        let mut m = Metrics::default();
+        m.on_submit();
+        m.on_reject(&AdmitError::Draining);
+        m.on_dispatch(2, dims, FlushReason::Full);
+        m.on_queue_latency(7);
+        let json = m.to_json(&[(JobState::Done, 2), (JobState::Queued, 0)]);
+        for key in [
+            "\"schema\": \"xg-serve-metrics-v1\"",
+            "\"submitted\": 1",
+            "\"jobs_by_state\"",
+            "\"Done\": 2",
+            "\"rejected\": {\"draining\": 1}",
+            "\"batch_occupancy\": {\"k=2\": 1}",
+            "\"flush_reasons\": {\"full\": 1}",
+            "\"cmat_saved_bytes\"",
+            "\"queue_latency_ms\"",
+            "\"max\": 7",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn latency_mean_and_max() {
+        let mut m = Metrics::default();
+        m.on_queue_latency(10);
+        m.on_queue_latency(20);
+        assert_eq!(m.latency_count, 2);
+        assert_eq!(m.latency_max_ms, 20);
+        assert!(m.to_json(&[]).contains("\"mean\": 15.000"));
+    }
+}

@@ -1,0 +1,770 @@
+//! The campaign server: admission → grouping → bounded workers → results.
+//!
+//! Threads:
+//!
+//! * **submitters** (callers of [`CampaignServer::submit`]) run admission
+//!   and grouper placement synchronously under the state lock — a client
+//!   holds a job id only for work the server has really accepted;
+//! * one **batcher** thread sleeps until the earliest linger deadline and
+//!   flushes expired underfull batches to the ready queue;
+//! * `workers` **worker** threads pop ready batches and execute each as one
+//!   XGYRO ensemble through [`xgyro_core::run_xgyro_resilient_from`] in
+//!   bounded segments (`ckpt_every` steps), so cancellations are applied at
+//!   checkpoint boundaries and a faulted member is evicted without killing
+//!   its batch-mates.
+//!
+//! All state lives behind one mutex; nothing blocks while holding it except
+//! condition-variable waits. Simulation segments run outside the lock.
+
+use crate::admission::{check_spec, AdmitError};
+use crate::batcher::{FlushReason, Grouper, GrouperConfig, Placement};
+use crate::job::{BatchId, Job, JobEvent, JobId, JobOutcome, JobSpec, JobState, JobStatus};
+use crate::metrics::Metrics;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use xg_comm::FaultPlan;
+use xg_costmodel::MachineModel;
+use xg_sim::CgyroInput;
+use xg_tensor::ProcGrid;
+use xgyro_core::{run_xgyro_resilient_from, EnsembleCheckpoint, EnsembleConfig, EnsembleError};
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Per-simulation process grid batches execute on (the thread-backed
+    /// substrate's analogue of the per-sim MPI decomposition).
+    pub grid: ProcGrid,
+    /// Operator cap on batch size; the effective cap may be lower where the
+    /// memory budget binds ([`xg_cluster::max_feasible_k`]).
+    pub k_max: usize,
+    /// How long an underfull batch waits for key-mates before flushing.
+    pub linger: Duration,
+    /// Bound on live (non-terminal) jobs — admission backpressure.
+    pub queue_capacity: usize,
+    /// Worker threads (concurrently running batches).
+    pub workers: usize,
+    /// Segment length in steps: cancellations and evictions apply at these
+    /// checkpoint boundaries.
+    pub ckpt_every: usize,
+    /// Deadline bounding every blocking communication wait.
+    pub deadline: Duration,
+    /// Modeled node allocation backing the memory budget.
+    pub nodes: usize,
+    /// Machine model pricing the memory budget.
+    pub machine: MachineModel,
+    /// Fault-injection chaos hook: consumed by the first batch executed
+    /// (None for production operation).
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl ServerConfig {
+    /// A configuration sized for tests and the CI smoke run: tiny decks,
+    /// 3 modeled small-cluster nodes (12 ranks — the smallest allocation
+    /// whose memory budget admits `k = 3` for the small test deck), short
+    /// linger.
+    pub fn local_test() -> Self {
+        Self {
+            grid: ProcGrid::new(2, 1),
+            k_max: 3,
+            linger: Duration::from_millis(50),
+            queue_capacity: 64,
+            workers: 2,
+            ckpt_every: 10,
+            deadline: Duration::from_secs(10),
+            nodes: 3,
+            machine: MachineModel::small_cluster(),
+            fault_plan: None,
+        }
+    }
+}
+
+/// A flushed batch waiting for a worker.
+#[derive(Debug)]
+struct ReadyBatch {
+    id: BatchId,
+    jobs: Vec<JobId>,
+    reason: FlushReason,
+}
+
+#[derive(Debug)]
+struct State {
+    jobs: BTreeMap<JobId, Job>,
+    next_job: u64,
+    grouper: Grouper,
+    ready: VecDeque<ReadyBatch>,
+    metrics: Metrics,
+    live: usize,
+    draining: bool,
+    shutdown: bool,
+    fault_plan: Option<FaultPlan>,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    state: Mutex<State>,
+    /// Workers wait here for ready batches.
+    work: Condvar,
+    /// The batcher thread waits here for its next linger deadline.
+    timer: Condvar,
+    /// Drain/join waits here for the live-job count to hit zero.
+    quiet: Condvar,
+}
+
+/// The campaign service. Call [`CampaignServer::drain`] then
+/// [`CampaignServer::shutdown`] for an orderly stop; a bare `shutdown`
+/// cancels never-dispatched jobs and preempts running batches at their next
+/// checkpoint boundary.
+pub struct CampaignServer {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl CampaignServer {
+    /// Start the service: one batcher thread plus `cfg.workers` workers.
+    pub fn start(cfg: ServerConfig) -> Self {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        assert!(cfg.ckpt_every >= 1, "segment length must be positive");
+        let grouper = Grouper::new(GrouperConfig {
+            k_max: cfg.k_max,
+            linger: cfg.linger,
+            nodes: cfg.nodes,
+            machine: cfg.machine.clone(),
+        });
+        let fault_plan = cfg.fault_plan.clone();
+        let shared = Arc::new(Shared {
+            cfg,
+            state: Mutex::new(State {
+                jobs: BTreeMap::new(),
+                next_job: 0,
+                grouper,
+                ready: VecDeque::new(),
+                metrics: Metrics::default(),
+                live: 0,
+                draining: false,
+                shutdown: false,
+                fault_plan,
+            }),
+            work: Condvar::new(),
+            timer: Condvar::new(),
+            quiet: Condvar::new(),
+        });
+        let mut threads = Vec::new();
+        {
+            let s = shared.clone();
+            threads.push(std::thread::spawn(move || batcher_loop(&s)));
+        }
+        for _ in 0..shared.cfg.workers {
+            let s = shared.clone();
+            threads.push(std::thread::spawn(move || worker_loop(&s)));
+        }
+        Self { shared, threads }
+    }
+
+    /// Submit a job. On success the job is already placed in a batch
+    /// (state [`JobState::Batched`]); on rejection nothing was admitted.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, AdmitError> {
+        let shared = &self.shared;
+        let mut guard = shared.state.lock();
+        let st = &mut *guard;
+        if let Err(e) = admit(shared, st, &spec) {
+            st.metrics.on_reject(&e);
+            return Err(e);
+        }
+        if st.live >= shared.cfg.queue_capacity {
+            let e = AdmitError::QueueFull { capacity: shared.cfg.queue_capacity };
+            st.metrics.on_reject(&e);
+            return Err(e);
+        }
+        let id = JobId(st.next_job);
+        st.next_job += 1;
+        let (batch, flushed) = st.grouper.place(id, &spec, Instant::now());
+        let cmat_key = spec.input.cmat_key();
+        // Queued → Batched happens atomically inside submit (placement is
+        // synchronous), so the job is born already batched; a subscriber's
+        // initial snapshot covers the transition.
+        st.jobs.insert(
+            id,
+            Job {
+                id,
+                spec,
+                state: JobState::Batched,
+                cmat_key,
+                batch: Some(batch),
+                detail: batch.to_string(),
+                cancel_requested: false,
+                submitted_at: Instant::now(),
+                dispatched_at: None,
+                outcome: None,
+                subscribers: Vec::new(),
+            },
+        );
+        st.live += 1;
+        st.metrics.on_submit();
+        if let Some(f) = flushed {
+            st.ready.push_back(ReadyBatch {
+                id: f.batch.id,
+                jobs: f.batch.jobs,
+                reason: f.reason,
+            });
+            shared.work.notify_all();
+        }
+        // A new batch may have created the earliest linger deadline.
+        shared.timer.notify_one();
+        Ok(id)
+    }
+
+    /// Dry-run placement: the deck's cmat key and where the job would land
+    /// right now, computed by the same admission checks and grouper code
+    /// path as [`CampaignServer::submit`] — without admitting anything.
+    pub fn dry_run(&self, spec: &JobSpec) -> Result<(u64, Placement), AdmitError> {
+        let guard = self.shared.state.lock();
+        admit(&self.shared, &guard, spec)?;
+        Ok((spec.input.cmat_key(), guard.grouper.would_join(spec)))
+    }
+
+    /// Current status of one job.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        self.shared.state.lock().jobs.get(&id).map(Job::status)
+    }
+
+    /// Status of every job, in submission order.
+    pub fn list(&self) -> Vec<JobStatus> {
+        self.shared.state.lock().jobs.values().map(Job::status).collect()
+    }
+
+    /// Subscribe to a job's state changes. The current state is delivered
+    /// immediately (so subscribing after a transition cannot miss it);
+    /// subsequent transitions stream until the job reaches a terminal
+    /// state, after which the channel hangs up.
+    pub fn subscribe(&self, id: JobId) -> Option<mpsc::Receiver<JobEvent>> {
+        let mut guard = self.shared.state.lock();
+        let job = guard.jobs.get_mut(&id)?;
+        let (tx, rx) = mpsc::channel();
+        let _ = tx.send(JobEvent { job: id, state: job.state, detail: job.detail.clone() });
+        if !job.state.is_terminal() {
+            job.subscribers.push(tx);
+        }
+        Some(rx)
+    }
+
+    /// The final output of a `Done` job.
+    pub fn result(&self, id: JobId) -> Option<JobOutcome> {
+        self.shared.state.lock().jobs.get(&id).and_then(|j| j.outcome.clone())
+    }
+
+    /// Cancel a job. Pre-dispatch jobs are removed from their (pending or
+    /// ready) batch and terminalize immediately; running jobs are flagged
+    /// and evicted at the next checkpoint boundary (the returned state is
+    /// then still `Running`). Terminal jobs are left untouched.
+    pub fn cancel(&self, id: JobId) -> Result<JobState, String> {
+        let shared = &self.shared;
+        let mut guard = shared.state.lock();
+        let st = &mut *guard;
+        let job = st.jobs.get(&id).ok_or_else(|| format!("no such job: {id}"))?;
+        let (state, batch) = (job.state, job.batch);
+        match state {
+            s if s.is_terminal() => Ok(s),
+            JobState::Running => {
+                let job = st.jobs.get_mut(&id).expect("present");
+                job.cancel_requested = true;
+                job.detail = "cancel requested; evicts at next checkpoint".to_string();
+                Ok(JobState::Running)
+            }
+            _ => {
+                // Batched: preempt before dispatch.
+                if let Some(b) = batch {
+                    if !st.grouper.remove_job(b, id) {
+                        // Already flushed: pull it out of the ready queue.
+                        for rb in st.ready.iter_mut() {
+                            if rb.id == b {
+                                rb.jobs.retain(|j| *j != id);
+                            }
+                        }
+                        st.ready.retain(|rb| !rb.jobs.is_empty());
+                    }
+                }
+                transition(st, id, JobState::Cancelled, "cancelled before dispatch".into());
+                if st.live == 0 {
+                    shared.quiet.notify_all();
+                }
+                Ok(JobState::Cancelled)
+            }
+        }
+    }
+
+    /// Stop admitting, flush every pending batch, and block until all
+    /// admitted jobs reach a terminal state (or `timeout` elapses). Returns
+    /// true when the server went quiet in time.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let shared = &self.shared;
+        let deadline = Instant::now() + timeout;
+        let mut guard = shared.state.lock();
+        guard.draining = true;
+        let flushed = guard.grouper.flush_all();
+        for f in flushed {
+            guard.ready.push_back(ReadyBatch {
+                id: f.batch.id,
+                jobs: f.batch.jobs,
+                reason: f.reason,
+            });
+        }
+        shared.work.notify_all();
+        while guard.live > 0 {
+            if shared.quiet.wait_until(&mut guard, deadline).timed_out() {
+                return guard.live == 0;
+            }
+        }
+        true
+    }
+
+    /// Metrics snapshot as JSON.
+    pub fn metrics_json(&self) -> String {
+        let guard = self.shared.state.lock();
+        let by_state: Vec<(JobState, usize)> = JobState::ALL
+            .iter()
+            .map(|s| (*s, guard.jobs.values().filter(|j| j.state == *s).count()))
+            .collect();
+        guard.metrics.to_json(&by_state)
+    }
+
+    /// Stop the service: never-dispatched jobs are cancelled, running
+    /// batches are preempted at their next checkpoint boundary, and all
+    /// threads are joined.
+    pub fn shutdown(mut self) {
+        let shared = self.shared.clone();
+        {
+            let mut guard = shared.state.lock();
+            let st = &mut *guard;
+            st.shutdown = true;
+            st.draining = true;
+            let pending: Vec<JobId> = st
+                .grouper
+                .flush_all()
+                .into_iter()
+                .flat_map(|f| f.batch.jobs)
+                .chain(st.ready.drain(..).flat_map(|rb| rb.jobs))
+                .collect();
+            for id in pending {
+                transition(st, id, JobState::Cancelled, "server shutdown".into());
+            }
+            if st.live == 0 {
+                shared.quiet.notify_all();
+            }
+            shared.work.notify_all();
+            shared.timer.notify_all();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Admission checks that need no mutation: drain gate, deck validity,
+/// grid compatibility, memory feasibility. Queue capacity is checked by
+/// `submit` only (a dry run consumes no slot).
+fn admit(shared: &Shared, st: &State, spec: &JobSpec) -> Result<(), AdmitError> {
+    if st.draining || st.shutdown {
+        return Err(AdmitError::Draining);
+    }
+    check_spec(&spec.input, spec.steps)?;
+    // The deck must form a valid (k = 1) ensemble on the server's grid.
+    EnsembleConfig::new(vec![spec.input.clone()], shared.cfg.grid).map_err(|e| match e {
+        EnsembleError::BadGrid { reason } => AdmitError::OversizedGrid {
+            reason: format!("deck does not fit the server grid: {reason}"),
+        },
+        other => AdmitError::InvalidDeck { reason: other.to_string() },
+    })?;
+    if st.grouper.k_cap_for(&spec.input) == 0 {
+        return Err(AdmitError::OversizedGrid {
+            reason: format!(
+                "no ensemble of this deck fits {} node(s) of {} (per the memory budget)",
+                shared.cfg.nodes, shared.cfg.machine.name
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Transition a job, enforcing the lifecycle graph, maintaining the
+/// live-job count, and notifying subscribers.
+fn transition(st: &mut State, id: JobId, to: JobState, detail: String) {
+    let job = st.jobs.get_mut(&id).expect("job exists");
+    assert!(
+        job.state.can_transition(to),
+        "illegal transition {} -> {to} for {id}",
+        job.state
+    );
+    job.state = to;
+    job.detail = detail.clone();
+    emit(job, to, detail);
+    if to.is_terminal() {
+        st.live = st.live.checked_sub(1).expect("live-job count underflow");
+    }
+}
+
+/// Deliver an event to the job's subscribers, dropping hung-up channels.
+/// Terminal events also drop the subscriber list (hang-up signals "no more
+/// events").
+fn emit(job: &mut Job, state: JobState, detail: String) {
+    let ev = JobEvent { job: job.id, state, detail };
+    job.subscribers.retain(|tx| tx.send(ev.clone()).is_ok());
+    if state.is_terminal() {
+        job.subscribers.clear();
+    }
+}
+
+/// The batcher thread: flush linger-expired batches to the ready queue.
+fn batcher_loop(shared: &Shared) {
+    let mut guard = shared.state.lock();
+    loop {
+        if guard.shutdown {
+            return;
+        }
+        let expired = guard.grouper.expired(Instant::now());
+        if !expired.is_empty() {
+            for f in expired {
+                guard.ready.push_back(ReadyBatch {
+                    id: f.batch.id,
+                    jobs: f.batch.jobs,
+                    reason: f.reason,
+                });
+            }
+            shared.work.notify_all();
+            continue;
+        }
+        match guard.grouper.next_deadline() {
+            Some(d) => {
+                shared.timer.wait_until(&mut guard, d);
+            }
+            None => {
+                // Nothing pending: sleep until a submit creates a batch.
+                shared.timer.wait_for(&mut guard, Duration::from_secs(1));
+            }
+        }
+    }
+}
+
+/// A worker thread: pop ready batches and execute them.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let rb = {
+            let mut guard = shared.state.lock();
+            loop {
+                if guard.shutdown {
+                    return;
+                }
+                if let Some(rb) = guard.ready.pop_front() {
+                    break rb;
+                }
+                shared.work.wait(&mut guard);
+            }
+        };
+        execute_batch(shared, rb);
+    }
+}
+
+/// Run one batch as an XGYRO ensemble in `ckpt_every`-step segments,
+/// applying cancellations (and shutdown) at checkpoint boundaries and
+/// evicting faulted members without killing their batch-mates.
+fn execute_batch(shared: &Shared, rb: ReadyBatch) {
+    let grid = shared.cfg.grid;
+    // Dispatch bookkeeping: transition members to Running, record queue
+    // latency and occupancy, arm the chaos fault plan (first batch only).
+    let (mut member_ids, mut inputs, steps_total, mut plan) = {
+        let mut guard = shared.state.lock();
+        let st = &mut *guard;
+        let now = Instant::now();
+        let mut inputs: Vec<CgyroInput> = Vec::new();
+        let mut steps_total = 0;
+        for id in &rb.jobs {
+            let job = st.jobs.get_mut(id).expect("batched job exists");
+            job.dispatched_at = Some(now);
+            steps_total = job.spec.steps;
+            inputs.push(job.spec.input.clone());
+            let lat = now.duration_since(job.submitted_at).as_millis() as u64;
+            st.metrics.on_queue_latency(lat);
+            transition(st, *id, JobState::Running, format!("{} (k={})", rb.id, rb.jobs.len()));
+        }
+        if rb.jobs.is_empty() {
+            return;
+        }
+        st.metrics.on_dispatch(rb.jobs.len(), inputs[0].dims(), rb.reason);
+        (rb.jobs.clone(), inputs, steps_total, st.fault_plan.take())
+    };
+
+    let mut checkpoint: Option<EnsembleCheckpoint> = None;
+    let mut results: BTreeMap<JobId, JobOutcome> = BTreeMap::new();
+    let mut done = 0usize;
+    while done < steps_total && !member_ids.is_empty() {
+        // Checkpoint boundary: apply cancellations (shutdown cancels all).
+        let cancelled: Vec<usize> = {
+            let guard = shared.state.lock();
+            member_ids
+                .iter()
+                .enumerate()
+                .filter(|(_, id)| guard.shutdown || guard.jobs[*id].cancel_requested)
+                .map(|(pos, _)| pos)
+                .collect()
+        };
+        for &pos in cancelled.iter().rev() {
+            let id = member_ids.remove(pos);
+            inputs.remove(pos);
+            if let Some(cp) = checkpoint.take() {
+                // Emptying the batch drops the checkpoint with it —
+                // evict_member only refuses to evict the last member.
+                checkpoint = cp.evict_member(pos).ok();
+            }
+            finish(shared, id, JobState::Cancelled, "preempted at checkpoint".into(), None);
+        }
+        if member_ids.is_empty() {
+            return;
+        }
+        let cfg = match EnsembleConfig::new(inputs.clone(), grid) {
+            Ok(c) => c,
+            Err(e) => {
+                fail_all(shared, &member_ids, &format!("ensemble rebuild failed: {e}"));
+                return;
+            }
+        };
+        let seg = shared.cfg.ckpt_every.min(steps_total - done);
+        let out = run_xgyro_resilient_from(
+            &cfg,
+            checkpoint.take(),
+            seg,
+            seg,
+            plan.take().unwrap_or_else(FaultPlan::new),
+            shared.cfg.deadline,
+        );
+        match out {
+            Ok(rec) => {
+                // Members evicted by faults terminalize as Failed; the
+                // survivors carry on from the segment's checkpoint.
+                for ev in &rec.events {
+                    finish(
+                        shared,
+                        member_ids[ev.failed_member],
+                        JobState::Failed,
+                        format!("member evicted after fault: {}", ev.cause),
+                        None,
+                    );
+                }
+                let old_ids = member_ids.clone();
+                member_ids = rec.surviving_members.iter().map(|&i| old_ids[i]).collect();
+                inputs = rec.surviving_members.iter().map(|&i| inputs[i].clone()).collect();
+                for s in &rec.outcome.sims {
+                    results.insert(
+                        old_ids[s.sim],
+                        JobOutcome {
+                            h: s.h.clone(),
+                            diagnostics: s.diagnostics,
+                            steps: done + seg,
+                        },
+                    );
+                }
+                checkpoint = Some(rec.checkpoint);
+                done += seg;
+            }
+            Err(e) => {
+                fail_all(shared, &member_ids, &format!("batch failed: {e}"));
+                return;
+            }
+        }
+    }
+    for id in member_ids {
+        let outcome = results.remove(&id);
+        finish(shared, id, JobState::Done, "completed".into(), outcome);
+    }
+}
+
+/// Terminalize one job (from `Running`) and wake drain waiters when the
+/// server goes quiet.
+fn finish(shared: &Shared, id: JobId, state: JobState, detail: String, outcome: Option<JobOutcome>) {
+    let mut guard = shared.state.lock();
+    let st = &mut *guard;
+    st.jobs.get_mut(&id).expect("running job exists").outcome = outcome;
+    transition(st, id, state, detail);
+    if st.live == 0 {
+        shared.quiet.notify_all();
+    }
+}
+
+/// Fail every remaining member of a batch with the same cause.
+fn fail_all(shared: &Shared, ids: &[JobId], detail: &str) {
+    for id in ids {
+        finish(shared, *id, JobState::Failed, detail.to_string(), None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xg_sim::CgyroInput;
+
+    fn spec(input: CgyroInput, steps: usize, tag: &str) -> JobSpec {
+        JobSpec { input, steps, tag: tag.to_string() }
+    }
+
+    #[test]
+    fn a_full_batch_runs_to_done() {
+        let server = CampaignServer::start(ServerConfig::local_test());
+        let base = CgyroInput::test_small();
+        let ids: Vec<JobId> = (0..3)
+            .map(|i| {
+                let input = base.with_gradients(1.0 + i as f64 * 0.5, 2.0);
+                server.submit(spec(input, 20, &format!("j{i}"))).expect("admitted")
+            })
+            .collect();
+        assert!(server.drain(Duration::from_secs(60)), "drain timed out");
+        let statuses = server.list();
+        assert_eq!(statuses.len(), 3);
+        for s in &statuses {
+            assert_eq!(s.state, JobState::Done, "{}: {}", s.id, s.detail);
+            assert_eq!(s.batch, Some(BatchId(0)), "all three share one batch");
+            assert!(s.queue_latency_ms.is_some());
+        }
+        for id in ids {
+            let out = server.result(id).expect("outcome retained");
+            assert_eq!(out.steps, 20);
+        }
+        let json = server.metrics_json();
+        assert!(json.contains("\"k=3\": 1"), "occupancy histogram: {json}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn linger_flushes_an_underfull_batch() {
+        let mut cfg = ServerConfig::local_test();
+        cfg.linger = Duration::from_millis(20);
+        let server = CampaignServer::start(cfg);
+        let id = server
+            .submit(spec(CgyroInput::test_small(), 10, "solo"))
+            .expect("admitted");
+        // Wait for the batcher's linger flush before draining — an early
+        // drain would flush the batch itself (reason "drain", not
+        // "linger").
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while server.status(id).unwrap().state == JobState::Batched {
+            assert!(Instant::now() < deadline, "linger flush never happened");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(server.drain(Duration::from_secs(60)));
+        assert_eq!(server.status(id).unwrap().state, JobState::Done);
+        let json = server.metrics_json();
+        assert!(json.contains("\"linger\": 1"), "{json}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn distinct_cmat_keys_form_distinct_batches() {
+        let server = CampaignServer::start(ServerConfig::local_test());
+        let base = CgyroInput::test_small();
+        let mut hot = base.clone();
+        hot.nu_ee *= 2.0;
+        let a = server.submit(spec(base, 10, "a")).unwrap();
+        let b = server.submit(spec(hot, 10, "b")).unwrap();
+        let (ba, bb) = (
+            server.status(a).unwrap().batch.unwrap(),
+            server.status(b).unwrap().batch.unwrap(),
+        );
+        assert_ne!(ba, bb);
+        assert!(server.drain(Duration::from_secs(60)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejections_are_typed() {
+        let mut cfg = ServerConfig::local_test();
+        cfg.queue_capacity = 1;
+        cfg.linger = Duration::from_secs(30); // keep the first job pending
+        let server = CampaignServer::start(cfg);
+        let base = CgyroInput::test_small();
+        server.submit(spec(base.clone(), 10, "first")).unwrap();
+        let err = server.submit(spec(base.clone(), 10, "second")).unwrap_err();
+        assert_eq!(err.kind(), "queue-full");
+        let mut bad = base.clone();
+        bad.n_radial = 0;
+        assert_eq!(server.submit(spec(bad, 10, "bad")).unwrap_err().kind(), "invalid-deck");
+        assert_eq!(server.submit(spec(base, 7, "odd")).unwrap_err().kind(), "bad-steps");
+        let json = server.metrics_json();
+        assert!(json.contains("\"queue-full\": 1"), "{json}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn cancel_before_dispatch_preempts_the_batch() {
+        let mut cfg = ServerConfig::local_test();
+        cfg.linger = Duration::from_secs(30);
+        let server = CampaignServer::start(cfg);
+        let id = server.submit(spec(CgyroInput::test_small(), 10, "doomed")).unwrap();
+        assert_eq!(server.cancel(id).unwrap(), JobState::Cancelled);
+        assert_eq!(server.status(id).unwrap().state, JobState::Cancelled);
+        // Cancel is idempotent on terminal jobs.
+        assert_eq!(server.cancel(id).unwrap(), JobState::Cancelled);
+        assert!(server.drain(Duration::from_secs(5)), "nothing left to run");
+        server.shutdown();
+    }
+
+    #[test]
+    fn subscribe_streams_the_lifecycle() {
+        let server = CampaignServer::start(ServerConfig::local_test());
+        let base = CgyroInput::test_small();
+        let id = server.submit(spec(base.with_gradients(1.0, 2.0), 10, "watched")).unwrap();
+        let rx = server.subscribe(id).expect("job exists");
+        assert!(server.drain(Duration::from_secs(60)));
+        let states: Vec<JobState> = rx.iter().map(|e| e.state).collect();
+        assert_eq!(states.first(), Some(&JobState::Batched), "snapshot first");
+        assert_eq!(states.last(), Some(&JobState::Done));
+        assert!(states.contains(&JobState::Running));
+        server.shutdown();
+    }
+
+    #[test]
+    fn dry_run_reports_key_and_placement_without_admitting() {
+        let mut cfg = ServerConfig::local_test();
+        cfg.linger = Duration::from_secs(30);
+        let server = CampaignServer::start(cfg);
+        let base = CgyroInput::test_small();
+        let s = spec(base.clone(), 10, "probe");
+        let (key, placement) = server.dry_run(&s).expect("valid");
+        assert_eq!(key, base.cmat_key());
+        assert!(matches!(placement, Placement::Opens { k_cap: 3 }));
+        server.submit(s.clone()).unwrap();
+        let (_, placement) = server.dry_run(&s).expect("valid");
+        assert!(
+            matches!(placement, Placement::Joins { occupancy: 1, .. }),
+            "{placement:?}"
+        );
+        assert_eq!(server.list().len(), 1, "dry runs admit nothing");
+        server.shutdown();
+    }
+
+    #[test]
+    fn faulted_member_fails_without_killing_batch_mates() {
+        let mut cfg = ServerConfig::local_test();
+        // One injected crash on rank 2 (a rank of member 1 on the 2x1
+        // grid) early in the first segment of the first batch.
+        cfg.fault_plan = Some(FaultPlan::crash(2, 4));
+        cfg.workers = 1;
+        let server = CampaignServer::start(cfg);
+        let base = CgyroInput::test_small();
+        let ids: Vec<JobId> = (0..3)
+            .map(|i| {
+                server
+                    .submit(spec(base.with_gradients(1.0 + i as f64, 2.0), 20, "f"))
+                    .unwrap()
+            })
+            .collect();
+        assert!(server.drain(Duration::from_secs(60)));
+        let states: Vec<JobState> =
+            ids.iter().map(|id| server.status(*id).unwrap().state).collect();
+        assert_eq!(states.iter().filter(|s| **s == JobState::Failed).count(), 1);
+        assert_eq!(states.iter().filter(|s| **s == JobState::Done).count(), 2);
+        let failed = ids[states.iter().position(|s| *s == JobState::Failed).unwrap()];
+        assert!(server.status(failed).unwrap().detail.contains("evicted"));
+        server.shutdown();
+    }
+}

@@ -1,0 +1,414 @@
+//! Line-oriented TCP wire protocol: `xgqueued` serves it, `xgq` speaks it.
+//!
+//! One request per line (`COMMAND key=value …`); `SUBMIT`/`DRYRUN` are
+//! followed by the deck text and a terminating `END` line. Responses start
+//! with `OK` or `ERR <kind>: <message>`; multi-line payloads (`LIST`,
+//! `METRICS`) announce their length up front, and `SUBSCRIBE` streams
+//! `EVENT` lines until the job terminalizes. The format is deliberately
+//! trivial — greppable in CI logs, drivable from a shell with `nc`.
+//!
+//! ```text
+//! PING                          -> OK pong
+//! SUBMIT steps=N [tag=T] + deck -> OK job-0 batch=batch-0
+//! DRYRUN steps=N        + deck  -> OK cmat_key=0x… placement=… k_cap=…
+//! STATUS job-N                  -> OK job-N state=… batch=… detail=…
+//! LIST                          -> OK <n>, then n status lines
+//! CANCEL job-N                  -> OK <state>
+//! SUBSCRIBE job-N               -> EVENT job-N <state> <detail>…, OK done
+//! METRICS                       -> OK, JSON lines, then a lone '.'
+//! DRAIN ms=N                    -> OK drained | ERR drain-timeout: …
+//! SHUTDOWN                      -> OK bye (server exits)
+//! ```
+
+use crate::batcher::Placement;
+use crate::job::{JobId, JobSpec, JobStatus};
+use crate::server::CampaignServer;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use xg_sim::parse_deck;
+
+/// Serve the protocol on `listener` until a client sends `SHUTDOWN`.
+/// Connections are handled concurrently; on exit the campaign server is
+/// shut down gracefully (running batches preempt at their next checkpoint).
+pub fn serve(listener: TcpListener, server: CampaignServer) -> std::io::Result<()> {
+    let server = Arc::new(server);
+    let stop = Arc::new(AtomicBool::new(false));
+    let addr = listener.local_addr()?;
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = conn?;
+        let _ = stream.set_nodelay(true);
+        let server = server.clone();
+        let stop = stop.clone();
+        handlers.push(std::thread::spawn(move || {
+            let _ = handle_conn(stream, &server, &stop, addr);
+        }));
+        handlers.retain(|h| !h.is_finished());
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+    match Arc::try_unwrap(server) {
+        Ok(s) => s.shutdown(),
+        Err(_) => unreachable!("all connection handlers joined"),
+    }
+    Ok(())
+}
+
+fn handle_conn(
+    stream: TcpStream,
+    server: &CampaignServer,
+    stop: &AtomicBool,
+    addr: std::net::SocketAddr,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client hung up
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let cmd = parts.next().unwrap_or("");
+        let args: Vec<&str> = parts.collect();
+        match cmd {
+            "PING" => writeln!(out, "OK pong")?,
+            "SUBMIT" | "DRYRUN" => {
+                let spec = match read_spec(&mut reader, &args) {
+                    Ok(s) => s,
+                    Err(msg) => {
+                        writeln!(out, "ERR bad-request: {msg}")?;
+                        continue;
+                    }
+                };
+                if cmd == "SUBMIT" {
+                    match server.submit(spec) {
+                        Ok(id) => {
+                            let batch = server
+                                .status(id)
+                                .and_then(|s| s.batch)
+                                .map(|b| b.to_string())
+                                .unwrap_or_else(|| "-".into());
+                            writeln!(out, "OK {id} batch={batch}")?;
+                        }
+                        Err(e) => writeln!(out, "ERR {}: {e}", e.kind())?,
+                    }
+                } else {
+                    match server.dry_run(&spec) {
+                        Ok((key, Placement::Joins { batch, occupancy, k_cap })) => writeln!(
+                            out,
+                            "OK cmat_key={key:#018x} placement=joins batch={batch} \
+                             occupancy={occupancy} k_cap={k_cap}"
+                        )?,
+                        Ok((key, Placement::Opens { k_cap })) => writeln!(
+                            out,
+                            "OK cmat_key={key:#018x} placement=opens k_cap={k_cap}"
+                        )?,
+                        Err(e) => writeln!(out, "ERR {}: {e}", e.kind())?,
+                    }
+                }
+            }
+            "STATUS" => match parse_job_arg(&args).and_then(|id| {
+                server.status(id).ok_or_else(|| format!("no such job: {id}"))
+            }) {
+                Ok(s) => writeln!(out, "OK {}", fmt_status(&s))?,
+                Err(msg) => writeln!(out, "ERR not-found: {msg}")?,
+            },
+            "LIST" => {
+                let all = server.list();
+                writeln!(out, "OK {}", all.len())?;
+                for s in &all {
+                    writeln!(out, "{}", fmt_status(s))?;
+                }
+            }
+            "CANCEL" => match parse_job_arg(&args).and_then(|id| server.cancel(id)) {
+                Ok(state) => writeln!(out, "OK {state}")?,
+                Err(msg) => writeln!(out, "ERR not-found: {msg}")?,
+            },
+            "SUBSCRIBE" => match parse_job_arg(&args)
+                .and_then(|id| server.subscribe(id).ok_or_else(|| format!("no such job: {id}")))
+            {
+                Ok(rx) => {
+                    for ev in rx.iter() {
+                        writeln!(out, "EVENT {} {} {}", ev.job, ev.state, ev.detail)?;
+                        out.flush()?;
+                        if ev.state.is_terminal() {
+                            break;
+                        }
+                    }
+                    writeln!(out, "OK done")?;
+                }
+                Err(msg) => writeln!(out, "ERR not-found: {msg}")?,
+            },
+            "METRICS" => {
+                writeln!(out, "OK")?;
+                out.write_all(server.metrics_json().as_bytes())?;
+                writeln!(out, ".")?;
+            }
+            "DRAIN" => {
+                let ms = kv_arg(&args, "ms").and_then(|v| v.parse::<u64>().ok()).unwrap_or(60_000);
+                if server.drain(Duration::from_millis(ms)) {
+                    writeln!(out, "OK drained")?;
+                } else {
+                    writeln!(out, "ERR drain-timeout: jobs still live after {ms}ms")?;
+                }
+            }
+            "SHUTDOWN" => {
+                writeln!(out, "OK bye")?;
+                out.flush()?;
+                stop.store(true, Ordering::SeqCst);
+                // Wake the accept loop so it observes the stop flag.
+                let _ = TcpStream::connect(addr);
+                return Ok(());
+            }
+            other => writeln!(out, "ERR bad-request: unknown command '{other}'")?,
+        }
+        out.flush()?;
+    }
+}
+
+/// Parse `steps=`/`tag=` arguments plus the deck body (lines up to `END`).
+fn read_spec(reader: &mut impl BufRead, args: &[&str]) -> Result<JobSpec, String> {
+    let steps = kv_arg(args, "steps")
+        .ok_or("missing steps=N")?
+        .parse::<usize>()
+        .map_err(|e| format!("bad steps: {e}"))?;
+    let tag = kv_arg(args, "tag").unwrap_or_default().to_string();
+    let mut deck = String::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+            return Err("connection closed before END".into());
+        }
+        if line.trim() == "END" {
+            break;
+        }
+        deck.push_str(&line);
+    }
+    let input = parse_deck(&deck).map_err(|e| e.to_string())?;
+    Ok(JobSpec { input, steps, tag })
+}
+
+fn kv_arg<'a>(args: &[&'a str], key: &str) -> Option<&'a str> {
+    args.iter().find_map(|a| a.strip_prefix(key)?.strip_prefix('='))
+}
+
+fn parse_job_arg(args: &[&str]) -> Result<JobId, String> {
+    args.first().ok_or("missing job id".to_string())?.parse()
+}
+
+fn fmt_status(s: &JobStatus) -> String {
+    format!(
+        "{} state={} batch={} tag={} latency_ms={} detail={}",
+        s.id,
+        s.state,
+        s.batch.map(|b| b.to_string()).unwrap_or_else(|| "-".into()),
+        if s.tag.is_empty() { "-" } else { &s.tag },
+        s.queue_latency_ms.map(|l| l.to_string()).unwrap_or_else(|| "-".into()),
+        s.detail,
+    )
+}
+
+/// A thin synchronous client for the protocol (what `xgq` is built on).
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to an `xgqueued` server.
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        // Requests are small and latency-sensitive; never Nagle-delay them.
+        stream.set_nodelay(true)?;
+        Ok(Self { reader: BufReader::new(stream.try_clone()?), writer: stream })
+    }
+
+    fn send(&mut self, line: &str) -> std::io::Result<()> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()
+    }
+
+    fn recv_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server hung up",
+            ));
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    /// One-line request → one-line response (`PING`, `STATUS`, `CANCEL`,
+    /// `DRAIN`, `SHUTDOWN`).
+    pub fn roundtrip(&mut self, line: &str) -> std::io::Result<String> {
+        self.send(line)?;
+        self.recv_line()
+    }
+
+    /// Submit (or dry-run) a deck; returns the response line.
+    pub fn submit_deck(
+        &mut self,
+        deck_text: &str,
+        steps: usize,
+        tag: &str,
+        dry_run: bool,
+    ) -> std::io::Result<String> {
+        let cmd = if dry_run { "DRYRUN" } else { "SUBMIT" };
+        let tag_part = if tag.is_empty() { String::new() } else { format!(" tag={tag}") };
+        // One write for the whole request: several small writes would
+        // trigger Nagle/delayed-ACK stalls that add tens of milliseconds
+        // per submission — enough to spread a burst past the linger window.
+        let mut req = format!("{cmd} steps={steps}{tag_part}\n");
+        req.push_str(deck_text);
+        if !deck_text.ends_with('\n') {
+            req.push('\n');
+        }
+        req.push_str("END\n");
+        self.writer.write_all(req.as_bytes())?;
+        self.writer.flush()?;
+        self.recv_line()
+    }
+
+    /// `LIST`: header plus one line per job.
+    pub fn list(&mut self) -> std::io::Result<Vec<String>> {
+        self.send("LIST")?;
+        let header = self.recv_line()?;
+        let n = header
+            .strip_prefix("OK ")
+            .and_then(|s| s.parse::<usize>().ok())
+            .ok_or_else(|| std::io::Error::other(format!("bad LIST header: {header}")))?;
+        (0..n).map(|_| self.recv_line()).collect()
+    }
+
+    /// `METRICS`: the JSON payload.
+    pub fn metrics(&mut self) -> std::io::Result<String> {
+        self.send("METRICS")?;
+        let header = self.recv_line()?;
+        if header != "OK" {
+            return Err(std::io::Error::other(header));
+        }
+        let mut json = String::new();
+        loop {
+            let line = self.recv_line()?;
+            if line == "." {
+                return Ok(json);
+            }
+            json.push_str(&line);
+            json.push('\n');
+        }
+    }
+
+    /// `SUBSCRIBE`: invoke `on_event` for every `EVENT` line until the
+    /// terminal `OK done`; returns the last event line.
+    pub fn subscribe(
+        &mut self,
+        job: &str,
+        mut on_event: impl FnMut(&str),
+    ) -> std::io::Result<String> {
+        self.send(&format!("SUBSCRIBE {job}"))?;
+        let mut last = String::new();
+        loop {
+            let line = self.recv_line()?;
+            if line.starts_with("ERR") {
+                return Err(std::io::Error::other(line));
+            }
+            if line == "OK done" {
+                return Ok(last);
+            }
+            on_event(&line);
+            last = line;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+    use xg_sim::{write_deck, CgyroInput};
+
+    fn start() -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        // A long linger keeps grouping deterministic under test: batches
+        // flush because they fill (k_cap), never because a slow test runner
+        // let the deadline fire between submissions.
+        let mut cfg = ServerConfig::local_test();
+        cfg.linger = Duration::from_secs(30);
+        let server = CampaignServer::start(cfg);
+        let h = std::thread::spawn(move || serve(listener, server).expect("serve"));
+        (addr, h)
+    }
+
+    #[test]
+    fn a_full_wire_session() {
+        let (addr, h) = start();
+        let mut c = Client::connect(&addr.to_string()).expect("connect");
+        assert_eq!(c.roundtrip("PING").unwrap(), "OK pong");
+
+        let base = CgyroInput::test_small();
+        // Dry-run first: reports the key and that a new batch would open.
+        let probe = c.submit_deck(&write_deck(&base), 20, "probe", true).unwrap();
+        assert!(probe.starts_with("OK cmat_key=0x"), "{probe}");
+        assert!(probe.contains("placement=opens k_cap=3"), "{probe}");
+
+        // Three compatible submissions fill one k=3 batch.
+        for i in 0..3 {
+            let deck = write_deck(&base.with_gradients(1.0 + i as f64, 2.0));
+            let resp = c.submit_deck(&deck, 20, &format!("s{i}"), false).unwrap();
+            assert!(resp.starts_with(&format!("OK job-{i} batch=batch-")), "{resp}");
+        }
+        assert_eq!(c.roundtrip("DRAIN ms=60000").unwrap(), "OK drained");
+
+        let status = c.roundtrip("STATUS job-0").unwrap();
+        assert!(status.contains("state=Done"), "{status}");
+        let listing = c.list().unwrap();
+        assert_eq!(listing.len(), 3);
+        assert!(listing.iter().all(|l| l.contains("state=Done")), "{listing:?}");
+
+        // Subscribing to a finished job still yields its terminal snapshot.
+        let last = c.subscribe("job-1", |_| {}).unwrap();
+        assert!(last.contains("Done"), "{last}");
+
+        let json = c.metrics().unwrap();
+        assert!(json.contains("\"k=3\": 1"), "{json}");
+        assert!(json.contains("\"cmat_saved_bytes\""), "{json}");
+
+        let err = c.roundtrip("STATUS job-99").unwrap();
+        assert!(err.starts_with("ERR not-found"), "{err}");
+
+        assert_eq!(c.roundtrip("SHUTDOWN").unwrap(), "OK bye");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn bad_requests_get_typed_errors() {
+        let (addr, h) = start();
+        let mut c = Client::connect(&addr.to_string()).expect("connect");
+        let resp = c.roundtrip("FROB").unwrap();
+        assert!(resp.starts_with("ERR bad-request"), "{resp}");
+        let resp = c.submit_deck("NOT_A_KEY=1\n", 10, "", false).unwrap();
+        assert!(resp.starts_with("ERR bad-request"), "{resp}");
+        // Steps misaligned with the deck cadence: typed admission error.
+        let deck = write_deck(&CgyroInput::test_small());
+        let resp = c.submit_deck(&deck, 7, "", false).unwrap();
+        assert!(resp.starts_with("ERR bad-steps"), "{resp}");
+        assert_eq!(c.roundtrip("SHUTDOWN").unwrap(), "OK bye");
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests of the grouper's batching invariants.
+//!
+//! The three contract properties (ISSUE satellite):
+//!
+//! 1. jobs with differing [`BatchKey`]s are **never** co-batched — a batch
+//!    executes as one XGYRO ensemble, and mixed keys cannot share `cmat`;
+//! 2. jobs with identical keys are **always** co-batched up to the
+//!    effective cap — a new batch opens only when every open key-mate
+//!    batch is full;
+//! 3. submission order is preserved — within a batch, and across the
+//!    successive batches of one key.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+use xg_costmodel::MachineModel;
+use xg_serve::{BatchId, BatchKey, Grouper, GrouperConfig, JobId, JobSpec, Placement};
+use xg_sim::CgyroInput;
+
+/// A deck pool with `n_keys` distinct cmat keys (nu_ee variants).
+fn deck(key: usize) -> CgyroInput {
+    let mut d = CgyroInput::test_small();
+    d.nu_ee = 0.1 * (1 + key) as f64;
+    d
+}
+
+fn grouper(k_max: usize) -> Grouper {
+    Grouper::new(GrouperConfig {
+        k_max,
+        // Long linger: these tests exercise placement, not expiry.
+        linger: Duration::from_secs(3600),
+        nodes: 2,
+        machine: MachineModel::small_cluster(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn batches_are_key_pure_full_and_ordered(
+        k_max in 1usize..6,
+        choices in prop::collection::vec((0usize..3, 0usize..2), 1..40),
+    ) {
+        let mut g = grouper(k_max);
+        let now = Instant::now();
+        let mut key_of: BTreeMap<JobId, BatchKey> = BTreeMap::new();
+        let mut batch_of: BTreeMap<JobId, BatchId> = BTreeMap::new();
+        let mut closed: Vec<(BatchId, Vec<JobId>)> = Vec::new();
+        for (i, (key, steps_choice)) in choices.iter().enumerate() {
+            let spec = JobSpec::new(deck(*key), 10 * (1 + steps_choice));
+            let id = JobId(i as u64);
+
+            // Dry-run consistency: would_join predicts the real placement.
+            let predicted = g.would_join(&spec);
+            let (batch, flushed) = g.place(id, &spec, now);
+            match predicted {
+                Placement::Joins { batch: b, .. } => prop_assert_eq!(b, batch),
+                Placement::Opens { .. } => {
+                    prop_assert!(
+                        !batch_of.values().any(|b| *b == batch),
+                        "predicted a fresh batch but joined an existing one"
+                    );
+                }
+            }
+
+            key_of.insert(id, BatchKey::of(&spec));
+            batch_of.insert(id, batch);
+            if let Some(f) = flushed {
+                prop_assert_eq!(f.batch.jobs.len(), f.batch.k_cap, "flushed before full");
+                closed.push((f.batch.id, f.batch.jobs));
+            }
+        }
+        let open: Vec<(BatchId, Vec<JobId>)> =
+            g.pending().iter().map(|b| (b.id, b.jobs.clone())).collect();
+
+        // (1) Key purity + (3) within-batch submission order.
+        for (_, jobs) in closed.iter().chain(open.iter()) {
+            prop_assert!(!jobs.is_empty());
+            let k0 = key_of[&jobs[0]];
+            for w in jobs.windows(2) {
+                prop_assert_eq!(key_of[&w[0]], k0, "mixed keys in one batch");
+                prop_assert!(w[0] < w[1], "submission order broken inside a batch");
+            }
+        }
+
+        // (2) Maximal packing: per key, every batch except the one still
+        // open is exactly full, so the batch count is the ceiling of
+        // jobs / cap. (3b) Across batches of one key, id ranges are
+        // consecutive: batch n+1's first job came after batch n's last.
+        let mut per_key: BTreeMap<BatchKey, Vec<JobId>> = BTreeMap::new();
+        for (id, k) in &key_of {
+            per_key.entry(*k).or_default().push(*id);
+        }
+        for (key, jobs) in per_key {
+            let cap = g.k_cap_for(&deck_for(&key));
+            let n_batches = jobs
+                .iter()
+                .map(|j| batch_of[j])
+                .collect::<std::collections::BTreeSet<_>>()
+                .len();
+            prop_assert_eq!(n_batches, jobs.len().div_ceil(cap), "not maximally packed");
+            let mut in_batch_order: Vec<JobId> = Vec::new();
+            for (_, members) in closed.iter().chain(open.iter()) {
+                if key_of[&members[0]] == key {
+                    in_batch_order.extend(members.iter().copied());
+                }
+            }
+            prop_assert_eq!(in_batch_order, jobs, "cross-batch submission order broken");
+        }
+    }
+
+    #[test]
+    fn expiry_only_flushes_past_deadline_batches(
+        k_max in 2usize..6,
+        n in 1usize..6,
+        advance_ms in 0u64..200,
+    ) {
+        let mut g = Grouper::new(GrouperConfig {
+            k_max,
+            linger: Duration::from_millis(100),
+            nodes: 2,
+            machine: MachineModel::small_cluster(),
+        });
+        let t0 = Instant::now();
+        let spec = JobSpec::new(deck(0), 10);
+        for i in 0..n {
+            g.place(JobId(i as u64), &spec, t0);
+        }
+        let open_before: usize = g.pending().iter().map(|b| b.jobs.len()).sum();
+        let flushed = g.expired(t0 + Duration::from_millis(advance_ms));
+        if advance_ms >= 100 {
+            prop_assert_eq!(g.pending().len(), 0);
+            let total: usize = flushed.iter().map(|f| f.batch.jobs.len()).sum();
+            prop_assert_eq!(total, open_before, "expiry lost or duplicated jobs");
+        } else {
+            prop_assert!(flushed.is_empty(), "flushed before the deadline");
+        }
+    }
+}
+
+/// Reconstruct a deck whose `BatchKey` equals `key` (the test pool is
+/// parameterized by nu_ee alone, so search the pool).
+fn deck_for(key: &BatchKey) -> CgyroInput {
+    (0..3)
+        .map(deck)
+        .find(|d| d.cmat_key() == key.cmat_key)
+        .expect("key came from the pool")
+}

@@ -160,9 +160,10 @@ impl CollisionConstants {
 
 /// Analytic size of the full constant tensor for an input deck (bytes):
 /// `nv² · nc · nt · 8` — the law that drives the paper's memory argument.
+/// Delegates to [`xg_costmodel::memory::cmat_total_bytes`] so the planner,
+/// the serving metrics, and the simulation all quote one law.
 pub fn cmat_total_bytes(input: &CgyroInput) -> u64 {
-    let d = input.dims();
-    (d.nv as u64) * (d.nv as u64) * (d.nc as u64) * (d.nt as u64) * 8
+    xg_costmodel::memory::cmat_total_bytes(input.dims())
 }
 
 #[cfg(test)]

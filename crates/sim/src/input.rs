@@ -255,6 +255,58 @@ impl CgyroInput {
         h.finish()
     }
 
+    /// Name every cmat-relevant input on which `self` and `other` disagree,
+    /// with both values — the diagnosis behind a `cmat_key` mismatch. The
+    /// field list mirrors [`CgyroInput::cmat_key`] exactly: anything hashed
+    /// there is compared here, and nothing else, so a non-empty result is
+    /// equivalent to differing keys (up to hash collisions).
+    ///
+    /// ```
+    /// use xg_sim::CgyroInput;
+    ///
+    /// let base = CgyroInput::test_small();
+    /// let mut hot = base.clone();
+    /// hot.nu_ee *= 2.0;
+    /// let diffs = base.cmat_divergence(&hot);
+    /// assert_eq!(diffs, vec!["nu_ee (0.1 vs 0.2)".to_string()]);
+    /// // Sweep parameters are not cmat inputs and never show up.
+    /// assert!(base.cmat_divergence(&base.with_gradients(9.0, 9.0)).is_empty());
+    /// ```
+    pub fn cmat_divergence(&self, other: &CgyroInput) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut grid = |name: &str, a: usize, b: usize| {
+            if a != b {
+                out.push(format!("{name} ({a} vs {b})"));
+            }
+        };
+        grid("n_radial", self.n_radial, other.n_radial);
+        grid("n_theta", self.n_theta, other.n_theta);
+        grid("n_xi", self.n_xi, other.n_xi);
+        grid("n_energy", self.n_energy, other.n_energy);
+        grid("n_toroidal", self.n_toroidal, other.n_toroidal);
+        grid("n_species", self.species.len(), other.species.len());
+        let mut scalar = |name: &str, a: f64, b: f64| {
+            if a.to_bits() != b.to_bits() {
+                out.push(format!("{name} ({a} vs {b})"));
+            }
+        };
+        for (i, (s, o)) in self.species.iter().zip(&other.species).enumerate() {
+            scalar(&format!("species[{i}].mass"), s.mass, o.mass);
+            scalar(&format!("species[{i}].z"), s.z, o.z);
+            scalar(&format!("species[{i}].temp"), s.temp, o.temp);
+            scalar(&format!("species[{i}].dens"), s.dens, o.dens);
+        }
+        scalar("nu_ee", self.nu_ee, other.nu_ee);
+        scalar("q", self.q, other.q);
+        scalar("shear", self.shear, other.shear);
+        scalar("kappa", self.kappa, other.kappa);
+        scalar("delta", self.delta, other.delta);
+        scalar("ky_min", self.ky_min, other.ky_min);
+        scalar("kx_min", self.kx_min, other.kx_min);
+        scalar("delta_t", self.delta_t, other.delta_t);
+        out
+    }
+
     /// A tiny deck for fast functional tests: nc = n_radial·n_theta small,
     /// nv small, a couple of toroidal modes.
     pub fn test_small() -> Self {
@@ -490,6 +542,39 @@ mod tests {
         let mut v = base.clone();
         v.delta = 0.3;
         assert_ne!(v.cmat_key(), k0, "triangularity must change the key");
+    }
+
+    #[test]
+    fn cmat_divergence_mirrors_the_key() {
+        let base = CgyroInput::test_small();
+        // Key-equal decks diverge nowhere.
+        assert!(base.cmat_divergence(&base).is_empty());
+        assert!(base.cmat_divergence(&base.with_gradients(5.0, 0.2)).is_empty());
+        assert!(base.cmat_divergence(&base.with_seed(99)).is_empty());
+        // Every named divergence corresponds to a key change, and the
+        // offending field is named with both values.
+        let mut v = base.clone();
+        v.nu_ee = 0.4;
+        let d = base.cmat_divergence(&v);
+        assert_eq!(d, vec!["nu_ee (0.1 vs 0.4)".to_string()]);
+        assert_ne!(v.cmat_key(), base.cmat_key());
+        let mut v = base.clone();
+        v.species[1].temp = 3.0;
+        let d = base.cmat_divergence(&v);
+        assert_eq!(d, vec!["species[1].temp (1 vs 3)".to_string()]);
+        let mut v = base.clone();
+        v.n_xi = 6;
+        v.q = 1.1;
+        let d = base.cmat_divergence(&v);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d[0].contains("n_xi"), "{d:?}");
+        assert!(d[1].contains("q"), "{d:?}");
+        // Dropping a species reports the count.
+        let mut v = base.clone();
+        v.species.pop();
+        assert!(v.validate().is_ok());
+        let d = base.cmat_divergence(&v);
+        assert!(d.iter().any(|s| s.contains("n_species")), "{d:?}");
     }
 
     #[test]

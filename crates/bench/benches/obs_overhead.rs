@@ -1,0 +1,48 @@
+//! The obs layer's zero-cost-when-disabled guarantee, measured.
+//!
+//! With `XGYRO_OBS=0` every probe must collapse to one relaxed atomic load
+//! and a branch — no `Instant::now()`, no histogram traffic. These benches
+//! price the probes in both states and the end-to-end stepper with timing
+//! on vs. off; the `*_disabled` numbers are the ones the guarantee is
+//! about (single-digit nanoseconds, independent of ensemble size).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use xg_obs::Phase;
+use xg_sim::{serial_simulation, CgyroInput};
+
+fn bench_probe_cost(c: &mut Criterion) {
+    xg_obs::set_enabled(false);
+    c.bench_function("obs_span_disabled", |b| {
+        b.iter(|| black_box(xg_obs::span(black_box(Phase::Str))));
+    });
+    c.bench_function("obs_comm_wait_disabled", |b| {
+        b.iter(|| xg_obs::record_comm_wait(black_box("str"), black_box(42)));
+    });
+
+    xg_obs::set_enabled(true);
+    c.bench_function("obs_span_enabled", |b| {
+        b.iter(|| black_box(xg_obs::span(black_box(Phase::Str))));
+    });
+    c.bench_function("obs_comm_wait_enabled", |b| {
+        b.iter(|| xg_obs::record_comm_wait(black_box("str"), black_box(42)));
+    });
+    xg_obs::set_enabled(false);
+}
+
+fn bench_stepper_overhead(c: &mut Criterion) {
+    let input = CgyroInput::test_small();
+    xg_obs::set_enabled(false);
+    c.bench_function("serial_step_obs_off", |b| {
+        let mut sim = serial_simulation(&input);
+        b.iter(|| sim.step());
+    });
+    xg_obs::set_enabled(true);
+    c.bench_function("serial_step_obs_on", |b| {
+        let mut sim = serial_simulation(&input);
+        b.iter(|| sim.step());
+    });
+    xg_obs::set_enabled(false);
+}
+
+criterion_group!(benches, bench_probe_cost, bench_stepper_overhead);
+criterion_main!(benches);

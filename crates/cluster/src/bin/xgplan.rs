@@ -4,7 +4,13 @@
 //! ```text
 //! xgplan --deck input.cgyro [--machine FILE|PRESET] [--variants N]
 //!        [--nodes N] [--reports R] [--mtbf-hours H] [--restart-s S]
+//!        [--profile FILE]
 //! ```
+//!
+//! `--profile` closes the loop between forecast and reality: FILE is a
+//! Prometheus scrape from a run with `XGYRO_OBS=1` (`xgyro`'s exporter or
+//! `xgq metrics --prom --out FILE`), and xgplan prints the measured
+//! per-phase wall time next to its own predictions.
 //!
 //! Prints: the deck's memory law, the minimum feasible allocation, the
 //! per-ensemble-size forecast on the chosen node count — including the
@@ -49,6 +55,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: xgplan --deck input.cgyro [--machine FILE|PRESET] [--variants N]\n\
          \u{20}                [--nodes N] [--reports R] [--mtbf-hours H] [--restart-s S]\n\
+         \u{20}                [--profile FILE]\n\
+         \u{20}  --profile:    Prometheus scrape of a measured run (XGYRO_OBS=1);\n\
+         \u{20}                printed as measured-vs-predicted phase time\n\
          \u{20}  --mtbf-hours: single-node MTBF in hours (default ~52000, a\n\
          \u{20}                9000-node system failing every ~6 hours)\n\
          \u{20}  --restart-s:  restart/requeue cost in seconds (default 600)\n\
@@ -66,6 +75,7 @@ fn main() {
     let mut reports = 10usize;
     let mut mtbf_hours: Option<f64> = None;
     let mut restart_s = 600.0f64;
+    let mut profile: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -102,6 +112,7 @@ fn main() {
             "--restart-s" => {
                 restart_s = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
             }
+            "--profile" => profile = Some(it.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -258,5 +269,64 @@ fn main() {
             }
         }
         None => println!("\nno feasible batching for {variants} variants on {nodes} nodes"),
+    }
+
+    if let Some(path) = profile {
+        print_measured_profile(&path);
+    }
+}
+
+/// Render a measured per-phase profile from a Prometheus scrape next to the
+/// forecast above: `xgyro_phase_busy_seconds_{sum,count}` and
+/// `xgyro_phase_comm_wait_seconds_sum`, per `phase` label.
+fn print_measured_profile(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("xgplan: cannot read profile {path}: {e}");
+        exit(1);
+    });
+    let samples = xg_obs::expo::parse_prometheus(&text).unwrap_or_else(|e| {
+        eprintln!("xgplan: profile {path} is not valid Prometheus text: {e}");
+        exit(1);
+    });
+    // phase → (spans, busy seconds, comm-wait seconds).
+    let mut rows: Vec<(String, f64, f64, f64)> = Vec::new();
+    fn row<'a>(
+        rows: &'a mut Vec<(String, f64, f64, f64)>,
+        phase: &str,
+    ) -> &'a mut (String, f64, f64, f64) {
+        if let Some(pos) = rows.iter().position(|(p, ..)| p == phase) {
+            return &mut rows[pos];
+        }
+        rows.push((phase.to_string(), 0.0, 0.0, 0.0));
+        rows.last_mut().unwrap()
+    }
+    for s in &samples {
+        let Some(phase) = s.label("phase") else { continue };
+        match s.name.as_str() {
+            "xgyro_phase_busy_seconds_count" => row(&mut rows, phase).1 += s.value,
+            "xgyro_phase_busy_seconds_sum" => row(&mut rows, phase).2 += s.value,
+            "xgyro_phase_comm_wait_seconds_sum" => row(&mut rows, phase).3 += s.value,
+            _ => {}
+        }
+    }
+    rows.retain(|(_, spans, ..)| *spans > 0.0);
+    if rows.is_empty() {
+        println!(
+            "\nmeasured profile {path}: no phase timings (run recorded with XGYRO_OBS=0?)"
+        );
+        return;
+    }
+    rows.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    let total_busy: f64 = rows.iter().map(|r| r.2).sum();
+    println!(
+        "\nmeasured profile ({path}) — compare with the predicted s/report column above:"
+    );
+    println!("  phase       spans    busy(s)  comm-wait(s)  wait%  busy-share");
+    for (phase, spans, busy, wait) in &rows {
+        println!(
+            "  {phase:<8} {spans:>8.0} {busy:>10.3} {wait:>13.3} {:>5.1}% {:>10.1}%",
+            if *busy > 0.0 { 100.0 * wait / busy } else { 0.0 },
+            if total_busy > 0.0 { 100.0 * busy / total_busy } else { 0.0 },
+        );
     }
 }

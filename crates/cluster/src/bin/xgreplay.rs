@@ -82,6 +82,40 @@ fn main() {
                 println!("  {phase:<8} {cat:<16} {:.6}", secs);
             }
 
+            // Time-weighted phase summary from the measured elapsed_us
+            // column (v2 traces recorded with timing on): where the
+            // communication wall time actually went, vs. the modeled
+            // critical path above.
+            let mut rollup: Vec<(String, u64, u64, u64)> = Vec::new();
+            for r in traces.iter().flatten() {
+                match rollup.iter_mut().find(|(p, ..)| *p == r.phase) {
+                    Some((_, ops, bytes, us)) => {
+                        *ops += 1;
+                        *bytes += r.bytes;
+                        *us += r.elapsed_us;
+                    }
+                    None => rollup.push((r.phase.clone(), 1, r.bytes, r.elapsed_us)),
+                }
+            }
+            rollup.sort_by(|a, b| b.3.cmp(&a.3).then_with(|| a.0.cmp(&b.0)));
+            let measured_total: u64 = rollup.iter().map(|r| r.3).sum();
+            if measured_total == 0 {
+                println!(
+                    "\nmeasured wait: none recorded (trace captured with XGYRO_OBS=0 \
+                     or in the pre-timing format)"
+                );
+            } else {
+                println!("\nmeasured wait by phase (all ranks, time-weighted):");
+                println!("  phase       ops        bytes   wait(ms)  share");
+                for (phase, ops, bytes, us) in &rollup {
+                    println!(
+                        "  {phase:<8} {ops:>6} {bytes:>12} {:>10.3} {:>5.1}%",
+                        *us as f64 / 1e3,
+                        100.0 * *us as f64 / measured_total as f64
+                    );
+                }
+            }
+
             // str-phase reduction shape: fused runs show fewer, fatter
             // collectives (one packed AllReduce per RK stage) than unfused
             // ones, so calls and bytes/call make the algorithm visible

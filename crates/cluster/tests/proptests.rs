@@ -134,6 +134,7 @@ mod replay_props {
                 members: members.clone(),
                 bytes: 1024 * (1 + kind as u64),
                 phase: "str".into(),
+                elapsed_us: 0,
             };
             for &m in &members {
                 traces[m].push(rec.clone());

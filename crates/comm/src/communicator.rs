@@ -229,10 +229,20 @@ impl Communicator {
         F: FnOnce(Vec<T>) -> R,
     {
         self.preflight()?;
-        self.log.record(op, &self.label, &self.members, bytes);
-        self.slot
+        // Record *before* the exchange (fault-plan rebase counts records,
+        // including those of operations that then fail), then patch the
+        // measured wait in by index once the exchange returns. No clock is
+        // read when observability is off.
+        let idx = self.log.record(op, &self.label, &self.members, bytes);
+        let start = xg_obs::enabled().then(std::time::Instant::now);
+        let res = self
+            .slot
             .try_exchange(self.rank, contribution, assemble, self.world.deadline)
-            .map_err(|e| self.slot_error(op, e))
+            .map_err(|e| self.slot_error(op, e));
+        if let Some(start) = start {
+            self.log.set_elapsed(idx, start.elapsed().as_micros() as u64);
+        }
+        res
     }
 
     /// Synchronize all ranks.
@@ -746,11 +756,15 @@ impl Communicator {
     pub fn try_recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Result<T, CommError> {
         assert!(src < self.size(), "recv src out of range");
         self.preflight()?;
-        self.log.record(OpKind::Recv, &self.label, &self.members, 0);
+        let idx = self.log.record(OpKind::Recv, &self.label, &self.members, 0);
+        let start = xg_obs::enabled().then(std::time::Instant::now);
         let gsrc = self.members[src];
         let full_tag = (self.comm_id << 24) | (tag & 0xFF_FFFF);
         let out = self.world.mailboxes[self.global_rank]
             .try_recv(gsrc, full_tag, self.world.deadline);
+        if let Some(start) = start {
+            self.log.set_elapsed(idx, start.elapsed().as_micros() as u64);
+        }
         if let Err(CommError::Timeout { .. }) = &out {
             // The sender never showed up within the deadline; presume it
             // dead so the rest of the world fails fast too.

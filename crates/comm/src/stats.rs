@@ -79,6 +79,11 @@ pub struct OpRecord {
     /// Logical phase active when the operation was issued (`"str"`,
     /// `"coll"`, `"nl"`, `"setup"`, …).
     pub phase: String,
+    /// Wall time this rank spent blocked in the operation, microseconds.
+    /// Zero when timing was disabled (`XGYRO_OBS=0`) or the operation
+    /// never completed — consumers (xgreplay's time-weighted summary)
+    /// treat 0 as "untimed", not "instant".
+    pub elapsed_us: u64,
 }
 
 /// Append-only per-rank traffic log with a settable phase context.
@@ -126,8 +131,11 @@ impl TrafficLog {
     }
 
     /// Record an operation over the communicator whose global members are
-    /// `members`.
-    pub fn record(&self, op: OpKind, comm_label: &str, members: &[usize], bytes: u64) {
+    /// `members`. Returns the record's index so the caller can patch in
+    /// the measured wait time afterwards ([`TrafficLog::set_elapsed`]) —
+    /// index-based because nonblocking collectives share this log from
+    /// helper threads, so "the last record" is racy.
+    pub fn record(&self, op: OpKind, comm_label: &str, members: &[usize], bytes: u64) -> usize {
         let mut g = self.inner.lock();
         let phase = g.phase.clone();
         g.records.push(OpRecord {
@@ -137,7 +145,21 @@ impl TrafficLog {
             members: members.to_vec(),
             bytes,
             phase,
+            elapsed_us: 0,
         });
+        g.records.len() - 1
+    }
+
+    /// Patch the measured wait time into the record at `idx` (as returned
+    /// by [`TrafficLog::record`]) and feed the process-wide obs registry's
+    /// comm-wait histogram under the record's phase. A stale index (the
+    /// log was cleared in between) is ignored.
+    pub fn set_elapsed(&self, idx: usize, us: u64) {
+        let mut g = self.inner.lock();
+        if let Some(r) = g.records.get_mut(idx) {
+            r.elapsed_us = us;
+            xg_obs::record_comm_wait(&r.phase, us);
+        }
     }
 
     /// Snapshot of all records so far.

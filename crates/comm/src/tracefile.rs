@@ -2,12 +2,18 @@
 //! text format and load them back — so traces captured by one run (or one
 //! machine) can be replayed offline against any cost model.
 //!
-//! Format (one op per line, `|`-separated member lists):
+//! Format (one op per line, `|`-separated member lists, trailing
+//! `elapsed_us` column carrying the measured wait time — 0 when timing was
+//! off):
 //!
 //! ```text
-//! rank,op,comm,phase,bytes,members
-//! 0,AllReduce,nv,str,2048,0|2|4|6
+//! rank,op,comm,phase,bytes,members,elapsed_us
+//! 0,AllReduce,nv,str,2048,0|2|4|6,137
 //! ```
+//!
+//! Files written before the timing column (header
+//! `rank,op,comm,phase,bytes,members`) still load; their records get
+//! `elapsed_us = 0`.
 
 use crate::stats::{OpKind, OpRecord};
 use std::fmt::Write as _;
@@ -29,7 +35,8 @@ impl std::fmt::Display for TraceFileError {
 
 impl std::error::Error for TraceFileError {}
 
-const HEADER: &str = "rank,op,comm,phase,bytes,members";
+const HEADER: &str = "rank,op,comm,phase,bytes,members,elapsed_us";
+const HEADER_V1: &str = "rank,op,comm,phase,bytes,members";
 
 fn op_to_str(op: OpKind) -> &'static str {
     match op {
@@ -74,11 +81,12 @@ pub fn traces_to_csv(traces: &[Vec<OpRecord>]) -> String {
                 .join("|");
             let _ = writeln!(
                 out,
-                "{rank},{},{},{},{},{members}",
+                "{rank},{},{},{},{},{members},{}",
                 op_to_str(r.op),
                 r.comm_label,
                 r.phase,
-                r.bytes
+                r.bytes,
+                r.elapsed_us
             );
         }
     }
@@ -89,25 +97,32 @@ pub fn traces_to_csv(traces: &[Vec<OpRecord>]) -> String {
 /// rank index present.
 pub fn traces_from_csv(text: &str) -> Result<Vec<Vec<OpRecord>>, TraceFileError> {
     let mut traces: Vec<Vec<OpRecord>> = Vec::new();
+    // Pre-timing files (6 columns, no elapsed_us) still load.
+    let mut has_elapsed = true;
     for (idx, line) in text.lines().enumerate() {
         let line_no = idx + 1;
         if idx == 0 {
-            if line != HEADER {
-                return Err(TraceFileError {
-                    line: 1,
-                    message: format!("bad header '{line}'"),
-                });
+            match line {
+                l if l == HEADER => has_elapsed = true,
+                l if l == HEADER_V1 => has_elapsed = false,
+                _ => {
+                    return Err(TraceFileError {
+                        line: 1,
+                        message: format!("bad header '{line}'"),
+                    })
+                }
             }
             continue;
         }
         if line.trim().is_empty() {
             continue;
         }
-        let cols: Vec<&str> = line.splitn(6, ',').collect();
-        if cols.len() != 6 {
+        let ncols = if has_elapsed { 7 } else { 6 };
+        let cols: Vec<&str> = line.splitn(ncols, ',').collect();
+        if cols.len() != ncols {
             return Err(TraceFileError {
                 line: line_no,
-                message: "expected 6 columns".into(),
+                message: format!("expected {ncols} columns"),
             });
         }
         let err = |m: String| TraceFileError { line: line_no, message: m };
@@ -124,6 +139,11 @@ pub fn traces_from_csv(text: &str) -> Result<Vec<Vec<OpRecord>>, TraceFileError>
                 .map(|m| m.parse().map_err(|_| err(format!("bad member '{m}'"))))
                 .collect::<Result<_, _>>()?
         };
+        let elapsed_us: u64 = if has_elapsed {
+            cols[6].parse().map_err(|_| err(format!("bad elapsed_us '{}'", cols[6])))?
+        } else {
+            0
+        };
         while traces.len() <= rank {
             traces.push(Vec::new());
         }
@@ -134,6 +154,7 @@ pub fn traces_from_csv(text: &str) -> Result<Vec<Vec<OpRecord>>, TraceFileError>
             participants: members.len(),
             members,
             bytes,
+            elapsed_us,
         });
     }
     Ok(traces)
@@ -151,6 +172,7 @@ mod tests {
             participants: members.len(),
             members,
             bytes,
+            elapsed_us: 42,
         };
         vec![
             vec![
@@ -193,21 +215,36 @@ mod tests {
     #[test]
     fn malformed_lines_rejected_with_line_numbers() {
         assert_eq!(traces_from_csv("wrong header\n").unwrap_err().line, 1);
-        let base = format!("{HEADER}\n0,AllReduce,nv,str,notanumber,0|1\n");
+        let base = format!("{HEADER}\n0,AllReduce,nv,str,notanumber,0|1,5\n");
         assert_eq!(traces_from_csv(&base).unwrap_err().line, 2);
-        let base = format!("{HEADER}\n0,BadOp,nv,str,12,0\n");
+        let base = format!("{HEADER}\n0,BadOp,nv,str,12,0,5\n");
         assert!(traces_from_csv(&base).unwrap_err().message.contains("bad op"));
+        let base = format!("{HEADER}\n0,AllReduce,nv,str,12,0,notanumber\n");
+        assert!(traces_from_csv(&base).unwrap_err().message.contains("bad elapsed_us"));
         let base = format!("{HEADER}\nonly,two\n");
         assert!(traces_from_csv(&base).is_err());
     }
 
     #[test]
     fn sparse_ranks_padded() {
-        let csv = format!("{HEADER}\n3,Barrier,world,setup,0,0|1|2|3\n");
+        let csv = format!("{HEADER}\n3,Barrier,world,setup,0,0|1|2|3,0\n");
         let t = traces_from_csv(&csv).unwrap();
         assert_eq!(t.len(), 4);
         assert!(t[0].is_empty());
         assert_eq!(t[3].len(), 1);
+    }
+
+    #[test]
+    fn pre_timing_files_still_load() {
+        // A file written before the elapsed_us column existed.
+        let csv = format!("{HEADER_V1}\n0,AllReduce,nv,str,128,0|1\n");
+        let t = traces_from_csv(&csv).unwrap();
+        assert_eq!(t[0].len(), 1);
+        assert_eq!(t[0][0].elapsed_us, 0);
+        assert_eq!(t[0][0].bytes, 128);
+        // And the old column count is enforced for the old header.
+        let csv = format!("{HEADER_V1}\n0,AllReduce,nv,str,128,0|1,99\n");
+        assert!(traces_from_csv(&csv).is_err());
     }
 
     #[test]

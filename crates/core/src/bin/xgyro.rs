@@ -131,6 +131,11 @@ fn main() {
     }
     let s = summarize_trace(&outcome.traces[0]);
     println!("\nrank-0 communication summary:\n{}", s.to_table());
+    // Per-phase wall-time table from the real timers (all ranks, so sums
+    // are rank-time). Empty when XGYRO_OBS=0.
+    if let Some(table) = xg_obs::expo::render_table(xg_obs::Registry::global()) {
+        println!("per-phase wall time (all ranks, XGYRO_OBS=0 to disable):\n{table}");
+    }
 
     if args.selftest {
         // Re-run every member as an independent CGYRO job on the same

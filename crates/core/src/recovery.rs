@@ -210,6 +210,10 @@ pub fn run_xgyro_resilient_from(
             }
             Segment::Failed { rank, cause, traces: mut partial, wasted_us } => {
                 armed = None; // the injected fault fired; don't re-fire on retry
+                // Unified recovery accounting: the same wasted_us that lands
+                // in the Recover trace records also feeds the process-wide
+                // obs registry (xgyro_recovery_* in the Prometheus export).
+                xg_obs::record_recovery_waste(wasted_us);
                 let a = assignment(&cfg, rank);
                 let failed_member = original[a.sim];
                 cfg = cfg.evict_member(a.sim).map_err(RecoveryError::Ensemble)?;
@@ -232,6 +236,7 @@ pub fn run_xgyro_resilient_from(
                             members: survivors_ranks.clone(),
                             bytes: wasted_us,
                             phase: "recover".to_string(),
+                            elapsed_us: wasted_us,
                         });
                     }
                 }

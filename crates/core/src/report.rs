@@ -56,6 +56,9 @@ pub struct TraceRow {
     pub count: usize,
     /// Total bytes.
     pub bytes: u64,
+    /// Total measured wait microseconds (0 when the trace was captured
+    /// with timing off).
+    pub elapsed_us: u64,
 }
 
 /// Aggregate a per-rank trace.
@@ -70,6 +73,7 @@ pub fn summarize_trace(records: &[OpRecord]) -> TraceSummary {
         }) {
             row.count += 1;
             row.bytes += r.bytes;
+            row.elapsed_us += r.elapsed_us;
         } else {
             rows.push(TraceRow {
                 phase: r.phase.clone(),
@@ -78,6 +82,7 @@ pub fn summarize_trace(records: &[OpRecord]) -> TraceSummary {
                 participants: r.participants,
                 count: 1,
                 bytes: r.bytes,
+                elapsed_us: r.elapsed_us,
             });
         }
     }
@@ -106,20 +111,41 @@ impl TraceSummary {
     /// Render as an aligned text table.
     pub fn to_table(&self) -> String {
         let mut out = String::from(
-            "phase   op         comm       parts  count      bytes\n",
+            "phase   op         comm       parts  count      bytes   wait(ms)\n",
         );
         for r in &self.rows {
             out.push_str(&format!(
-                "{:<7} {:<10} {:<10} {:>5} {:>6} {:>10}\n",
+                "{:<7} {:<10} {:<10} {:>5} {:>6} {:>10} {:>10.3}\n",
                 r.phase,
                 r.op.to_string(),
                 r.comm_label,
                 r.participants,
                 r.count,
-                r.bytes
+                r.bytes,
+                r.elapsed_us as f64 / 1000.0,
             ));
         }
         out
+    }
+
+    /// Time-weighted per-phase rollup: `(phase, ops, bytes, wait_us)` in
+    /// descending wait order — where the communication time actually went,
+    /// not just where the bytes moved. All zeros in the wait column means
+    /// the trace was captured with timing off.
+    pub fn phase_time_rollup(&self) -> Vec<(String, usize, u64, u64)> {
+        let mut rollup: Vec<(String, usize, u64, u64)> = Vec::new();
+        for r in &self.rows {
+            match rollup.iter_mut().find(|(p, ..)| *p == r.phase) {
+                Some((_, count, bytes, us)) => {
+                    *count += r.count;
+                    *bytes += r.bytes;
+                    *us += r.elapsed_us;
+                }
+                None => rollup.push((r.phase.clone(), r.count, r.bytes, r.elapsed_us)),
+            }
+        }
+        rollup.sort_by(|a, b| b.3.cmp(&a.3).then_with(|| a.0.cmp(&b.0)));
+        rollup
     }
 }
 
@@ -149,6 +175,7 @@ mod tests {
                 members: vec![0, 1, 2, 3],
                 bytes: 100,
                 phase: "str".into(),
+                elapsed_us: 30,
             },
             OpRecord {
                 op: OpKind::AllReduce,
@@ -157,6 +184,7 @@ mod tests {
                 members: vec![0, 1, 2, 3],
                 bytes: 100,
                 phase: "str".into(),
+                elapsed_us: 50,
             },
             OpRecord {
                 op: OpKind::AllToAll,
@@ -165,16 +193,23 @@ mod tests {
                 members: (0..8).collect(),
                 bytes: 999,
                 phase: "coll".into(),
+                elapsed_us: 200,
             },
         ];
         let s = summarize_trace(&recs);
         assert_eq!(s.rows.len(), 2);
         let ar = s.str_allreduce().unwrap();
         assert_eq!((ar.count, ar.bytes, ar.participants), (2, 200, 4));
+        assert_eq!(ar.elapsed_us, 80);
         let a2a = s.coll_alltoall().unwrap();
         assert_eq!(a2a.comm_label, "coll-ens");
         let table = s.to_table();
         assert!(table.contains("coll-ens"));
         assert!(table.contains("AllReduce"));
+        assert!(table.contains("wait(ms)"));
+        // Time-weighted rollup: coll waited longer than str despite fewer ops.
+        let rollup = s.phase_time_rollup();
+        assert_eq!(rollup[0], ("coll".to_string(), 1, 999, 200));
+        assert_eq!(rollup[1], ("str".to_string(), 2, 200, 80));
     }
 }

@@ -137,6 +137,7 @@ mod tests {
             members,
             bytes,
             phase: phase.into(),
+            elapsed_us: 0,
         }
     }
 

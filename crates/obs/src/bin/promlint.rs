@@ -1,0 +1,39 @@
+//! `promlint` — validate Prometheus text exposition format.
+//!
+//! Reads the file named by the first argument (or stdin when absent),
+//! parses every sample, and runs the structural checks in
+//! [`xg_obs::expo::lint_prometheus`]: histogram buckets cumulative and
+//! increasing in `le`, `+Inf` terminal bucket equal to `_count`, `_sum`
+//! present. Exits 0 with a sample count on success, 1 with a line-numbered
+//! diagnostic on failure. Used by the `obs-smoke` CI job on live
+//! `METRICS_PROM` scrapes.
+
+use std::io::Read;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let text = match args.next() {
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("promlint: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("promlint: cannot read stdin: {e}");
+                std::process::exit(1);
+            }
+            buf
+        }
+    };
+    match xg_obs::expo::lint_prometheus(&text) {
+        Ok(n) => println!("promlint: OK ({n} samples)"),
+        Err(e) => {
+            eprintln!("promlint: FAIL: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -8,7 +8,10 @@
 //!   watch JOB             stream lifecycle events until terminal
 //!   cancel JOB            cancel (preempts at the next checkpoint if running)
 //!   list                  every job the server knows about
-//!   metrics [--out FILE]  metrics JSON (stdout or FILE)
+//!   metrics [--out FILE] [--prom]  metrics snapshot (JSON, or Prometheus
+//!                         text with --prom) to stdout or FILE
+//!   top [--watch MS]      live per-phase wall-time table from the daemon
+//!                         (one shot, or redrawn every MS milliseconds)
 //!   drain [--ms MS]       flush pending batches, wait until quiet
 //!   shutdown              stop the server
 //!   ping                  liveness check
@@ -29,7 +32,8 @@ fn usage() -> ! {
         "usage: xgq [--addr HOST:PORT] <command>\n\
          \u{20} submit --deck FILE [--steps N] [--tag T] [--grad RLN,RLT] [--seed S] [--dry-run]\n\
          \u{20} status JOB | watch JOB | cancel JOB | list\n\
-         \u{20} metrics [--out FILE] | drain [--ms MS] | shutdown | ping"
+         \u{20} metrics [--out FILE] [--prom] | top [--watch MS]\n\
+         \u{20} drain [--ms MS] | shutdown | ping"
     );
     exit(2)
 }
@@ -88,13 +92,39 @@ fn main() {
             exit(0)
         }
         "metrics" => {
-            let json = client.metrics().unwrap_or_else(|e| fail(&e.to_string()));
+            let payload = if rest.iter().any(|a| a == "--prom") {
+                client.metrics_prom().unwrap_or_else(|e| fail(&e.to_string()))
+            } else {
+                client.metrics().unwrap_or_else(|e| fail(&e.to_string()))
+            };
             match kv_flag(rest, "--out") {
-                Some(path) => std::fs::write(&path, &json)
+                Some(path) => std::fs::write(&path, &payload)
                     .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}"))),
-                None => print!("{json}"),
+                None => print!("{payload}"),
             }
             exit(0)
+        }
+        "top" => {
+            let watch_ms = kv_flag(rest, "--watch").map(|v| {
+                v.parse::<u64>().unwrap_or_else(|_| usage())
+            });
+            loop {
+                let table = client.top().unwrap_or_else(|e| fail(&e.to_string()));
+                match watch_ms {
+                    None => {
+                        print!("{table}");
+                        exit(0)
+                    }
+                    Some(ms) => {
+                        // Clear + home, like watch(1), so the table redraws
+                        // in place.
+                        print!("\x1b[2J\x1b[H{table}");
+                        use std::io::Write as _;
+                        let _ = std::io::stdout().flush();
+                        std::thread::sleep(std::time::Duration::from_millis(ms));
+                    }
+                }
+            }
         }
         "drain" => {
             let ms = kv_flag(rest, "--ms").unwrap_or_else(|| "60000".into());

@@ -87,12 +87,14 @@ fn main() {
     });
     let addr = listener.local_addr().map(|a| a.to_string()).unwrap_or(addr);
     println!(
-        "xgqueued listening on {addr} (k_max={}, linger={}ms, workers={}, nodes={} x {})",
+        "xgqueued listening on {addr} (k_max={}, linger={}ms, workers={}, nodes={} x {}, \
+         phase timers {})",
         cfg.k_max,
         cfg.linger.as_millis(),
         cfg.workers,
         cfg.nodes,
-        cfg.machine.name
+        cfg.machine.name,
+        if xg_obs::enabled() { "on" } else { "off (XGYRO_OBS=1 to enable)" }
     );
     let server = CampaignServer::start(cfg);
     if let Err(e) = xg_serve::wire::serve(listener, server) {

@@ -1,4 +1,4 @@
-//! Campaign metrics, exported as JSON.
+//! Campaign metrics, exported as JSON and Prometheus text.
 //!
 //! The headline series is `cmat_saved_bytes`: for every dispatched batch of
 //! size `k` the service stores one constant tensor instead of `k`, saving
@@ -6,15 +6,27 @@
 //! same law `xgplan` forecasts with, so the serving metrics and the
 //! planning forecasts can never drift apart). The occupancy histogram shows
 //! how close the batcher gets to the ideal of always-full batches; queue
-//! latency shows what that packing costs in waiting.
+//! latency shows what that packing costs in waiting; the execution-phase
+//! breakdown (fed from batch traces) shows where the dispatched ensembles
+//! spent their communication time.
+//!
+//! Aggregates that are undefined on an empty registry (latency max/mean
+//! with no dispatches, the savings ratio with nothing dispatched) export as
+//! JSON `null`, never a fake 0 — a campaign that saved nothing and one that
+//! ran nothing must not look alike.
 //!
 //! All JSON is hand-rolled (the workspace's serde is a vendored marker-only
 //! stub); keys are emitted in a fixed order so snapshots diff cleanly.
+//! Latency is recorded in **microseconds** (sub-millisecond dispatches are
+//! the common case under test configs; millisecond recording rounded them
+//! all to zero) and exported both raw (`queue_latency_us`) and as derived
+//! milliseconds under the original `queue_latency_ms` key shape.
 
 use crate::admission::AdmitError;
 use crate::batcher::FlushReason;
 use crate::job::JobState;
 use std::collections::BTreeMap;
+use xg_comm::OpRecord;
 use xg_tensor::SimDims;
 
 /// Counter registry. The server updates it under its state lock; `to_json`
@@ -35,12 +47,16 @@ pub struct Metrics {
     /// What the same jobs would have allocated unbatched (k copies per
     /// batch) — the denominator for the savings ratio.
     pub cmat_unbatched_bytes: u64,
-    /// Queue-latency (admission → dispatch) accumulators, milliseconds.
+    /// Queue-latency (admission → dispatch) accumulators, microseconds.
     pub latency_count: u64,
-    /// Sum of observed latencies.
-    pub latency_sum_ms: u64,
-    /// Largest observed latency.
-    pub latency_max_ms: u64,
+    /// Sum of observed latencies (µs).
+    pub latency_sum_us: u64,
+    /// Largest observed latency (µs).
+    pub latency_max_us: u64,
+    /// Execution-phase breakdown accumulated from dispatched batches'
+    /// traces: phase → (ops, bytes, wait µs). Wait stays 0 when the daemon
+    /// runs with `XGYRO_OBS=0`.
+    pub exec_phases: BTreeMap<String, (u64, u64, u64)>,
 }
 
 impl Metrics {
@@ -63,11 +79,24 @@ impl Metrics {
         self.cmat_unbatched_bytes += k as u64 * xg_costmodel::cmat_total_bytes(dims);
     }
 
-    /// Record one job's queue latency at dispatch.
-    pub fn on_queue_latency(&mut self, ms: u64) {
+    /// Record one job's queue latency at dispatch, in microseconds.
+    pub fn on_queue_latency_us(&mut self, us: u64) {
         self.latency_count += 1;
-        self.latency_sum_ms += ms;
-        self.latency_max_ms = self.latency_max_ms.max(ms);
+        self.latency_sum_us += us;
+        self.latency_max_us = self.latency_max_us.max(us);
+    }
+
+    /// Fold one executed segment's per-rank traces into the phase
+    /// breakdown.
+    pub fn on_batch_traces(&mut self, traces: &[Vec<OpRecord>]) {
+        for trace in traces {
+            for r in trace {
+                let e = self.exec_phases.entry(r.phase.clone()).or_insert((0, 0, 0));
+                e.0 += 1;
+                e.1 += r.bytes;
+                e.2 += r.elapsed_us;
+            }
+        }
     }
 
     /// Serialize, folding in a snapshot of live job states
@@ -98,24 +127,115 @@ impl Metrics {
             "  \"cmat_unbatched_bytes\": {},\n",
             self.cmat_unbatched_bytes
         ));
-        let ratio = if self.cmat_unbatched_bytes == 0 {
-            0.0
+        // Undefined until something was dispatched: null, not 0.0 (a
+        // campaign that saved nothing must not look like one that ran
+        // nothing).
+        if self.cmat_unbatched_bytes == 0 {
+            s.push_str("  \"cmat_saved_ratio\": null,\n");
         } else {
-            self.cmat_saved_bytes as f64 / self.cmat_unbatched_bytes as f64
-        };
-        s.push_str(&format!("  \"cmat_saved_ratio\": {ratio:.6},\n"));
-        s.push_str(&format!(
-            "  \"queue_latency_ms\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"mean\": {:.3}}}\n",
-            self.latency_count,
-            self.latency_sum_ms,
-            self.latency_max_ms,
-            if self.latency_count == 0 {
-                0.0
-            } else {
-                self.latency_sum_ms as f64 / self.latency_count as f64
+            let ratio = self.cmat_saved_bytes as f64 / self.cmat_unbatched_bytes as f64;
+            s.push_str(&format!("  \"cmat_saved_ratio\": {ratio:.6},\n"));
+        }
+        s.push_str("  \"exec_phases\": {");
+        for (i, (phase, (ops, bytes, us))) in self.exec_phases.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
             }
+            s.push_str(&format!(
+                "\"{phase}\": {{\"ops\": {ops}, \"bytes\": {bytes}, \"wait_us\": {us}}}"
+            ));
+        }
+        s.push_str("},\n");
+        // Raw microseconds plus derived milliseconds (original key shape).
+        self.push_latency(&mut s, "queue_latency_us", 1);
+        s.push_str(",\n");
+        self.push_latency(&mut s, "queue_latency_ms", 1000);
+        s.push_str("\n}\n");
+        s
+    }
+
+    /// One latency block: `"count"`, `"sum"`, `"max"`, `"mean"` in units of
+    /// `div` microseconds (1 → µs, 1000 → ms). Max and mean are `null`
+    /// until something was dispatched.
+    fn push_latency(&self, s: &mut String, key: &str, div: u64) {
+        if self.latency_count == 0 {
+            s.push_str(&format!(
+                "  \"{key}\": {{\"count\": 0, \"sum\": 0, \"max\": null, \"mean\": null}}"
+            ));
+        } else {
+            s.push_str(&format!(
+                "  \"{key}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"mean\": {:.3}}}",
+                self.latency_count,
+                self.latency_sum_us / div,
+                self.latency_max_us / div,
+                self.latency_sum_us as f64 / self.latency_count as f64 / div as f64
+            ));
+        }
+    }
+
+    /// Prometheus text exposition of the same counters (`xgserve_*`
+    /// families). The daemon's `METRICS_PROM` verb appends the process-wide
+    /// phase-timer exposition from `xg_obs` to this.
+    pub fn to_prometheus(&self, jobs_by_state: &[(JobState, usize)]) -> String {
+        let mut s = String::with_capacity(2048);
+        s.push_str("# HELP xgserve_submitted_total Accepted submissions.\n");
+        s.push_str("# TYPE xgserve_submitted_total counter\n");
+        s.push_str(&format!("xgserve_submitted_total {}\n", self.submitted));
+        s.push_str("# HELP xgserve_jobs Jobs currently in each lifecycle state.\n");
+        s.push_str("# TYPE xgserve_jobs gauge\n");
+        for (state, n) in jobs_by_state {
+            s.push_str(&format!("xgserve_jobs{{state=\"{state}\"}} {n}\n"));
+        }
+        s.push_str("# HELP xgserve_rejected_total Rejections by admission error kind.\n");
+        s.push_str("# TYPE xgserve_rejected_total counter\n");
+        for (kind, n) in &self.rejected {
+            s.push_str(&format!("xgserve_rejected_total{{kind=\"{kind}\"}} {n}\n"));
+        }
+        s.push_str("# HELP xgserve_batches_total Dispatched batches by occupancy.\n");
+        s.push_str("# TYPE xgserve_batches_total counter\n");
+        for (k, n) in &self.occupancy {
+            s.push_str(&format!("xgserve_batches_total{{k=\"{k}\"}} {n}\n"));
+        }
+        s.push_str("# HELP xgserve_flushes_total Batch flushes by trigger.\n");
+        s.push_str("# TYPE xgserve_flushes_total counter\n");
+        for (reason, n) in &self.flushes {
+            s.push_str(&format!("xgserve_flushes_total{{reason=\"{reason}\"}} {n}\n"));
+        }
+        s.push_str(
+            "# HELP xgserve_cmat_saved_bytes_total Constant-tensor bytes elided by batching.\n",
+        );
+        s.push_str("# TYPE xgserve_cmat_saved_bytes_total counter\n");
+        s.push_str(&format!("xgserve_cmat_saved_bytes_total {}\n", self.cmat_saved_bytes));
+        s.push_str(
+            "# HELP xgserve_cmat_unbatched_bytes_total What the same jobs would have allocated unbatched.\n",
+        );
+        s.push_str("# TYPE xgserve_cmat_unbatched_bytes_total counter\n");
+        s.push_str(&format!(
+            "xgserve_cmat_unbatched_bytes_total {}\n",
+            self.cmat_unbatched_bytes
         ));
-        s.push_str("}\n");
+        s.push_str("# HELP xgserve_queue_latency_seconds Admission-to-dispatch wait.\n");
+        s.push_str("# TYPE xgserve_queue_latency_seconds summary\n");
+        s.push_str(&format!("xgserve_queue_latency_seconds_count {}\n", self.latency_count));
+        s.push_str(&format!(
+            "xgserve_queue_latency_seconds_sum {}\n",
+            self.latency_sum_us as f64 / 1e6
+        ));
+        s.push_str("# HELP xgserve_exec_phase_ops_total Collective operations per execution phase.\n");
+        s.push_str("# TYPE xgserve_exec_phase_ops_total counter\n");
+        for (phase, (ops, _, _)) in &self.exec_phases {
+            s.push_str(&format!("xgserve_exec_phase_ops_total{{phase=\"{phase}\"}} {ops}\n"));
+        }
+        s.push_str(
+            "# HELP xgserve_exec_phase_wait_seconds_total Communication wait per execution phase.\n",
+        );
+        s.push_str("# TYPE xgserve_exec_phase_wait_seconds_total counter\n");
+        for (phase, (_, _, us)) in &self.exec_phases {
+            s.push_str(&format!(
+                "xgserve_exec_phase_wait_seconds_total{{phase=\"{phase}\"}} {}\n",
+                *us as f64 / 1e6
+            ));
+        }
         s
     }
 }
@@ -165,7 +285,7 @@ mod tests {
         m.on_submit();
         m.on_reject(&AdmitError::Draining);
         m.on_dispatch(2, dims, FlushReason::Full);
-        m.on_queue_latency(7);
+        m.on_queue_latency_us(7_000);
         let json = m.to_json(&[(JobState::Done, 2), (JobState::Queued, 0)]);
         for key in [
             "\"schema\": \"xg-serve-metrics-v1\"",
@@ -176,8 +296,9 @@ mod tests {
             "\"batch_occupancy\": {\"k=2\": 1}",
             "\"flush_reasons\": {\"full\": 1}",
             "\"cmat_saved_bytes\"",
-            "\"queue_latency_ms\"",
-            "\"max\": 7",
+            "\"exec_phases\"",
+            "\"queue_latency_us\": {\"count\": 1, \"sum\": 7000, \"max\": 7000, \"mean\": 7000.000}",
+            "\"queue_latency_ms\": {\"count\": 1, \"sum\": 7, \"max\": 7, \"mean\": 7.000}",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
@@ -186,10 +307,111 @@ mod tests {
     #[test]
     fn latency_mean_and_max() {
         let mut m = Metrics::default();
-        m.on_queue_latency(10);
-        m.on_queue_latency(20);
+        m.on_queue_latency_us(10_000);
+        m.on_queue_latency_us(20_000);
         assert_eq!(m.latency_count, 2);
-        assert_eq!(m.latency_max_ms, 20);
+        assert_eq!(m.latency_max_us, 20_000);
         assert!(m.to_json(&[]).contains("\"mean\": 15.000"));
+    }
+
+    #[test]
+    fn sub_millisecond_latencies_are_not_rounded_away() {
+        // Regression: ms-granular recording turned three fast dispatches
+        // into count=3, sum=0, mean=0.0 — indistinguishable from broken
+        // timers. Microsecond recording keeps them.
+        let mut m = Metrics::default();
+        for us in [150, 300, 450] {
+            m.on_queue_latency_us(us);
+        }
+        assert_eq!(m.latency_sum_us, 900);
+        let json = m.to_json(&[]);
+        assert!(
+            json.contains("\"queue_latency_us\": {\"count\": 3, \"sum\": 900, \"max\": 450, \"mean\": 300.000}"),
+            "{json}"
+        );
+        // The derived ms view floors to whole ms but keeps the true mean.
+        assert!(
+            json.contains("\"queue_latency_ms\": {\"count\": 3, \"sum\": 0, \"max\": 0, \"mean\": 0.300}"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn empty_registry_snapshot_uses_null_not_zero() {
+        // Regression: an empty registry used to report max=0, mean=0.0 and
+        // cmat_saved_ratio=0.0 — indistinguishable from genuinely zero
+        // latency/savings.
+        let m = Metrics::default();
+        let json = m.to_json(&[]);
+        assert!(json.contains("\"jobs_by_state\": {}"), "{json}");
+        assert!(json.contains("\"cmat_saved_ratio\": null"), "{json}");
+        assert!(json.contains("\"exec_phases\": {}"), "{json}");
+        assert!(
+            json.contains("\"queue_latency_us\": {\"count\": 0, \"sum\": 0, \"max\": null, \"mean\": null}"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"queue_latency_ms\": {\"count\": 0, \"sum\": 0, \"max\": null, \"mean\": null}"),
+            "{json}"
+        );
+        // But a real zero-latency observation still reads 0, not null.
+        let mut m = Metrics::default();
+        m.on_queue_latency_us(0);
+        assert!(m.to_json(&[]).contains("\"max\": 0, \"mean\": 0.000"));
+    }
+
+    #[test]
+    fn exec_phase_breakdown_accumulates_traces() {
+        use xg_comm::OpKind;
+        let mut m = Metrics::default();
+        let rec = |phase: &str, bytes, elapsed_us| OpRecord {
+            op: OpKind::AllReduce,
+            comm_label: "nv".into(),
+            participants: 2,
+            members: vec![0, 1],
+            bytes,
+            phase: phase.into(),
+            elapsed_us,
+        };
+        m.on_batch_traces(&[
+            vec![rec("str", 100, 30), rec("coll", 500, 70)],
+            vec![rec("str", 100, 50)],
+        ]);
+        m.on_batch_traces(&[vec![rec("str", 100, 20)]]);
+        assert_eq!(m.exec_phases["str"], (3, 300, 100));
+        assert_eq!(m.exec_phases["coll"], (1, 500, 70));
+        let json = m.to_json(&[]);
+        assert!(
+            json.contains("\"str\": {\"ops\": 3, \"bytes\": 300, \"wait_us\": 100}"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_lints_clean() {
+        let dims = CgyroInput::test_small().dims();
+        let mut m = Metrics::default();
+        m.on_submit();
+        m.on_dispatch(2, dims, FlushReason::Full);
+        m.on_queue_latency_us(2_500);
+        m.on_batch_traces(&[vec![OpRecord {
+            op: xg_comm::OpKind::AllToAll,
+            comm_label: "coll-ens".into(),
+            participants: 2,
+            members: vec![0, 1],
+            bytes: 64,
+            phase: "coll".into(),
+            elapsed_us: 40,
+        }]]);
+        let text = m.to_prometheus(&[(JobState::Done, 2)]);
+        assert!(text.contains("xgserve_submitted_total 1"), "{text}");
+        assert!(text.contains("xgserve_jobs{state=\"Done\"} 2"), "{text}");
+        assert!(text.contains("xgserve_batches_total{k=\"2\"} 1"), "{text}");
+        assert!(text.contains("xgserve_queue_latency_seconds_sum 0.0025"), "{text}");
+        assert!(
+            text.contains("xgserve_exec_phase_wait_seconds_total{phase=\"coll\"} 0.00004"),
+            "{text}"
+        );
+        xg_obs::expo::lint_prometheus(&text).expect("must lint clean");
     }
 }

@@ -324,11 +324,50 @@ impl CampaignServer {
     /// Metrics snapshot as JSON.
     pub fn metrics_json(&self) -> String {
         let guard = self.shared.state.lock();
-        let by_state: Vec<(JobState, usize)> = JobState::ALL
-            .iter()
-            .map(|s| (*s, guard.jobs.values().filter(|j| j.state == *s).count()))
-            .collect();
-        guard.metrics.to_json(&by_state)
+        guard.metrics.to_json(&jobs_by_state(&guard))
+    }
+
+    /// Metrics snapshot as Prometheus text: the serve counters followed by
+    /// the daemon's process-wide phase timers (empty-but-well-formed when
+    /// running with `XGYRO_OBS=0`).
+    pub fn metrics_prom(&self) -> String {
+        let mut text = {
+            let guard = self.shared.state.lock();
+            guard.metrics.to_prometheus(&jobs_by_state(&guard))
+        };
+        text.push_str(&xg_obs::expo::to_prometheus(xg_obs::Registry::global()));
+        text
+    }
+
+    /// One-screen live view for `xgq top`: job-state counts, headline batch
+    /// counters, and the daemon's per-phase wall-time table.
+    pub fn top_text(&self) -> String {
+        let (by_state, dispatched, saved) = {
+            let guard = self.shared.state.lock();
+            (
+                jobs_by_state(&guard),
+                guard.metrics.occupancy.values().sum::<u64>(),
+                guard.metrics.cmat_saved_bytes,
+            )
+        };
+        let mut s = String::from("jobs:");
+        for (state, n) in &by_state {
+            s.push_str(&format!(" {state}={n}"));
+        }
+        s.push('\n');
+        s.push_str(&format!(
+            "batches: dispatched={dispatched} cmat_saved_bytes={saved}\n"
+        ));
+        match xg_obs::expo::render_table(xg_obs::Registry::global()) {
+            Some(table) => {
+                s.push_str("phase timers (this daemon):\n");
+                s.push_str(&table);
+            }
+            None => s.push_str(
+                "phase timers: none recorded (daemon running with XGYRO_OBS=0?)\n",
+            ),
+        }
+        s
     }
 
     /// Stop the service: never-dispatched jobs are cancelled, running
@@ -361,6 +400,14 @@ impl CampaignServer {
             let _ = t.join();
         }
     }
+}
+
+/// Live job counts per state, in [`JobState::ALL`] order.
+fn jobs_by_state(st: &State) -> Vec<(JobState, usize)> {
+    JobState::ALL
+        .iter()
+        .map(|s| (*s, st.jobs.values().filter(|j| j.state == *s).count()))
+        .collect()
 }
 
 /// Admission checks that need no mutation: drain gate, deck validity,
@@ -485,8 +532,11 @@ fn execute_batch(shared: &Shared, rb: ReadyBatch) {
             job.dispatched_at = Some(now);
             steps_total = job.spec.steps;
             inputs.push(job.spec.input.clone());
-            let lat = now.duration_since(job.submitted_at).as_millis() as u64;
-            st.metrics.on_queue_latency(lat);
+            // Microsecond resolution: under test configs dispatch latency
+            // is routinely sub-millisecond, and ms-granular recording
+            // rounded it all to zero (count > 0 with sum = 0).
+            let lat_us = now.duration_since(job.submitted_at).as_micros() as u64;
+            st.metrics.on_queue_latency_us(lat_us);
             transition(st, *id, JobState::Running, format!("{} (k={})", rb.id, rb.jobs.len()));
         }
         if rb.jobs.is_empty() {
@@ -541,6 +591,9 @@ fn execute_batch(shared: &Shared, rb: ReadyBatch) {
         );
         match out {
             Ok(rec) => {
+                // Fold the segment's communication traces into the
+                // execution-phase breakdown before touching job states.
+                shared.state.lock().metrics.on_batch_traces(&rec.outcome.traces);
                 // Members evicted by faults terminalize as Failed; the
                 // survivors carry on from the segment's checkpoint.
                 for ev in &rec.events {

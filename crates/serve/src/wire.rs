@@ -3,9 +3,16 @@
 //! One request per line (`COMMAND key=value …`); `SUBMIT`/`DRYRUN` are
 //! followed by the deck text and a terminating `END` line. Responses start
 //! with `OK` or `ERR <kind>: <message>`; multi-line payloads (`LIST`,
-//! `METRICS`) announce their length up front, and `SUBSCRIBE` streams
-//! `EVENT` lines until the job terminalizes. The format is deliberately
-//! trivial — greppable in CI logs, drivable from a shell with `nc`.
+//! `METRICS`, `METRICS_PROM`, `TOP`) announce their length up front or end
+//! with a lone `.`, and `SUBSCRIBE` streams `EVENT` lines until the job
+//! terminalizes. The format is deliberately trivial — greppable in CI logs,
+//! drivable from a shell with `nc`.
+//!
+//! Every line — request, deck body, or response — is capped at
+//! [`MAX_LINE`] bytes. Without the cap a client that streams bytes with no
+//! newline makes the server buffer without bound until the allocator kills
+//! it; with it the server answers `ERR protocol: line-too-long` and closes
+//! the connection (framing is unrecoverable once a line overflows).
 //!
 //! ```text
 //! PING                          -> OK pong
@@ -16,6 +23,8 @@
 //! CANCEL job-N                  -> OK <state>
 //! SUBSCRIBE job-N               -> EVENT job-N <state> <detail>…, OK done
 //! METRICS                       -> OK, JSON lines, then a lone '.'
+//! METRICS_PROM                  -> OK, Prometheus text, then a lone '.'
+//! TOP                           -> OK, live phase table, then a lone '.'
 //! DRAIN ms=N                    -> OK drained | ERR drain-timeout: …
 //! SHUTDOWN                      -> OK bye (server exits)
 //! ```
@@ -29,6 +38,67 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use xg_sim::parse_deck;
+
+/// Longest wire line either side will buffer, in bytes. Real requests are
+/// tens of bytes and deck lines are under a hundred; 1 MiB leaves three
+/// orders of magnitude of headroom while bounding a hostile or broken
+/// peer's memory footprint.
+pub const MAX_LINE: usize = 1 << 20;
+
+/// Outcome of one capped line read.
+enum LineRead {
+    /// Clean end of stream before any byte of a new line.
+    Eof,
+    /// A complete line (newline included, like `read_line`) is in the buffer.
+    Line,
+    /// The line exceeded the cap; the stream is mid-line and unframed.
+    TooLong,
+}
+
+/// `BufRead::read_line` with a byte cap: appends at most `cap` bytes
+/// (newline included) to `line`, which is cleared first. On `TooLong` the
+/// unread remainder of the line is left in the stream — callers must treat
+/// the connection as unframed and close it.
+fn read_line_capped(
+    reader: &mut impl BufRead,
+    line: &mut String,
+    cap: usize,
+) -> std::io::Result<LineRead> {
+    line.clear();
+    let mut buf = Vec::new();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            if buf.is_empty() {
+                return Ok(LineRead::Eof);
+            }
+            break; // EOF mid-line: hand back what arrived, like read_line
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                buf.extend_from_slice(&chunk[..=pos]);
+                reader.consume(pos + 1);
+                break;
+            }
+            None => {
+                buf.extend_from_slice(chunk);
+                let n = chunk.len();
+                reader.consume(n);
+            }
+        }
+        if buf.len() > cap {
+            return Ok(LineRead::TooLong);
+        }
+    }
+    if buf.len() > cap {
+        return Ok(LineRead::TooLong);
+    }
+    let s = String::from_utf8(buf).map_err(|e| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, format!("non-UTF-8 line: {e}"))
+    })?;
+    line.push_str(&s);
+    Ok(LineRead::Line)
+}
 
 /// Serve the protocol on `listener` until a client sends `SHUTDOWN`.
 /// Connections are handled concurrently; on exit the campaign server is
@@ -71,9 +141,14 @@ fn handle_conn(
     let mut out = stream;
     let mut line = String::new();
     loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(()); // client hung up
+        match read_line_capped(&mut reader, &mut line, MAX_LINE)? {
+            LineRead::Eof => return Ok(()), // client hung up
+            LineRead::TooLong => {
+                writeln!(out, "ERR protocol: line-too-long (cap {MAX_LINE} bytes)")?;
+                out.flush()?;
+                return Ok(());
+            }
+            LineRead::Line => {}
         }
         let line = line.trim();
         if line.is_empty() {
@@ -87,9 +162,18 @@ fn handle_conn(
             "SUBMIT" | "DRYRUN" => {
                 let spec = match read_spec(&mut reader, &args) {
                     Ok(s) => s,
-                    Err(msg) => {
+                    Err(SpecError::Bad(msg)) => {
                         writeln!(out, "ERR bad-request: {msg}")?;
+                        out.flush()?;
                         continue;
+                    }
+                    Err(SpecError::Protocol(msg)) => {
+                        // Mid-deck framing is unrecoverable: we no longer
+                        // know where the next request starts. Say why, then
+                        // close.
+                        writeln!(out, "ERR protocol: {msg}")?;
+                        out.flush()?;
+                        return Ok(());
                     }
                 };
                 if cmd == "SUBMIT" {
@@ -156,6 +240,16 @@ fn handle_conn(
                 out.write_all(server.metrics_json().as_bytes())?;
                 writeln!(out, ".")?;
             }
+            "METRICS_PROM" => {
+                writeln!(out, "OK")?;
+                out.write_all(server.metrics_prom().as_bytes())?;
+                writeln!(out, ".")?;
+            }
+            "TOP" => {
+                writeln!(out, "OK")?;
+                out.write_all(server.top_text().as_bytes())?;
+                writeln!(out, ".")?;
+            }
             "DRAIN" => {
                 let ms = kv_arg(&args, "ms").and_then(|v| v.parse::<u64>().ok()).unwrap_or(60_000);
                 if server.drain(Duration::from_millis(ms)) {
@@ -178,27 +272,50 @@ fn handle_conn(
     }
 }
 
+/// Why a `SUBMIT`/`DRYRUN` body could not be accepted.
+enum SpecError {
+    /// The framing itself broke (over-cap line, mid-deck EOF): the
+    /// connection can no longer be parsed and must close.
+    Protocol(String),
+    /// The request was well-framed but invalid (bad args, unparsable
+    /// deck): reply and keep the connection.
+    Bad(String),
+}
+
 /// Parse `steps=`/`tag=` arguments plus the deck body (lines up to `END`).
-fn read_spec(reader: &mut impl BufRead, args: &[&str]) -> Result<JobSpec, String> {
+fn read_spec(reader: &mut impl BufRead, args: &[&str]) -> Result<JobSpec, SpecError> {
     let steps = kv_arg(args, "steps")
-        .ok_or("missing steps=N")?
+        .ok_or_else(|| SpecError::Bad("missing steps=N".into()))?
         .parse::<usize>()
-        .map_err(|e| format!("bad steps: {e}"))?;
+        .map_err(|e| SpecError::Bad(format!("bad steps: {e}")))?;
     let tag = kv_arg(args, "tag").unwrap_or_default().to_string();
+    let deck = read_deck_body(reader, MAX_LINE)?;
+    let input = parse_deck(&deck).map_err(|e| SpecError::Bad(e.to_string()))?;
+    Ok(JobSpec { input, steps, tag })
+}
+
+/// Read deck lines up to the `END` terminator, each capped at `cap` bytes.
+/// Returns the body verbatim (embedded `\r` and blank lines preserved).
+fn read_deck_body(reader: &mut impl BufRead, cap: usize) -> Result<String, SpecError> {
     let mut deck = String::new();
     let mut line = String::new();
     loop {
-        line.clear();
-        if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
-            return Err("connection closed before END".into());
+        match read_line_capped(reader, &mut line, cap)
+            .map_err(|e| SpecError::Protocol(e.to_string()))?
+        {
+            LineRead::Eof => {
+                return Err(SpecError::Protocol("connection closed before END".into()))
+            }
+            LineRead::TooLong => {
+                return Err(SpecError::Protocol(format!("line-too-long (cap {cap} bytes)")))
+            }
+            LineRead::Line => {}
         }
         if line.trim() == "END" {
-            break;
+            return Ok(deck);
         }
         deck.push_str(&line);
     }
-    let input = parse_deck(&deck).map_err(|e| e.to_string())?;
-    Ok(JobSpec { input, steps, tag })
 }
 
 fn kv_arg<'a>(args: &[&'a str], key: &str) -> Option<&'a str> {
@@ -244,13 +361,17 @@ impl Client {
 
     fn recv_line(&mut self) -> std::io::Result<String> {
         let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
-            return Err(std::io::Error::new(
+        match read_line_capped(&mut self.reader, &mut line, MAX_LINE)? {
+            LineRead::Eof => Err(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
                 "server hung up",
-            ));
+            )),
+            LineRead::TooLong => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("response line exceeds {MAX_LINE} bytes"),
+            )),
+            LineRead::Line => Ok(line.trim_end().to_string()),
         }
-        Ok(line.trim_end().to_string())
     }
 
     /// One-line request → one-line response (`PING`, `STATUS`, `CANCEL`,
@@ -295,22 +416,40 @@ impl Client {
         (0..n).map(|_| self.recv_line()).collect()
     }
 
-    /// `METRICS`: the JSON payload.
-    pub fn metrics(&mut self) -> std::io::Result<String> {
-        self.send("METRICS")?;
+    /// Read a dot-framed payload: `OK`, lines, then a lone `.`.
+    fn read_dot_payload(&mut self) -> std::io::Result<String> {
         let header = self.recv_line()?;
         if header != "OK" {
             return Err(std::io::Error::other(header));
         }
-        let mut json = String::new();
+        let mut payload = String::new();
         loop {
             let line = self.recv_line()?;
             if line == "." {
-                return Ok(json);
+                return Ok(payload);
             }
-            json.push_str(&line);
-            json.push('\n');
+            payload.push_str(&line);
+            payload.push('\n');
         }
+    }
+
+    /// `METRICS`: the JSON payload.
+    pub fn metrics(&mut self) -> std::io::Result<String> {
+        self.send("METRICS")?;
+        self.read_dot_payload()
+    }
+
+    /// `METRICS_PROM`: the Prometheus text payload (serve counters plus the
+    /// daemon's process-wide phase timers).
+    pub fn metrics_prom(&mut self) -> std::io::Result<String> {
+        self.send("METRICS_PROM")?;
+        self.read_dot_payload()
+    }
+
+    /// `TOP`: the live phase table rendered by the daemon.
+    pub fn top(&mut self) -> std::io::Result<String> {
+        self.send("TOP")?;
+        self.read_dot_payload()
     }
 
     /// `SUBSCRIBE`: invoke `on_event` for every `EVENT` line until the
@@ -340,6 +479,8 @@ impl Client {
 mod tests {
     use super::*;
     use crate::server::ServerConfig;
+    use proptest::prelude::*;
+    use std::io::Cursor;
     use xg_sim::{write_deck, CgyroInput};
 
     fn start() -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
@@ -389,6 +530,15 @@ mod tests {
         assert!(json.contains("\"k=3\": 1"), "{json}");
         assert!(json.contains("\"cmat_saved_bytes\""), "{json}");
 
+        // The Prometheus view of the same counters must lint clean.
+        let prom = c.metrics_prom().unwrap();
+        assert!(prom.contains("xgserve_batches_total{k=\"3\"} 1"), "{prom}");
+        xg_obs::expo::lint_prometheus(&prom).expect("exposition must lint");
+
+        // TOP always answers, with a table or an explanatory placeholder.
+        let top = c.top().unwrap();
+        assert!(top.contains("jobs:"), "{top}");
+
         let err = c.roundtrip("STATUS job-99").unwrap();
         assert!(err.starts_with("ERR not-found"), "{err}");
 
@@ -410,5 +560,119 @@ mod tests {
         assert!(resp.starts_with("ERR bad-steps"), "{resp}");
         assert_eq!(c.roundtrip("SHUTDOWN").unwrap(), "OK bye");
         h.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_request_line_gets_a_typed_protocol_error() {
+        // Regression: an uncapped read_line buffered a newline-free stream
+        // without bound (OOM under a hostile or broken peer). A capped
+        // server answers with a typed protocol error instead and closes.
+        let (addr, h) = start();
+        let mut c = Client::connect(&addr.to_string()).expect("connect");
+        let mut big = vec![b'A'; 2 * MAX_LINE];
+        big.push(b'\n');
+        c.writer.write_all(&big).unwrap();
+        c.writer.flush().unwrap();
+        let resp = c.recv_line().unwrap();
+        assert!(resp.starts_with("ERR protocol: line-too-long"), "{resp}");
+        // The connection is unframed and was closed; a fresh one still works.
+        let mut c2 = Client::connect(&addr.to_string()).expect("reconnect");
+        assert_eq!(c2.roundtrip("PING").unwrap(), "OK pong");
+        assert_eq!(c2.roundtrip("SHUTDOWN").unwrap(), "OK bye");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_deck_line_aborts_the_submit() {
+        let (addr, h) = start();
+        let mut c = Client::connect(&addr.to_string()).expect("connect");
+        let deck = format!("GRAD={}\n", "9".repeat(2 * MAX_LINE));
+        let resp = c.submit_deck(&deck, 20, "", false).unwrap();
+        assert!(resp.starts_with("ERR protocol: line-too-long"), "{resp}");
+        let mut c2 = Client::connect(&addr.to_string()).expect("reconnect");
+        assert_eq!(c2.roundtrip("SHUTDOWN").unwrap(), "OK bye");
+        h.join().unwrap();
+    }
+
+    // Characters deck lines may contain under the round-trip property:
+    // letters, digits, key/value punctuation, whitespace — including
+    // embedded '\r' and '\t', and the letters of "END" itself.
+    const CHARSET: &[u8] = b"abcXYZ019 =._-\r\tEND";
+
+    proptest! {
+        /// Any deck body — blank lines, embedded '\r', trailing-newline or
+        /// not — survives the SUBMIT framing byte-for-byte (modulo the
+        /// trailing newline the client normalizes in), and the next request
+        /// on the connection stays readable.
+        #[test]
+        fn deck_framing_round_trips(
+            picks in prop::collection::vec(
+                prop::collection::vec(0usize..CHARSET.len(), 0usize..40),
+                0usize..8,
+            ),
+            tn in 0u8..2,
+        ) {
+            let trailing_newline = tn == 1;
+            let lines: Vec<String> = picks
+                .iter()
+                .map(|l| l.iter().map(|&i| CHARSET[i] as char).collect::<String>())
+                // A payload line that trims to the terminator cannot
+                // round-trip by design — it IS the frame boundary.
+                .filter(|l| l.trim() != "END")
+                .collect();
+            let mut payload = lines.join("\n");
+            if trailing_newline && !payload.is_empty() {
+                payload.push('\n');
+            }
+            // Frame exactly as Client::submit_deck does.
+            let mut framed = payload.clone();
+            if !framed.ends_with('\n') {
+                framed.push('\n');
+            }
+            framed.push_str("END\n");
+            framed.push_str("PING\n"); // next request must survive the deck read
+            let mut reader = BufReader::new(Cursor::new(framed.into_bytes()));
+            let deck = read_deck_body(&mut reader, MAX_LINE)
+                .map_err(|e| match e {
+                    SpecError::Protocol(m) | SpecError::Bad(m) => m,
+                })
+                .expect("framing must round-trip");
+            let mut expect = payload;
+            if !expect.ends_with('\n') {
+                expect.push('\n');
+            }
+            prop_assert_eq!(&deck, &expect);
+            let mut rest = String::new();
+            prop_assert!(matches!(
+                read_line_capped(&mut reader, &mut rest, MAX_LINE).unwrap(),
+                LineRead::Line
+            ));
+            prop_assert_eq!(rest.as_str(), "PING\n");
+        }
+
+        /// Deck lines over the cap are rejected with a protocol error, not
+        /// buffered.
+        #[test]
+        fn over_cap_deck_lines_are_rejected(extra in 1usize..200) {
+            let cap = 64;
+            let framed = format!("{}\nEND\n", "x".repeat(cap + extra));
+            let mut reader = BufReader::new(Cursor::new(framed.into_bytes()));
+            let err = read_deck_body(&mut reader, cap).err().expect("must reject");
+            prop_assert!(matches!(err, SpecError::Protocol(_)));
+        }
+    }
+
+    #[test]
+    fn capped_reader_matches_read_line_on_small_input() {
+        let mut reader = BufReader::new(Cursor::new(b"alpha\r\n\nbeta".to_vec()));
+        let mut line = String::new();
+        assert!(matches!(read_line_capped(&mut reader, &mut line, 64).unwrap(), LineRead::Line));
+        assert_eq!(line, "alpha\r\n");
+        assert!(matches!(read_line_capped(&mut reader, &mut line, 64).unwrap(), LineRead::Line));
+        assert_eq!(line, "\n");
+        // EOF mid-line still yields the partial tail, like read_line.
+        assert!(matches!(read_line_capped(&mut reader, &mut line, 64).unwrap(), LineRead::Line));
+        assert_eq!(line, "beta");
+        assert!(matches!(read_line_capped(&mut reader, &mut line, 64).unwrap(), LineRead::Eof));
     }
 }

@@ -240,6 +240,7 @@ impl<T: Topology> Simulation<T> {
     /// (str + drive + upwind correction + nl).
     fn eval_rhs(&mut self, stage: &Tensor3<Complex64>) {
         self.topo.set_phase("str");
+        let span = xg_obs::span(xg_obs::Phase::Str);
         // Fused str-phase reduction: compute all velocity-moment partials
         // first (none depends on a completed reduction), pack them into one
         // contiguous staging buffer, and complete them with a single
@@ -268,12 +269,15 @@ impl<T: Topology> Simulation<T> {
         }
         // Streaming/drift/drive stencil work.
         self.strk.rhs(stage, &self.phi, &self.apar, &self.upw, &mut self.rhs);
+        span.finish();
         // Nonlinear phase (its own transposes; never feeds coll directly).
         self.topo.set_phase("nl");
+        let span = xg_obs::span(xg_obs::Phase::Nl);
         self.topo.nl_term(stage, &self.phi, &mut self.nl_buf);
         for (r, n) in self.rhs.as_mut_slice().iter_mut().zip(self.nl_buf.as_slice()) {
             *r += *n;
         }
+        span.finish();
     }
 
     /// Advance one time step: RK4 on the explicit terms, then the implicit
@@ -324,7 +328,9 @@ impl<T: Topology> Simulation<T> {
         // Implicit collision step (Figure 1: transpose → apply cmat →
         // transpose back).
         self.topo.set_phase("coll");
+        let span = xg_obs::span(xg_obs::Phase::Coll);
         self.topo.collision_step(&mut self.h);
+        span.finish();
 
         self.time += dt;
         self.steps_taken += 1;
@@ -367,6 +373,7 @@ impl<T: Topology> Simulation<T> {
     /// of [`Self::diagnostics`]' `field_energy` (they sum to it).
     pub fn mode_energies(&mut self) -> Vec<f64> {
         self.topo.set_phase("field");
+        let _span = xg_obs::span(xg_obs::Phase::Field);
         self.field.partial_moment(&self.h, &mut self.phi);
         self.topo.reduce_moment(&mut self.phi);
         self.field.finalize(&mut self.phi);
@@ -389,6 +396,7 @@ impl<T: Topology> Simulation<T> {
     /// Compute diagnostics at the current state.
     pub fn diagnostics(&mut self) -> Diagnostics {
         self.topo.set_phase("field");
+        let span = xg_obs::span(xg_obs::Phase::Field);
         // Fresh field solve at current h.
         self.field.partial_moment(&self.h, &mut self.phi);
         self.topo.reduce_moment(&mut self.phi);
@@ -409,7 +417,9 @@ impl<T: Topology> Simulation<T> {
         // The heat moment is a diagnostics-only reduction, not part of the
         // field solve — tag it separately so traces can distinguish
         // reporting-cadence traffic from per-stage field traffic.
+        span.finish();
         self.topo.set_phase("diag");
+        let _span = xg_obs::span(xg_obs::Phase::Diag);
         self.topo.reduce_moment(&mut heat);
 
         // Local (per-(ic,it)-unique) sums.

@@ -4,7 +4,7 @@
 //! ```text
 //! xgplan --deck input.cgyro [--machine FILE|PRESET] [--variants N]
 //!        [--nodes N] [--reports R] [--mtbf-hours H] [--restart-s S]
-//!        [--profile FILE]
+//!        [--journal-fsync-ms MS] [--submit-rate-hz HZ] [--profile FILE]
 //! ```
 //!
 //! `--profile` closes the loop between forecast and reality: FILE is a
@@ -16,8 +16,10 @@
 //! per-ensemble-size forecast on the chosen node count — including the
 //! MTBF-aware expected time-to-solution (a k-member job occupies k× the
 //! nodes, so its MTBF is k× worse; checkpoint/restart overhead is priced
-//! at the Young-optimal cadence) — an MTBF sensitivity sweep, and the
-//! cheapest batching of the requested variants.
+//! at the Young-optimal cadence) — an MTBF sensitivity sweep, the
+//! recommended `xgqueued --journal-sync` cadence (the same Young formula
+//! applied to the daemon's write-ahead log), and the cheapest batching of
+//! the requested variants.
 
 use std::process::exit;
 use xg_cluster::FailureModel;
@@ -55,12 +57,15 @@ fn usage() -> ! {
     eprintln!(
         "usage: xgplan --deck input.cgyro [--machine FILE|PRESET] [--variants N]\n\
          \u{20}                [--nodes N] [--reports R] [--mtbf-hours H] [--restart-s S]\n\
-         \u{20}                [--profile FILE]\n\
+         \u{20}                [--journal-fsync-ms MS] [--submit-rate-hz HZ] [--profile FILE]\n\
          \u{20}  --profile:    Prometheus scrape of a measured run (XGYRO_OBS=1);\n\
          \u{20}                printed as measured-vs-predicted phase time\n\
          \u{20}  --mtbf-hours: single-node MTBF in hours (default ~52000, a\n\
          \u{20}                9000-node system failing every ~6 hours)\n\
          \u{20}  --restart-s:  restart/requeue cost in seconds (default 600)\n\
+         \u{20}  --journal-fsync-ms: one journal fsync's cost in ms (default 5);\n\
+         \u{20}                sizes the recommended xgqueued --journal-sync\n\
+         \u{20}  --submit-rate-hz: campaign submit arrival rate (default 10)\n\
          presets: {}",
         PRESET_NAMES.join(", ")
     );
@@ -75,6 +80,8 @@ fn main() {
     let mut reports = 10usize;
     let mut mtbf_hours: Option<f64> = None;
     let mut restart_s = 600.0f64;
+    let mut journal_fsync_ms = 5.0f64;
+    let mut submit_rate_hz = 10.0f64;
     let mut profile: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -111,6 +118,14 @@ fn main() {
             }
             "--restart-s" => {
                 restart_s = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--journal-fsync-ms" => {
+                journal_fsync_ms =
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--submit-rate-hz" => {
+                submit_rate_hz =
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
             }
             "--profile" => profile = Some(it.next().unwrap_or_else(|| usage())),
             _ => usage(),
@@ -162,6 +177,14 @@ fn main() {
         eprintln!("xgplan: --restart-s must be non-negative");
         exit(1);
     }
+    if journal_fsync_ms <= 0.0 || journal_fsync_ms.is_nan() {
+        eprintln!("xgplan: --journal-fsync-ms must be positive");
+        exit(1);
+    }
+    if submit_rate_hz < 0.0 || submit_rate_hz.is_nan() {
+        eprintln!("xgplan: --submit-rate-hz must be non-negative");
+        exit(1);
+    }
     let fm = FailureModel {
         node_mtbf_s: mtbf_hours
             .map(|h| h * 3600.0)
@@ -174,6 +197,25 @@ fn main() {
         nodes,
         fm.job_mtbf(nodes) / 3600.0,
         fm.restart_s
+    );
+    // The daemon's journal faces the same checkpoint trade-off as the
+    // simulation, scaled down: price its fsync cadence with the same Young
+    // formula. The daemon lives on one node, so its MTBF is the node's.
+    let jsp = xg_cluster::journal_sync_plan(
+        submit_rate_hz,
+        journal_fsync_ms / 1000.0,
+        fm.node_mtbf_s,
+    );
+    println!(
+        "journal sync plan: at {:.1} submits/s and {:.1} ms/fsync, Young cadence {:.0} s \
+         -> xgqueued --journal-sync {} ({:.1} fsyncs/h, E[lost appends per crash] {:.1}; \
+         --journal-sync 1 loses none)",
+        jsp.append_rate_hz,
+        jsp.fsync_s * 1e3,
+        jsp.tau_s,
+        jsp.sync_every,
+        jsp.fsyncs_per_hour,
+        jsp.expected_lost_appends
     );
     println!("\nensemble forecast on {nodes} nodes ({reports} reporting steps):");
     println!(

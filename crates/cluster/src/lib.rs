@@ -24,7 +24,8 @@ pub use replay::{replay, ReplayError, ReplayOutcome};
 pub use report::{cgyro_timing_log, figure2_table, parse_timing_totals};
 pub use resilience::{
     checkpoint_write_s, ensemble_checkpoint_bytes, expected_runtime,
-    expected_time_to_solution, mtbf_sweep, young_interval, EttsReport, FailureModel, SweepRow,
+    expected_time_to_solution, journal_sync_plan, mtbf_sweep, young_interval, EttsReport,
+    FailureModel, JournalSyncReport, SweepRow,
 };
 pub use simtime::{
     simulate_cgyro_sequential, simulate_ensemble_member, simulate_xgyro, ScenarioReport,

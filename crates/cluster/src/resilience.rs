@@ -128,6 +128,69 @@ pub fn expected_time_to_solution(
     EttsReport { work_s, job_mtbf_s: m, delta_s: delta, tau_s: tau, etts_s: etts }
 }
 
+/// MTBF-aware fsync cadence recommendation for the `xgqueued` journal.
+///
+/// The journal faces the same trade-off as a simulation checkpoint, three
+/// orders of magnitude down: an fsync is the "checkpoint" (cost `δ` =
+/// device sync latency), a daemon crash is the "failure" (MTBF `M` = how
+/// often the host loses the daemon), and the work at risk is the appends
+/// accepted since the last sync. Young's interval prices it identically.
+#[derive(Clone, Copy, Debug)]
+pub struct JournalSyncReport {
+    /// Append arrival rate assumed, records/second.
+    pub append_rate_hz: f64,
+    /// Per-fsync cost assumed, seconds.
+    pub fsync_s: f64,
+    /// Daemon MTBF assumed, seconds.
+    pub daemon_mtbf_s: f64,
+    /// Young-optimal sync cadence, seconds.
+    pub tau_s: f64,
+    /// Equivalent `--journal-sync N` (fsync every N appends): the appends
+    /// that arrive in one cadence, at least 1.
+    pub sync_every: u64,
+    /// Syncs per hour at the recommended cadence.
+    pub fsyncs_per_hour: f64,
+    /// Expected acknowledged-but-unsynced appends lost in one crash (the
+    /// crash lands uniformly inside a sync window, so half a window's
+    /// worth on average).
+    pub expected_lost_appends: f64,
+}
+
+/// Recommend an fsync cadence for a journal accepting `append_rate_hz`
+/// records/second, where one fsync costs `fsync_s` seconds and the daemon's
+/// MTBF is `daemon_mtbf_s` seconds.
+///
+/// With `--journal-sync 1` (the durable default) nothing acknowledged is
+/// ever lost, but every append pays `fsync_s`. This function answers "what
+/// does relaxing that cost in expectation": the Young-optimal cadence, the
+/// equivalent `--journal-sync N`, and the expected number of acknowledged
+/// appends a crash would lose at that cadence. `xgplan --journal-fsync-ms`
+/// prints it next to the failure model.
+pub fn journal_sync_plan(
+    append_rate_hz: f64,
+    fsync_s: f64,
+    daemon_mtbf_s: f64,
+) -> JournalSyncReport {
+    assert!(
+        append_rate_hz >= 0.0 && fsync_s > 0.0 && daemon_mtbf_s > 0.0,
+        "append rate must be non-negative, fsync cost and MTBF positive"
+    );
+    let tau_s = young_interval(fsync_s, daemon_mtbf_s);
+    let sync_every = (append_rate_hz * tau_s).floor().max(1.0) as u64;
+    // The crash lands uniformly within a sync window: half a window of
+    // acknowledged appends is at risk in expectation.
+    let expected_lost_appends = append_rate_hz * tau_s / 2.0;
+    JournalSyncReport {
+        append_rate_hz,
+        fsync_s,
+        daemon_mtbf_s,
+        tau_s,
+        sync_every,
+        fsyncs_per_hour: 3600.0 / tau_s,
+        expected_lost_appends,
+    }
+}
+
 /// One row of a cadence × MTBF sweep.
 #[derive(Clone, Copy, Debug)]
 pub struct SweepRow {
@@ -237,6 +300,34 @@ mod tests {
         // Same work on a k=1 allocation (1/8 the nodes): less overhead.
         let r1 = expected_time_to_solution(&input, 1, 32, 36.0 * 3600.0, &m, &fm);
         assert!(r1.overhead() < r.overhead());
+    }
+
+    #[test]
+    fn journal_sync_plan_is_young_optimal() {
+        // 10 Hz submits, 5 ms fsync, daemon dies once a day.
+        let r = journal_sync_plan(10.0, 5e-3, 86_400.0);
+        assert!((r.tau_s - young_interval(5e-3, 86_400.0)).abs() < 1e-12);
+        assert_eq!(r.sync_every, (10.0 * r.tau_s).floor() as u64);
+        assert!((r.fsyncs_per_hour - 3600.0 / r.tau_s).abs() < 1e-9);
+        assert!((r.expected_lost_appends - 10.0 * r.tau_s / 2.0).abs() < 1e-9);
+        // Sanity: ~30 s cadence territory, not sub-second or hours.
+        assert!(r.tau_s > 1.0 && r.tau_s < 600.0, "tau {}", r.tau_s);
+    }
+
+    #[test]
+    fn journal_sync_plan_degenerate_regimes() {
+        // A trickle of submits still recommends at least fsync-every-1.
+        let slow = journal_sync_plan(0.01, 5e-3, 86_400.0);
+        assert_eq!(slow.sync_every, 1);
+        // A flakier daemon means a shorter cadence and fewer appends at
+        // risk per crash.
+        let flaky = journal_sync_plan(10.0, 5e-3, 600.0);
+        let steady = journal_sync_plan(10.0, 5e-3, 86_400.0);
+        assert!(flaky.tau_s < steady.tau_s);
+        assert!(flaky.expected_lost_appends < steady.expected_lost_appends);
+        // A costlier fsync pushes the cadence out.
+        let slow_disk = journal_sync_plan(10.0, 0.5, 86_400.0);
+        assert!(slow_disk.tau_s > steady.tau_s);
     }
 
     #[test]

@@ -65,6 +65,18 @@ impl EnsembleCheckpoint {
         self.k
     }
 
+    /// The cmat key of the ensemble that wrote this checkpoint. External
+    /// resume glue (the campaign server's journal replay) validates this
+    /// against the rebuilt ensemble before seeding a resumed run.
+    pub fn cmat_key(&self) -> u64 {
+        self.cmat_key
+    }
+
+    /// Per-member global dims `(nc, nv, nt)` at capture time.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        self.dims
+    }
+
     /// Degraded-mode eviction: drop member `index`'s restart image so the
     /// checkpoint seeds the surviving (k−1)-way ensemble. The member states
     /// are untouched — a resume from the evicted checkpoint is bitwise

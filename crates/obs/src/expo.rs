@@ -46,7 +46,15 @@ pub fn to_json(reg: &Registry) -> String {
     let (events, wasted) = reg.recovery_stats();
     s.push_str("},\n");
     s.push_str(&format!(
-        "  \"recovery\": {{\"events\": {events}, \"wasted_us\": {wasted}}}\n"
+        "  \"recovery\": {{\"events\": {events}, \"wasted_us\": {wasted}}},\n"
+    ));
+    let (appends, fsyncs, fsync_us) = reg.journal_stats();
+    s.push_str(&format!(
+        "  \"journal\": {{\"appends\": {appends}, \"fsyncs\": {fsyncs}, \"fsync_us\": {fsync_us}}},\n"
+    ));
+    let (replays, replay_us) = reg.replay_stats();
+    s.push_str(&format!(
+        "  \"replay\": {{\"count\": {replays}, \"wall_us\": {replay_us}}}\n"
     ));
     s.push_str("}\n");
     s
@@ -103,6 +111,33 @@ pub fn to_prometheus(reg: &Registry) -> String {
     s.push_str(&format!(
         "xgyro_recovery_wasted_seconds_total {}\n",
         fmt_seconds(wasted)
+    ));
+    let (appends, fsyncs, fsync_us) = reg.journal_stats();
+    s.push_str("# HELP xgyro_journal_appends_total Committed write-ahead journal appends.\n");
+    s.push_str("# TYPE xgyro_journal_appends_total counter\n");
+    s.push_str(&format!("xgyro_journal_appends_total {appends}\n"));
+    s.push_str("# HELP xgyro_journal_fsyncs_total fsync calls issued by the journal.\n");
+    s.push_str("# TYPE xgyro_journal_fsyncs_total counter\n");
+    s.push_str(&format!("xgyro_journal_fsyncs_total {fsyncs}\n"));
+    s.push_str(
+        "# HELP xgyro_journal_fsync_seconds_total Wall time spent inside journal fsyncs.\n",
+    );
+    s.push_str("# TYPE xgyro_journal_fsync_seconds_total counter\n");
+    s.push_str(&format!(
+        "xgyro_journal_fsync_seconds_total {}\n",
+        fmt_seconds(fsync_us)
+    ));
+    let (replays, replay_us) = reg.replay_stats();
+    s.push_str("# HELP xgyro_journal_replays_total Startup journal replays performed.\n");
+    s.push_str("# TYPE xgyro_journal_replays_total counter\n");
+    s.push_str(&format!("xgyro_journal_replays_total {replays}\n"));
+    s.push_str(
+        "# HELP xgyro_journal_replay_seconds_total Wall time spent replaying journals at startup.\n",
+    );
+    s.push_str("# TYPE xgyro_journal_replay_seconds_total counter\n");
+    s.push_str(&format!(
+        "xgyro_journal_replay_seconds_total {}\n",
+        fmt_seconds(replay_us)
     ));
     s
 }
@@ -350,6 +385,10 @@ mod tests {
         reg.record_comm_wait_us(Phase::Str, 40);
         reg.record_busy_us(Phase::Coll, 1000);
         reg.record_recovery_waste_us(1500);
+        reg.record_journal_append_us();
+        reg.record_journal_append_us();
+        reg.record_journal_fsync_us(2500);
+        reg.record_journal_replay_us(12_000);
         reg
     }
 
@@ -364,6 +403,8 @@ mod tests {
         // coll has busy but no comm-wait: its wait aggregates are null.
         assert!(json.contains("\"comm_wait_us\": {\"count\": 0, \"sum\": 0, \"min\": null"));
         assert!(json.contains("\"recovery\": {\"events\": 1, \"wasted_us\": 1500}"));
+        assert!(json.contains("\"journal\": {\"appends\": 2, \"fsyncs\": 1, \"fsync_us\": 2500}"));
+        assert!(json.contains("\"replay\": {\"count\": 1, \"wall_us\": 12000}"));
     }
 
     #[test]
@@ -371,6 +412,8 @@ mod tests {
         let json = to_json(&Registry::default());
         assert!(json.contains("\"phases\": {}"));
         assert!(json.contains("\"recovery\": {\"events\": 0, \"wasted_us\": 0}"));
+        assert!(json.contains("\"journal\": {\"appends\": 0, \"fsyncs\": 0, \"fsync_us\": 0}"));
+        assert!(json.contains("\"replay\": {\"count\": 0, \"wall_us\": 0}"));
     }
 
     #[test]
@@ -382,6 +425,11 @@ mod tests {
         assert!(text.contains("xgyro_phase_busy_seconds_sum{phase=\"str\"} 0.0003"));
         assert!(text.contains("le=\"+Inf\""));
         assert!(text.contains("xgyro_recovery_wasted_seconds_total 0.0015"));
+        assert!(text.contains("xgyro_journal_appends_total 2"));
+        assert!(text.contains("xgyro_journal_fsyncs_total 1"));
+        assert!(text.contains("xgyro_journal_fsync_seconds_total 0.0025"));
+        assert!(text.contains("xgyro_journal_replays_total 1"));
+        assert!(text.contains("xgyro_journal_replay_seconds_total 0.012"));
         let n = lint_prometheus(&text).expect("own exposition must lint clean");
         assert!(n > 100, "expected full bucket series, got {n} samples");
     }

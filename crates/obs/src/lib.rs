@@ -186,6 +186,16 @@ pub struct Registry {
     recovery_wasted_us: AtomicU64,
     /// Number of fault-recovery events observed.
     recoveries: AtomicU64,
+    /// Journal appends committed by the serving layer's write-ahead log.
+    journal_appends: AtomicU64,
+    /// fsync(2) calls the journal issued.
+    journal_fsyncs: AtomicU64,
+    /// Microseconds spent inside journal fsyncs (the durability tax).
+    journal_fsync_us: AtomicU64,
+    /// Journal replays performed (daemon restarts that found a log).
+    replays: AtomicU64,
+    /// Microseconds spent replaying journals at startup.
+    replay_us: AtomicU64,
 }
 
 static GLOBAL: Registry = Registry {
@@ -201,6 +211,11 @@ static GLOBAL: Registry = Registry {
     ],
     recovery_wasted_us: AtomicU64::new(0),
     recoveries: AtomicU64::new(0),
+    journal_appends: AtomicU64::new(0),
+    journal_fsyncs: AtomicU64::new(0),
+    journal_fsync_us: AtomicU64::new(0),
+    replays: AtomicU64::new(0),
+    replay_us: AtomicU64::new(0),
 };
 
 impl PhaseMetrics {
@@ -244,6 +259,40 @@ impl Registry {
         )
     }
 
+    /// Account one committed journal append.
+    pub fn record_journal_append_us(&self) {
+        self.journal_appends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Account one journal fsync that took `us`.
+    pub fn record_journal_fsync_us(&self, us: u64) {
+        self.journal_fsyncs.fetch_add(1, Ordering::Relaxed);
+        self.journal_fsync_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Account one startup journal replay that took `us`.
+    pub fn record_journal_replay_us(&self, us: u64) {
+        self.replays.fetch_add(1, Ordering::Relaxed);
+        self.replay_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// `(appends, fsyncs, fsync_us)` of journal accounting so far.
+    pub fn journal_stats(&self) -> (u64, u64, u64) {
+        (
+            self.journal_appends.load(Ordering::Relaxed),
+            self.journal_fsyncs.load(Ordering::Relaxed),
+            self.journal_fsync_us.load(Ordering::Relaxed),
+        )
+    }
+
+    /// `(replays, replay_us)` of startup-replay accounting so far.
+    pub fn replay_stats(&self) -> (u64, u64) {
+        (
+            self.replays.load(Ordering::Relaxed),
+            self.replay_us.load(Ordering::Relaxed),
+        )
+    }
+
     /// Zero every histogram and counter (tests and fresh-run brackets).
     pub fn reset(&self) {
         for p in &self.phases {
@@ -252,6 +301,11 @@ impl Registry {
         }
         self.recoveries.store(0, Ordering::Relaxed);
         self.recovery_wasted_us.store(0, Ordering::Relaxed);
+        self.journal_appends.store(0, Ordering::Relaxed);
+        self.journal_fsyncs.store(0, Ordering::Relaxed);
+        self.journal_fsync_us.store(0, Ordering::Relaxed);
+        self.replays.store(0, Ordering::Relaxed);
+        self.replay_us.store(0, Ordering::Relaxed);
     }
 }
 
@@ -307,6 +361,30 @@ pub fn record_busy(phase: Phase, us: u64) {
 pub fn record_recovery_waste(us: u64) {
     if enabled() {
         Registry::global().record_recovery_waste_us(us);
+    }
+}
+
+/// Account one committed journal append (the serving layer's WAL).
+#[inline]
+pub fn record_journal_append() {
+    if enabled() {
+        Registry::global().record_journal_append_us();
+    }
+}
+
+/// Account one journal fsync that took `us`.
+#[inline]
+pub fn record_journal_fsync(us: u64) {
+    if enabled() {
+        Registry::global().record_journal_fsync_us(us);
+    }
+}
+
+/// Account one startup journal replay that took `us`.
+#[inline]
+pub fn record_journal_replay(us: u64) {
+    if enabled() {
+        Registry::global().record_journal_replay_us(us);
     }
 }
 

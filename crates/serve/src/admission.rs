@@ -39,6 +39,15 @@ pub enum AdmitError {
     /// The server is draining: it finishes what it holds but admits
     /// nothing new.
     Draining,
+    /// The durability journal refused the admission record (disk pressure
+    /// or an injected write fault). The job was **not** enqueued — a
+    /// submission the journal cannot persist would be silently lost by the
+    /// next crash, so the server degrades by shedding it instead of
+    /// accepting unjournaled work.
+    JournalBackpressure {
+        /// Underlying journal error.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for AdmitError {
@@ -55,6 +64,10 @@ impl std::fmt::Display for AdmitError {
             AdmitError::Draining => {
                 write!(f, "server is draining and admits no new jobs")
             }
+            AdmitError::JournalBackpressure { reason } => write!(
+                f,
+                "journal backpressure: {reason} (submission not persisted — retry)"
+            ),
         }
     }
 }
@@ -71,12 +84,19 @@ impl AdmitError {
             AdmitError::OversizedGrid { .. } => "oversized-grid",
             AdmitError::BadSteps { .. } => "bad-steps",
             AdmitError::Draining => "draining",
+            AdmitError::JournalBackpressure { .. } => "journal-backpressure",
         }
     }
 
     /// Every rejection kind, for metrics enumeration.
-    pub const KINDS: [&'static str; 5] =
-        ["queue-full", "invalid-deck", "oversized-grid", "bad-steps", "draining"];
+    pub const KINDS: [&'static str; 6] = [
+        "queue-full",
+        "invalid-deck",
+        "oversized-grid",
+        "bad-steps",
+        "draining",
+        "journal-backpressure",
+    ];
 }
 
 /// Deck-level admission checks shared by `submit` and `--dry-run`: the deck
@@ -137,6 +157,7 @@ mod tests {
             AdmitError::OversizedGrid { reason: String::new() },
             AdmitError::BadSteps { reason: String::new() },
             AdmitError::Draining,
+            AdmitError::JournalBackpressure { reason: String::new() },
         ];
         for v in &variants {
             assert!(AdmitError::KINDS.contains(&v.kind()), "{v}");

@@ -61,6 +61,9 @@ pub enum FlushReason {
     Linger,
     /// The server drained/shut down with the batch still open.
     Drain,
+    /// The batch was rebuilt from the durability journal after a restart
+    /// (not flushed by the grouper at all).
+    Resume,
 }
 
 impl std::fmt::Display for FlushReason {
@@ -70,6 +73,7 @@ impl std::fmt::Display for FlushReason {
             FlushReason::MemoryBudget => "memory-budget",
             FlushReason::Linger => "linger",
             FlushReason::Drain => "drain",
+            FlushReason::Resume => "resume",
         })
     }
 }
@@ -145,6 +149,13 @@ impl Grouper {
     pub fn new(cfg: GrouperConfig) -> Self {
         assert!(cfg.k_max >= 1, "k_max must be at least 1");
         Self { cfg, pending: Vec::new(), next_batch: 0 }
+    }
+
+    /// Advance the batch-id counter to at least `next`. Journal recovery
+    /// calls this so batches formed after a restart never reuse an id a
+    /// previous life already journaled.
+    pub fn seed_next_batch(&mut self, next: u64) {
+        self.next_batch = self.next_batch.max(next);
     }
 
     /// The effective batch-size cap for a deck: `k_max` clamped to the

@@ -1,10 +1,11 @@
 //! `xgq` — the campaign client.
 //!
 //! ```text
-//! xgq [--addr HOST:PORT] <command>
+//! xgq [--addr HOST:PORT] [--retries N] [--timeout-ms MS] <command>
 //!   submit --deck FILE [--steps N] [--tag T] [--grad RLN,RLT] [--seed S]
-//!          [--dry-run]
+//!          [--token T] [--no-token] [--dry-run]
 //!   status JOB            one-shot state snapshot
+//!   result JOB            result fingerprint (steps, h hash, diag bits)
 //!   watch JOB             stream lifecycle events until terminal
 //!   cancel JOB            cancel (preempts at the next checkpoint if running)
 //!   list                  every job the server knows about
@@ -12,6 +13,7 @@
 //!                         text with --prom) to stdout or FILE
 //!   top [--watch MS]      live per-phase wall-time table from the daemon
 //!                         (one shot, or redrawn every MS milliseconds)
+//!   recovery              what the daemon's journal replay reconstructed
 //!   drain [--ms MS]       flush pending batches, wait until quiet
 //!   shutdown              stop the server
 //!   ping                  liveness check
@@ -22,17 +24,30 @@
 //! shared-cmat batch. `--dry-run` asks the server (via the same grouping
 //! code path used for real submissions) for the deck's cmat key and the
 //! batch the job would join, without admitting anything.
+//!
+//! Idempotent requests (everything except `watch`, `drain`, `shutdown`)
+//! ride through daemon restarts: up to `--retries` attempts with jittered
+//! exponential backoff, reconnecting between attempts. Every `submit`
+//! carries an idempotency token (auto-generated from time + pid unless
+//! `--token` supplies one, suppressed by `--no-token`), so a retried submit
+//! whose first response was lost is answered with the original job id and
+//! `dup=1` instead of double-enqueueing. `watch` and `top --watch` are
+//! streams, not requests — on a lost connection they reconnect with the
+//! same backoff and print a `(reconnected)` marker; `watch` resumes from
+//! the server's state snapshot so no terminal transition is missed.
 
 use std::process::exit;
-use xg_serve::wire::Client;
+use std::time::Duration;
+use xg_serve::wire::{Client, RetryPolicy, RetryingClient};
 use xg_sim::{load_deck, write_deck};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: xgq [--addr HOST:PORT] <command>\n\
-         \u{20} submit --deck FILE [--steps N] [--tag T] [--grad RLN,RLT] [--seed S] [--dry-run]\n\
-         \u{20} status JOB | watch JOB | cancel JOB | list\n\
-         \u{20} metrics [--out FILE] [--prom] | top [--watch MS]\n\
+        "usage: xgq [--addr HOST:PORT] [--retries N] [--timeout-ms MS] <command>\n\
+         \u{20} submit --deck FILE [--steps N] [--tag T] [--grad RLN,RLT] [--seed S]\n\
+         \u{20}        [--token T] [--no-token] [--dry-run]\n\
+         \u{20} status JOB | result JOB | watch JOB | cancel JOB | list\n\
+         \u{20} metrics [--out FILE] [--prom] | top [--watch MS] | recovery\n\
          \u{20} drain [--ms MS] | shutdown | ping"
     );
     exit(2)
@@ -52,40 +67,74 @@ fn finish(resp: &str) -> ! {
     fail(resp)
 }
 
+/// A process-unique idempotency token: wall-clock µs + pid. Unique enough
+/// that two *different* intended submissions never collide, while one
+/// retried submission (same process, same token string) is recognized.
+fn auto_token() -> String {
+    let us = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros())
+        .unwrap_or(0);
+    format!("xgq-{us:x}-{}", std::process::id())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr =
         std::env::var("XGQ_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".to_string());
+    let mut retries: u32 = 5;
+    let mut timeout = Duration::from_millis(5000);
     let mut rest = &args[..];
-    if rest.first().map(String::as_str) == Some("--addr") {
-        addr = rest.get(1).cloned().unwrap_or_else(|| usage());
-        rest = &rest[2..];
+    loop {
+        match rest.first().map(String::as_str) {
+            Some("--addr") => {
+                addr = rest.get(1).cloned().unwrap_or_else(|| usage());
+                rest = &rest[2..];
+            }
+            Some("--retries") => {
+                retries = rest.get(1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                rest = &rest[2..];
+            }
+            Some("--timeout-ms") => {
+                let ms: u64 =
+                    rest.get(1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                timeout = Duration::from_millis(ms);
+                rest = &rest[2..];
+            }
+            _ => break,
+        }
     }
     let Some(cmd) = rest.first() else { usage() };
     let rest = &rest[1..];
-    let mut client = Client::connect(&addr)
-        .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
+    let policy = RetryPolicy {
+        attempts: retries.max(1),
+        seed: std::process::id() as u64,
+        ..RetryPolicy::client_default(0)
+    };
+    let mut retry = RetryingClient::new(&addr, timeout, policy.clone());
     match cmd.as_str() {
-        "ping" => finish(&client.roundtrip("PING").unwrap_or_else(|e| fail(&e.to_string()))),
-        "submit" => submit(&mut client, rest),
-        "status" | "cancel" => {
+        "ping" => finish(&retry.roundtrip("PING").unwrap_or_else(|e| fail(&e.to_string()))),
+        "submit" => submit(&mut retry, rest),
+        "status" | "cancel" | "result" => {
             let job = rest.first().unwrap_or_else(|| usage());
-            let verb = if cmd == "status" { "STATUS" } else { "CANCEL" };
+            let verb = match cmd.as_str() {
+                "status" => "STATUS",
+                "result" => "RESULT",
+                _ => "CANCEL",
+            };
             finish(
-                &client
+                &retry
                     .roundtrip(&format!("{verb} {job}"))
                     .unwrap_or_else(|e| fail(&e.to_string())),
             )
         }
-        "watch" => {
-            let job = rest.first().unwrap_or_else(|| usage());
-            match client.subscribe(job, |ev| println!("{ev}")) {
-                Ok(_) => exit(0),
-                Err(e) => fail(&e.to_string()),
-            }
+        "recovery" => {
+            finish(&retry.roundtrip("RECOVERY").unwrap_or_else(|e| fail(&e.to_string())))
         }
+        "watch" => watch(&addr, &policy, rest),
         "list" => {
-            let lines = client.list().unwrap_or_else(|e| fail(&e.to_string()));
+            let lines =
+                retry.with_retries(|c| c.list()).unwrap_or_else(|e| fail(&e.to_string()));
             for l in lines {
                 println!("{l}");
             }
@@ -93,10 +142,11 @@ fn main() {
         }
         "metrics" => {
             let payload = if rest.iter().any(|a| a == "--prom") {
-                client.metrics_prom().unwrap_or_else(|e| fail(&e.to_string()))
+                retry.with_retries(|c| c.metrics_prom())
             } else {
-                client.metrics().unwrap_or_else(|e| fail(&e.to_string()))
-            };
+                retry.with_retries(|c| c.metrics())
+            }
+            .unwrap_or_else(|e| fail(&e.to_string()));
             match kv_flag(rest, "--out") {
                 Some(path) => std::fs::write(&path, &payload)
                     .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}"))),
@@ -104,30 +154,14 @@ fn main() {
             }
             exit(0)
         }
-        "top" => {
-            let watch_ms = kv_flag(rest, "--watch").map(|v| {
-                v.parse::<u64>().unwrap_or_else(|_| usage())
-            });
-            loop {
-                let table = client.top().unwrap_or_else(|e| fail(&e.to_string()));
-                match watch_ms {
-                    None => {
-                        print!("{table}");
-                        exit(0)
-                    }
-                    Some(ms) => {
-                        // Clear + home, like watch(1), so the table redraws
-                        // in place.
-                        print!("\x1b[2J\x1b[H{table}");
-                        use std::io::Write as _;
-                        let _ = std::io::stdout().flush();
-                        std::thread::sleep(std::time::Duration::from_millis(ms));
-                    }
-                }
-            }
-        }
+        "top" => top(&mut retry, rest),
         "drain" => {
+            // Draining blocks up to its own deadline — no request timeout,
+            // no retry (a retried drain against a restarted daemon would
+            // silently wait on an empty queue and mask the restart).
             let ms = kv_flag(rest, "--ms").unwrap_or_else(|| "60000".into());
+            let mut client = Client::connect(&addr)
+                .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
             finish(
                 &client
                     .roundtrip(&format!("DRAIN ms={ms}"))
@@ -135,19 +169,23 @@ fn main() {
             )
         }
         "shutdown" => {
+            let mut client = Client::connect(&addr)
+                .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
             finish(&client.roundtrip("SHUTDOWN").unwrap_or_else(|e| fail(&e.to_string())))
         }
         _ => usage(),
     }
 }
 
-fn submit(client: &mut Client, rest: &[String]) -> ! {
+fn submit(retry: &mut RetryingClient, rest: &[String]) -> ! {
     let mut deck_path = None;
     let mut steps = None;
     let mut tag = String::new();
     let mut grad: Option<(f64, f64)> = None;
     let mut seed: Option<u64> = None;
     let mut dry_run = false;
+    let mut token: Option<String> = None;
+    let mut no_token = false;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -164,6 +202,8 @@ fn submit(client: &mut Client, rest: &[String]) -> ! {
                 }
             }
             "--seed" => seed = it.next().and_then(|v| v.parse().ok()),
+            "--token" => token = it.next().cloned(),
+            "--no-token" => no_token = true,
             "--dry-run" => dry_run = true,
             _ => usage(),
         }
@@ -178,10 +218,79 @@ fn submit(client: &mut Client, rest: &[String]) -> ! {
         input = input.with_seed(s);
     }
     let steps = steps.unwrap_or(input.steps_per_report);
-    let resp = client
-        .submit_deck(&write_deck(&input), steps, &tag, dry_run)
+    // The token is what makes a *retried* submit safe: without one, a retry
+    // whose first response was lost would double-enqueue.
+    let token = if dry_run || no_token {
+        String::new()
+    } else {
+        token.unwrap_or_else(auto_token)
+    };
+    let deck = write_deck(&input);
+    let resp = retry
+        .with_retries(|c| c.submit_deck_tokened(&deck, steps, &tag, &token, dry_run))
         .unwrap_or_else(|e| fail(&e.to_string()));
     finish(&resp)
+}
+
+/// `watch JOB`: stream lifecycle events, reconnecting (with the same
+/// jittered backoff and a visible `(reconnected)` marker) when the daemon
+/// restarts mid-stream. Subscribing re-delivers the current state first, so
+/// a reconnect can duplicate a line but never skip the terminal one.
+fn watch(addr: &str, policy: &RetryPolicy, rest: &[String]) -> ! {
+    let job = rest.first().unwrap_or_else(|| usage());
+    let mut jitter = policy.seed;
+    let mut failures = 0u32;
+    let mut connected_before = false;
+    loop {
+        let attempt = Client::connect(addr).and_then(|mut c| {
+            if connected_before {
+                println!("(reconnected)");
+            }
+            connected_before = true;
+            failures = 0;
+            c.subscribe(job, |ev| println!("{ev}"))
+        });
+        match attempt {
+            Ok(_) => exit(0),
+            Err(e) => {
+                // "no such job" is a real answer, not a lost connection.
+                if e.to_string().contains("not-found") {
+                    fail(&e.to_string())
+                }
+                failures += 1;
+                if failures >= policy.attempts.max(1) {
+                    fail(&format!("watch {job}: {e} (gave up after {failures} attempts)"))
+                }
+                std::thread::sleep(policy.delay(failures - 1, &mut jitter));
+            }
+        }
+    }
+}
+
+/// `top [--watch MS]`: one shot via the retrying client, or a redraw loop
+/// that survives daemon restarts with a `(reconnected)` marker.
+fn top(retry: &mut RetryingClient, rest: &[String]) -> ! {
+    let watch_ms = kv_flag(rest, "--watch").map(|v| v.parse::<u64>().unwrap_or_else(|_| usage()));
+    let Some(ms) = watch_ms else {
+        let table = retry.with_retries(|c| c.top()).unwrap_or_else(|e| fail(&e.to_string()));
+        print!("{table}");
+        exit(0)
+    };
+    let mut was_down = false;
+    loop {
+        match retry.with_retries(|c| c.top()) {
+            Ok(table) => {
+                // Clear + home, like watch(1), so the table redraws in place.
+                let marker = if was_down { "(reconnected)\n" } else { "" };
+                was_down = false;
+                print!("\x1b[2J\x1b[H{marker}{table}");
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+            }
+            Err(_) => was_down = true, // keep polling; the daemon may return
+        }
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
 }
 
 fn kv_flag(rest: &[String], key: &str) -> Option<String> {

@@ -5,17 +5,28 @@
 //!          [--queue-capacity N] [--workers W] [--ckpt-every STEPS]
 //!          [--deadline-ms MS] [--nodes N] [--machine PRESET]
 //!          [--grid N1xN2] [--fault RANK:AT_OP]
+//!          [--journal DIR] [--journal-sync N] [--journal-seg-bytes N]
+//!          [--journal-fault KIND:AT[:KEEP]]
 //! ```
 //!
 //! Binds the wire protocol (see `xg_serve::wire`) and serves until a client
 //! sends `SHUTDOWN`. `--fault` injects one crash into the first dispatched
 //! batch — the chaos hook the CI fault-injection checks use.
+//!
+//! `--journal DIR` makes the daemon crash-safe: every job lifecycle
+//! transition is persisted to a write-ahead log in DIR and replayed on the
+//! next start, so a `kill -9` loses no acknowledged job. `--journal-sync N`
+//! fsyncs every N appends (1 = every append, the durable default; see
+//! `xgplan --journal-fsync-ms` for the MTBF-aware choice).
+//! `--journal-fault` injects a seeded journal fault (`write-error:AT`,
+//! `torn:AT:KEEP`, `crash:AT` — AT counts appends) for recovery drills.
 
 use std::net::TcpListener;
 use std::process::exit;
 use std::time::Duration;
 use xg_comm::FaultPlan;
 use xg_costmodel::{preset, PRESET_NAMES};
+use xg_serve::journal::{JournalConfig, ServeFaultPlan};
 use xg_serve::server::{CampaignServer, ServerConfig};
 use xg_tensor::ProcGrid;
 
@@ -25,10 +36,30 @@ fn usage() -> ! {
          \u{20}                [--queue-capacity N] [--workers W] [--ckpt-every STEPS]\n\
          \u{20}                [--deadline-ms MS] [--nodes N] [--machine PRESET]\n\
          \u{20}                [--grid N1xN2] [--fault RANK:AT_OP]\n\
+         \u{20}                [--journal DIR] [--journal-sync N] [--journal-seg-bytes N]\n\
+         \u{20}                [--journal-fault write-error:AT|torn:AT:KEEP|crash:AT]\n\
          presets: {}",
         PRESET_NAMES.join(", ")
     );
     exit(2)
+}
+
+/// Parse a `--journal-fault` spec: `write-error:AT`, `torn:AT:KEEP`, or
+/// `crash:AT`, where AT is the 0-based append counter that trips it.
+fn parse_journal_fault(v: &str) -> Option<ServeFaultPlan> {
+    let mut parts = v.split(':');
+    let kind = parts.next()?;
+    let at: u64 = parts.next()?.parse().ok()?;
+    let plan = match kind {
+        "write-error" => ServeFaultPlan::write_error(at),
+        "torn" => ServeFaultPlan::torn_write(at, parts.next()?.parse().ok()?),
+        "crash" => ServeFaultPlan::crash(at),
+        _ => return None,
+    };
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(plan)
 }
 
 fn parse_or_usage<T: std::str::FromStr>(v: Option<String>) -> T {
@@ -38,9 +69,20 @@ fn parse_or_usage<T: std::str::FromStr>(v: Option<String>) -> T {
 fn main() {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut cfg = ServerConfig::local_test();
+    let mut journal_dir: Option<String> = None;
+    let mut journal_sync: Option<u32> = None;
+    let mut journal_seg_bytes: Option<u64> = None;
+    let mut journal_fault: Option<ServeFaultPlan> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--journal" => journal_dir = Some(it.next().unwrap_or_else(|| usage())),
+            "--journal-sync" => journal_sync = Some(parse_or_usage(it.next())),
+            "--journal-seg-bytes" => journal_seg_bytes = Some(parse_or_usage(it.next())),
+            "--journal-fault" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                journal_fault = Some(parse_journal_fault(&v).unwrap_or_else(|| usage()));
+            }
             "--addr" => addr = it.next().unwrap_or_else(|| usage()),
             "--k-max" => cfg.k_max = parse_or_usage(it.next()),
             "--linger-ms" => cfg.linger = Duration::from_millis(parse_or_usage(it.next())),
@@ -81,6 +123,24 @@ fn main() {
         eprintln!("xgqueued: k-max, workers and ckpt-every must be positive");
         exit(1);
     }
+    match journal_dir {
+        Some(dir) => {
+            let mut jcfg = JournalConfig::durable(dir);
+            if let Some(n) = journal_sync {
+                jcfg.fsync_every = n;
+            }
+            if let Some(n) = journal_seg_bytes {
+                jcfg.segment_max_bytes = n;
+            }
+            jcfg.fault_plan = journal_fault;
+            cfg.journal = Some(jcfg);
+        }
+        None if journal_sync.is_some() || journal_seg_bytes.is_some() || journal_fault.is_some() => {
+            eprintln!("xgqueued: --journal-sync/--journal-seg-bytes/--journal-fault need --journal DIR");
+            exit(1);
+        }
+        None => {}
+    }
     let listener = TcpListener::bind(&addr).unwrap_or_else(|e| {
         eprintln!("xgqueued: cannot bind {addr}: {e}");
         exit(1);
@@ -88,15 +148,35 @@ fn main() {
     let addr = listener.local_addr().map(|a| a.to_string()).unwrap_or(addr);
     println!(
         "xgqueued listening on {addr} (k_max={}, linger={}ms, workers={}, nodes={} x {}, \
-         phase timers {})",
+         journal {}, phase timers {})",
         cfg.k_max,
         cfg.linger.as_millis(),
         cfg.workers,
         cfg.nodes,
         cfg.machine.name,
+        cfg.journal
+            .as_ref()
+            .map(|j| format!("{} (fsync every {})", j.dir.display(), j.fsync_every))
+            .unwrap_or_else(|| "off".into()),
         if xg_obs::enabled() { "on" } else { "off (XGYRO_OBS=1 to enable)" }
     );
     let server = CampaignServer::start(cfg);
+    let recovery = server.recovery_report();
+    if recovery.replayed_records > 0 || !recovery.warnings.is_empty() {
+        println!(
+            "xgqueued: journal replay: {} records in {} us -> {} jobs restored, \
+             {} batches resumed, {} jobs re-admitted ({} torn bytes dropped)",
+            recovery.replayed_records,
+            recovery.replay_us,
+            recovery.restored_jobs,
+            recovery.resumed_batches,
+            recovery.readmitted_jobs,
+            recovery.torn_bytes
+        );
+        for w in &recovery.warnings {
+            eprintln!("xgqueued: journal warning: {w}");
+        }
+    }
     if let Err(e) = xg_serve::wire::serve(listener, server) {
         eprintln!("xgqueued: {e}");
         exit(1);

@@ -196,9 +196,20 @@ pub(crate) struct Job {
     pub batch: Option<BatchId>,
     pub detail: String,
     pub cancel_requested: bool,
+    /// Admission time as a monotonic instant. For jobs restored from the
+    /// journal this is back-dated by the journaled wall-clock age, so
+    /// queue-latency accounting spans the crash instead of restarting at
+    /// replay time. (The wall-clock submit time and the idempotency token
+    /// live in the journal's `Submitted` record and the server's token map,
+    /// not here.)
     pub submitted_at: Instant,
     pub dispatched_at: Option<Instant>,
     pub outcome: Option<JobOutcome>,
+    /// For jobs already `Done` before a restart: the journaled result
+    /// summary `(steps, h_hash, diag_bits)`. The full tensor is gone with
+    /// the old process, but `RESULT` stays answerable — and
+    /// bitwise-checkable — from this.
+    pub restored_summary: Option<(u64, u64, [u64; 4])>,
     pub subscribers: Vec<std::sync::mpsc::Sender<JobEvent>>,
 }
 

@@ -1,0 +1,1400 @@
+//! The durable job journal: a crash-safe write-ahead log of every job
+//! lifecycle transition.
+//!
+//! The campaign server's in-memory job table dies with the process; the
+//! journal is what survives. Every admission, placement, dispatch,
+//! checkpoint, and terminal transition appends one [`JournalRecord`] to an
+//! append-only segment file, CRC-framed and fsynced per the configured
+//! [`JournalConfig::fsync_every`] policy. On startup the daemon replays the
+//! log ([`Journal::open`] returns every decodable record) and rebuilds its
+//! job table: terminal jobs are restored with their result summaries,
+//! waiting jobs are re-admitted through the normal grouping path, and
+//! running batches resume from their last journaled ensemble checkpoint.
+//!
+//! ## Record framing
+//!
+//! ```text
+//! [len: u32 LE] [crc32(payload): u32 LE] [payload: len bytes]
+//! ```
+//!
+//! A `kill -9` mid-write leaves a torn frame at the tail: the length header
+//! promises more bytes than exist, or the CRC disagrees. Replay treats the
+//! first undecodable frame as the end of the log, truncates the segment
+//! back to its last good frame (with a warning, not a crash), and reports
+//! the dropped byte count. Because the server journals *intent before
+//! effect* (a `Submitted` record is committed before the client learns the
+//! job id), a torn tail can only ever lose work the client was never
+//! acknowledged for.
+//!
+//! ## Segments and compaction
+//!
+//! The log rotates to a fresh `seg-NNNNNN.xgj` file once the current
+//! segment exceeds [`JournalConfig::segment_max_bytes`]. On rotation the
+//! closed segments are compacted: records belonging to *fully-terminal*
+//! jobs (Done/Failed/Cancelled — nothing left to recover) are dropped and
+//! the survivors merged into one segment, so the journal's size tracks the
+//! live job set, not campaign history.
+//!
+//! ## Fault injection
+//!
+//! [`ServeFaultPlan`] is the service-layer analogue of `xg_comm::FaultPlan`:
+//! deterministic, append-counter-triggered write failures, torn writes, and
+//! crash points, so recovery is tested the same seeded way the collectives
+//! already are.
+
+use crate::job::{BatchId, JobId, JobState};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// FNV-1a 64-bit hash — the journal's content fingerprint (deck hashes,
+/// result summaries). Stable across platforms, no dependencies.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64: the workspace's standard seed-expansion step (same recurrence
+/// `xg_comm::FaultPlan::seeded_crash` uses), reused here for seeded fault
+/// plans and the client's retry jitter.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+// CRC-32 (IEEE 802.3, reflected), table-driven. Hand-rolled: the container
+// has no crc crate and the polynomial fits in twenty lines.
+fn crc32_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, e) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        table
+    })
+}
+
+/// CRC-32 of `bytes` (IEEE, the checksum zlib and Ethernet use).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut c = 0xffff_ffffu32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+/// One journaled lifecycle transition.
+///
+/// Records are keyed by job id plus the deck's content hash, so a replayed
+/// table can verify it is resuming the same work it admitted. `Checkpoint`
+/// records carry the serialized [`xgyro_core::EnsembleCheckpoint`] bytes —
+/// the restart image a resumed batch continues from bitwise-identically.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JournalRecord {
+    /// A job passed admission. Written (and fsynced) *before* the client
+    /// learns the job id, so an acknowledged submit is never lost.
+    Submitted {
+        /// The job.
+        job: JobId,
+        /// Client-supplied idempotency token ("" when none).
+        token: String,
+        /// [`fnv1a`] of the deck text (integrity cross-check on replay).
+        deck_hash: u64,
+        /// The full deck text (`xg_sim::write_deck` form) — everything
+        /// needed to re-admit the job after a crash.
+        deck: String,
+        /// Requested steps.
+        steps: u64,
+        /// Client label.
+        tag: String,
+        /// Wall-clock submit time, microseconds since the Unix epoch
+        /// (restored queue-latency accounting counts from here, not from
+        /// replay time).
+        submitted_unix_us: u64,
+    },
+    /// The job was placed into a batch.
+    Batched {
+        /// The job.
+        job: JobId,
+        /// The batch it joined.
+        batch: BatchId,
+    },
+    /// A batch was dispatched: its members are now running.
+    Running {
+        /// The batch.
+        batch: BatchId,
+        /// Its members at dispatch, in member order.
+        jobs: Vec<JobId>,
+    },
+    /// A coherent ensemble checkpoint was captured after a completed
+    /// segment.
+    Checkpoint {
+        /// The batch.
+        batch: BatchId,
+        /// Surviving members at this checkpoint, in member order (matches
+        /// the checkpoint's member images).
+        jobs: Vec<JobId>,
+        /// Monotonic per-batch checkpoint sequence number.
+        seq: u64,
+        /// Steps completed at this checkpoint.
+        done_steps: u64,
+        /// `EnsembleCheckpoint::to_bytes()` of the restart image.
+        state: Vec<u8>,
+    },
+    /// The job finished successfully. Carries a result summary (content
+    /// hash of the final distribution plus the exact diagnostics bits) so
+    /// `RESULT` stays answerable — and bitwise-checkable — after a restart.
+    Done {
+        /// The job.
+        job: JobId,
+        /// Steps executed.
+        steps: u64,
+        /// [`fnv1a`] over the final `h` tensor's little-endian bytes.
+        h_hash: u64,
+        /// `f64::to_bits` of (time, field_energy, heat_flux, h_norm2).
+        diag_bits: [u64; 4],
+    },
+    /// The job failed (member eviction or whole-batch failure).
+    Failed {
+        /// The job.
+        job: JobId,
+        /// Failure cause.
+        detail: String,
+    },
+    /// The job was cancelled.
+    Cancelled {
+        /// The job.
+        job: JobId,
+        /// Cancellation context.
+        detail: String,
+    },
+}
+
+impl JournalRecord {
+    /// The job this record is keyed on, when it is job-scoped.
+    fn job(&self) -> Option<JobId> {
+        match self {
+            JournalRecord::Submitted { job, .. }
+            | JournalRecord::Batched { job, .. }
+            | JournalRecord::Done { job, .. }
+            | JournalRecord::Failed { job, .. }
+            | JournalRecord::Cancelled { job, .. } => Some(*job),
+            JournalRecord::Running { .. } | JournalRecord::Checkpoint { .. } => None,
+        }
+    }
+
+    /// Encode to the journal payload (without framing).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            JournalRecord::Submitted {
+                job,
+                token,
+                deck_hash,
+                deck,
+                steps,
+                tag,
+                submitted_unix_us,
+            } => {
+                out.push(1);
+                put_u64(&mut out, job.0);
+                put_str(&mut out, token);
+                put_u64(&mut out, *deck_hash);
+                put_str(&mut out, deck);
+                put_u64(&mut out, *steps);
+                put_str(&mut out, tag);
+                put_u64(&mut out, *submitted_unix_us);
+            }
+            JournalRecord::Batched { job, batch } => {
+                out.push(2);
+                put_u64(&mut out, job.0);
+                put_u64(&mut out, batch.0);
+            }
+            JournalRecord::Running { batch, jobs } => {
+                out.push(3);
+                put_u64(&mut out, batch.0);
+                put_jobs(&mut out, jobs);
+            }
+            JournalRecord::Checkpoint { batch, jobs, seq, done_steps, state } => {
+                out.push(4);
+                put_u64(&mut out, batch.0);
+                put_jobs(&mut out, jobs);
+                put_u64(&mut out, *seq);
+                put_u64(&mut out, *done_steps);
+                put_bytes(&mut out, state);
+            }
+            JournalRecord::Done { job, steps, h_hash, diag_bits } => {
+                out.push(5);
+                put_u64(&mut out, job.0);
+                put_u64(&mut out, *steps);
+                put_u64(&mut out, *h_hash);
+                for d in diag_bits {
+                    put_u64(&mut out, *d);
+                }
+            }
+            JournalRecord::Failed { job, detail } => {
+                out.push(6);
+                put_u64(&mut out, job.0);
+                put_str(&mut out, detail);
+            }
+            JournalRecord::Cancelled { job, detail } => {
+                out.push(7);
+                put_u64(&mut out, job.0);
+                put_str(&mut out, detail);
+            }
+        }
+        out
+    }
+
+    /// Decode one payload. Fails on unknown tags, short buffers, trailing
+    /// garbage, or non-UTF-8 strings.
+    pub fn decode(payload: &[u8]) -> Result<Self, String> {
+        let mut c = Cursor { buf: payload, off: 0 };
+        let tag = c.u8()?;
+        let rec = match tag {
+            1 => JournalRecord::Submitted {
+                job: JobId(c.u64()?),
+                token: c.str()?,
+                deck_hash: c.u64()?,
+                deck: c.str()?,
+                steps: c.u64()?,
+                tag: c.str()?,
+                submitted_unix_us: c.u64()?,
+            },
+            2 => JournalRecord::Batched { job: JobId(c.u64()?), batch: BatchId(c.u64()?) },
+            3 => JournalRecord::Running { batch: BatchId(c.u64()?), jobs: c.jobs()? },
+            4 => JournalRecord::Checkpoint {
+                batch: BatchId(c.u64()?),
+                jobs: c.jobs()?,
+                seq: c.u64()?,
+                done_steps: c.u64()?,
+                state: c.bytes()?,
+            },
+            5 => JournalRecord::Done {
+                job: JobId(c.u64()?),
+                steps: c.u64()?,
+                h_hash: c.u64()?,
+                diag_bits: [c.u64()?, c.u64()?, c.u64()?, c.u64()?],
+            },
+            6 => JournalRecord::Failed { job: JobId(c.u64()?), detail: c.str()? },
+            7 => JournalRecord::Cancelled { job: JobId(c.u64()?), detail: c.str()? },
+            other => return Err(format!("unknown record tag {other}")),
+        };
+        if c.off != payload.len() {
+            return Err(format!(
+                "trailing garbage: {} of {} bytes consumed",
+                c.off,
+                payload.len()
+            ));
+        }
+        Ok(rec)
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+fn put_jobs(out: &mut Vec<u8>, jobs: &[JobId]) {
+    out.extend_from_slice(&(jobs.len() as u32).to_le_bytes());
+    for j in jobs {
+        put_u64(out, j.0);
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    off: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], String> {
+        if self.off + n > self.buf.len() {
+            return Err(format!(
+                "truncated record: wanted {n} bytes at offset {}, have {}",
+                self.off,
+                self.buf.len()
+            ));
+        }
+        let s = &self.buf[self.off..self.off + n];
+        self.off += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("length checked")))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("length checked")))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, String> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        String::from_utf8(self.bytes()?).map_err(|e| format!("non-UTF-8 string: {e}"))
+    }
+
+    fn jobs(&mut self) -> Result<Vec<JobId>, String> {
+        let n = self.u32()? as usize;
+        // Bound by what the buffer can actually hold — a corrupt count must
+        // not turn into a giant allocation.
+        if n > self.buf.len() / 8 + 1 {
+            return Err(format!("implausible member count {n}"));
+        }
+        (0..n).map(|_| Ok(JobId(self.u64()?))).collect()
+    }
+}
+
+/// What an injected service-layer fault does when it fires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeFaultKind {
+    /// The append fails cleanly (disk full, EIO): nothing is written, the
+    /// journal stays framed and usable. The server surfaces this as
+    /// journal-backpressure admission rejection.
+    WriteError,
+    /// Only the first `keep_bytes` of the frame reach the file — the torn
+    /// tail a `kill -9` mid-`write(2)` leaves. The journal is poisoned
+    /// (further appends refuse) exactly as a real crash would end them.
+    TornWrite {
+        /// Bytes of the frame that make it to disk.
+        keep_bytes: usize,
+    },
+    /// The process "dies" before writing anything: the append is lost and
+    /// the journal poisoned.
+    Crash,
+}
+
+/// One scheduled service-layer fault: fires on the `at_append`-th append
+/// (0-based, counted over the journal's lifetime including replayed
+/// restarts).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeFaultSpec {
+    /// 0-based append index at which to fire.
+    pub at_append: u64,
+    /// What happens.
+    pub kind: ServeFaultKind,
+}
+
+/// A deterministic schedule of journal faults — the service-layer mirror of
+/// `xg_comm::FaultPlan`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeFaultPlan {
+    specs: Vec<ServeFaultSpec>,
+}
+
+impl ServeFaultPlan {
+    /// Empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a fault; builder-style.
+    pub fn with(mut self, spec: ServeFaultSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Convenience: one clean write failure at append `at_append`.
+    pub fn write_error(at_append: u64) -> Self {
+        Self::new().with(ServeFaultSpec { at_append, kind: ServeFaultKind::WriteError })
+    }
+
+    /// Convenience: one torn write keeping `keep_bytes` of the frame.
+    pub fn torn_write(at_append: u64, keep_bytes: usize) -> Self {
+        Self::new().with(ServeFaultSpec {
+            at_append,
+            kind: ServeFaultKind::TornWrite { keep_bytes },
+        })
+    }
+
+    /// Convenience: crash before append `at_append` is written.
+    pub fn crash(at_append: u64) -> Self {
+        Self::new().with(ServeFaultSpec { at_append, kind: ServeFaultKind::Crash })
+    }
+
+    /// Seeded torn-write plan: the append index lands in `[0, max_append)`
+    /// and the kept byte count in `[0, 64)`, both derived from `seed` via
+    /// SplitMix64 — so property tests sweep random crash points
+    /// reproducibly, the same idiom `FaultPlan::seeded_crash` set.
+    pub fn seeded_torn(seed: u64, max_append: u64) -> Self {
+        assert!(max_append > 0, "seeded_torn needs a non-empty domain");
+        let mut s = seed;
+        let at_append = splitmix64(&mut s) % max_append;
+        let keep_bytes = (splitmix64(&mut s) % 64) as usize;
+        Self::torn_write(at_append, keep_bytes)
+    }
+
+    /// Whether any fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    fn fire(&self, append: u64) -> Option<&ServeFaultKind> {
+        self.specs.iter().find(|s| s.at_append == append).map(|s| &s.kind)
+    }
+}
+
+/// Journal configuration.
+#[derive(Clone, Debug)]
+pub struct JournalConfig {
+    /// Directory holding the segment files (created if missing).
+    pub dir: PathBuf,
+    /// Fsync cadence in appends: 1 = fsync on every commit (the durable
+    /// default), N = batch N appends per fsync (bounded loss window — see
+    /// `xg_cluster::journal_sync_plan` for the MTBF-aware choice), 0 =
+    /// never fsync (OS page cache only).
+    pub fsync_every: u32,
+    /// Rotate to a fresh segment once the current one exceeds this size.
+    pub segment_max_bytes: u64,
+    /// Service-layer fault injection (None in production).
+    pub fault_plan: Option<ServeFaultPlan>,
+}
+
+impl JournalConfig {
+    /// Durable defaults in `dir`: fsync every append, 8 MiB segments.
+    pub fn durable(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            fsync_every: 1,
+            segment_max_bytes: 8 << 20,
+            fault_plan: None,
+        }
+    }
+}
+
+/// Why an append was not committed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalError {
+    /// Real I/O failure (the journal is poisoned: the tail may be torn).
+    Io(String),
+    /// Injected clean write failure — nothing was written; the journal
+    /// stays usable and the caller should shed load (admission
+    /// backpressure).
+    Backpressure(String),
+    /// A previous torn write or crash point ended this journal's life;
+    /// every subsequent append refuses (the process would be dead).
+    Poisoned,
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Backpressure(e) => write!(f, "journal write failed: {e}"),
+            JournalError::Poisoned => write!(f, "journal poisoned by an earlier torn write"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// Running counters the journal maintains, exported under the serve
+/// metrics' `journal` block.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Committed appends.
+    pub appends: u64,
+    /// fsync(2) calls issued.
+    pub fsyncs: u64,
+    /// Payload + framing bytes written.
+    pub bytes_written: u64,
+    /// Segment rotations.
+    pub rotations: u64,
+    /// Compaction passes run (on rotation).
+    pub compactions: u64,
+    /// Records dropped by compaction (fully-terminal jobs).
+    pub compacted_records: u64,
+    /// Appends that failed (injected or real I/O).
+    pub dropped: u64,
+}
+
+/// What replaying the on-disk log produced.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Every decodable record, in append order.
+    pub records: Vec<JournalRecord>,
+    /// Bytes discarded from the torn tail (0 on a clean log).
+    pub torn_bytes: u64,
+    /// Segment files read.
+    pub segments: usize,
+    /// Wall time spent reading and decoding, microseconds.
+    pub replay_us: u64,
+    /// Human-readable warnings (torn-tail truncation, ignored segments).
+    pub warnings: Vec<String>,
+}
+
+/// The append-only journal writer. Obtain one (plus the replay of whatever
+/// a previous life left behind) from [`Journal::open`].
+#[derive(Debug)]
+pub struct Journal {
+    cfg: JournalConfig,
+    file: File,
+    seg_index: u64,
+    seg_bytes: u64,
+    appends_total: u64,
+    since_sync: u32,
+    poisoned: bool,
+    stats: JournalStats,
+}
+
+fn seg_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("seg-{index:06}.xgj"))
+}
+
+/// Segment files in `dir`, sorted by index.
+fn list_segments(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(idx) = name.strip_prefix("seg-").and_then(|s| s.strip_suffix(".xgj")) {
+            if let Ok(i) = idx.parse::<u64>() {
+                out.push((i, entry.path()));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Read one segment file: decodable records plus the byte offset of the
+/// first bad frame (None when the whole file framed cleanly).
+fn read_segment(path: &Path) -> std::io::Result<(Vec<JournalRecord>, Option<u64>, Vec<String>)> {
+    let mut buf = Vec::new();
+    File::open(path)?.read_to_end(&mut buf)?;
+    let mut records = Vec::new();
+    let mut warnings = Vec::new();
+    let mut off = 0usize;
+    while off < buf.len() {
+        if off + 8 > buf.len() {
+            warnings.push(format!("torn frame header at byte {off}"));
+            return Ok((records, Some(off as u64), warnings));
+        }
+        let len =
+            u32::from_le_bytes(buf[off..off + 4].try_into().expect("bounds checked")) as usize;
+        let crc = u32::from_le_bytes(buf[off + 4..off + 8].try_into().expect("bounds checked"));
+        if off + 8 + len > buf.len() {
+            warnings.push(format!(
+                "torn frame at byte {off}: header promises {len} bytes, {} remain",
+                buf.len() - off - 8
+            ));
+            return Ok((records, Some(off as u64), warnings));
+        }
+        let payload = &buf[off + 8..off + 8 + len];
+        if crc32(payload) != crc {
+            warnings.push(format!("CRC mismatch at byte {off}"));
+            return Ok((records, Some(off as u64), warnings));
+        }
+        match JournalRecord::decode(payload) {
+            Ok(r) => records.push(r),
+            Err(e) => {
+                warnings.push(format!("undecodable record at byte {off}: {e}"));
+                return Ok((records, Some(off as u64), warnings));
+            }
+        }
+        off += 8 + len;
+    }
+    Ok((records, None, warnings))
+}
+
+impl Journal {
+    /// Open (or create) the journal in `cfg.dir`, replaying whatever is
+    /// there. A torn tail is truncated back to the last good frame —
+    /// reported in [`Replay::warnings`], never an error. Appends continue
+    /// into a fresh segment after the highest existing index.
+    pub fn open(cfg: JournalConfig) -> std::io::Result<(Journal, Replay)> {
+        let t0 = Instant::now();
+        std::fs::create_dir_all(&cfg.dir)?;
+        let segments = list_segments(&cfg.dir)?;
+        let mut replay = Replay { segments: segments.len(), ..Replay::default() };
+        let mut truncated = false;
+        for (si, (index, path)) in segments.iter().enumerate() {
+            if truncated {
+                // A torn frame in a non-final segment ends the decodable
+                // log: later segments were written after the corruption and
+                // cannot be ordered against it. (In practice tearing only
+                // happens at the true tail.)
+                replay
+                    .warnings
+                    .push(format!("segment seg-{index:06}.xgj ignored (follows a torn frame)"));
+                continue;
+            }
+            let (records, bad_at, mut warnings) = read_segment(path)?;
+            replay.records.extend(records);
+            replay.warnings.append(&mut warnings);
+            if let Some(at) = bad_at {
+                let total = std::fs::metadata(path)?.len();
+                replay.torn_bytes += total - at;
+                // Truncate back to the last good frame so the next append
+                // starts cleanly framed.
+                OpenOptions::new().write(true).open(path)?.set_len(at)?;
+                truncated = true;
+                if si + 1 < segments.len() {
+                    continue; // warn about the rest, handled above
+                }
+            }
+        }
+        let next_index = segments.last().map(|(i, _)| i + 1).unwrap_or(0);
+        let path = seg_path(&cfg.dir, next_index);
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        replay.replay_us = t0.elapsed().as_micros() as u64;
+        let journal = Journal {
+            cfg,
+            file,
+            seg_index: next_index,
+            seg_bytes: 0,
+            appends_total: 0,
+            since_sync: 0,
+            poisoned: false,
+            stats: JournalStats::default(),
+        };
+        Ok((journal, replay))
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> JournalStats {
+        self.stats
+    }
+
+    /// Whether a torn write or crash point has ended this journal.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Append one record, framed and CRC'd, fsyncing per the configured
+    /// cadence. Returns [`JournalError::Backpressure`] on an injected clean
+    /// write failure (callers shed load), [`JournalError::Poisoned`] after
+    /// a torn write/crash point, [`JournalError::Io`] on real I/O errors.
+    pub fn append(&mut self, rec: &JournalRecord) -> Result<(), JournalError> {
+        if self.poisoned {
+            self.stats.dropped += 1;
+            return Err(JournalError::Poisoned);
+        }
+        let this_append = self.appends_total;
+        self.appends_total += 1;
+        let payload = rec.encode();
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        if let Some(kind) = self.cfg.fault_plan.as_ref().and_then(|p| p.fire(this_append)) {
+            match kind.clone() {
+                ServeFaultKind::WriteError => {
+                    self.stats.dropped += 1;
+                    return Err(JournalError::Backpressure(format!(
+                        "injected write error at append {this_append}"
+                    )));
+                }
+                ServeFaultKind::TornWrite { keep_bytes } => {
+                    let keep = keep_bytes.min(frame.len().saturating_sub(1));
+                    let _ = self.file.write_all(&frame[..keep]);
+                    let _ = self.file.sync_data();
+                    self.poisoned = true;
+                    self.stats.dropped += 1;
+                    return Err(JournalError::Poisoned);
+                }
+                ServeFaultKind::Crash => {
+                    self.poisoned = true;
+                    self.stats.dropped += 1;
+                    return Err(JournalError::Poisoned);
+                }
+            }
+        }
+        if let Err(e) = self.file.write_all(&frame) {
+            // A partial write may have torn the tail; refuse further
+            // appends rather than interleave frames with garbage.
+            self.poisoned = true;
+            self.stats.dropped += 1;
+            return Err(JournalError::Io(e.to_string()));
+        }
+        self.seg_bytes += frame.len() as u64;
+        self.stats.appends += 1;
+        self.stats.bytes_written += frame.len() as u64;
+        self.since_sync += 1;
+        if self.cfg.fsync_every > 0 && self.since_sync >= self.cfg.fsync_every {
+            self.sync().map_err(|e| JournalError::Io(e.to_string()))?;
+        }
+        if self.seg_bytes >= self.cfg.segment_max_bytes {
+            self.rotate().map_err(|e| JournalError::Io(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// fsync the current segment (also called automatically per the
+    /// `fsync_every` cadence and on rotation).
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        let t0 = Instant::now();
+        self.file.sync_data()?;
+        self.stats.fsyncs += 1;
+        self.since_sync = 0;
+        xg_obs::record_journal_fsync(t0.elapsed().as_micros() as u64);
+        Ok(())
+    }
+
+    /// Close the current segment, open the next, and compact the closed
+    /// ones (drop records of fully-terminal jobs, merge into one file).
+    fn rotate(&mut self) -> std::io::Result<()> {
+        self.sync()?;
+        self.seg_index += 1;
+        let path = seg_path(&self.cfg.dir, self.seg_index);
+        self.file = OpenOptions::new().create(true).append(true).open(&path)?;
+        self.seg_bytes = 0;
+        self.stats.rotations += 1;
+        self.compact_closed()?;
+        Ok(())
+    }
+
+    /// Merge every closed segment into one, dropping records that belong
+    /// only to fully-terminal jobs (nothing left to recover for them).
+    /// Batch-scoped records survive while any referenced member is live.
+    fn compact_closed(&mut self) -> std::io::Result<()> {
+        let closed: Vec<(u64, PathBuf)> = list_segments(&self.cfg.dir)?
+            .into_iter()
+            .filter(|(i, _)| *i < self.seg_index)
+            .collect();
+        if closed.len() < 2 {
+            return Ok(()); // nothing to merge
+        }
+        let mut records = Vec::new();
+        for (_, path) in &closed {
+            let (recs, bad, _) = read_segment(path)?;
+            records.extend(recs);
+            if bad.is_some() {
+                // Should be unreachable (closed segments were written whole
+                // by this process); leave the log alone rather than compact
+                // around corruption.
+                return Ok(());
+            }
+        }
+        // A job is droppable once terminal. NOTE: terminal-state records
+        // (and the Submitted records carrying their tokens) go with it —
+        // compaction trades post-restart RESULT/dedup answers for old jobs
+        // against unbounded log growth.
+        let mut terminal: std::collections::BTreeSet<JobId> = Default::default();
+        for r in &records {
+            if let JournalRecord::Done { job, .. }
+            | JournalRecord::Failed { job, .. }
+            | JournalRecord::Cancelled { job, .. } = r
+            {
+                terminal.insert(*job);
+            }
+        }
+        let before = records.len();
+        records.retain(|r| match r.job() {
+            Some(j) => !terminal.contains(&j),
+            None => match r {
+                JournalRecord::Running { jobs, .. }
+                | JournalRecord::Checkpoint { jobs, .. } => {
+                    jobs.iter().any(|j| !terminal.contains(j))
+                }
+                _ => true,
+            },
+        });
+        self.stats.compacted_records += (before - records.len()) as u64;
+        // Write the merged segment under the first closed index via a temp
+        // file + rename, so a crash mid-compaction leaves either the old
+        // segments or the complete merged one.
+        let merged_index = closed[0].0;
+        let merged_path = seg_path(&self.cfg.dir, merged_index);
+        let tmp_path = self.cfg.dir.join(format!("seg-{merged_index:06}.xgj.tmp"));
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            for r in &records {
+                let payload = r.encode();
+                tmp.write_all(&(payload.len() as u32).to_le_bytes())?;
+                tmp.write_all(&crc32(&payload).to_le_bytes())?;
+                tmp.write_all(&payload)?;
+            }
+            tmp.sync_data()?;
+        }
+        for (_, path) in closed.iter().skip(1) {
+            std::fs::remove_file(path)?;
+        }
+        std::fs::rename(&tmp_path, &merged_path)?;
+        self.stats.compactions += 1;
+        Ok(())
+    }
+}
+
+/// One job's state as reconstructed from the log.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplayedJob {
+    /// The job.
+    pub id: JobId,
+    /// Idempotency token ("" when none was supplied).
+    pub token: String,
+    /// Deck text as submitted.
+    pub deck: String,
+    /// [`fnv1a`] of the deck at submit time.
+    pub deck_hash: u64,
+    /// Requested steps.
+    pub steps: u64,
+    /// Client label.
+    pub tag: String,
+    /// Original wall-clock submit time (µs since the Unix epoch).
+    pub submitted_unix_us: u64,
+    /// Last journaled lifecycle state.
+    pub state: JobState,
+    /// Last journaled batch placement.
+    pub batch: Option<BatchId>,
+    /// Terminal detail (failure cause / cancellation context).
+    pub detail: String,
+    /// For `Done` jobs: `(steps, h_hash, diag_bits)` — the summary `RESULT`
+    /// serves after a restart.
+    pub done_summary: Option<(u64, u64, [u64; 4])>,
+}
+
+/// A dispatched batch reconstructed from the log.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReplayedBatch {
+    /// Members at dispatch.
+    pub jobs: Vec<JobId>,
+    /// Latest checkpoint: `(seq, done_steps, member jobs, state bytes)`.
+    pub checkpoint: Option<(u64, u64, Vec<JobId>, Vec<u8>)>,
+}
+
+/// The folded view of a replayed log: the consistent job table recovery
+/// rebuilds the server from.
+#[derive(Debug, Default)]
+pub struct ReplayTable {
+    /// Every job with a `Submitted` record, by id.
+    pub jobs: BTreeMap<JobId, ReplayedJob>,
+    /// Batches with a `Running` record whose members are not all terminal.
+    pub running: BTreeMap<BatchId, ReplayedBatch>,
+    /// Highest batch id seen (the grouper's id counter must start past it).
+    pub max_batch: Option<u64>,
+    /// Records that referenced unknown jobs or implied illegal transitions
+    /// (possible after compaction dropped their history) — counted, never
+    /// fatal.
+    pub ignored: u64,
+}
+
+/// Fold records (append order) into a consistent job table. Tolerant by
+/// construction: a record for an unknown job or an illegal transition is
+/// counted in [`ReplayTable::ignored`] and skipped, so *any prefix* of a
+/// valid log folds cleanly — the property the truncation proptest pins.
+pub fn fold(records: &[JournalRecord]) -> ReplayTable {
+    let mut t = ReplayTable::default();
+    let note_batch = |t: &mut ReplayTable, b: BatchId| {
+        t.max_batch = Some(t.max_batch.map_or(b.0, |m| m.max(b.0)));
+    };
+    for rec in records {
+        match rec {
+            JournalRecord::Submitted {
+                job,
+                token,
+                deck_hash,
+                deck,
+                steps,
+                tag,
+                submitted_unix_us,
+            } => {
+                t.jobs.insert(
+                    *job,
+                    ReplayedJob {
+                        id: *job,
+                        token: token.clone(),
+                        deck: deck.clone(),
+                        deck_hash: *deck_hash,
+                        steps: *steps,
+                        tag: tag.clone(),
+                        submitted_unix_us: *submitted_unix_us,
+                        state: JobState::Queued,
+                        batch: None,
+                        detail: String::new(),
+                        done_summary: None,
+                    },
+                );
+            }
+            JournalRecord::Batched { job, batch } => {
+                note_batch(&mut t, *batch);
+                match t.jobs.get_mut(job) {
+                    Some(j) if j.state.can_transition(JobState::Batched) => {
+                        j.state = JobState::Batched;
+                        j.batch = Some(*batch);
+                    }
+                    _ => t.ignored += 1,
+                }
+            }
+            JournalRecord::Running { batch, jobs } => {
+                note_batch(&mut t, *batch);
+                let mut any = false;
+                for job in jobs {
+                    match t.jobs.get_mut(job) {
+                        Some(j) if j.state.can_transition(JobState::Running) => {
+                            j.state = JobState::Running;
+                            j.batch = Some(*batch);
+                            any = true;
+                        }
+                        _ => t.ignored += 1,
+                    }
+                }
+                if any {
+                    t.running
+                        .insert(*batch, ReplayedBatch { jobs: jobs.clone(), checkpoint: None });
+                }
+            }
+            JournalRecord::Checkpoint { batch, jobs, seq, done_steps, state } => {
+                note_batch(&mut t, *batch);
+                match t.running.get_mut(batch) {
+                    Some(rb) => {
+                        rb.checkpoint = Some((*seq, *done_steps, jobs.clone(), state.clone()));
+                    }
+                    None => t.ignored += 1,
+                }
+            }
+            JournalRecord::Done { job, steps, h_hash, diag_bits } => {
+                match t.jobs.get_mut(job) {
+                    Some(j) if j.state.can_transition(JobState::Done) => {
+                        j.state = JobState::Done;
+                        j.done_summary = Some((*steps, *h_hash, *diag_bits));
+                        j.detail = "completed".into();
+                    }
+                    _ => t.ignored += 1,
+                }
+            }
+            JournalRecord::Failed { job, detail } => match t.jobs.get_mut(job) {
+                Some(j) if j.state.can_transition(JobState::Failed) => {
+                    j.state = JobState::Failed;
+                    j.detail = detail.clone();
+                }
+                _ => t.ignored += 1,
+            },
+            JournalRecord::Cancelled { job, detail } => match t.jobs.get_mut(job) {
+                Some(j) if j.state.can_transition(JobState::Cancelled) => {
+                    j.state = JobState::Cancelled;
+                    j.detail = detail.clone();
+                }
+                _ => t.ignored += 1,
+            },
+        }
+    }
+    // A batch whose members all terminalized is not running anymore.
+    t.running.retain(|_, rb| {
+        rb.jobs
+            .iter()
+            .any(|j| t.jobs.get(j).is_some_and(|job| !job.state.is_terminal()))
+    });
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "xg-journal-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::Submitted {
+                job: JobId(0),
+                token: "tok-a".into(),
+                deck_hash: fnv1a(b"deck-a"),
+                deck: "N_RADIAL=4\n".into(),
+                steps: 20,
+                tag: "a".into(),
+                submitted_unix_us: 1_700_000_000_000_000,
+            },
+            JournalRecord::Batched { job: JobId(0), batch: BatchId(0) },
+            JournalRecord::Submitted {
+                job: JobId(1),
+                token: String::new(),
+                deck_hash: fnv1a(b"deck-b"),
+                deck: "N_RADIAL=8\n".into(),
+                steps: 20,
+                tag: "b".into(),
+                submitted_unix_us: 1_700_000_000_500_000,
+            },
+            JournalRecord::Batched { job: JobId(1), batch: BatchId(0) },
+            JournalRecord::Running { batch: BatchId(0), jobs: vec![JobId(0), JobId(1)] },
+            JournalRecord::Checkpoint {
+                batch: BatchId(0),
+                jobs: vec![JobId(0), JobId(1)],
+                seq: 0,
+                done_steps: 10,
+                state: vec![1, 2, 3, 4],
+            },
+            JournalRecord::Done {
+                job: JobId(0),
+                steps: 20,
+                h_hash: 0xdead_beef,
+                diag_bits: [1, 2, 3, 4],
+            },
+            JournalRecord::Failed { job: JobId(1), detail: "evicted".into() },
+        ]
+    }
+
+    #[test]
+    fn crc32_matches_the_standard_vector() {
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_roundtrip_through_encode_decode() {
+        for rec in sample_records() {
+            let enc = rec.encode();
+            assert_eq!(JournalRecord::decode(&enc).expect("decodes"), rec);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        assert!(JournalRecord::decode(&[]).is_err());
+        assert!(JournalRecord::decode(&[99]).is_err(), "unknown tag");
+        let mut enc = JournalRecord::Batched { job: JobId(1), batch: BatchId(2) }.encode();
+        enc.push(0); // trailing garbage
+        assert!(JournalRecord::decode(&enc).is_err());
+        enc.truncate(5); // short buffer
+        assert!(JournalRecord::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn append_then_open_replays_in_order() {
+        let dir = tmpdir("roundtrip");
+        let recs = sample_records();
+        {
+            let (mut j, replay) = Journal::open(JournalConfig::durable(&dir)).unwrap();
+            assert!(replay.records.is_empty());
+            for r in &recs {
+                j.append(r).unwrap();
+            }
+            assert_eq!(j.stats().appends, recs.len() as u64);
+            assert_eq!(j.stats().fsyncs, recs.len() as u64, "fsync_every=1");
+        }
+        let (_, replay) = Journal::open(JournalConfig::durable(&dir)).unwrap();
+        assert_eq!(replay.records, recs);
+        assert_eq!(replay.torn_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_with_a_warning_and_appends_continue() {
+        let dir = tmpdir("torn");
+        {
+            let (mut j, _) = Journal::open(JournalConfig::durable(&dir)).unwrap();
+            for r in &sample_records()[..3] {
+                j.append(r).unwrap();
+            }
+        }
+        // Tear the tail by hand: append half a frame to the last segment.
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0x44, 0x33, 0x22, 0x11, 0xaa]).unwrap();
+        drop(f);
+        let before = std::fs::metadata(&path).unwrap().len();
+        let (mut j, replay) = Journal::open(JournalConfig::durable(&dir)).unwrap();
+        assert_eq!(replay.records.len(), 3, "good prefix survives");
+        assert_eq!(replay.torn_bytes, 5);
+        assert!(replay.warnings.iter().any(|w| w.contains("torn")), "{:?}", replay.warnings);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), before - 5, "tail truncated");
+        // The journal is alive: more appends land and replay cleanly.
+        j.append(&sample_records()[3]).unwrap();
+        drop(j);
+        let (_, replay) = Journal::open(JournalConfig::durable(&dir)).unwrap();
+        assert_eq!(replay.records.len(), 4);
+        assert_eq!(replay.torn_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crc_mismatch_ends_the_log_at_the_bad_frame() {
+        let dir = tmpdir("crc");
+        {
+            let (mut j, _) = Journal::open(JournalConfig::durable(&dir)).unwrap();
+            for r in sample_records().iter().take(4) {
+                j.append(r).unwrap();
+            }
+        }
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        // Flip one payload byte of the second frame.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let first_len =
+            u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize + 8;
+        bytes[first_len + 10] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, replay) = Journal::open(JournalConfig::durable(&dir)).unwrap();
+        assert_eq!(replay.records.len(), 1, "only the frame before the corruption");
+        assert!(replay.torn_bytes > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_compacts_terminal_jobs_away() {
+        let dir = tmpdir("compact");
+        let mut cfg = JournalConfig::durable(&dir);
+        cfg.segment_max_bytes = 256; // rotate every few records
+        let (mut j, _) = Journal::open(cfg.clone()).unwrap();
+        // Job 0 terminalizes; job 100 stays live. Pad decks so segments
+        // fill and several rotations (hence compactions) happen.
+        let pad = "X_PAD=1\n".repeat(8);
+        for r in &sample_records() {
+            j.append(r).unwrap();
+        }
+        j.append(&JournalRecord::Submitted {
+            job: JobId(100),
+            token: "live".into(),
+            deck_hash: fnv1a(pad.as_bytes()),
+            deck: pad.clone(),
+            steps: 20,
+            tag: "live".into(),
+            submitted_unix_us: 1,
+        })
+        .unwrap();
+        for i in 0..6u64 {
+            j.append(&JournalRecord::Batched { job: JobId(100), batch: BatchId(i + 1) })
+                .unwrap();
+        }
+        assert!(j.stats().rotations > 0, "segments must have rotated");
+        assert!(j.stats().compactions > 0, "closed segments must have compacted");
+        assert!(j.stats().compacted_records > 0);
+        drop(j);
+        let (_, replay) = Journal::open(cfg).unwrap();
+        let table = fold(&replay.records);
+        // Terminal jobs 0 and 1 were compacted away; the live job remains.
+        assert!(table.jobs.contains_key(&JobId(100)));
+        assert!(!table.jobs.contains_key(&JobId(0)), "Done job compacted");
+        assert!(!table.jobs.contains_key(&JobId(1)), "Failed job compacted");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_write_error_is_backpressure_not_poison() {
+        let dir = tmpdir("write-error");
+        let mut cfg = JournalConfig::durable(&dir);
+        cfg.fault_plan = Some(ServeFaultPlan::write_error(1));
+        let (mut j, _) = Journal::open(cfg).unwrap();
+        let recs = sample_records();
+        j.append(&recs[0]).unwrap();
+        let err = j.append(&recs[1]).unwrap_err();
+        assert!(matches!(err, JournalError::Backpressure(_)), "{err}");
+        assert!(!j.is_poisoned());
+        j.append(&recs[1]).unwrap(); // retried append (new index) lands
+        assert_eq!(j.stats().dropped, 1);
+        drop(j);
+        let (_, replay) = Journal::open(JournalConfig::durable(&dir)).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_fault_poisons_and_replay_recovers_the_prefix() {
+        let dir = tmpdir("torn-fault");
+        let mut cfg = JournalConfig::durable(&dir);
+        cfg.fault_plan = Some(ServeFaultPlan::torn_write(2, 7));
+        let (mut j, _) = Journal::open(cfg).unwrap();
+        let recs = sample_records();
+        j.append(&recs[0]).unwrap();
+        j.append(&recs[1]).unwrap();
+        assert_eq!(j.append(&recs[2]).unwrap_err(), JournalError::Poisoned);
+        assert!(j.is_poisoned());
+        assert_eq!(j.append(&recs[3]).unwrap_err(), JournalError::Poisoned);
+        drop(j);
+        // The next life sees the clean prefix; the 7 torn bytes are dropped.
+        let (_, replay) = Journal::open(JournalConfig::durable(&dir)).unwrap();
+        assert_eq!(replay.records, recs[..2].to_vec());
+        assert_eq!(replay.torn_bytes, 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fold_builds_the_expected_table() {
+        let table = fold(&sample_records());
+        assert_eq!(table.jobs.len(), 2);
+        let j0 = &table.jobs[&JobId(0)];
+        assert_eq!(j0.state, JobState::Done);
+        assert_eq!(j0.done_summary, Some((20, 0xdead_beef, [1, 2, 3, 4])));
+        assert_eq!(j0.token, "tok-a");
+        let j1 = &table.jobs[&JobId(1)];
+        assert_eq!(j1.state, JobState::Failed);
+        assert_eq!(j1.detail, "evicted");
+        // Both members terminal: the batch is not running anymore.
+        assert!(table.running.is_empty());
+        assert_eq!(table.max_batch, Some(0));
+        assert_eq!(table.ignored, 0);
+    }
+
+    #[test]
+    fn fold_keeps_running_batches_with_live_members() {
+        let recs = &sample_records()[..6]; // through the Checkpoint record
+        let table = fold(recs);
+        assert_eq!(table.jobs[&JobId(0)].state, JobState::Running);
+        let rb = &table.running[&BatchId(0)];
+        assert_eq!(rb.jobs, vec![JobId(0), JobId(1)]);
+        let (seq, done, members, state) = rb.checkpoint.clone().unwrap();
+        assert_eq!((seq, done), (0, 10));
+        assert_eq!(members, vec![JobId(0), JobId(1)]);
+        assert_eq!(state, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn fnv_and_splitmix_are_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        let mut s = 42;
+        let a = splitmix64(&mut s);
+        let mut s2 = 42;
+        assert_eq!(a, splitmix64(&mut s2), "deterministic");
+    }
+
+    /// Strategy: short journal-ish text (tokens, deck lines, details).
+    fn arb_text() -> impl Strategy<Value = String> {
+        const CHARS: &[u8] = b"abcXYZ019=_.\n ";
+        prop::collection::vec(0usize..CHARS.len(), 0..40)
+            .prop_map(|ix| ix.into_iter().map(|i| CHARS[i] as char).collect())
+    }
+
+    /// Strategy: an arbitrary (valid) record.
+    fn arb_record() -> impl Strategy<Value = JournalRecord> {
+        prop_oneof![
+            (0u64.., arb_text(), 0u64.., arb_text(), 0u64.., arb_text(), 0u64..).prop_map(
+                |(job, token, deck_hash, deck, steps, tag, t)| JournalRecord::Submitted {
+                    job: JobId(job),
+                    token,
+                    deck_hash,
+                    deck,
+                    steps,
+                    tag,
+                    submitted_unix_us: t,
+                }
+            ),
+            (0u64.., 0u64..).prop_map(|(j, b)| JournalRecord::Batched {
+                job: JobId(j),
+                batch: BatchId(b),
+            }),
+            (0u64.., prop::collection::vec(0u64.., 0..5)).prop_map(|(b, js)| {
+                JournalRecord::Running {
+                    batch: BatchId(b),
+                    jobs: js.into_iter().map(JobId).collect(),
+                }
+            }),
+            (
+                0u64..,
+                prop::collection::vec(0u64.., 0..5),
+                0u64..,
+                0u64..,
+                prop::collection::vec(0u8.., 0..64),
+            )
+                .prop_map(|(b, js, seq, done, state)| JournalRecord::Checkpoint {
+                    batch: BatchId(b),
+                    jobs: js.into_iter().map(JobId).collect(),
+                    seq,
+                    done_steps: done,
+                    state,
+                }),
+            (0u64.., 0u64.., 0u64.., (0u64.., 0u64.., 0u64.., 0u64..)).prop_map(
+                |(j, steps, h, (d0, d1, d2, d3))| JournalRecord::Done {
+                    job: JobId(j),
+                    steps,
+                    h_hash: h,
+                    diag_bits: [d0, d1, d2, d3],
+                }
+            ),
+            (0u64.., arb_text()).prop_map(|(j, d)| JournalRecord::Failed {
+                job: JobId(j),
+                detail: d,
+            }),
+            (0u64.., arb_text()).prop_map(|(j, d)| JournalRecord::Cancelled {
+                job: JobId(j),
+                detail: d,
+            }),
+        ]
+    }
+
+    proptest! {
+        /// Every record survives encode → decode bytewise.
+        #[test]
+        fn any_record_roundtrips(rec in arb_record()) {
+            let enc = rec.encode();
+            prop_assert_eq!(JournalRecord::decode(&enc).expect("decodes"), rec);
+        }
+
+        /// Any byte-prefix of a valid journal replays to a consistent job
+        /// table: the decodable frames are exactly the whole frames inside
+        /// the prefix, the torn tail is dropped (never a crash), and the
+        /// fold never produces an illegal state.
+        #[test]
+        fn any_truncation_replays_consistently(
+            recs in prop::collection::vec(arb_record(), 1..12),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let dir = tmpdir(&format!("prop-{}", fnv1a(format!("{recs:?}{cut_frac}").as_bytes())));
+            {
+                let (mut j, _) = Journal::open(JournalConfig::durable(&dir)).unwrap();
+                for r in &recs {
+                    j.append(r).unwrap();
+                }
+            }
+            let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+            let full = std::fs::metadata(&path).unwrap().len();
+            let cut = (full as f64 * cut_frac) as u64;
+            OpenOptions::new().write(true).open(&path).unwrap().set_len(cut).unwrap();
+            let (_, replay) = Journal::open(JournalConfig::durable(&dir)).unwrap();
+            // The replayed records are a prefix of what was written.
+            prop_assert!(replay.records.len() <= recs.len());
+            prop_assert_eq!(&replay.records[..], &recs[..replay.records.len()]);
+            // And the fold is consistent: every job's state is reachable,
+            // running batches only reference known live members.
+            let table = fold(&replay.records);
+            for (id, job) in &table.jobs {
+                prop_assert_eq!(*id, job.id);
+                if job.state == JobState::Done {
+                    prop_assert!(job.done_summary.is_some());
+                }
+            }
+            for rb in table.running.values() {
+                prop_assert!(
+                    rb.jobs.iter().any(|j| table
+                        .jobs
+                        .get(j)
+                        .is_some_and(|job| !job.state.is_terminal())),
+                    "running batch with no live member survived the fold"
+                );
+            }
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}

@@ -26,13 +26,18 @@
 //!   histogram and `cmat` bytes saved, computed with the same
 //!   [`xg_costmodel`] law `xgplan` forecasts with);
 //! * **wire protocol** ([`wire`]) — the line protocol served by the
-//!   `xgqueued` binary and spoken by the `xgq` client.
+//!   `xgqueued` binary and spoken by the `xgq` client;
+//! * **durability** ([`journal`]) — a CRC-framed, fsynced write-ahead log
+//!   of every job lifecycle transition, replayed on startup so a `kill -9`
+//!   loses no acknowledged job; clients ride through the restart with
+//!   idempotency tokens and the jittered [`wire::RetryingClient`].
 
 #![warn(missing_docs)]
 
 pub mod admission;
 pub mod batcher;
 pub mod job;
+pub mod journal;
 pub mod metrics;
 pub mod server;
 pub mod wire;
@@ -40,5 +45,10 @@ pub mod wire;
 pub use admission::{check_spec, AdmitError};
 pub use batcher::{BatchKey, FlushReason, Grouper, GrouperConfig, Placement};
 pub use job::{BatchId, JobEvent, JobId, JobOutcome, JobSpec, JobState, JobStatus};
+pub use journal::{
+    Journal, JournalConfig, JournalError, JournalRecord, JournalStats, Replay, ReplayTable,
+    ServeFaultKind, ServeFaultPlan, ServeFaultSpec,
+};
 pub use metrics::Metrics;
-pub use server::{CampaignServer, ServerConfig};
+pub use server::{CampaignServer, RecoveryReport, ServerConfig};
+pub use wire::{Client, RetryPolicy, RetryingClient};

@@ -31,7 +31,7 @@ use xg_tensor::SimDims;
 
 /// Counter registry. The server updates it under its state lock; `to_json`
 /// takes a snapshot of the live job states at export time.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Metrics {
     /// Total accepted submissions.
     pub submitted: u64,
@@ -57,6 +57,31 @@ pub struct Metrics {
     /// traces: phase → (ops, bytes, wait µs). Wait stays 0 when the daemon
     /// runs with `XGYRO_OBS=0`.
     pub exec_phases: BTreeMap<String, (u64, u64, u64)>,
+    /// Journal appends committed (refreshed from the journal at export;
+    /// all journal counters stay 0 when running journal-less).
+    pub journal_appends: u64,
+    /// fsync(2) calls the journal issued.
+    pub journal_fsyncs: u64,
+    /// Frame bytes the journal wrote.
+    pub journal_bytes: u64,
+    /// Journal segment rotations.
+    pub journal_rotations: u64,
+    /// Compaction passes run on closed segments.
+    pub journal_compactions: u64,
+    /// Appends the journal failed to commit (backpressure/fault injection).
+    pub journal_dropped: u64,
+    /// Records replayed from the journal at startup.
+    pub replay_records: u64,
+    /// Jobs restored into the job table by replay.
+    pub replay_restored_jobs: u64,
+    /// Running batches rebuilt and resumed from journaled checkpoints.
+    pub replay_resumed_batches: u64,
+    /// Waiting jobs re-admitted through the grouper by replay.
+    pub replay_readmitted_jobs: u64,
+    /// Torn-tail bytes truncated during replay.
+    pub replay_torn_bytes: u64,
+    /// Wall time the startup replay took, microseconds.
+    pub replay_us: u64,
 }
 
 impl Metrics {
@@ -97,6 +122,28 @@ impl Metrics {
                 e.2 += r.elapsed_us;
             }
         }
+    }
+
+    /// Refresh the journal counters from a live journal's stats (called by
+    /// the server at export time).
+    pub fn set_journal_stats(&mut self, s: crate::journal::JournalStats) {
+        self.journal_appends = s.appends;
+        self.journal_fsyncs = s.fsyncs;
+        self.journal_bytes = s.bytes_written;
+        self.journal_rotations = s.rotations;
+        self.journal_compactions = s.compactions;
+        self.journal_dropped = s.dropped;
+    }
+
+    /// Record what startup replay restored (set once when the server
+    /// starts).
+    pub fn set_recovery(&mut self, r: &crate::server::RecoveryReport) {
+        self.replay_records = r.replayed_records;
+        self.replay_restored_jobs = r.restored_jobs;
+        self.replay_resumed_batches = r.resumed_batches;
+        self.replay_readmitted_jobs = r.readmitted_jobs;
+        self.replay_torn_bytes = r.torn_bytes;
+        self.replay_us = r.replay_us;
     }
 
     /// Serialize, folding in a snapshot of live job states
@@ -150,7 +197,29 @@ impl Metrics {
         self.push_latency(&mut s, "queue_latency_us", 1);
         s.push_str(",\n");
         self.push_latency(&mut s, "queue_latency_ms", 1000);
-        s.push_str("\n}\n");
+        s.push_str(",\n");
+        s.push_str(&format!(
+            "  \"journal\": {{\"appends\": {}, \"fsyncs\": {}, \"bytes\": {}, \
+             \"rotations\": {}, \"compactions\": {}, \"dropped\": {}}},\n",
+            self.journal_appends,
+            self.journal_fsyncs,
+            self.journal_bytes,
+            self.journal_rotations,
+            self.journal_compactions,
+            self.journal_dropped,
+        ));
+        s.push_str(&format!(
+            "  \"recovery\": {{\"replayed_records\": {}, \"restored_jobs\": {}, \
+             \"resumed_batches\": {}, \"readmitted_jobs\": {}, \"torn_bytes\": {}, \
+             \"replay_us\": {}}}\n",
+            self.replay_records,
+            self.replay_restored_jobs,
+            self.replay_resumed_batches,
+            self.replay_readmitted_jobs,
+            self.replay_torn_bytes,
+            self.replay_us,
+        ));
+        s.push_str("}\n");
         s
     }
 
@@ -236,6 +305,71 @@ impl Metrics {
                 *us as f64 / 1e6
             ));
         }
+        for (name, help, v) in [
+            (
+                "xgserve_journal_appends_total",
+                "Committed write-ahead journal appends.",
+                self.journal_appends,
+            ),
+            (
+                "xgserve_journal_fsyncs_total",
+                "fsync calls issued by the journal.",
+                self.journal_fsyncs,
+            ),
+            (
+                "xgserve_journal_bytes_total",
+                "Frame bytes written to the journal.",
+                self.journal_bytes,
+            ),
+            (
+                "xgserve_journal_rotations_total",
+                "Journal segment rotations.",
+                self.journal_rotations,
+            ),
+            (
+                "xgserve_journal_compactions_total",
+                "Compaction passes over closed journal segments.",
+                self.journal_compactions,
+            ),
+            (
+                "xgserve_journal_dropped_total",
+                "Journal appends that failed to commit.",
+                self.journal_dropped,
+            ),
+            (
+                "xgserve_replay_records_total",
+                "Journal records replayed at startup.",
+                self.replay_records,
+            ),
+            (
+                "xgserve_replay_restored_jobs_total",
+                "Jobs restored into the job table by startup replay.",
+                self.replay_restored_jobs,
+            ),
+            (
+                "xgserve_replay_resumed_batches_total",
+                "Running batches resumed from journaled checkpoints.",
+                self.replay_resumed_batches,
+            ),
+            (
+                "xgserve_replay_readmitted_jobs_total",
+                "Waiting jobs re-admitted through the grouper by replay.",
+                self.replay_readmitted_jobs,
+            ),
+            (
+                "xgserve_replay_torn_bytes_total",
+                "Torn-tail bytes truncated during startup replay.",
+                self.replay_torn_bytes,
+            ),
+        ] {
+            s.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"));
+        }
+        s.push_str("# HELP xgserve_replay_seconds_total Wall time spent replaying the journal at startup.\n");
+        s.push_str("# TYPE xgserve_replay_seconds_total counter\n");
+        s.push_str(&format!(
+            "xgserve_replay_seconds_total {}\n",
+            self.replay_us as f64 / 1e6
+        ));
         s
     }
 }
@@ -246,6 +380,7 @@ fn reason_key(reason: FlushReason) -> &'static str {
         FlushReason::MemoryBudget => "memory-budget",
         FlushReason::Linger => "linger",
         FlushReason::Drain => "drain",
+        FlushReason::Resume => "resume",
     }
 }
 

@@ -19,6 +19,7 @@
 use crate::admission::{check_spec, AdmitError};
 use crate::batcher::{FlushReason, Grouper, GrouperConfig, Placement};
 use crate::job::{BatchId, Job, JobEvent, JobId, JobOutcome, JobSpec, JobState, JobStatus};
+use crate::journal::{self, Journal, JournalConfig, JournalRecord};
 use crate::metrics::Metrics;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, VecDeque};
@@ -59,6 +60,11 @@ pub struct ServerConfig {
     /// Fault-injection chaos hook: consumed by the first batch executed
     /// (None for production operation).
     pub fault_plan: Option<FaultPlan>,
+    /// Durability journal configuration. `None` runs journal-less (the
+    /// pre-journal behaviour: a crash loses everything in memory); `Some`
+    /// makes every lifecycle transition a persisted, replayable record and
+    /// replays whatever a previous life left in the directory at startup.
+    pub journal: Option<JournalConfig>,
 }
 
 impl ServerConfig {
@@ -78,8 +84,41 @@ impl ServerConfig {
             nodes: 3,
             machine: MachineModel::small_cluster(),
             fault_plan: None,
+            journal: None,
         }
     }
+}
+
+/// What startup journal replay reconstructed. Retrieve with
+/// [`CampaignServer::recovery_report`]; the same numbers are exported under
+/// the metrics `recovery` block and the `xgserve_replay_*` families.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Journal records replayed.
+    pub replayed_records: u64,
+    /// Jobs restored into the job table (terminal and live).
+    pub restored_jobs: u64,
+    /// Running batches rebuilt and queued for resumption.
+    pub resumed_batches: u64,
+    /// Waiting jobs re-admitted through the grouper.
+    pub readmitted_jobs: u64,
+    /// Torn-tail bytes truncated during replay.
+    pub torn_bytes: u64,
+    /// Wall time the replay took, microseconds.
+    pub replay_us: u64,
+    /// Human-readable warnings (torn tails, dropped checkpoints, …).
+    pub warnings: Vec<String>,
+}
+
+/// Resume context for a batch rebuilt from the journal.
+#[derive(Debug)]
+struct ResumeState {
+    /// Decoded, validated ensemble checkpoint (None restarts from step 0).
+    checkpoint: Option<EnsembleCheckpoint>,
+    /// Steps already completed at that checkpoint.
+    done: usize,
+    /// Next checkpoint sequence number to journal.
+    next_seq: u64,
 }
 
 /// A flushed batch waiting for a worker.
@@ -88,6 +127,8 @@ struct ReadyBatch {
     id: BatchId,
     jobs: Vec<JobId>,
     reason: FlushReason,
+    /// Set only for batches rebuilt by journal replay.
+    resume: Option<ResumeState>,
 }
 
 #[derive(Debug)]
@@ -101,6 +142,10 @@ struct State {
     draining: bool,
     shutdown: bool,
     fault_plan: Option<FaultPlan>,
+    journal: Option<Journal>,
+    /// Idempotency token → job id (rebuilt from the journal on restart).
+    tokens: BTreeMap<String, JobId>,
+    recovery: RecoveryReport,
 }
 
 struct Shared {
@@ -125,6 +170,16 @@ pub struct CampaignServer {
 
 impl CampaignServer {
     /// Start the service: one batcher thread plus `cfg.workers` workers.
+    ///
+    /// When a journal is configured, whatever a previous life left in the
+    /// journal directory is replayed first: terminal jobs are restored with
+    /// their result summaries, waiting jobs re-admitted through the normal
+    /// grouping path, and running batches queued to resume from their last
+    /// journaled checkpoint.
+    ///
+    /// # Panics
+    /// When the journal directory cannot be opened — a daemon that cannot
+    /// persist its promises must not come up pretending it can.
     pub fn start(cfg: ServerConfig) -> Self {
         assert!(cfg.workers >= 1, "need at least one worker");
         assert!(cfg.ckpt_every >= 1, "segment length must be positive");
@@ -135,19 +190,31 @@ impl CampaignServer {
             machine: cfg.machine.clone(),
         });
         let fault_plan = cfg.fault_plan.clone();
+        let mut st = State {
+            jobs: BTreeMap::new(),
+            next_job: 0,
+            grouper,
+            ready: VecDeque::new(),
+            metrics: Metrics::default(),
+            live: 0,
+            draining: false,
+            shutdown: false,
+            fault_plan,
+            journal: None,
+            tokens: BTreeMap::new(),
+            recovery: RecoveryReport::default(),
+        };
+        if let Some(jcfg) = cfg.journal.clone() {
+            let (j, replay) = Journal::open(jcfg)
+                .unwrap_or_else(|e| panic!("cannot open journal in {:?}: {e}", cfg.journal));
+            st.journal = Some(j);
+            replay_into(&mut st, replay);
+            let rec = st.recovery.clone();
+            st.metrics.set_recovery(&rec);
+        }
         let shared = Arc::new(Shared {
             cfg,
-            state: Mutex::new(State {
-                jobs: BTreeMap::new(),
-                next_job: 0,
-                grouper,
-                ready: VecDeque::new(),
-                metrics: Metrics::default(),
-                live: 0,
-                draining: false,
-                shutdown: false,
-                fault_plan,
-            }),
+            state: Mutex::new(st),
             work: Condvar::new(),
             timer: Condvar::new(),
             quiet: Condvar::new(),
@@ -167,9 +234,33 @@ impl CampaignServer {
     /// Submit a job. On success the job is already placed in a batch
     /// (state [`JobState::Batched`]); on rejection nothing was admitted.
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, AdmitError> {
+        self.submit_with_token(spec, None).map(|(id, _)| id)
+    }
+
+    /// Submit with an optional client-supplied idempotency token. A token
+    /// already bound to a job (in this life or a journaled previous one)
+    /// returns that job's id with `true` ("duplicate") instead of
+    /// enqueueing again — so a client retrying a SUBMIT whose response was
+    /// lost can never double-run work.
+    ///
+    /// When a journal is configured, the `Submitted` record is committed
+    /// (and fsynced, per policy) *before* any server state changes; if the
+    /// journal refuses, the submission is shed with
+    /// [`AdmitError::JournalBackpressure`] and nothing was admitted.
+    pub fn submit_with_token(
+        &self,
+        spec: JobSpec,
+        token: Option<&str>,
+    ) -> Result<(JobId, bool), AdmitError> {
         let shared = &self.shared;
         let mut guard = shared.state.lock();
         let st = &mut *guard;
+        let token: &str = token.unwrap_or("");
+        if !token.is_empty() {
+            if let Some(id) = st.tokens.get(token) {
+                return Ok((*id, true));
+            }
+        }
         if let Err(e) = admit(shared, st, &spec) {
             st.metrics.on_reject(&e);
             return Err(e);
@@ -180,6 +271,29 @@ impl CampaignServer {
             return Err(e);
         }
         let id = JobId(st.next_job);
+        let submitted_unix_us = unix_us();
+        // Journal the admission BEFORE mutating any state: the client must
+        // never hold an id for a job the next life cannot replay. On
+        // journal failure nothing was admitted — typed backpressure, not
+        // unbounded unjournaled growth.
+        if let Some(j) = st.journal.as_mut() {
+            let deck = xg_sim::write_deck(&spec.input);
+            let rec = JournalRecord::Submitted {
+                job: id,
+                token: token.to_string(),
+                deck_hash: journal::fnv1a(deck.as_bytes()),
+                deck,
+                steps: spec.steps as u64,
+                tag: spec.tag.clone(),
+                submitted_unix_us,
+            };
+            if let Err(e) = j.append(&rec) {
+                let e = AdmitError::JournalBackpressure { reason: e.to_string() };
+                st.metrics.on_reject(&e);
+                return Err(e);
+            }
+            xg_obs::record_journal_append();
+        }
         st.next_job += 1;
         let (batch, flushed) = st.grouper.place(id, &spec, Instant::now());
         let cmat_key = spec.input.cmat_key();
@@ -199,22 +313,28 @@ impl CampaignServer {
                 submitted_at: Instant::now(),
                 dispatched_at: None,
                 outcome: None,
+                restored_summary: None,
                 subscribers: Vec::new(),
             },
         );
+        if !token.is_empty() {
+            st.tokens.insert(token.to_string(), id);
+        }
         st.live += 1;
         st.metrics.on_submit();
+        journal_append(st, &JournalRecord::Batched { job: id, batch });
         if let Some(f) = flushed {
             st.ready.push_back(ReadyBatch {
                 id: f.batch.id,
                 jobs: f.batch.jobs,
                 reason: f.reason,
+                resume: None,
             });
             shared.work.notify_all();
         }
         // A new batch may have created the earliest linger deadline.
         shared.timer.notify_one();
-        Ok(id)
+        Ok((id, false))
     }
 
     /// Dry-run placement: the deck's cmat key and where the job would land
@@ -251,9 +371,33 @@ impl CampaignServer {
         Some(rx)
     }
 
-    /// The final output of a `Done` job.
+    /// The final output of a `Done` job. Jobs that finished before a
+    /// restart have only their journaled summary (the tensor died with the
+    /// old process) — see [`CampaignServer::result_summary`].
     pub fn result(&self, id: JobId) -> Option<JobOutcome> {
         self.shared.state.lock().jobs.get(&id).and_then(|j| j.outcome.clone())
+    }
+
+    /// Result summary `(steps, h_hash, diag_bits)` of a `Done` job: the
+    /// FNV-1a hash of the final distribution's little-endian bytes plus the
+    /// exact `f64::to_bits` of the four diagnostics. Computed from the live
+    /// outcome when present, from the journaled summary for jobs restored
+    /// after a restart — identical either way, which is what lets the
+    /// crash-recovery CI job assert bitwise-identical results across a
+    /// `kill -9`.
+    pub fn result_summary(&self, id: JobId) -> Option<(u64, u64, [u64; 4])> {
+        let guard = self.shared.state.lock();
+        let j = guard.jobs.get(&id)?;
+        if j.state != JobState::Done {
+            return None;
+        }
+        j.outcome.as_ref().map(outcome_summary).or(j.restored_summary)
+    }
+
+    /// What startup journal replay reconstructed (all-zero when running
+    /// journal-less or from an empty directory).
+    pub fn recovery_report(&self) -> RecoveryReport {
+        self.shared.state.lock().recovery.clone()
     }
 
     /// Cancel a job. Pre-dispatch jobs are removed from their (pending or
@@ -310,6 +454,7 @@ impl CampaignServer {
                 id: f.batch.id,
                 jobs: f.batch.jobs,
                 reason: f.reason,
+                resume: None,
             });
         }
         shared.work.notify_all();
@@ -324,7 +469,8 @@ impl CampaignServer {
     /// Metrics snapshot as JSON.
     pub fn metrics_json(&self) -> String {
         let guard = self.shared.state.lock();
-        guard.metrics.to_json(&jobs_by_state(&guard))
+        let (m, by_state) = metrics_snapshot(&guard);
+        m.to_json(&by_state)
     }
 
     /// Metrics snapshot as Prometheus text: the serve counters followed by
@@ -333,7 +479,8 @@ impl CampaignServer {
     pub fn metrics_prom(&self) -> String {
         let mut text = {
             let guard = self.shared.state.lock();
-            guard.metrics.to_prometheus(&jobs_by_state(&guard))
+            let (m, by_state) = metrics_snapshot(&guard);
+            m.to_prometheus(&by_state)
         };
         text.push_str(&xg_obs::expo::to_prometheus(xg_obs::Registry::global()));
         text
@@ -410,6 +557,249 @@ fn jobs_by_state(st: &State) -> Vec<(JobState, usize)> {
         .collect()
 }
 
+/// Metrics clone with fresh journal stats folded in, plus the state-count
+/// table — one consistent snapshot under the caller's lock.
+fn metrics_snapshot(st: &State) -> (Metrics, Vec<(JobState, usize)>) {
+    let mut m = st.metrics.clone();
+    if let Some(j) = &st.journal {
+        m.set_journal_stats(j.stats());
+    }
+    (m, jobs_by_state(st))
+}
+
+/// Wall-clock µs since the Unix epoch (0 if the clock predates it).
+fn unix_us() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+/// Best-effort journal append for post-admission lifecycle records. Only
+/// the `Submitted` record is a hard durability contract (its failure fails
+/// the submit with typed backpressure); the rest degrade gracefully — a
+/// refused append is counted in the journal's `dropped` stat, and replay's
+/// tolerant fold reconstructs what it can from whatever did land.
+fn journal_append(st: &mut State, rec: &JournalRecord) {
+    if let Some(j) = st.journal.as_mut() {
+        if j.append(rec).is_ok() {
+            xg_obs::record_journal_append();
+        }
+    }
+}
+
+/// `(steps, h_hash, diag_bits)` for a completed outcome: FNV-1a over the
+/// little-endian bytes of the final distribution plus the exact `f64` bit
+/// patterns of the diagnostics — a bitwise-comparable fingerprint small
+/// enough to journal.
+fn outcome_summary(o: &JobOutcome) -> (u64, u64, [u64; 4]) {
+    let mut bytes = Vec::with_capacity(o.h.as_slice().len() * 16);
+    for z in o.h.as_slice() {
+        bytes.extend_from_slice(&z.re.to_le_bytes());
+        bytes.extend_from_slice(&z.im.to_le_bytes());
+    }
+    let d = &o.diagnostics;
+    (
+        o.steps as u64,
+        journal::fnv1a(&bytes),
+        [
+            d.time.to_bits(),
+            d.field_energy.to_bits(),
+            d.heat_flux.to_bits(),
+            d.h_norm2.to_bits(),
+        ],
+    )
+}
+
+/// Rebuild server state from a journal replay: terminal jobs are restored
+/// with their result summaries, members of still-running batches are queued
+/// to resume from the last journaled checkpoint, and every other live job
+/// is re-admitted through the normal grouping path. Runs before any worker
+/// thread exists, so it owns the state outright.
+fn replay_into(st: &mut State, replay: journal::Replay) {
+    let table = journal::fold(&replay.records);
+    st.recovery = RecoveryReport {
+        replayed_records: replay.records.len() as u64,
+        torn_bytes: replay.torn_bytes,
+        replay_us: replay.replay_us,
+        warnings: replay.warnings,
+        ..RecoveryReport::default()
+    };
+    if table.ignored > 0 {
+        st.recovery
+            .warnings
+            .push(format!("{} record(s) ignored by the replay fold", table.ignored));
+    }
+    xg_obs::record_journal_replay(replay.replay_us);
+    // Members that resume as their original batch (instead of regrouping):
+    // non-terminal jobs of batches with a journaled `Running` record.
+    let mut resumed_members: BTreeMap<JobId, BatchId> = BTreeMap::new();
+    for (bid, rb) in &table.running {
+        for j in &rb.jobs {
+            if table.jobs.get(j).is_some_and(|rj| !rj.state.is_terminal()) {
+                resumed_members.insert(*j, *bid);
+            }
+        }
+    }
+    // Seed batch numbering past everything the journal ever allocated so
+    // re-placement cannot collide with a resumed batch id.
+    st.grouper.seed_next_batch(table.max_batch.map_or(0, |m| m + 1));
+    let now = Instant::now();
+    let now_us = unix_us();
+    for (id, rj) in &table.jobs {
+        st.next_job = st.next_job.max(id.0 + 1);
+        let input = match xg_sim::parse_deck(&rj.deck) {
+            Ok(i) if journal::fnv1a(rj.deck.as_bytes()) == rj.deck_hash => i,
+            Ok(_) => {
+                st.recovery
+                    .warnings
+                    .push(format!("{id}: journaled deck hash mismatch — job dropped"));
+                continue;
+            }
+            Err(e) => {
+                st.recovery
+                    .warnings
+                    .push(format!("{id}: journaled deck unparseable ({e}) — job dropped"));
+                continue;
+            }
+        };
+        // Back-date admission by the journaled wall-clock age so queue
+        // latency spans the crash: the clock started at the original
+        // submit, not at replay.
+        let submitted_at = now
+            .checked_sub(Duration::from_micros(now_us.saturating_sub(rj.submitted_unix_us)))
+            .unwrap_or(now);
+        let spec = JobSpec { input, steps: rj.steps as usize, tag: rj.tag.clone() };
+        let cmat_key = spec.input.cmat_key();
+        let mut job = Job {
+            id: *id,
+            spec,
+            state: rj.state,
+            cmat_key,
+            batch: rj.batch,
+            detail: rj.detail.clone(),
+            cancel_requested: false,
+            submitted_at,
+            dispatched_at: None,
+            outcome: None,
+            restored_summary: None,
+            subscribers: Vec::new(),
+        };
+        if !rj.token.is_empty() {
+            st.tokens.insert(rj.token.clone(), *id);
+        }
+        if rj.state.is_terminal() {
+            job.restored_summary = rj.done_summary;
+            st.jobs.insert(*id, job);
+            st.recovery.restored_jobs += 1;
+        } else if let Some(b) = resumed_members.get(id) {
+            // Re-runs Batched → Running when the resumed batch dispatches.
+            job.state = JobState::Batched;
+            job.batch = Some(*b);
+            job.detail = format!("restored; resuming {b}");
+            st.jobs.insert(*id, job);
+            st.live += 1;
+            st.recovery.restored_jobs += 1;
+        } else {
+            // Waiting (or running in a batch whose journal trail was lost):
+            // re-admit through the normal grouping path.
+            let spec = job.spec.clone();
+            let (batch, flushed) = st.grouper.place(*id, &spec, now);
+            job.state = JobState::Batched;
+            job.batch = Some(batch);
+            job.detail = format!("restored; regrouped into {batch}");
+            st.jobs.insert(*id, job);
+            st.live += 1;
+            st.recovery.readmitted_jobs += 1;
+            journal_append(st, &JournalRecord::Batched { job: *id, batch });
+            if let Some(f) = flushed {
+                st.ready.push_back(ReadyBatch {
+                    id: f.batch.id,
+                    jobs: f.batch.jobs,
+                    reason: f.reason,
+                    resume: None,
+                });
+            }
+        }
+    }
+    // Queue each interrupted batch for resumption from its last journaled
+    // checkpoint (step 0 when no checkpoint landed, or when the restored
+    // one fails validation — correctness over speed, with a warning).
+    for (bid, rb) in &table.running {
+        let members: Vec<JobId> = match &rb.checkpoint {
+            // The checkpoint's member list is authoritative: it reflects
+            // evictions that happened after dispatch.
+            Some((_, _, cp_jobs, _)) => cp_jobs.clone(),
+            None => rb.jobs.clone(),
+        };
+        let live: Vec<JobId> = members
+            .iter()
+            .copied()
+            .filter(|j| resumed_members.get(j) == Some(bid) && st.jobs.contains_key(j))
+            .collect();
+        if live.is_empty() {
+            continue;
+        }
+        let mut resume = ResumeState { checkpoint: None, done: 0, next_seq: 0 };
+        if let Some((seq, done_steps, cp_jobs, state)) = &rb.checkpoint {
+            resume.next_seq = seq + 1;
+            match EnsembleCheckpoint::from_bytes(state) {
+                Ok(cp) => {
+                    // Members that terminalized after the checkpoint are
+                    // evicted from the restored state, highest position
+                    // first (eviction shifts later positions down).
+                    let mut cp = Some(cp);
+                    for (pos, j) in cp_jobs.iter().enumerate().rev() {
+                        if live.contains(j) {
+                            continue;
+                        }
+                        cp = match cp.take().map(|c| c.evict_member(pos)) {
+                            Some(Ok(next)) => Some(next),
+                            _ => None,
+                        };
+                        if cp.is_none() {
+                            st.recovery.warnings.push(format!(
+                                "{bid}: cannot evict member {pos} from restored \
+                                 checkpoint; restarting batch from step 0"
+                            ));
+                            break;
+                        }
+                    }
+                    if let Some(cp) = cp {
+                        let member = &st.jobs[&live[0]];
+                        let d = member.spec.input.dims();
+                        if cp.k() == live.len()
+                            && cp.cmat_key() == member.cmat_key
+                            && cp.dims() == (d.nc, d.nv, d.nt)
+                        {
+                            resume.checkpoint = Some(cp);
+                            resume.done = *done_steps as usize;
+                        } else {
+                            st.recovery.warnings.push(format!(
+                                "{bid}: restored checkpoint does not match its \
+                                 members; restarting batch from step 0"
+                            ));
+                        }
+                    }
+                }
+                Err(e) => {
+                    st.recovery.warnings.push(format!(
+                        "{bid}: undecodable checkpoint ({e:?}); restarting batch \
+                         from step 0"
+                    ));
+                }
+            }
+        }
+        st.recovery.resumed_batches += 1;
+        st.ready.push_back(ReadyBatch {
+            id: *bid,
+            jobs: live,
+            reason: FlushReason::Resume,
+            resume: Some(resume),
+        });
+    }
+}
+
 /// Admission checks that need no mutation: drain gate, deck validity,
 /// grid compatibility, memory feasibility. Queue capacity is checked by
 /// `submit` only (a dry run consumes no slot).
@@ -437,17 +827,41 @@ fn admit(shared: &Shared, st: &State, spec: &JobSpec) -> Result<(), AdmitError> 
 }
 
 /// Transition a job, enforcing the lifecycle graph, maintaining the
-/// live-job count, and notifying subscribers.
+/// live-job count, notifying subscribers, and journaling terminal
+/// transitions (so a restart never re-runs finished work).
 fn transition(st: &mut State, id: JobId, to: JobState, detail: String) {
-    let job = st.jobs.get_mut(&id).expect("job exists");
-    assert!(
-        job.state.can_transition(to),
-        "illegal transition {} -> {to} for {id}",
-        job.state
-    );
-    job.state = to;
-    job.detail = detail.clone();
-    emit(job, to, detail);
+    let rec = {
+        let job = st.jobs.get_mut(&id).expect("job exists");
+        assert!(
+            job.state.can_transition(to),
+            "illegal transition {} -> {to} for {id}",
+            job.state
+        );
+        job.state = to;
+        job.detail = detail.clone();
+        emit(job, to, detail);
+        match to {
+            JobState::Done => {
+                let (steps, h_hash, diag_bits) = job
+                    .outcome
+                    .as_ref()
+                    .map(outcome_summary)
+                    .or(job.restored_summary)
+                    .unwrap_or((0, 0, [0; 4]));
+                Some(JournalRecord::Done { job: id, steps, h_hash, diag_bits })
+            }
+            JobState::Failed => {
+                Some(JournalRecord::Failed { job: id, detail: job.detail.clone() })
+            }
+            JobState::Cancelled => {
+                Some(JournalRecord::Cancelled { job: id, detail: job.detail.clone() })
+            }
+            _ => None,
+        }
+    };
+    if let Some(rec) = rec {
+        journal_append(st, &rec);
+    }
     if to.is_terminal() {
         st.live = st.live.checked_sub(1).expect("live-job count underflow");
     }
@@ -478,6 +892,7 @@ fn batcher_loop(shared: &Shared) {
                     id: f.batch.id,
                     jobs: f.batch.jobs,
                     reason: f.reason,
+                    resume: None,
                 });
             }
             shared.work.notify_all();
@@ -516,9 +931,15 @@ fn worker_loop(shared: &Shared) {
 
 /// Run one batch as an XGYRO ensemble in `ckpt_every`-step segments,
 /// applying cancellations (and shutdown) at checkpoint boundaries and
-/// evicting faulted members without killing their batch-mates.
+/// evicting faulted members without killing their batch-mates. Each
+/// completed segment (except the last) journals its checkpoint, so a crash
+/// mid-batch resumes from the last boundary instead of step 0; the final
+/// segment is deliberately *not* journaled — a crash between it and the
+/// `Done` records re-runs that segment deterministically, which is cheaper
+/// than reasoning about a "finished but unrecorded" limbo state.
 fn execute_batch(shared: &Shared, rb: ReadyBatch) {
     let grid = shared.cfg.grid;
+    let ReadyBatch { id: batch_id, jobs, reason, resume } = rb;
     // Dispatch bookkeeping: transition members to Running, record queue
     // latency and occupancy, arm the chaos fault plan (first batch only).
     let (mut member_ids, mut inputs, steps_total, mut plan) = {
@@ -527,7 +948,7 @@ fn execute_batch(shared: &Shared, rb: ReadyBatch) {
         let now = Instant::now();
         let mut inputs: Vec<CgyroInput> = Vec::new();
         let mut steps_total = 0;
-        for id in &rb.jobs {
+        for id in &jobs {
             let job = st.jobs.get_mut(id).expect("batched job exists");
             job.dispatched_at = Some(now);
             steps_total = job.spec.steps;
@@ -537,18 +958,21 @@ fn execute_batch(shared: &Shared, rb: ReadyBatch) {
             // rounded it all to zero (count > 0 with sum = 0).
             let lat_us = now.duration_since(job.submitted_at).as_micros() as u64;
             st.metrics.on_queue_latency_us(lat_us);
-            transition(st, *id, JobState::Running, format!("{} (k={})", rb.id, rb.jobs.len()));
+            transition(st, *id, JobState::Running, format!("{batch_id} (k={})", jobs.len()));
         }
-        if rb.jobs.is_empty() {
+        if jobs.is_empty() {
             return;
         }
-        st.metrics.on_dispatch(rb.jobs.len(), inputs[0].dims(), rb.reason);
-        (rb.jobs.clone(), inputs, steps_total, st.fault_plan.take())
+        st.metrics.on_dispatch(jobs.len(), inputs[0].dims(), reason);
+        journal_append(st, &JournalRecord::Running { batch: batch_id, jobs: jobs.clone() });
+        (jobs.clone(), inputs, steps_total, st.fault_plan.take())
     };
 
-    let mut checkpoint: Option<EnsembleCheckpoint> = None;
+    let (mut checkpoint, mut done, mut next_seq) = match resume {
+        Some(r) => (r.checkpoint, r.done, r.next_seq),
+        None => (None, 0usize, 0u64),
+    };
     let mut results: BTreeMap<JobId, JobOutcome> = BTreeMap::new();
-    let mut done = 0usize;
     while done < steps_total && !member_ids.is_empty() {
         // Checkpoint boundary: apply cancellations (shutdown cancels all).
         let cancelled: Vec<usize> = {
@@ -618,8 +1042,21 @@ fn execute_batch(shared: &Shared, rb: ReadyBatch) {
                         },
                     );
                 }
-                checkpoint = Some(rec.checkpoint);
                 done += seg;
+                if done < steps_total && !member_ids.is_empty() {
+                    // Journal this boundary so a crash resumes here. The
+                    // final segment is intentionally skipped (see above).
+                    let crec = JournalRecord::Checkpoint {
+                        batch: batch_id,
+                        jobs: member_ids.clone(),
+                        seq: next_seq,
+                        done_steps: done as u64,
+                        state: rec.checkpoint.to_bytes(),
+                    };
+                    next_seq += 1;
+                    journal_append(&mut shared.state.lock(), &crec);
+                }
+                checkpoint = Some(rec.checkpoint);
             }
             Err(e) => {
                 fail_all(shared, &member_ids, &format!("batch failed: {e}"));

@@ -16,18 +16,27 @@
 //!
 //! ```text
 //! PING                          -> OK pong
-//! SUBMIT steps=N [tag=T] + deck -> OK job-0 batch=batch-0
+//! SUBMIT steps=N [tag=T] [token=T] + deck
+//!                               -> OK job-0 batch=batch-0 [dup=1]
 //! DRYRUN steps=N        + deck  -> OK cmat_key=0x… placement=… k_cap=…
 //! STATUS job-N                  -> OK job-N state=… batch=… detail=…
+//! RESULT job-N                  -> OK job-N steps=… h_hash=0x… diag=0x…,…
 //! LIST                          -> OK <n>, then n status lines
 //! CANCEL job-N                  -> OK <state>
 //! SUBSCRIBE job-N               -> EVENT job-N <state> <detail>…, OK done
 //! METRICS                       -> OK, JSON lines, then a lone '.'
 //! METRICS_PROM                  -> OK, Prometheus text, then a lone '.'
 //! TOP                           -> OK, live phase table, then a lone '.'
+//! RECOVERY                      -> OK replayed=… restored=… resumed=…
 //! DRAIN ms=N                    -> OK drained | ERR drain-timeout: …
 //! SHUTDOWN                      -> OK bye (server exits)
 //! ```
+//!
+//! `SUBMIT token=T` is the idempotency handle: a retried submit carrying a
+//! token the server has already bound (in this life, or journaled in a
+//! previous one) answers with the existing job id plus `dup=1` instead of
+//! enqueueing again. `RESULT` serves the journaled result fingerprint, so
+//! it keeps answering for jobs that completed before a daemon restart.
 
 use crate::batcher::Placement;
 use crate::job::{JobId, JobSpec, JobStatus};
@@ -177,14 +186,15 @@ fn handle_conn(
                     }
                 };
                 if cmd == "SUBMIT" {
-                    match server.submit(spec) {
-                        Ok(id) => {
+                    match server.submit_with_token(spec, kv_arg(&args, "token")) {
+                        Ok((id, dup)) => {
                             let batch = server
                                 .status(id)
                                 .and_then(|s| s.batch)
                                 .map(|b| b.to_string())
                                 .unwrap_or_else(|| "-".into());
-                            writeln!(out, "OK {id} batch={batch}")?;
+                            let dup = if dup { " dup=1" } else { "" };
+                            writeln!(out, "OK {id} batch={batch}{dup}")?;
                         }
                         Err(e) => writeln!(out, "ERR {}: {e}", e.kind())?,
                     }
@@ -209,6 +219,33 @@ fn handle_conn(
                 Ok(s) => writeln!(out, "OK {}", fmt_status(&s))?,
                 Err(msg) => writeln!(out, "ERR not-found: {msg}")?,
             },
+            "RESULT" => match parse_job_arg(&args) {
+                Ok(id) => match server.result_summary(id) {
+                    Some((steps, h_hash, d)) => writeln!(
+                        out,
+                        "OK {id} steps={steps} h_hash={h_hash:#018x} \
+                         diag={:#018x},{:#018x},{:#018x},{:#018x}",
+                        d[0], d[1], d[2], d[3]
+                    )?,
+                    None => writeln!(out, "ERR not-found: no completed result for {id}")?,
+                },
+                Err(msg) => writeln!(out, "ERR not-found: {msg}")?,
+            },
+            "RECOVERY" => {
+                let r = server.recovery_report();
+                writeln!(
+                    out,
+                    "OK replayed={} restored={} resumed={} readmitted={} torn_bytes={} \
+                     replay_us={} warnings={}",
+                    r.replayed_records,
+                    r.restored_jobs,
+                    r.resumed_batches,
+                    r.readmitted_jobs,
+                    r.torn_bytes,
+                    r.replay_us,
+                    r.warnings.len()
+                )?;
+            }
             "LIST" => {
                 let all = server.list();
                 writeln!(out, "OK {}", all.len())?;
@@ -354,6 +391,24 @@ impl Client {
         Ok(Self { reader: BufReader::new(stream.try_clone()?), writer: stream })
     }
 
+    /// Connect with a deadline on the connect itself *and* on every
+    /// subsequent read/write. Use for quick idempotent requests where a
+    /// hung daemon should surface as a timeout, not a forever-block; NOT
+    /// for `SUBSCRIBE`/`DRAIN`, whose legitimate silences outlast any
+    /// sensible request timeout.
+    pub fn connect_with_timeout(addr: &str, timeout: Duration) -> std::io::Result<Self> {
+        use std::net::ToSocketAddrs;
+        let sa = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::other(format!("cannot resolve {addr}")))?;
+        let stream = TcpStream::connect_timeout(&sa, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Self { reader: BufReader::new(stream.try_clone()?), writer: stream })
+    }
+
     fn send(&mut self, line: &str) -> std::io::Result<()> {
         writeln!(self.writer, "{line}")?;
         self.writer.flush()
@@ -389,12 +444,29 @@ impl Client {
         tag: &str,
         dry_run: bool,
     ) -> std::io::Result<String> {
+        self.submit_deck_tokened(deck_text, steps, tag, "", dry_run)
+    }
+
+    /// Submit (or dry-run) a deck carrying an idempotency token (`""` for
+    /// none). With a token the request is safe to retry: a re-send the
+    /// server already acknowledged answers `dup=1` with the original job id
+    /// instead of double-enqueueing.
+    pub fn submit_deck_tokened(
+        &mut self,
+        deck_text: &str,
+        steps: usize,
+        tag: &str,
+        token: &str,
+        dry_run: bool,
+    ) -> std::io::Result<String> {
         let cmd = if dry_run { "DRYRUN" } else { "SUBMIT" };
         let tag_part = if tag.is_empty() { String::new() } else { format!(" tag={tag}") };
+        let token_part =
+            if token.is_empty() { String::new() } else { format!(" token={token}") };
         // One write for the whole request: several small writes would
         // trigger Nagle/delayed-ACK stalls that add tens of milliseconds
         // per submission — enough to spread a burst past the linger window.
-        let mut req = format!("{cmd} steps={steps}{tag_part}\n");
+        let mut req = format!("{cmd} steps={steps}{tag_part}{token_part}\n");
         req.push_str(deck_text);
         if !deck_text.ends_with('\n') {
             req.push('\n');
@@ -472,6 +544,118 @@ impl Client {
             on_event(&line);
             last = line;
         }
+    }
+}
+
+/// Bounded, jittered exponential backoff for idempotent wire requests.
+///
+/// Equal jitter: before retry `n` the client sleeps half the backoff
+/// window deterministically plus a uniform draw over the other half
+/// (window doubling per retry up to `cap`). The random half is what
+/// avoids retry storms — when a daemon restarts under load, clients
+/// re-arrive spread across the window instead of in synchronized waves —
+/// while the deterministic half guarantees a floor, so a fixed retry
+/// budget always spans a predictable outage (full jitter can draw
+/// near-zero every time and burn its whole budget inside a short
+/// restart; measured in EXPERIMENTS.md §R2). The jitter is seeded
+/// SplitMix64, so a given client's schedule is reproducible.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, first try included (1 = never retry).
+    pub attempts: u32,
+    /// Backoff window before the first retry; doubles each retry after.
+    pub base: Duration,
+    /// Ceiling on any single backoff window.
+    pub cap: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// The `xgq` default: 5 attempts, 50 ms base, 2 s cap.
+    pub fn client_default(seed: u64) -> Self {
+        Self { attempts: 5, base: Duration::from_millis(50), cap: Duration::from_secs(2), seed }
+    }
+
+    /// No retries at all.
+    pub fn none() -> Self {
+        Self { attempts: 1, base: Duration::ZERO, cap: Duration::ZERO, seed: 0 }
+    }
+
+    /// Equal-jitter delay before retry `n` (0-based), advancing `jitter`:
+    /// `window/2 + uniform(0, window/2)`.
+    pub fn delay(&self, n: u32, jitter: &mut u64) -> Duration {
+        let window = self.base.saturating_mul(1u32 << n.min(16)).min(self.cap);
+        let nanos = window.as_nanos().min(u64::MAX as u128) as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        let half = nanos / 2;
+        Duration::from_nanos(half + crate::journal::splitmix64(jitter) % (nanos - half + 1))
+    }
+}
+
+/// A client wrapper that carries requests through connection failures and
+/// daemon restarts: every attempt reconnects if needed (with
+/// [`Client::connect_with_timeout`] deadlines), and delays between attempts
+/// follow the policy's equal-jitter backoff.
+///
+/// Only I/O failures are retried — an `ERR …` response line is a valid
+/// answer and comes back as `Ok`. Safe only for requests whose repetition
+/// cannot double work: the read-only verbs, and `SUBMIT` when every
+/// submission carries an idempotency token.
+#[derive(Debug)]
+pub struct RetryingClient {
+    addr: String,
+    timeout: Duration,
+    policy: RetryPolicy,
+    jitter: u64,
+    conn: Option<Client>,
+}
+
+impl RetryingClient {
+    /// New wrapper around `addr` with per-request `timeout`.
+    pub fn new(addr: &str, timeout: Duration, policy: RetryPolicy) -> Self {
+        let jitter = policy.seed;
+        Self { addr: addr.to_string(), timeout, policy, jitter, conn: None }
+    }
+
+    /// Run one idempotent request, retrying per the policy. The connection
+    /// is dropped and re-established after any I/O failure, so a retry
+    /// lands on the restarted daemon, not a dead socket.
+    pub fn with_retries<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Client) -> std::io::Result<T>,
+    ) -> std::io::Result<T> {
+        let mut last = None;
+        for attempt in 0..self.policy.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(self.policy.delay(attempt - 1, &mut self.jitter));
+            }
+            if self.conn.is_none() {
+                match Client::connect_with_timeout(&self.addr, self.timeout) {
+                    Ok(c) => self.conn = Some(c),
+                    Err(e) => {
+                        last = Some(e);
+                        continue;
+                    }
+                }
+            }
+            match op(self.conn.as_mut().expect("connected above")) {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    // The stream may be mid-frame or dead: reconnect fresh.
+                    self.conn = None;
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| std::io::Error::other("retry policy made no attempts")))
+    }
+
+    /// One-line request → one-line response, with retries.
+    pub fn roundtrip(&mut self, line: &str) -> std::io::Result<String> {
+        self.with_retries(|c| c.roundtrip(line))
     }
 }
 
@@ -657,7 +841,7 @@ mod tests {
             let cap = 64;
             let framed = format!("{}\nEND\n", "x".repeat(cap + extra));
             let mut reader = BufReader::new(Cursor::new(framed.into_bytes()));
-            let err = read_deck_body(&mut reader, cap).err().expect("must reject");
+            let err = read_deck_body(&mut reader, cap).expect_err("must reject");
             prop_assert!(matches!(err, SpecError::Protocol(_)));
         }
     }

@@ -3,9 +3,11 @@
 //! Usage: `paper_figures [<experiment-id>|all]` or `paper_figures --write-dir DIR`
 //! (defaults to `all`). See DESIGN.md §5 for the experiment index.
 //!
-//! `paper_figures bench-collision [--quick] [--out PATH]` runs the measured
-//! naive/blocked/threaded collision-apply sweep and writes the JSON artifact
-//! (default `BENCH_collision.json` in the working directory).
+//! `paper_figures bench-collision [--quick] [--out PATH] [--nv LIST]
+//! [--k LIST]` runs the measured naive/blocked/simd/threaded
+//! collision-apply sweep and writes the JSON artifact (default
+//! `BENCH_collision.json` in the working directory). `--nv`/`--k` pin the
+//! sweep to comma-separated shape lists (CI asserts specific points).
 //!
 //! `paper_figures bench-str-reduce [--quick] [--out PATH]` runs the measured
 //! unfused/fused/reduce-scatter str-phase reduction sweep and writes the
@@ -28,14 +30,39 @@ fn out_path_arg(args: &[String], default: &str) -> String {
     }
 }
 
+/// `--flag v1,v2,...` → `Some(vec![v1, v2, ...])`.
+fn list_arg(args: &[String], flag: &str) -> Option<Vec<usize>> {
+    let pos = args.iter().position(|a| a == flag)?;
+    let Some(v) = args.get(pos + 1) else {
+        eprintln!("{flag} needs a comma-separated list");
+        std::process::exit(2);
+    };
+    Some(
+        v.split(',')
+            .map(|s| {
+                s.parse().unwrap_or_else(|_| {
+                    eprintln!("{flag}: bad value '{s}'");
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+    )
+}
+
 fn bench_collision(args: &[String]) {
     let quick = args.iter().any(|a| a == "--quick");
     let out_path = out_path_arg(args, "BENCH_collision.json");
-    let cfg = if quick {
+    let mut cfg = if quick {
         xg_bench::CollisionBenchConfig::quick()
     } else {
         xg_bench::CollisionBenchConfig::full()
     };
+    if let Some(nv) = list_arg(args, "--nv") {
+        cfg.nv_values = nv;
+    }
+    if let Some(k) = list_arg(args, "--k") {
+        cfg.k_values = k;
+    }
     let results = xg_bench::run_collision_bench(&cfg);
     print!("{}", xg_bench::collision_bench_report(&results, cfg.threads));
     std::fs::write(&out_path, xg_bench::collision_bench_json(&results, cfg.threads))

@@ -1,8 +1,9 @@
 //! Measured collision-apply benchmark: naive per-RHS vs batched-blocked vs
-//! batched-blocked + threads, swept over `nv` and ensemble size `k`.
+//! SIMD-tiled vs SIMD-tiled + threads, swept over `nv` and ensemble size
+//! `k`.
 //!
 //! This is the measurement behind `BENCH_collision.json` (the repo-root
-//! perf trajectory artifact) and EXPERIMENTS.md §P. Three pipelines over
+//! perf trajectory artifact) and EXPERIMENTS.md §P. Four pipelines over
 //! identical inputs:
 //!
 //! * **naive** — the pre-batching hot path: per member, gather each
@@ -12,17 +13,25 @@
 //!   is re-streamed once **per member**.
 //! * **blocked** — the batched path: profiles live contiguously in the
 //!   `(nc, nt, k·nv)` layout and one register-blocked multi-RHS apply
-//!   streams the shared panel once **per k members**.
-//! * **threaded** — blocked, with the `(ic, it)` panel loop fanned over a
-//!   persistent [`StepPool`].
+//!   streams the shared panel once **per k members**. Pinned to the
+//!   **scalar, un-tiled** kernel so the column keeps its historical
+//!   meaning across the SIMD work.
+//! * **simd** — blocked, through the autotuned kernel: the runtime-probed
+//!   SIMD micro-kernel (`avx512`/`avx2`/`scalar`) with the L2-sized row
+//!   tile the tuner picked for this `(nv, k)`. Single thread.
+//! * **threaded** — simd, with the `(pair, row-tile)` task loop fanned
+//!   over a persistent [`StepPool`] (the production tile-granular split).
 //!
-//! All three produce bitwise-identical outputs (asserted once per shape
+//! All four produce bitwise-identical outputs (asserted once per shape
 //! before timing), so the comparison is pure pipeline cost.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
-use xg_linalg::{matvec_complex_flat, Complex64};
-use xg_sim::StepPool;
+use xg_costmodel::KernelChoice;
+use xg_linalg::{
+    apply_panel_multi_with, apply_panel_rows_ptr, matvec_complex_flat, Complex64, SimdLevel,
+};
+use xg_sim::{SendPtr, StepPool};
 use xg_tensor::Tensor3;
 
 /// Sweep configuration for the collision-apply benchmark.
@@ -49,7 +58,16 @@ impl CollisionBenchConfig {
             // (32 × 128 KiB = 4 MiB), approaching the production regime
             // where cmat dwarfs every cache level.
             pairs: 32,
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(8),
+            // Same env override the StepPool honours, so the artifact can be
+            // regenerated at a pinned pool width regardless of host core
+            // count.
+            threads: std::env::var(xg_sim::THREADS_ENV)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(8)
+                }),
             target: Duration::from_millis(120),
         }
     }
@@ -76,14 +94,21 @@ pub struct CollisionBenchResult {
     pub pairs: usize,
     /// ns per full sweep over all pairs × members, naive pipeline.
     pub naive_ns: f64,
-    /// ns per sweep, batched-blocked pipeline (single thread).
+    /// ns per sweep, batched-blocked pipeline (scalar kernel, one thread).
     pub blocked_ns: f64,
-    /// ns per sweep, batched-blocked + worker pool.
+    /// ns per sweep, autotuned SIMD + L2-tiled kernel (one thread).
+    pub simd_ns: f64,
+    /// ns per sweep, SIMD-tiled + worker pool (tile-granular tasks).
     pub threaded_ns: f64,
     /// naive / blocked.
     pub speedup_blocked: f64,
+    /// naive / simd.
+    pub speedup_simd: f64,
     /// naive / threaded.
     pub speedup_threaded: f64,
+    /// The autotuned kernel the simd and threaded pipelines ran
+    /// (e.g. `avx512/t128`).
+    pub kernel: KernelChoice,
 }
 
 /// Time `f` adaptively: double the iteration count until the loop runs at
@@ -157,7 +182,11 @@ fn measure_point(
     let mut profile = vec![Complex64::ZERO; nv];
     let mut scratch = vec![Complex64::ZERO; nv];
 
-    // --- Correctness pin: all three pipelines agree bitwise. ---
+    // The kernel the production collision path would run for this shape.
+    let kernel = xg_costmodel::tune_collision_kernel(nv, k);
+    let tiles = nv.div_ceil(kernel.tile_rows.max(1));
+
+    // --- Correctness pin: all four pipelines agree bitwise. ---
     for s in 0..k {
         for ic in 0..pairs {
             for iv in 0..nv {
@@ -170,21 +199,33 @@ fn measure_point(
             }
         }
     }
-    for ic in 0..pairs {
-        let (x, y) = (cp_in.line(ic, 0), cp_out.line_mut(ic, 0));
-        xg_linalg::apply_panel_multi(panel(ic), nv, x, y, k);
-    }
-    for s in 0..k {
-        for ic in 0..pairs {
-            for iv in 0..nv {
-                assert_eq!(
-                    legacy_out[s][(iv, ic, 0)],
-                    cp_out[(ic, 0, s * nv + iv)],
-                    "pipelines diverged at nv={nv} k={k}"
-                );
+    let check = |cp_out: &Tensor3<Complex64>, which: &str| {
+        for s in 0..k {
+            for ic in 0..pairs {
+                for iv in 0..nv {
+                    assert_eq!(
+                        legacy_out[s][(iv, ic, 0)],
+                        cp_out[(ic, 0, s * nv + iv)],
+                        "{which} pipeline diverged at nv={nv} k={k}"
+                    );
+                }
             }
         }
+    };
+    for ic in 0..pairs {
+        let (x, y) = (cp_in.line(ic, 0), cp_out.line_mut(ic, 0));
+        apply_panel_multi_with(SimdLevel::Scalar, panel(ic), nv, x, y, k, nv);
     }
+    check(&cp_out, "blocked");
+    cp_out.fill(Complex64::ZERO);
+    for ic in 0..pairs {
+        let (x, y) = (cp_in.line(ic, 0), cp_out.line_mut(ic, 0));
+        apply_panel_multi_with(kernel.level, panel(ic), nv, x, y, k, kernel.tile_rows);
+    }
+    check(&cp_out, "simd");
+    cp_out.fill(Complex64::ZERO);
+    run_threaded(pool, &cp_in, &mut cp_out, &panels, nv, k, kernel, tiles);
+    check(&cp_out, "threaded");
 
     // --- Timings. ---
     let naive_ns = time_ns(target, || {
@@ -204,13 +245,17 @@ fn measure_point(
     let blocked_ns = time_ns(target, || {
         for ic in 0..pairs {
             let (x, y) = (cp_in.line(ic, 0), cp_out.line_mut(ic, 0));
-            xg_linalg::apply_panel_multi(panel(ic), nv, x, y, k);
+            apply_panel_multi_with(SimdLevel::Scalar, panel(ic), nv, x, y, k, nv);
+        }
+    });
+    let simd_ns = time_ns(target, || {
+        for ic in 0..pairs {
+            let (x, y) = (cp_in.line(ic, 0), cp_out.line_mut(ic, 0));
+            apply_panel_multi_with(kernel.level, panel(ic), nv, x, y, k, kernel.tile_rows);
         }
     });
     let threaded_ns = time_ns(target, || {
-        pool.for_each_chunk(cp_out.as_mut_slice(), k * nv, |ic, out| {
-            xg_linalg::apply_panel_multi(panel(ic), nv, cp_in.line(ic, 0), out, k);
-        });
+        run_threaded(pool, &cp_in, &mut cp_out, &panels, nv, k, kernel, tiles);
     });
 
     CollisionBenchResult {
@@ -219,10 +264,49 @@ fn measure_point(
         pairs,
         naive_ns,
         blocked_ns,
+        simd_ns,
         threaded_ns,
         speedup_blocked: naive_ns / blocked_ns,
+        speedup_simd: naive_ns / simd_ns,
         speedup_threaded: naive_ns / threaded_ns,
+        kernel,
     }
+}
+
+/// The production tile-granular split: one pool task per `(pair,
+/// row-tile)`, writing disjoint row ranges of disjoint per-pair lane
+/// blocks through the `Send + Sync` pointer wrapper.
+#[allow(clippy::too_many_arguments)]
+fn run_threaded(
+    pool: &StepPool,
+    cp_in: &Tensor3<Complex64>,
+    cp_out: &mut Tensor3<Complex64>,
+    panels: &[f64],
+    nv: usize,
+    k: usize,
+    kernel: KernelChoice,
+    tiles: usize,
+) {
+    let pairs = cp_in.shape().0;
+    let out = SendPtr(cp_out.as_mut_slice().as_mut_ptr());
+    pool.for_each_task(pairs * tiles, |t| {
+        let (ic, tile) = (t / tiles, t % tiles);
+        let r0 = tile * kernel.tile_rows;
+        let r1 = (r0 + kernel.tile_rows).min(nv);
+        // SAFETY: tasks write disjoint rows of disjoint per-pair lane
+        // blocks; cp_out outlives the blocking round.
+        unsafe {
+            apply_panel_rows_ptr(
+                kernel.level,
+                &panels[ic * nv * nv..(ic + 1) * nv * nv],
+                nv,
+                cp_in.line(ic, 0),
+                out.add(ic * k * nv),
+                k,
+                r0..r1,
+            );
+        }
+    });
 }
 
 /// Render the results as the `BENCH_collision.json` document (hand-built:
@@ -234,7 +318,8 @@ pub fn collision_bench_json(results: &[CollisionBenchResult], threads: usize) ->
     s.push_str(
         "  \"description\": \"per-(ic,it) cmat panel apply: naive per-RHS (strided \
          gather + single-RHS matvec + copy, panel streamed k times) vs batched-blocked \
-         (profile-contiguous multi-RHS, panel streamed once) vs blocked + worker pool\",\n",
+         (profile-contiguous multi-RHS, scalar kernel, panel streamed once) vs autotuned \
+         SIMD + L2-tiled kernel vs SIMD-tiled + worker pool (tile-granular tasks)\",\n",
     );
     let _ = writeln!(s, "  \"threads\": {threads},");
     s.push_str("  \"results\": [\n");
@@ -242,16 +327,20 @@ pub fn collision_bench_json(results: &[CollisionBenchResult], threads: usize) ->
         let _ = write!(
             s,
             "    {{\"nv\": {}, \"k\": {}, \"pairs\": {}, \"naive_ns\": {:.0}, \
-             \"blocked_ns\": {:.0}, \"threaded_ns\": {:.0}, \
-             \"speedup_blocked\": {:.3}, \"speedup_threaded\": {:.3}}}",
+             \"blocked_ns\": {:.0}, \"simd_ns\": {:.0}, \"threaded_ns\": {:.0}, \
+             \"speedup_blocked\": {:.3}, \"speedup_simd\": {:.3}, \
+             \"speedup_threaded\": {:.3}, \"kernel\": \"{}\"}}",
             r.nv,
             r.k,
             r.pairs,
             r.naive_ns,
             r.blocked_ns,
+            r.simd_ns,
             r.threaded_ns,
             r.speedup_blocked,
-            r.speedup_threaded
+            r.speedup_simd,
+            r.speedup_threaded,
+            r.kernel
         );
         s.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }
@@ -265,15 +354,16 @@ pub fn collision_bench_report(results: &[CollisionBenchResult], threads: usize) 
     let _ = writeln!(out, "P: batched multi-RHS collision apply ({threads} threads in pool)");
     let _ = writeln!(
         out,
-        "{:>5} {:>3} {:>6} {:>12} {:>12} {:>12} {:>9} {:>9}",
-        "nv", "k", "pairs", "naive_ns", "blocked_ns", "threaded_ns", "x_blk", "x_thr"
+        "{:>5} {:>3} {:>6} {:>12} {:>12} {:>12} {:>12} {:>7} {:>7} {:>7}  kernel",
+        "nv", "k", "pairs", "naive_ns", "blocked_ns", "simd_ns", "threaded_ns", "x_blk",
+        "x_simd", "x_thr"
     );
     for r in results {
         let _ = writeln!(
             out,
-            "{:>5} {:>3} {:>6} {:>12.0} {:>12.0} {:>12.0} {:>9.2} {:>9.2}",
-            r.nv, r.k, r.pairs, r.naive_ns, r.blocked_ns, r.threaded_ns,
-            r.speedup_blocked, r.speedup_threaded
+            "{:>5} {:>3} {:>6} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>7.2} {:>7.2} {:>7.2}  {}",
+            r.nv, r.k, r.pairs, r.naive_ns, r.blocked_ns, r.simd_ns, r.threaded_ns,
+            r.speedup_blocked, r.speedup_simd, r.speedup_threaded, r.kernel
         );
     }
     out
@@ -295,8 +385,12 @@ mod tests {
         let results = run_collision_bench(&cfg);
         assert_eq!(results.len(), 4);
         for r in &results {
-            assert!(r.naive_ns > 0.0 && r.blocked_ns > 0.0 && r.threaded_ns > 0.0);
+            assert!(
+                r.naive_ns > 0.0 && r.blocked_ns > 0.0 && r.simd_ns > 0.0 && r.threaded_ns > 0.0
+            );
             assert!(r.speedup_blocked.is_finite());
+            assert!(r.speedup_simd.is_finite());
+            assert!(r.kernel.tile_rows >= 1 && r.kernel.tile_rows <= r.nv);
         }
         let json = collision_bench_json(&results, cfg.threads);
         // Minimal well-formedness: balanced braces/brackets, expected keys.
@@ -304,7 +398,11 @@ mod tests {
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(json.contains("\"bench\": \"collision_apply\""));
         assert!(json.contains("\"speedup_blocked\""));
+        assert!(json.contains("\"simd_ns\""));
+        assert!(json.contains("\"speedup_simd\""));
+        assert!(json.contains("\"kernel\""));
         let report = collision_bench_report(&results, cfg.threads);
         assert!(report.contains("x_blk"));
+        assert!(report.contains("x_simd"));
     }
 }

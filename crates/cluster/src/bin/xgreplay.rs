@@ -57,6 +57,7 @@ fn main() {
     });
     let machine = machine.unwrap_or_else(MachineModel::frontier_like);
     let placement = Placement { ranks_per_node: machine.ranks_per_node };
+    report_kernel_meta(&text, &machine);
 
     // Deterministic per-(rank, op) jitter in [0, jitter_us].
     let jitter = jitter_us * 1e-6;
@@ -145,5 +146,39 @@ fn main() {
             eprintln!("xgreplay: {e}");
             exit(1);
         }
+    }
+}
+
+/// Report predicted-vs-chosen collision kernel from the trace's `#kernel=`
+/// metadata (written by `xgyro --trace`): the chosen kernel was measured on
+/// the capturing host, the prediction is this machine model's roofline over
+/// the same candidates.
+fn report_kernel_meta(text: &str, machine: &MachineModel) {
+    let meta = xg_comm::trace_meta(text);
+    let get = |key: &str| meta.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str());
+    let Some(chosen) = get("kernel") else { return };
+    let shape = get("kernel_nv")
+        .zip(get("kernel_k"))
+        .and_then(|(nv, k)| Some((nv.parse::<usize>().ok()?, k.parse::<usize>().ok()?)));
+    match shape {
+        Some((nv, k)) => {
+            let l2_kb = xg_linalg::l2_cache_kb();
+            let predicted = xg_costmodel::predicted_kernel(
+                machine,
+                nv,
+                k,
+                l2_kb,
+                &xg_linalg::SimdLevel::ALL,
+            );
+            let agree = chosen.parse::<xg_costmodel::KernelChoice>() == Ok(predicted);
+            println!(
+                "collision kernel (nv={nv}, k={k}): chosen {chosen} (measured on capture \
+                 host{}), predicted {predicted} on {} (L2 {l2_kb} KB){}",
+                get("simd_level").map(|l| format!(", probe {l}")).unwrap_or_default(),
+                machine.name,
+                if agree { " — agree" } else { "" }
+            );
+        }
+        None => println!("collision kernel: chosen {chosen} (trace has no shape metadata)"),
     }
 }

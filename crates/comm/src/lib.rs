@@ -38,5 +38,7 @@ pub use communicator::Communicator;
 pub use fault::{CommError, FaultKind, FaultPlan, FaultSpec};
 pub use nonblocking::PendingOp;
 pub use stats::{OpKind, OpRecord, TrafficLog};
-pub use tracefile::{traces_from_csv, traces_to_csv, TraceFileError};
+pub use tracefile::{
+    trace_meta, traces_from_csv, traces_to_csv, traces_to_csv_with_meta, TraceFileError,
+};
 pub use world::{RankOutcome, RankPanic, World};

@@ -14,6 +14,12 @@
 //! Files written before the timing column (header
 //! `rank,op,comm,phase,bytes,members`) still load; their records get
 //! `elapsed_us = 0`.
+//!
+//! Directly after the header a file may carry `#key=value` metadata lines
+//! (run configuration the replay tools report alongside the cost model —
+//! e.g. the autotuned collision kernel). The header stays the first line
+//! so version sniffing is unchanged; parsers ignore every `#` line, so
+//! files with metadata load in older readers and vice versa.
 
 use crate::stats::{OpKind, OpRecord};
 use std::fmt::Write as _;
@@ -69,8 +75,22 @@ fn op_from_str(s: &str) -> Option<OpKind> {
 
 /// Serialize per-rank traces.
 pub fn traces_to_csv(traces: &[Vec<OpRecord>]) -> String {
+    traces_to_csv_with_meta(traces, &[])
+}
+
+/// Serialize per-rank traces with `#key=value` metadata lines after the
+/// header. Keys and values must not contain newlines; `=` in values is
+/// fine (the reader splits on the first `=` only).
+pub fn traces_to_csv_with_meta(traces: &[Vec<OpRecord>], meta: &[(&str, &str)]) -> String {
     let mut out = String::from(HEADER);
     out.push('\n');
+    for (key, value) in meta {
+        debug_assert!(
+            !key.contains(['\n', '=']) && !value.contains('\n'),
+            "trace metadata key/value must be line- and '='-safe"
+        );
+        let _ = writeln!(out, "#{key}={value}");
+    }
     for (rank, recs) in traces.iter().enumerate() {
         for r in recs {
             let members = r
@@ -114,7 +134,7 @@ pub fn traces_from_csv(text: &str) -> Result<Vec<Vec<OpRecord>>, TraceFileError>
             }
             continue;
         }
-        if line.trim().is_empty() {
+        if line.trim().is_empty() || line.starts_with('#') {
             continue;
         }
         let ncols = if has_elapsed { 7 } else { 6 };
@@ -158,6 +178,18 @@ pub fn traces_from_csv(text: &str) -> Result<Vec<Vec<OpRecord>>, TraceFileError>
         });
     }
     Ok(traces)
+}
+
+/// Read the `#key=value` metadata lines of a trace file, in file order.
+/// Files without metadata (or pre-metadata files) yield an empty list;
+/// malformed `#` lines (no `=`) are skipped rather than rejected, since
+/// `#` is the comment namespace.
+pub fn trace_meta(text: &str) -> Vec<(String, String)> {
+    text.lines()
+        .filter(|l| l.starts_with('#'))
+        .filter_map(|l| l[1..].split_once('='))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -232,6 +264,30 @@ mod tests {
         assert_eq!(t.len(), 4);
         assert!(t[0].is_empty());
         assert_eq!(t[3].len(), 1);
+    }
+
+    #[test]
+    fn metadata_roundtrips_and_is_invisible_to_record_parsing() {
+        let t = sample();
+        let meta = [("kernel", "avx512/t128"), ("kernel_predicted", "avx2/t64")];
+        let csv = traces_to_csv_with_meta(&t, &meta);
+        // Header stays line 1 (version sniffing), meta directly after.
+        assert!(csv.starts_with(&format!("{HEADER}\n#kernel=avx512/t128\n")));
+        assert_eq!(traces_from_csv(&csv).unwrap(), t, "meta must not change records");
+        assert_eq!(
+            trace_meta(&csv),
+            vec![
+                ("kernel".to_string(), "avx512/t128".to_string()),
+                ("kernel_predicted".to_string(), "avx2/t64".to_string()),
+            ]
+        );
+        // Meta-free files: empty meta, identical to traces_to_csv.
+        assert_eq!(traces_to_csv_with_meta(&t, &[]), traces_to_csv(&t));
+        assert!(trace_meta(&traces_to_csv(&t)).is_empty());
+        // Stray comment lines are skipped, not rejected.
+        let csv = format!("{HEADER}\n# free-form comment, no equals\n");
+        assert_eq!(traces_from_csv(&csv).unwrap(), Vec::<Vec<OpRecord>>::new());
+        assert!(trace_meta(&csv).is_empty());
     }
 
     #[test]

@@ -122,12 +122,28 @@ fn main() {
         cfg.k() * cfg.grid().n1 * cfg.grid().n2
     );
     if let Some(path) = &args.trace {
-        let csv = xg_comm::traces_to_csv(&outcome.traces);
+        // Stamp the trace with the autotuned collision kernel (the cached
+        // choice the topologies resolved at build time) and its shape, so
+        // xgreplay/xgplan can report predicted-vs-chosen offline.
+        let dims = cfg.members()[0].dims();
+        let kernel = xg_costmodel::tune_collision_kernel(dims.nv, cfg.k());
+        let meta_owned = [
+            ("kernel", kernel.to_string()),
+            ("kernel_nv", dims.nv.to_string()),
+            ("kernel_k", cfg.k().to_string()),
+            ("simd_level", xg_linalg::selected_level().to_string()),
+        ];
+        let meta: Vec<(&str, &str)> =
+            meta_owned.iter().map(|(k, v)| (*k, v.as_str())).collect();
+        let csv = xg_comm::traces_to_csv_with_meta(&outcome.traces, &meta);
         if let Err(e) = std::fs::write(path, csv) {
             eprintln!("xgyro: cannot write trace {}: {e}", path.display());
             exit(1);
         }
-        println!("communication trace written to {}", path.display());
+        println!(
+            "communication trace written to {} (collision kernel {kernel})",
+            path.display()
+        );
     }
     let s = summarize_trace(&outcome.traces[0]);
     println!("\nrank-0 communication summary:\n{}", s.to_table());

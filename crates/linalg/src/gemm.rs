@@ -58,22 +58,44 @@ pub fn matvec(a: &RealMatrix, x: &[f64], y: &mut [f64]) {
 pub fn matvec_complex(a: &RealMatrix, x: &[Complex64], y: &mut [Complex64]) {
     assert_eq!(a.cols(), x.len(), "matvec_complex: x length mismatch");
     assert_eq!(a.rows(), y.len(), "matvec_complex: y length mismatch");
+    matvec_complex_flat(a.as_slice(), a.rows(), a.cols(), x, y);
+}
+
+/// Shared contraction body for the flat matvec, instantiated plain and
+/// under `target_feature(enable = "fma")` so `mul_add` lowers to `vfmadd`
+/// on FMA hardware while staying bit-identical to the software fallback
+/// (both are correctly-rounded IEEE 754 fused multiply-adds). Every
+/// collision kernel — this one, the register-blocked scalar path and the
+/// SIMD micro-kernels in [`crate::simd`] — uses this same per-(row, rhs)
+/// FMA contraction over ascending `j`, which is what makes them mutually
+/// bitwise identical.
+#[inline(always)]
+fn matvec_flat_body(a: &[f64], rows: usize, cols: usize, x: &[Complex64], y: &mut [Complex64]) {
+    let _ = rows;
     for (i, yi) in y.iter_mut().enumerate() {
-        let row = a.row(i);
+        let row = &a[i * cols..(i + 1) * cols];
         let mut re = 0.0;
         let mut im = 0.0;
         for (aij, xj) in row.iter().zip(x) {
-            re += aij * xj.re;
-            im += aij * xj.im;
+            re = aij.mul_add(xj.re, re);
+            im = aij.mul_add(xj.im, im);
         }
         *yi = Complex64::new(re, im);
     }
 }
 
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "fma")]
+unsafe fn matvec_flat_fma(a: &[f64], rows: usize, cols: usize, x: &[Complex64], y: &mut [Complex64]) {
+    matvec_flat_body(a, rows, cols, x, y)
+}
+
 /// Real-matrix × complex-vector over a raw row-major panel (no
 /// `RealMatrix` wrapper): the collision step streams its constant tensor
 /// as one contiguous 4-D allocation and applies per-(ic, itor) `nv×nv`
-/// panels through this kernel.
+/// panels through this kernel. The contraction is one fused multiply-add
+/// per term over ascending `j` — the reference order every blocked and
+/// SIMD variant reproduces bitwise.
 pub fn matvec_complex_flat(
     a: &[f64],
     rows: usize,
@@ -84,16 +106,13 @@ pub fn matvec_complex_flat(
     assert_eq!(a.len(), rows * cols, "panel size mismatch");
     assert_eq!(x.len(), cols, "x length mismatch");
     assert_eq!(y.len(), rows, "y length mismatch");
-    for (i, yi) in y.iter_mut().enumerate() {
-        let row = &a[i * cols..(i + 1) * cols];
-        let mut re = 0.0;
-        let mut im = 0.0;
-        for (aij, xj) in row.iter().zip(x) {
-            re += aij * xj.re;
-            im += aij * xj.im;
-        }
-        *yi = Complex64::new(re, im);
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::hw_fma() {
+        // SAFETY: hw_fma() checked the CPU supports the enabled feature.
+        unsafe { matvec_flat_fma(a, rows, cols, x, y) };
+        return;
     }
+    matvec_flat_body(a, rows, cols, x, y);
 }
 
 /// In-place variant of [`matvec_complex`] using a caller-provided scratch
@@ -109,8 +128,14 @@ pub fn matvec_complex_inplace(a: &RealMatrix, x: &mut [Complex64], scratch: &mut
 /// `n×n` panel. Same arithmetic as [`matvec_complex_flat`]; exists so call
 /// sites that already own a destination buffer avoid the
 /// `matvec → copy_from_slice` round-trip of the in-place form.
+///
+/// Slice-length preconditions are debug-asserted up front (with messages
+/// naming this function) so a mis-sized panel fails loudly at the call
+/// boundary instead of as an index panic deep in the contraction.
 #[inline]
 pub fn matvec_complex_flat_into(a: &[f64], n: usize, x: &[Complex64], y: &mut [Complex64]) {
+    debug_assert_eq!(a.len(), n * n, "matvec_complex_flat_into: a.len() must be n*n");
+    debug_assert_eq!(y.len(), n, "matvec_complex_flat_into: y.len() must be n");
     matvec_complex_flat(a, n, n, x, y);
 }
 
@@ -119,65 +144,30 @@ pub fn matvec_complex_flat_into(a: &[f64], n: usize, x: &[Complex64], y: &mut [C
 /// RHS-major (`x[r*n..(r+1)*n]` is right-hand side `r`).
 ///
 /// This is the ensemble collision kernel: k members share one `cmat`
-/// panel, so each panel row is loaded once and reused across up to four
-/// right-hand sides held in split re/im register accumulators (then a
-/// 2-wide and 1-wide remainder). Per (row, rhs) the accumulation order is
-/// a single accumulator pair over ascending `j` — exactly the sequence
+/// panel, so each panel row tile is loaded once and reused across all
+/// right-hand sides. Dispatches to the process-selected SIMD micro-kernel
+/// ([`crate::simd::selected_level`], overridable via `XGYRO_SIMD`) with
+/// the default L2-derived row-tile height. Per (row, rhs) the accumulation
+/// is one FMA accumulator pair over ascending `j` — exactly the sequence
 /// [`matvec_complex_flat`] performs — so results are bitwise identical to
-/// applying the naive kernel per column, independent of `nrhs`.
+/// applying the naive kernel per column, independent of `nrhs`, the
+/// kernel level and the tiling.
+///
+/// Slice-length preconditions are debug-asserted with messages naming this
+/// function, so mis-sized blocks fail loudly at the call boundary.
 pub fn apply_panel_multi(a: &[f64], n: usize, x: &[Complex64], y: &mut [Complex64], nrhs: usize) {
-    assert_eq!(a.len(), n * n, "panel size mismatch");
-    assert_eq!(x.len(), n * nrhs, "x block size mismatch");
-    assert_eq!(y.len(), n * nrhs, "y block size mismatch");
-    let mut r = 0;
-    while r + 4 <= nrhs {
-        let (x0, x1, x2, x3) =
-            (&x[r * n..(r + 1) * n], &x[(r + 1) * n..(r + 2) * n], &x[(r + 2) * n..(r + 3) * n], &x[(r + 3) * n..(r + 4) * n]);
-        for i in 0..n {
-            let row = &a[i * n..(i + 1) * n];
-            let (mut re0, mut im0) = (0.0, 0.0);
-            let (mut re1, mut im1) = (0.0, 0.0);
-            let (mut re2, mut im2) = (0.0, 0.0);
-            let (mut re3, mut im3) = (0.0, 0.0);
-            for j in 0..n {
-                let aij = row[j];
-                re0 += aij * x0[j].re;
-                im0 += aij * x0[j].im;
-                re1 += aij * x1[j].re;
-                im1 += aij * x1[j].im;
-                re2 += aij * x2[j].re;
-                im2 += aij * x2[j].im;
-                re3 += aij * x3[j].re;
-                im3 += aij * x3[j].im;
-            }
-            y[r * n + i] = Complex64::new(re0, im0);
-            y[(r + 1) * n + i] = Complex64::new(re1, im1);
-            y[(r + 2) * n + i] = Complex64::new(re2, im2);
-            y[(r + 3) * n + i] = Complex64::new(re3, im3);
-        }
-        r += 4;
-    }
-    if r + 2 <= nrhs {
-        let (x0, x1) = (&x[r * n..(r + 1) * n], &x[(r + 1) * n..(r + 2) * n]);
-        for i in 0..n {
-            let row = &a[i * n..(i + 1) * n];
-            let (mut re0, mut im0) = (0.0, 0.0);
-            let (mut re1, mut im1) = (0.0, 0.0);
-            for j in 0..n {
-                let aij = row[j];
-                re0 += aij * x0[j].re;
-                im0 += aij * x0[j].im;
-                re1 += aij * x1[j].re;
-                im1 += aij * x1[j].im;
-            }
-            y[r * n + i] = Complex64::new(re0, im0);
-            y[(r + 1) * n + i] = Complex64::new(re1, im1);
-        }
-        r += 2;
-    }
-    if r < nrhs {
-        matvec_complex_flat(a, n, n, &x[r * n..(r + 1) * n], &mut y[r * n..(r + 1) * n]);
-    }
+    debug_assert_eq!(a.len(), n * n, "apply_panel_multi: a.len() must be n*n");
+    debug_assert_eq!(x.len(), n * nrhs, "apply_panel_multi: x.len() must be n*nrhs");
+    debug_assert_eq!(y.len(), n * nrhs, "apply_panel_multi: y.len() must be n*nrhs");
+    crate::simd::apply_panel_multi_with(
+        crate::simd::selected_level(),
+        a,
+        n,
+        x,
+        y,
+        nrhs,
+        crate::simd::default_tile_rows(n, crate::simd::l2_cache_kb()),
+    );
 }
 
 /// Number of floating-point operations for one real×complex matvec of size
@@ -338,5 +328,45 @@ mod tests {
         let x: Vec<Complex64> = vec![];
         let mut y: Vec<Complex64> = vec![];
         apply_panel_multi(&a, 3, &x, &mut y, 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "matvec_complex_flat_into: a.len() must be n*n")]
+    fn flat_into_short_panel_panics_with_named_precondition() {
+        let a = vec![0.0; 8]; // one element short of 3*3
+        let x = vec![Complex64::ZERO; 3];
+        let mut y = vec![Complex64::ZERO; 3];
+        matvec_complex_flat_into(&a, 3, &x, &mut y);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "matvec_complex_flat_into: y.len() must be n")]
+    fn flat_into_short_output_panics_with_named_precondition() {
+        let a = vec![0.0; 9];
+        let x = vec![Complex64::ZERO; 3];
+        let mut y = vec![Complex64::ZERO; 2];
+        matvec_complex_flat_into(&a, 3, &x, &mut y);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "apply_panel_multi: y.len() must be n*nrhs")]
+    fn multi_rhs_short_output_panics_with_named_precondition() {
+        let a = vec![0.0; 9];
+        let x = vec![Complex64::ZERO; 6];
+        let mut y = vec![Complex64::ZERO; 5]; // one short of 3*2
+        apply_panel_multi(&a, 3, &x, &mut y, 2);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "apply_panel_multi: a.len() must be n*n")]
+    fn multi_rhs_short_panel_panics_with_named_precondition() {
+        let a = vec![0.0; 8];
+        let x = vec![Complex64::ZERO; 3];
+        let mut y = vec![Complex64::ZERO; 3];
+        apply_panel_multi(&a, 3, &x, &mut y, 1);
     }
 }

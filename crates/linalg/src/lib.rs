@@ -21,6 +21,7 @@ pub mod gemm;
 pub mod lu;
 pub mod matrix;
 pub mod norms;
+pub mod simd;
 
 pub use complex::{Complex64, I};
 pub use eigen::spectral_radius;
@@ -31,3 +32,7 @@ pub use gemm::{
 };
 pub use lu::{solve_into, LuFactors, SingularMatrix};
 pub use matrix::RealMatrix;
+pub use simd::{
+    apply_panel_multi_with, apply_panel_rows_ptr, available_levels, default_tile_rows,
+    detected_level, l2_cache_kb, selected_level, SimdLevel, L2_ENV, SIMD_ENV,
+};

@@ -54,8 +54,12 @@ pub fn to_json(reg: &Registry) -> String {
     ));
     let (replays, replay_us) = reg.replay_stats();
     s.push_str(&format!(
-        "  \"replay\": {{\"count\": {replays}, \"wall_us\": {replay_us}}}\n"
+        "  \"replay\": {{\"count\": {replays}, \"wall_us\": {replay_us}}},\n"
     ));
+    match reg.collision_kernel() {
+        Some(k) => s.push_str(&format!("  \"collision_kernel\": \"{k}\"\n")),
+        None => s.push_str("  \"collision_kernel\": null\n"),
+    }
     s.push_str("}\n");
     s
 }
@@ -139,6 +143,19 @@ pub fn to_prometheus(reg: &Registry) -> String {
         "xgyro_journal_replay_seconds_total {}\n",
         fmt_seconds(replay_us)
     ));
+    // Info-style metric: constant 1 with the autotuned collision kernel as
+    // a label. Its own family (not a label on the phase histograms) so
+    // every sample of one name keeps the same label keys — the linter's
+    // consistency rule. Omitted until a topology has been built.
+    if let Some(kernel) = reg.collision_kernel() {
+        s.push_str(
+            "# HELP xgyro_collision_kernel_info Autotuned collision kernel (SIMD level / row-tile height).\n",
+        );
+        s.push_str("# TYPE xgyro_collision_kernel_info gauge\n");
+        s.push_str(&format!(
+            "xgyro_collision_kernel_info{{kernel=\"{kernel}\"}} 1\n"
+        ));
+    }
     s
 }
 
@@ -389,6 +406,7 @@ mod tests {
         reg.record_journal_append_us();
         reg.record_journal_fsync_us(2500);
         reg.record_journal_replay_us(12_000);
+        reg.set_collision_kernel("avx2/t64");
         reg
     }
 
@@ -405,6 +423,7 @@ mod tests {
         assert!(json.contains("\"recovery\": {\"events\": 1, \"wasted_us\": 1500}"));
         assert!(json.contains("\"journal\": {\"appends\": 2, \"fsyncs\": 1, \"fsync_us\": 2500}"));
         assert!(json.contains("\"replay\": {\"count\": 1, \"wall_us\": 12000}"));
+        assert!(json.contains("\"collision_kernel\": \"avx2/t64\""));
     }
 
     #[test]
@@ -414,6 +433,7 @@ mod tests {
         assert!(json.contains("\"recovery\": {\"events\": 0, \"wasted_us\": 0}"));
         assert!(json.contains("\"journal\": {\"appends\": 0, \"fsyncs\": 0, \"fsync_us\": 0}"));
         assert!(json.contains("\"replay\": {\"count\": 0, \"wall_us\": 0}"));
+        assert!(json.contains("\"collision_kernel\": null"));
     }
 
     #[test]
@@ -430,6 +450,11 @@ mod tests {
         assert!(text.contains("xgyro_journal_fsync_seconds_total 0.0025"));
         assert!(text.contains("xgyro_journal_replays_total 1"));
         assert!(text.contains("xgyro_journal_replay_seconds_total 0.012"));
+        assert!(text.contains("xgyro_collision_kernel_info{kernel=\"avx2/t64\"} 1"));
+        assert!(
+            !to_prometheus(&Registry::default()).contains("xgyro_collision_kernel_info"),
+            "info metric must be omitted until a kernel is recorded"
+        );
         let n = lint_prometheus(&text).expect("own exposition must lint clean");
         assert!(n > 100, "expected full bucket series, got {n} samples");
     }

@@ -43,6 +43,7 @@ pub use expo::{parse_prometheus, PromSample};
 pub use hist::Histogram;
 
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Environment switch: `XGYRO_OBS=0` disables every probe (and makes them
@@ -196,6 +197,11 @@ pub struct Registry {
     replays: AtomicU64,
     /// Microseconds spent replaying journals at startup.
     replay_us: AtomicU64,
+    /// Autotuned collision-kernel label (e.g. `avx512/t128`), set once at
+    /// topology build. Config metadata rather than a timing probe, so it is
+    /// recorded regardless of the [`enabled`] switch; exposed as an
+    /// info-style metric next to the coll-phase histograms.
+    collision_kernel: Mutex<Option<String>>,
 }
 
 static GLOBAL: Registry = Registry {
@@ -216,6 +222,7 @@ static GLOBAL: Registry = Registry {
     journal_fsync_us: AtomicU64::new(0),
     replays: AtomicU64::new(0),
     replay_us: AtomicU64::new(0),
+    collision_kernel: Mutex::new(None),
 };
 
 impl PhaseMetrics {
@@ -293,6 +300,17 @@ impl Registry {
         )
     }
 
+    /// Record the autotuned collision-kernel label (idempotent; last write
+    /// wins when topologies with different shapes coexist in-process).
+    pub fn set_collision_kernel(&self, label: &str) {
+        *self.collision_kernel.lock().unwrap() = Some(label.to_string());
+    }
+
+    /// The collision-kernel label, if a topology has been built.
+    pub fn collision_kernel(&self) -> Option<String> {
+        self.collision_kernel.lock().unwrap().clone()
+    }
+
     /// Zero every histogram and counter (tests and fresh-run brackets).
     pub fn reset(&self) {
         for p in &self.phases {
@@ -306,6 +324,7 @@ impl Registry {
         self.journal_fsync_us.store(0, Ordering::Relaxed);
         self.replays.store(0, Ordering::Relaxed);
         self.replay_us.store(0, Ordering::Relaxed);
+        *self.collision_kernel.lock().unwrap() = None;
     }
 }
 
@@ -388,6 +407,14 @@ pub fn record_journal_replay(us: u64) {
     }
 }
 
+/// Record the autotuned collision-kernel label into the global registry.
+/// Unlike the timers this is configuration metadata (set once at topology
+/// build), so it bypasses the [`enabled`] gate — disabling observability
+/// must not erase which kernel the run used.
+pub fn set_collision_kernel(label: &str) {
+    Registry::global().set_collision_kernel(label);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -424,6 +451,28 @@ mod tests {
         let m = Registry::global().phase(Phase::Recover);
         assert_eq!(m.busy.snapshot().count, before);
         set_enabled(true);
+    }
+
+    #[test]
+    fn collision_kernel_label_survives_disable_and_clears_on_reset() {
+        let reg = Registry::default();
+        assert_eq!(reg.collision_kernel(), None);
+        reg.set_collision_kernel("avx2/t64");
+        assert_eq!(reg.collision_kernel().as_deref(), Some("avx2/t64"));
+        reg.set_collision_kernel("avx512/t128");
+        assert_eq!(reg.collision_kernel().as_deref(), Some("avx512/t128"));
+        reg.reset();
+        assert_eq!(reg.collision_kernel(), None);
+        // The free function bypasses the enabled() gate: the label is
+        // config metadata, not a timing probe.
+        let was = enabled();
+        set_enabled(false);
+        set_collision_kernel("scalar/t8");
+        set_enabled(was);
+        assert_eq!(
+            Registry::global().collision_kernel().as_deref(),
+            Some("scalar/t8")
+        );
     }
 
     #[test]

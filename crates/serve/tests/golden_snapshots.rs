@@ -76,6 +76,7 @@ fn obs_fixture() -> Registry {
     reg.record_busy_us(Phase::Coll, 2_000);
     reg.record_comm_wait_us(Phase::Str, 40);
     reg.record_recovery_waste_us(5_000);
+    reg.set_collision_kernel("avx2/t64");
     reg
 }
 

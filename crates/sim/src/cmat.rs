@@ -131,6 +131,61 @@ impl CollisionConstants {
         xg_linalg::apply_panel_multi(self.panel(ic_loc, it_loc), self.nv, x, y, nrhs);
     }
 
+    /// Like [`Self::apply_multi`] with an explicit kernel choice: SIMD
+    /// level and L2 row-tile height from the autotuner
+    /// ([`xg_costmodel::tuner::tune_collision_kernel`]) instead of the
+    /// process defaults. Bitwise identical to every other apply variant.
+    pub fn apply_multi_tiled(
+        &self,
+        ic_loc: usize,
+        it_loc: usize,
+        x: &[Complex64],
+        y: &mut [Complex64],
+        nrhs: usize,
+        kernel: xg_costmodel::KernelChoice,
+    ) {
+        xg_linalg::apply_panel_multi_with(
+            kernel.level,
+            self.panel(ic_loc, it_loc),
+            self.nv,
+            x,
+            y,
+            nrhs,
+            kernel.tile_rows,
+        );
+    }
+
+    /// Row-tile-granular apply for worker-pool tasks: compute rows `rows`
+    /// of `Y = A·X` at one `(ic, itor)` pair, writing `y[r·nv + i]` for
+    /// `i ∈ rows` through a raw output pointer (the written elements are
+    /// strided across the `nrhs` profiles, so no contiguous `&mut` split
+    /// exists). Bitwise identical to the full apply for any tiling.
+    ///
+    /// # Safety
+    /// `y` must be valid for `nv·nrhs` elements and outlive the call;
+    /// concurrent calls on the same `y` must cover disjoint `rows`.
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn apply_multi_rows(
+        &self,
+        ic_loc: usize,
+        it_loc: usize,
+        x: &[Complex64],
+        y: *mut Complex64,
+        nrhs: usize,
+        rows: Range<usize>,
+        level: xg_linalg::SimdLevel,
+    ) {
+        xg_linalg::apply_panel_rows_ptr(
+            level,
+            self.panel(ic_loc, it_loc),
+            self.nv,
+            x,
+            y,
+            nrhs,
+            rows,
+        );
+    }
+
     /// Bytes of constant-tensor storage held by this slice.
     pub fn bytes(&self) -> u64 {
         (self.tensor.len() * std::mem::size_of::<f64>()) as u64
@@ -328,6 +383,31 @@ mod tests {
                 let mut y = vec![Complex64::ZERO; nrhs * nv];
                 cm.apply_multi(ic, it, &block, &mut y, nrhs);
                 assert_eq!(y, want);
+                // Explicitly-tuned kernels: every available level × odd
+                // tile heights stay bitwise equal.
+                for level in xg_linalg::simd::available_levels() {
+                    for tile_rows in [1usize, 3, nv] {
+                        let mut y = vec![Complex64::ZERO; nrhs * nv];
+                        cm.apply_multi_tiled(
+                            ic,
+                            it,
+                            &block,
+                            &mut y,
+                            nrhs,
+                            xg_costmodel::KernelChoice { level, tile_rows },
+                        );
+                        assert_eq!(y, want, "level {level} tile {tile_rows}");
+                    }
+                    // Row-tile-granular entry, applied in uneven pieces.
+                    let mut y = vec![Complex64::ZERO; nrhs * nv];
+                    let mid = nv / 3;
+                    for rows in [mid..nv, 0..mid] {
+                        unsafe {
+                            cm.apply_multi_rows(ic, it, &block, y.as_mut_ptr(), nrhs, rows, level);
+                        }
+                    }
+                    assert_eq!(y, want, "row-granular level {level}");
+                }
             }
         }
     }

@@ -25,10 +25,12 @@ use crate::geometry::Geometry;
 use crate::grid::{ConfigGrid, VelocityGrid};
 use crate::input::{CgyroInput, ReduceAlgo};
 use crate::nonlinear::NlKernel;
-use crate::pool::StepPool;
+use crate::pool::{SendPtr, StepPool};
 use crate::stepper::Topology;
 use xg_comm::Communicator;
-use xg_costmodel::{best_allreduce_algo, AllReduceAlgo, CollectiveShape, MachineModel, Placement};
+use xg_costmodel::{
+    best_allreduce_algo, AllReduceAlgo, CollectiveShape, KernelChoice, MachineModel, Placement,
+};
 use xg_linalg::Complex64;
 use xg_tensor::{
     pack_coll_profiles_block, pack_coll_profiles_slice, pack_nl_block, pack_str_block,
@@ -99,6 +101,9 @@ pub struct DistTopology {
     /// Str-phase reduction algorithm resolved at build time (env >
     /// deck > cost model).
     reduce_algo: ResolvedReduceAlgo,
+    /// Collision kernel (SIMD level + L2 row-tile height) autotuned at
+    /// build time for this rank's (nv, k) shape; bitwise-neutral.
+    kernel: KernelChoice,
     /// Second coll communicator for the pipelined exchange: the reverse
     /// transpose of slice `i` is in flight while the forward transpose of
     /// slice `i+1` runs on `coll_comm` (the rendezvous slots allow one
@@ -192,6 +197,11 @@ impl DistTopology {
         let p = coll_comm.size();
 
         let reduce_algo = Self::resolve_reduce_algo(input, &nv_comm, ntl);
+        // One-shot collision-kernel autotune for this rank's (nv, k)
+        // shape — the compute-side analog of resolve_reduce_algo. Cached
+        // per process, so k topologies of one ensemble tune once.
+        let kernel = xg_costmodel::tune_collision_kernel(dims.nv, sims_in_coll);
+        xg_obs::set_collision_kernel(&kernel.to_string());
         let pipeline = std::env::var(COLL_PIPELINE_ENV).map(|v| v != "0").unwrap_or(true);
         // The pipelined exchange double-buffers across two communicators
         // (one outstanding op each). Built unconditionally — split is a
@@ -216,6 +226,7 @@ impl DistTopology {
             spare_blocks: Vec::new(),
             pool: StepPool::from_env(),
             reduce_algo,
+            kernel,
             coll_rev_comm,
             pipeline,
         }
@@ -310,6 +321,11 @@ impl DistTopology {
         self.reduce_algo
     }
 
+    /// The autotuned collision kernel this topology runs.
+    pub fn kernel_choice(&self) -> KernelChoice {
+        self.kernel
+    }
+
     /// Pin the str-phase reduction algorithm (equivalence tests pin each
     /// variant explicitly instead of mutating process-global environment).
     pub fn set_reduce_algo(&mut self, algo: ResolvedReduceAlgo) {
@@ -401,10 +417,29 @@ impl DistTopology {
             }
             let cmat = &self.cmat;
             let input_ref = &slice_in;
-            // Chunk index == ic_loc (one (ic, it=itl) pair per chunk); the
-            // panel is addressed with the true toroidal slice.
-            self.pool.for_each_chunk(slice_out.as_mut_slice(), lanes, |ic, out| {
-                cmat.apply_multi(ic, itl, input_ref.line(ic, 0), out, k);
+            let kernel = self.kernel;
+            // Tile-granular: one task per (ic_loc, row-tile), the panel
+            // addressed with the true toroidal slice. Even a single-slice
+            // step with few ic pairs keeps every pool thread busy.
+            let tiles = dims.nv.div_ceil(kernel.tile_rows.max(1));
+            let out = SendPtr(slice_out.as_mut_slice().as_mut_ptr());
+            self.pool.for_each_task(my_nc * tiles, |t| {
+                let (ic, tile) = (t / tiles, t % tiles);
+                let r0 = tile * kernel.tile_rows;
+                let r1 = (r0 + kernel.tile_rows).min(dims.nv);
+                // SAFETY: tasks write disjoint rows of disjoint per-ic
+                // lane blocks; slice_out outlives the blocking round.
+                unsafe {
+                    cmat.apply_multi_rows(
+                        ic,
+                        itl,
+                        input_ref.line(ic, 0),
+                        out.add(ic * lanes),
+                        k,
+                        r0..r1,
+                        kernel.level,
+                    );
+                }
             });
 
             // Recycle the forward receive blocks as the reverse send set
@@ -480,14 +515,37 @@ impl DistTopology {
             );
         }
 
-        // Apply this rank's cmat slice to every simulation's profile in one
-        // batched multi-RHS pass per (ic, it): the stored panel is streamed
-        // once for all k members (the arithmetic-intensity bonus of
-        // sharing), and the pair loop fans out over the worker pool.
+        // Apply this rank's cmat slice to every simulation's profile in
+        // batched multi-RHS row tiles per (ic, it): each L2-sized panel
+        // tile is streamed once through all k members' profiles (the
+        // arithmetic-intensity bonus of sharing), and the (pair × tile)
+        // tasks fan out over the worker pool so uneven pair counts no
+        // longer strand threads.
         let cmat = &self.cmat;
         let coll_in = &self.coll_in;
-        self.pool.for_each_chunk(self.coll_out.as_mut_slice(), k * dims.nv, |pair, out| {
-            cmat.apply_multi(pair / ntl, pair % ntl, coll_in.line(pair / ntl, pair % ntl), out, k);
+        let kernel = self.kernel;
+        let lanes = k * dims.nv;
+        let my_nc = self.coll_nc_decomp.count(self.coll_comm.rank());
+        let tiles = dims.nv.div_ceil(kernel.tile_rows.max(1));
+        let out = SendPtr(self.coll_out.as_mut_slice().as_mut_ptr());
+        self.pool.for_each_task(my_nc * ntl * tiles, |t| {
+            let (pair, tile) = (t / tiles, t % tiles);
+            let (ic, it) = (pair / ntl, pair % ntl);
+            let r0 = tile * kernel.tile_rows;
+            let r1 = (r0 + kernel.tile_rows).min(dims.nv);
+            // SAFETY: tasks write disjoint rows of disjoint per-pair lane
+            // blocks; coll_out outlives the blocking round.
+            unsafe {
+                cmat.apply_multi_rows(
+                    ic,
+                    it,
+                    coll_in.line(ic, it),
+                    out.add(pair * lanes),
+                    k,
+                    r0..r1,
+                    kernel.level,
+                );
+            }
         });
 
         // Reverse transpose: return each simulation's blocks to its owners,

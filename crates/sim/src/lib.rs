@@ -41,6 +41,6 @@ pub use collision::CollisionOperator;
 pub use dist::{DistTopology, ResolvedReduceAlgo, COLL_PIPELINE_ENV, REDUCE_ALGO_ENV};
 pub use input::{CgyroInput, ReduceAlgo, Species};
 pub use moments::{moments_table, species_moments, SpeciesMoments};
-pub use pool::{StepPool, THREADS_ENV};
+pub use pool::{SendPtr, StepPool, THREADS_ENV};
 pub use serial::{serial_simulation, SerialTopology};
 pub use stepper::{initial_value, Diagnostics, Simulation, Topology};

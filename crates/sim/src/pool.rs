@@ -22,6 +22,37 @@ use std::sync::mpsc::{channel, Sender};
 use std::thread::JoinHandle;
 use xg_tensor::Decomp1D;
 
+/// A raw mutable pointer that may cross thread boundaries, for task loops
+/// whose tasks write provably disjoint regions of one output buffer (the
+/// tile-granular collision loop: each `(panel, row-tile)` task writes a
+/// strided but disjoint set of output elements, so no safe split into
+/// contiguous `&mut` chunks exists).
+///
+/// # Safety contract (on the user, not the type)
+/// Concurrent tasks must never write overlapping elements, and the
+/// pointee must outlive the (blocking) task round.
+#[derive(Clone, Copy)]
+pub struct SendPtr<T>(pub *mut T);
+
+// SAFETY: sending the raw pointer is safe; dereferencing it is the unsafe
+// act, guarded at each use site by the disjoint-write argument above.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// The wrapped pointer offset by `count` elements. Tasks must go
+    /// through the wrapper rather than the `.0` field: edition-2021
+    /// closures capture disjoint fields, and capturing the bare raw
+    /// pointer would strip the `Send + Sync` wrapper.
+    ///
+    /// # Safety
+    /// Same contract as [`pointer::add`]: the offset must stay within one
+    /// allocation.
+    pub unsafe fn add(self, count: usize) -> *mut T {
+        self.0.add(count)
+    }
+}
+
 /// Environment variable selecting the stepping-pool width.
 pub const THREADS_ENV: &str = "XGYRO_THREADS";
 
@@ -140,6 +171,32 @@ impl StepPool {
             }
         });
     }
+
+    /// Run `f(task)` once for every task index in `0..n_tasks`, statically
+    /// partitioned across the pool in index order ([`Decomp1D`] blocks).
+    ///
+    /// This is the tile-granular work distribution for the collision loop:
+    /// a task is one `(panel, row-tile)` rather than one whole `(ic, it)`
+    /// pair, so a step with fewer pairs than threads no longer strands the
+    /// extra threads — [`Decomp1D`] hands every participant at least one
+    /// task whenever `n_tasks ≥ threads()`. Each task runs on exactly one
+    /// participant and the assignment depends only on `n_tasks` and the
+    /// pool width, so any output written disjointly per task is bitwise
+    /// independent of the width.
+    pub fn for_each_task<F>(&self, n_tasks: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if n_tasks == 0 {
+            return;
+        }
+        let decomp = Decomp1D::new(n_tasks, self.threads());
+        self.run(&|tid| {
+            for t in decomp.range(tid) {
+                f(t);
+            }
+        });
+    }
 }
 
 impl Drop for StepPool {
@@ -245,5 +302,47 @@ mod tests {
     fn zero_threads_clamps_to_one() {
         let pool = StepPool::new(0);
         assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn tasks_run_exactly_once_for_any_width() {
+        for threads in [1, 2, 3, 8] {
+            for n_tasks in [0usize, 1, 5, 13, 64] {
+                let pool = StepPool::new(threads);
+                let hits: Vec<AtomicUsize> = (0..n_tasks).map(|_| AtomicUsize::new(0)).collect();
+                pool.for_each_task(n_tasks, |t| {
+                    hits[t].fetch_add(1, Ordering::SeqCst);
+                });
+                for (t, h) in hits.iter().enumerate() {
+                    assert_eq!(h.load(Ordering::SeqCst), 1, "task {t} at width {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tile_granular_tasks_utilize_every_thread() {
+        // The regression this distribution fixes: 2 pairs × 4 row tiles on
+        // a 4-wide pool. A per-pair chunk split strands two threads; the
+        // tile-granular split hands every participant work.
+        let (pairs, tiles, threads) = (2usize, 4usize, 4usize);
+        let pool = StepPool::new(threads);
+        let seen: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
+        let decomp = Decomp1D::new(pairs * tiles, threads);
+        pool.for_each_task(pairs * tiles, |t| {
+            seen[decomp.owner(t)].fetch_add(1, Ordering::SeqCst);
+        });
+        for (tid, s) in seen.iter().enumerate() {
+            assert!(s.load(Ordering::SeqCst) >= 1, "thread {tid} stranded");
+        }
+        // And in general: n_tasks >= threads ⇒ every participant owns work.
+        for threads in [2usize, 3, 5, 8] {
+            for n_tasks in threads..threads * 3 {
+                let d = Decomp1D::new(n_tasks, threads);
+                for tid in 0..threads {
+                    assert!(!d.range(tid).is_empty(), "{n_tasks} tasks, width {threads}");
+                }
+            }
+        }
     }
 }

@@ -10,8 +10,9 @@ use crate::geometry::Geometry;
 use crate::grid::{ConfigGrid, VelocityGrid};
 use crate::input::CgyroInput;
 use crate::nonlinear::NlKernel;
-use crate::pool::StepPool;
+use crate::pool::{SendPtr, StepPool};
 use crate::stepper::{Simulation, Topology};
+use xg_costmodel::KernelChoice;
 use xg_linalg::Complex64;
 use xg_tensor::{
     pack_coll_profiles_block, unpack_into_coll_profiles, unpack_into_str, PhaseLayout, ProcGrid,
@@ -30,6 +31,9 @@ pub struct SerialTopology {
     cp_out: Tensor3<Complex64>,
     rev_buf: Vec<Complex64>,
     pool: StepPool,
+    /// Collision kernel (SIMD level + L2 row-tile height) picked by the
+    /// autotuner at build time; bitwise-neutral, wall-time only.
+    kernel: KernelChoice,
     nl_out: Tensor3<Complex64>,
 }
 
@@ -57,6 +61,10 @@ impl SerialTopology {
         let cmat =
             CollisionConstants::build(input, &v, &cfg, &geo, &op, 0..dims.nc, 0..dims.nt);
         let nl = NlKernel::new(input);
+        // One-shot kernel autotune for this (nv, nrhs=1) shape, like the
+        // reduce-algorithm resolution in the distributed topology.
+        let kernel = xg_costmodel::tune_collision_kernel(dims.nv, 1);
+        xg_obs::set_collision_kernel(&kernel.to_string());
         Self {
             layout,
             cmat,
@@ -65,6 +73,7 @@ impl SerialTopology {
             cp_out: Tensor3::new(dims.nc, dims.nt, dims.nv),
             rev_buf: Vec::with_capacity(dims.nc * dims.nt * dims.nv),
             pool,
+            kernel,
             nl_out: Tensor3::new(dims.nc, dims.nv, dims.nt),
         }
     }
@@ -83,6 +92,11 @@ impl SerialTopology {
     pub fn threads(&self) -> usize {
         self.pool.threads()
     }
+
+    /// The autotuned collision kernel this topology runs.
+    pub fn kernel_choice(&self) -> KernelChoice {
+        self.kernel
+    }
 }
 
 impl Topology for SerialTopology {
@@ -96,12 +110,33 @@ impl Topology for SerialTopology {
         // `[ic][iv][it]` is exactly the full-range wire block, so one
         // unpack replaces the per-element strided gather.
         unpack_into_coll_profiles(h.as_slice(), 0..nv, 0, &mut self.cp_in);
-        // One contiguous out-of-place panel apply per (ic, it), statically
-        // fanned over the pool (bitwise independent of the pool width).
+        // Tile-granular panel loop: one task per (pair, row-tile), so the
+        // pool stays busy even when pairs are few, and each panel tile is
+        // streamed through its RHS while L2-resident. Bitwise independent
+        // of the pool width and the tuned (level, tile) choice.
         let cmat = &self.cmat;
         let cp_in = &self.cp_in;
-        self.pool.for_each_chunk(self.cp_out.as_mut_slice(), nv, |pair, out| {
-            cmat.apply_into(pair / nt, pair % nt, cp_in.line(pair / nt, pair % nt), out);
+        let kernel = self.kernel;
+        let tiles = nv.div_ceil(kernel.tile_rows.max(1));
+        let out = SendPtr(self.cp_out.as_mut_slice().as_mut_ptr());
+        self.pool.for_each_task(nc * nt * tiles, |t| {
+            let (pair, tile) = (t / tiles, t % tiles);
+            let (ic, it) = (pair / nt, pair % nt);
+            let r0 = tile * kernel.tile_rows;
+            let r1 = (r0 + kernel.tile_rows).min(nv);
+            // SAFETY: each task writes rows r0..r1 of pair's disjoint
+            // nv-sized output block; cp_out outlives the blocking round.
+            unsafe {
+                cmat.apply_multi_rows(
+                    ic,
+                    it,
+                    cp_in.line(ic, it),
+                    out.add(pair * nv),
+                    1,
+                    r0..r1,
+                    kernel.level,
+                );
+            }
         });
         // Scatter back through the same wire format.
         self.rev_buf.clear();

@@ -85,6 +85,35 @@ fn threaded_serial_still_matches_untouched_physics() {
 }
 
 #[test]
+fn tile_granular_split_fills_every_pool_thread() {
+    // The collision loop spawns one task per (pair, row-tile) — pairs ×
+    // tiles, never fewer than the old pair-count split — and Decomp1D
+    // hands every pool thread at least one task whenever tasks ≥ threads.
+    // Together with the bitwise thread-count tests above this pins the S6
+    // contract: full utilization without output drift.
+    let input = CgyroInput::test_small();
+    let dims = input.dims();
+    for threads in [2usize, 8, 32] {
+        let topo = SerialTopology::with_threads(&input, threads);
+        assert_eq!(topo.threads(), threads);
+        let kernel = topo.kernel_choice();
+        assert!(kernel.tile_rows >= 1 && kernel.tile_rows <= dims.nv);
+        let tiles = dims.nv.div_ceil(kernel.tile_rows);
+        let n_tasks = dims.nc * dims.nt * tiles;
+        assert!(n_tasks >= dims.nc * dims.nt, "tiling must not lose tasks");
+        if n_tasks >= threads {
+            let decomp = xg_tensor::Decomp1D::new(n_tasks, threads);
+            for tid in 0..threads {
+                assert!(
+                    !decomp.range(tid).is_empty(),
+                    "thread {tid}/{threads} would idle with {n_tasks} tasks"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn dist_collision_recycles_transpose_buffers() {
     // The drained-capacity counter must grow from the very first step (the
     // reverse transpose reuses the forward receive blocks) and keep

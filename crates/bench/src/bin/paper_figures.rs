@@ -16,6 +16,10 @@
 //! `paper_figures bench-batching [--quick] [--out PATH]` serves sweep
 //! campaigns through `xg-serve` against an unbatched k=1 baseline and
 //! writes the JSON artifact (default `BENCH_batching.json`).
+//!
+//! `paper_figures bench-decomp [--quick] [--out PATH]` prices the searched
+//! unbalanced coll decomposition against the balanced split across machine
+//! models and writes the JSON artifact (default `BENCH_decomp.json`).
 
 fn out_path_arg(args: &[String], default: &str) -> String {
     match args.iter().position(|a| a == "--out") {
@@ -100,6 +104,21 @@ fn bench_batching(args: &[String]) {
     println!("wrote {out_path}");
 }
 
+fn bench_decomp(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = out_path_arg(args, "BENCH_decomp.json");
+    let cfg = if quick {
+        xg_bench::DecompBenchConfig::quick()
+    } else {
+        xg_bench::DecompBenchConfig::full()
+    };
+    let results = xg_bench::run_decomp_bench(&cfg);
+    print!("{}", xg_bench::decomp_bench_report(&results));
+    std::fs::write(&out_path, xg_bench::decomp_bench_json(&results))
+        .expect("write bench json");
+    println!("wrote {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("bench-collision") {
@@ -112,6 +131,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("bench-batching") {
         bench_batching(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("bench-decomp") {
+        bench_decomp(&args[1..]);
         return;
     }
     // Optional: --write-dir DIR saves each experiment to DIR/<id>.txt.

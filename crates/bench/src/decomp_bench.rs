@@ -1,0 +1,236 @@
+//! Decomposition-planner benchmark: balanced vs searched-unbalanced coll
+//! layouts across machine models.
+//!
+//! This is the measurement behind `BENCH_decomp.json` and the unbalanced-
+//! decomposition chapter's claim: on a heterogeneous machine (a slow node,
+//! or a mixed-generation partition) the capacity-weighted coll split found
+//! by [`xg_cluster::plan_decomposition`] beats the balanced split on
+//! expected time-to-solution, while on a homogeneous machine the search
+//! keeps the balanced layout (it never chooses worse). Both layouts are
+//! priced with the same symbolic per-step schedule and the same Young/Daly
+//! ETTS model `xgplan` uses, on the paper's nl03c-class deck — and both
+//! produce bitwise-identical physics (coll cuts only move whole `(ic, it)`
+//! collision matvecs between ranks), so the delta is pure wall time.
+
+use std::fmt::Write as _;
+use xg_cluster::{
+    expected_time_to_solution, moved_rows_vs_balanced, plan_decomposition, FailureModel,
+    SchedulePolicy,
+};
+use xg_costmodel::MachineModel;
+use xg_sim::CgyroInput;
+
+/// Sweep configuration for the decomposition benchmark.
+pub struct DecompBenchConfig {
+    /// Machine models to sweep (homogeneous and heterogeneous).
+    pub machines: Vec<MachineModel>,
+    /// Ensemble sizes to sweep on each machine.
+    pub k_values: Vec<usize>,
+    /// Node allocation.
+    pub nodes: usize,
+    /// Reporting steps of work priced into the ETTS.
+    pub reports: usize,
+}
+
+impl DecompBenchConfig {
+    /// The full sweep used to generate `BENCH_decomp.json`.
+    pub fn full() -> Self {
+        Self {
+            machines: vec![
+                MachineModel::frontier_like(),
+                MachineModel::slow_node_like(),
+                MachineModel::mixed_machine_like(),
+            ],
+            k_values: vec![2, 4, 8],
+            nodes: 32,
+            reports: 100,
+        }
+    }
+
+    /// Smaller sweep for CI (same machines, one ensemble size).
+    pub fn quick() -> Self {
+        Self { k_values: vec![8], ..Self::full() }
+    }
+}
+
+/// One `(machine, k)` point: the searched layout against the balanced one.
+pub struct DecompBenchResult {
+    /// Machine model name.
+    pub machine: String,
+    /// Ensemble size.
+    pub k: usize,
+    /// Node allocation.
+    pub nodes: usize,
+    /// Per-simulation grid, `n1xn2`.
+    pub grid: String,
+    /// Modeled wall seconds per reporting step, balanced split.
+    pub step_balanced_s: f64,
+    /// Modeled wall seconds per reporting step, chosen split.
+    pub step_chosen_s: f64,
+    /// Expected time-to-solution (s), balanced split.
+    pub etts_balanced_s: f64,
+    /// Expected time-to-solution (s), chosen split.
+    pub etts_unbalanced_s: f64,
+    /// `etts_balanced_s / etts_unbalanced_s` (≥ 1: the search never
+    /// returns a layout worse than balanced).
+    pub speedup: f64,
+    /// Chosen layout label (`balanced` or `coll:...`).
+    pub layout: String,
+    /// Coll rows the chosen layout places differently from balanced.
+    pub moved_rows: usize,
+}
+
+/// Run the sweep on the paper's nl03c-class deck. Infeasible `(machine,
+/// k)` points are skipped (the planner's typed diagnosis covers those —
+/// this bench measures layouts that run).
+pub fn run_decomp_bench(cfg: &DecompBenchConfig) -> Vec<DecompBenchResult> {
+    let input = CgyroInput::nl03c_like();
+    let policy = SchedulePolicy::production();
+    let fm = FailureModel::frontier_like();
+    let mut out = Vec::new();
+    for machine in &cfg.machines {
+        for &k in &cfg.k_values {
+            let Ok(dp) = plan_decomposition(&input, k, cfg.nodes, machine, &policy) else {
+                continue;
+            };
+            let etts = |step_s: f64| {
+                expected_time_to_solution(
+                    &input,
+                    k,
+                    cfg.nodes,
+                    cfg.reports as f64 * step_s,
+                    machine,
+                    &fm,
+                )
+                .etts_s
+            };
+            let etts_balanced_s = etts(dp.step_balanced_s);
+            let etts_unbalanced_s = etts(dp.step_chosen_s);
+            let moved_rows = dp
+                .decomposition
+                .coll_cuts
+                .as_deref()
+                .map(moved_rows_vs_balanced)
+                .unwrap_or(0);
+            out.push(DecompBenchResult {
+                machine: machine.name.clone(),
+                k,
+                nodes: cfg.nodes,
+                grid: format!("{}x{}", dp.decomposition.grid.n1, dp.decomposition.grid.n2),
+                step_balanced_s: dp.step_balanced_s,
+                step_chosen_s: dp.step_chosen_s,
+                etts_balanced_s,
+                etts_unbalanced_s,
+                speedup: etts_balanced_s / etts_unbalanced_s,
+                layout: dp.decomposition.label(input.dims().nc),
+                moved_rows,
+            });
+        }
+    }
+    out
+}
+
+/// Render the results as the `BENCH_decomp.json` document.
+pub fn decomp_bench_json(results: &[DecompBenchResult]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"decomp\",\n");
+    s.push_str(
+        "  \"description\": \"searched unbalanced coll decomposition vs balanced split on \
+         the nl03c-class deck: modeled step time and Young/Daly ETTS per machine model; \
+         layouts are bitwise-identical in output\",\n",
+    );
+    s.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"machine\": \"{}\", \"k\": {}, \"nodes\": {}, \"grid\": \"{}\", \
+             \"step_balanced_s\": {:.3}, \"step_chosen_s\": {:.3}, \
+             \"etts_balanced_s\": {:.1}, \"etts_unbalanced_s\": {:.1}, \
+             \"speedup\": {:.3}, \"moved_rows\": {}, \"layout\": \"{}\"}}",
+            r.machine,
+            r.k,
+            r.nodes,
+            r.grid,
+            r.step_balanced_s,
+            r.step_chosen_s,
+            r.etts_balanced_s,
+            r.etts_unbalanced_s,
+            r.speedup,
+            r.moved_rows,
+            r.layout
+        );
+        s.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Human-readable table of the same results.
+pub fn decomp_bench_report(results: &[DecompBenchResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "P4: unbalanced decomposition vs balanced (modeled ETTS)");
+    let _ = writeln!(
+        out,
+        "{:>14} {:>4} {:>6} {:>6} {:>10} {:>10} {:>12} {:>12} {:>8} {:>6}",
+        "machine", "k", "nodes", "grid", "bal-s/rep", "cho-s/rep", "ETTS-bal(h)",
+        "ETTS-cho(h)", "speedup", "moved"
+    );
+    for r in results {
+        let _ = writeln!(
+            out,
+            "{:>14} {:>4} {:>6} {:>6} {:>10.1} {:>10.1} {:>12.2} {:>12.2} {:>7.2}x {:>6}",
+            r.machine,
+            r.k,
+            r.nodes,
+            r.grid,
+            r.step_balanced_s,
+            r.step_chosen_s,
+            r.etts_balanced_s / 3600.0,
+            r.etts_unbalanced_s / 3600.0,
+            r.speedup,
+            r.moved_rows
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_meets_the_acceptance_floor() {
+        let results = run_decomp_bench(&DecompBenchConfig::quick());
+        // One row per machine at k=8; all three are feasible on 32 nodes.
+        assert_eq!(results.len(), 3);
+        let by_name = |n: &str| results.iter().find(|r| r.machine == n).unwrap();
+
+        // Homogeneous machine: the search must keep the balanced layout.
+        let frontier = by_name("frontier-like");
+        assert_eq!(frontier.layout, "balanced");
+        assert_eq!(frontier.speedup, 1.0);
+        assert_eq!(frontier.moved_rows, 0);
+
+        // Slow-node machine: the acceptance floor is a ≥1.15x ETTS win.
+        let slow = by_name("slow-node");
+        assert!(slow.layout.starts_with("coll:"));
+        assert!(
+            slow.speedup >= 1.15,
+            "slow-node ETTS speedup {:.3} below the 1.15x floor",
+            slow.speedup
+        );
+        assert!(slow.moved_rows > 0);
+
+        // Mixed machine: unbalanced, and never worse.
+        let mixed = by_name("mixed-machine");
+        assert!(mixed.speedup > 1.0);
+
+        let json = decomp_bench_json(&results);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"bench\": \"decomp\""));
+        assert!(json.contains("\"speedup\""));
+        let report = decomp_bench_report(&results);
+        assert!(report.contains("speedup"));
+    }
+}

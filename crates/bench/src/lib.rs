@@ -10,12 +10,17 @@
 
 pub mod batching;
 pub mod collision_perf;
+pub mod decomp_bench;
 pub mod experiments;
 pub mod str_reduce;
 
 pub use batching::{
     batching_bench_json, batching_bench_report, run_batching_bench, BatchingBenchConfig,
     BatchingBenchResult,
+};
+pub use decomp_bench::{
+    decomp_bench_json, decomp_bench_report, run_decomp_bench, DecompBenchConfig,
+    DecompBenchResult,
 };
 pub use collision_perf::{
     collision_bench_json, collision_bench_report, run_collision_bench, CollisionBenchConfig,

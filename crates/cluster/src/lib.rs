@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod decomp_plan;
 pub mod memory;
 pub mod planner;
 pub mod replay;
@@ -18,8 +19,14 @@ pub mod resilience;
 pub mod simtime;
 
 pub use campaign::{optimize_campaign, CampaignOption, CampaignPlan};
+pub use decomp_plan::{
+    moved_rows_vs_balanced, plan_decomposition, rebalanced_cuts, DecompPlan,
+};
 pub use memory::{cmat_ratio, rank_inventory, total_bytes, BufferCategory, BufferSpec};
-pub use planner::{max_feasible_k, min_nodes, plan, valid_grids, JobPlan};
+pub use planner::{
+    diagnose, max_feasible_k, max_feasible_k_unbalanced, min_nodes, plan, plan_unbalanced,
+    valid_grids, valid_grids_unbalanced, Infeasibility, JobPlan,
+};
 pub use replay::{replay, ReplayError, ReplayOutcome};
 pub use report::{cgyro_timing_log, figure2_table, parse_timing_totals};
 pub use resilience::{
@@ -28,6 +35,6 @@ pub use resilience::{
     FailureModel, JournalSyncReport, SweepRow,
 };
 pub use simtime::{
-    simulate_cgyro_sequential, simulate_ensemble_member, simulate_xgyro, ScenarioReport,
-    SchedulePolicy,
+    coll_position_speeds, simulate_cgyro_sequential, simulate_ensemble_member,
+    simulate_ensemble_member_decomp, simulate_xgyro, ScenarioReport, SchedulePolicy,
 };

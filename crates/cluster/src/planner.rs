@@ -39,6 +39,103 @@ impl JobPlan {
     }
 }
 
+/// Why no feasible plan exists for a `(deck, k, nodes, machine)` request —
+/// the typed diagnosis behind `plan(...) == None` / `!feasible()`, surfaced
+/// through `xgplan` rows and `xg-serve` admission errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Infeasibility {
+    /// The allocation's rank count does not divide into `k` equal
+    /// simulations.
+    RanksNotDivisibleByK {
+        /// Total ranks on the allocation.
+        ranks: usize,
+        /// Requested ensemble size.
+        k: usize,
+    },
+    /// No per-simulation grid satisfies the divisibility constraints.
+    NoValidGrid {
+        /// Ranks per simulation.
+        per_sim: usize,
+        /// Which constraint blocked every candidate.
+        detail: String,
+    },
+    /// A grid exists but the worst-case rank exceeds the memory budget.
+    Memory {
+        /// Worst-case per-rank bytes of the best candidate grid.
+        per_rank_bytes: u64,
+        /// The machine's usable per-rank budget.
+        budget_bytes: u64,
+        /// The candidate grid that was priced.
+        grid: ProcGrid,
+    },
+}
+
+impl std::fmt::Display for Infeasibility {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Infeasibility::RanksNotDivisibleByK { ranks, k } => write!(
+                f,
+                "{ranks} ranks do not divide into k={k} equal simulations"
+            ),
+            Infeasibility::NoValidGrid { per_sim, detail } => {
+                write!(f, "no valid grid for {per_sim} ranks/simulation: {detail}")
+            }
+            Infeasibility::Memory { per_rank_bytes, budget_bytes, grid } => write!(
+                f,
+                "memory: grid {}x{} needs {per_rank_bytes} B/rank, budget is {budget_bytes} B",
+                grid.n1, grid.n2
+            ),
+        }
+    }
+}
+
+impl Infeasibility {
+    /// Short machine-readable tag (`divisibility` vs `memory`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Infeasibility::RanksNotDivisibleByK { .. } => "divisibility",
+            Infeasibility::NoValidGrid { .. } => "divisibility",
+            Infeasibility::Memory { .. } => "memory",
+        }
+    }
+}
+
+/// Explain why `valid_grids` came back empty for this rank count: which
+/// divisibility constraint killed every factorization.
+fn grid_infeasibility_detail(input: &CgyroInput, ranks: usize) -> String {
+    let d = input.dims();
+    let mut had_n2 = false;
+    let mut blocked_nv = Vec::new();
+    for n2 in 1..=ranks {
+        if !ranks.is_multiple_of(n2) || !d.nt.is_multiple_of(n2) {
+            continue;
+        }
+        had_n2 = true;
+        let n1 = ranks / n2;
+        if n1 > d.nv {
+            continue;
+        }
+        if !d.nv.is_multiple_of(n1) || !d.nc.is_multiple_of(n1) {
+            blocked_nv.push(n1);
+        }
+    }
+    if !had_n2 {
+        return format!("no divisor of {ranks} divides nt={}", d.nt);
+    }
+    if blocked_nv.is_empty() {
+        return format!("every candidate n1 exceeds nv={}", d.nv);
+    }
+    blocked_nv.sort_unstable();
+    blocked_nv.dedup();
+    format!(
+        "candidate n1 {} do(es) not divide nv={} and nc={} (balanced mode requires exact \
+         divisibility; unbalanced mode lifts this)",
+        blocked_nv.iter().map(|n| n.to_string()).collect::<Vec<_>>().join("/"),
+        d.nv,
+        d.nc
+    )
+}
+
 /// All CGYRO-valid per-simulation grids for a given rank count.
 pub fn valid_grids(input: &CgyroInput, ranks: usize) -> Vec<ProcGrid> {
     let d = input.dims();
@@ -56,6 +153,108 @@ pub fn valid_grids(input: &CgyroInput, ranks: usize) -> Vec<ProcGrid> {
     // Prefer the largest toroidal split (CGYRO's convention), then n1.
     out.sort_by_key(|g| std::cmp::Reverse((g.n2, g.n1)));
     out
+}
+
+/// All grids admissible in **unbalanced** mode: the toroidal split must
+/// still divide `nt` exactly (the nt transpose wire format), but `n1` no
+/// longer has to divide `nv`/`nc` — the ragged `Decomp1D`/`RaggedDecomp`
+/// splits handle the remainder rows. Grids that are also balanced-valid
+/// sort first (at equal `(n2, n1)` preference), so unbalanced mode never
+/// picks a ragged grid when an exactly-dividing one exists.
+pub fn valid_grids_unbalanced(input: &CgyroInput, ranks: usize) -> Vec<ProcGrid> {
+    let d = input.dims();
+    let mut out = Vec::new();
+    for n2 in 1..=ranks {
+        if !ranks.is_multiple_of(n2) || !d.nt.is_multiple_of(n2) {
+            continue;
+        }
+        let n1 = ranks / n2;
+        if n1 > d.nv {
+            continue;
+        }
+        out.push(ProcGrid::new(n1, n2));
+    }
+    let balanced_ok =
+        |g: &ProcGrid| d.nv.is_multiple_of(g.n1) && d.nc.is_multiple_of(g.n1);
+    out.sort_by_key(|g| (std::cmp::Reverse(balanced_ok(g)), std::cmp::Reverse((g.n2, g.n1))));
+    out
+}
+
+/// Price the best candidate grid for one `(k, nodes)` request, reporting
+/// **why** when nothing feasible exists. `unbalanced` admits ragged
+/// (non-dividing) grids via [`valid_grids_unbalanced`]. `Ok` plans are
+/// always memory-feasible.
+pub fn diagnose(
+    input: &CgyroInput,
+    k: usize,
+    nodes: usize,
+    machine: &MachineModel,
+    unbalanced: bool,
+) -> Result<JobPlan, Infeasibility> {
+    let total_ranks = machine.ranks(nodes);
+    if !total_ranks.is_multiple_of(k) {
+        return Err(Infeasibility::RanksNotDivisibleByK { ranks: total_ranks, k });
+    }
+    let per_sim = total_ranks / k;
+    let grids = if unbalanced {
+        valid_grids_unbalanced(input, per_sim)
+    } else {
+        valid_grids(input, per_sim)
+    };
+    let Some(grid) = grids.into_iter().next() else {
+        return Err(Infeasibility::NoValidGrid {
+            per_sim,
+            detail: grid_infeasibility_detail(input, per_sim),
+        });
+    };
+    let inv = rank_inventory(input, grid, k * grid.n1);
+    let per_rank = total_bytes(&inv, None);
+    let cmat = total_bytes(&inv, Some(BufferCategory::Constant));
+    let p = JobPlan {
+        nodes,
+        ranks: total_ranks,
+        k,
+        grid,
+        per_rank_bytes: per_rank,
+        cmat_bytes: cmat,
+        budget_bytes: machine.usable_mem_per_rank(),
+    };
+    if !p.feasible() {
+        return Err(Infeasibility::Memory {
+            per_rank_bytes: p.per_rank_bytes,
+            budget_bytes: p.budget_bytes,
+            grid,
+        });
+    }
+    Ok(p)
+}
+
+/// [`plan`] with unbalanced-mode grid admission: exact `nv`/`nc`
+/// divisibility is not required (the planner assigns ragged cuts instead).
+pub fn plan_unbalanced(
+    input: &CgyroInput,
+    k: usize,
+    nodes: usize,
+    machine: &MachineModel,
+) -> Option<JobPlan> {
+    let total_ranks = machine.ranks(nodes);
+    if !total_ranks.is_multiple_of(k) {
+        return None;
+    }
+    let per_sim = total_ranks / k;
+    let grid = valid_grids_unbalanced(input, per_sim).into_iter().next()?;
+    let inv = rank_inventory(input, grid, k * grid.n1);
+    let per_rank = total_bytes(&inv, None);
+    let cmat = total_bytes(&inv, Some(BufferCategory::Constant));
+    Some(JobPlan {
+        nodes,
+        ranks: total_ranks,
+        k,
+        grid,
+        per_rank_bytes: per_rank,
+        cmat_bytes: cmat,
+        budget_bytes: machine.usable_mem_per_rank(),
+    })
 }
 
 /// Plan an ensemble of `k` simulations on `nodes` nodes. Returns `None`
@@ -103,6 +302,21 @@ pub fn max_feasible_k(
 ) -> usize {
     (1..=k_cap)
         .rfind(|&k| plan(input, k, nodes, machine).is_some_and(|p| p.feasible()))
+        .unwrap_or(0)
+}
+
+/// [`max_feasible_k`] with unbalanced-mode grid admission: ensemble sizes
+/// whose per-simulation rank count has no exactly-dividing grid are no
+/// longer skipped — the ragged decomposition makes them runnable, so the
+/// serving layer can batch them.
+pub fn max_feasible_k_unbalanced(
+    input: &CgyroInput,
+    nodes: usize,
+    machine: &MachineModel,
+    k_cap: usize,
+) -> usize {
+    (1..=k_cap)
+        .rfind(|&k| plan_unbalanced(input, k, nodes, machine).is_some_and(|p| p.feasible()))
         .unwrap_or(0)
 }
 
@@ -223,5 +437,56 @@ mod tests {
         let p = min_nodes(&input, 1, &m, 64).expect("tiny deck fits easily");
         assert_eq!(p.nodes, 1);
         assert!(p.feasible());
+    }
+
+    #[test]
+    fn diagnose_names_the_blocking_constraint() {
+        let input = CgyroInput::nl03c_like();
+        let m = frontier();
+        // 24 nodes = 192 ranks: no balanced grid (n1 never divides nv and
+        // nc simultaneously) — a divisibility diagnosis, not memory.
+        let err = diagnose(&input, 1, 24, &m, false).unwrap_err();
+        assert!(matches!(err, Infeasibility::NoValidGrid { per_sim: 192, .. }), "{err:?}");
+        assert_eq!(err.kind(), "divisibility");
+        assert!(err.to_string().contains("192"), "{err}");
+        // 16 nodes: a grid exists but memory blocks it.
+        let err = diagnose(&input, 1, 16, &m, false).unwrap_err();
+        assert!(matches!(err, Infeasibility::Memory { .. }), "{err:?}");
+        assert_eq!(err.kind(), "memory");
+        // k not dividing the rank pool.
+        let err = diagnose(&input, 3, 32, &m, false).unwrap_err();
+        assert!(matches!(err, Infeasibility::RanksNotDivisibleByK { ranks: 256, k: 3 }));
+        // The feasible case round-trips to the plain planner.
+        let ok = diagnose(&input, 8, 32, &m, false).unwrap();
+        let p = plan(&input, 8, 32, &m).unwrap();
+        assert_eq!((ok.grid.n1, ok.grid.n2), (p.grid.n1, p.grid.n2));
+    }
+
+    #[test]
+    fn unbalanced_mode_admits_non_dividing_grids() {
+        let input = CgyroInput::nl03c_like();
+        // 192 ranks: balanced mode rejects, unbalanced mode finds a grid
+        // (n2 | 16, n1 = ranks/n2 ragged over nv/nc).
+        assert!(valid_grids(&input, 192).is_empty());
+        let grids = valid_grids_unbalanced(&input, 192);
+        assert!(!grids.is_empty());
+        for g in &grids {
+            assert_eq!(g.size(), 192);
+            assert_eq!(input.dims().nt % g.n2, 0, "nt split stays exact");
+        }
+        // Where a balanced grid exists, unbalanced mode picks it first.
+        let b = valid_grids(&input, 256);
+        let u = valid_grids_unbalanced(&input, 256);
+        assert_eq!(u.first(), b.first());
+    }
+
+    #[test]
+    fn unbalanced_k_cap_is_at_least_the_balanced_one() {
+        let input = CgyroInput::nl03c_like();
+        let m = frontier();
+        let balanced = max_feasible_k(&input, 32, &m, 32);
+        let unbalanced = max_feasible_k_unbalanced(&input, 32, &m, 32);
+        assert!(unbalanced >= balanced, "{unbalanced} < {balanced}");
+        assert_eq!(balanced, 8, "paper setup unchanged");
     }
 }

@@ -30,7 +30,8 @@ pub mod topology;
 
 pub use checkpoint::{run_xgyro_checkpointed, CheckpointError, EnsembleCheckpoint};
 pub use recovery::{
-    run_xgyro_resilient, run_xgyro_resilient_from, RecoveryError, RecoveryEvent, RecoveryOutcome,
+    run_xgyro_resilient, run_xgyro_resilient_from, run_xgyro_resilient_with_capacities,
+    RecoveryError, RecoveryEvent, RecoveryOutcome,
 };
 pub use ensemble::{gradient_sweep, EnsembleConfig, EnsembleError};
 pub use report::{cmat_memory_law, summarize_trace, CmatMemoryLaw, TraceSummary};

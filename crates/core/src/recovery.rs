@@ -18,6 +18,16 @@
 //!    re-distributed over the survivors automatically by
 //!    [`crate::topology::build_xgyro_topology`].
 //!
+//! By default the shared coll rows shrink **uniformly** onto the survivors.
+//! [`run_xgyro_resilient_with_capacities`] instead rebalances them onto the
+//! survivors' *actual* capacities: given per-rank relative speeds (from the
+//! machinefile's `NODE_SPEEDS=`, or measured), the post-eviction rebuild
+//! apportions coll `nc` rows to each surviving coll position in proportion
+//! to its capacity ([`xg_tensor::RaggedDecomp::weighted`]), so a degraded
+//! run on a heterogeneous machine is not gated by its slowest survivor.
+//! Coll cuts are bitwise-neutral, so the rebalanced continuation keeps the
+//! bitwise-identity guarantee below.
+//!
 //! Because every reduction combines contributions in communicator-rank
 //! order and member trajectories only couple through the *shared, constant*
 //! `cmat` (identical for any k), the degraded continuation is **bitwise
@@ -32,7 +42,7 @@ use std::time::{Duration, Instant};
 use xg_comm::{CommError, FaultPlan, OpKind, OpRecord, RankOutcome, World};
 use xg_linalg::Complex64;
 use xg_sim::Simulation;
-use xg_tensor::{PhaseLayout, Tensor3};
+use xg_tensor::{PhaseLayout, RaggedDecomp, Tensor3};
 
 /// Why a resilient run could not complete.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +87,10 @@ pub struct RecoveryEvent {
     pub steps_replayed: u64,
     /// Original member indices still running after the eviction.
     pub survivors: Vec<usize>,
+    /// Coll `nc` rows placed differently from a uniform shrink by the
+    /// capacity-aware rebalance (0 when capacities are uniform or the run
+    /// uses the default uniform-shrink recovery).
+    pub moved_rows: u64,
 }
 
 /// The outcome of a resilient run.
@@ -153,7 +167,54 @@ pub fn run_xgyro_resilient_from(
     plan: FaultPlan,
     deadline: Duration,
 ) -> Result<RecoveryOutcome, RecoveryError> {
+    run_resilient(config, resume_from, total_steps, ckpt_every, plan, deadline, None)
+}
+
+/// [`run_xgyro_resilient_from`] with **capacity-aware rebalancing**.
+///
+/// `capacities[r]` is the relative speed of *original* world rank `r`
+/// (length = the initial config's `total_ranks()`; 1.0 = full speed). After
+/// each eviction the rebuild derives one capacity per surviving coll
+/// position `(s, i1)` — the minimum over its `i2` slice, since a position's
+/// cut is shared across all slices — and re-apportions the coll `nc` rows
+/// with [`RaggedDecomp::weighted`] instead of shrinking uniformly. Rows
+/// moved relative to the uniform shrink are counted on each
+/// [`RecoveryEvent::moved_rows`] and on the process-wide obs registry
+/// (`xgyro_rebalance_*` in the Prometheus export). With `None` or uniform
+/// capacities this is exactly [`run_xgyro_resilient_from`].
+pub fn run_xgyro_resilient_with_capacities(
+    config: &EnsembleConfig,
+    resume_from: Option<EnsembleCheckpoint>,
+    total_steps: usize,
+    ckpt_every: usize,
+    plan: FaultPlan,
+    deadline: Duration,
+    capacities: Option<&[f64]>,
+) -> Result<RecoveryOutcome, RecoveryError> {
+    run_resilient(config, resume_from, total_steps, ckpt_every, plan, deadline, capacities)
+}
+
+fn run_resilient(
+    config: &EnsembleConfig,
+    resume_from: Option<EnsembleCheckpoint>,
+    total_steps: usize,
+    ckpt_every: usize,
+    plan: FaultPlan,
+    deadline: Duration,
+    capacities: Option<&[f64]>,
+) -> Result<RecoveryOutcome, RecoveryError> {
     assert!(ckpt_every > 0, "checkpoint cadence must be positive");
+    if let Some(caps) = capacities {
+        assert_eq!(
+            caps.len(),
+            config.total_ranks(),
+            "capacities must cover every original world rank"
+        );
+        assert!(
+            caps.iter().all(|c| c.is_finite() && *c > 0.0),
+            "capacities must be positive and finite"
+        );
+    }
     if let Some(cp) = resume_from.as_ref() {
         let d = config.members()[0].dims();
         if cp.cmat_key != config.cmat_key()
@@ -218,6 +279,20 @@ pub fn run_xgyro_resilient_from(
                 let failed_member = original[a.sim];
                 cfg = cfg.evict_member(a.sim).map_err(RecoveryError::Ensemble)?;
                 original.remove(a.sim);
+                // Capacity-aware rebalance: apportion the coll rows to the
+                // survivors' actual speeds instead of shrinking uniformly.
+                // (`evict_member` already dropped any previous cuts.)
+                let mut moved_rows = 0u64;
+                if let Some(caps) = capacities {
+                    let (cuts, moved) = capacity_cuts(&cfg, &original, caps);
+                    if let Some(cuts) = cuts {
+                        moved_rows = moved;
+                        cfg = cfg
+                            .with_coll_cuts(Some(cuts))
+                            .map_err(RecoveryError::Ensemble)?;
+                        xg_obs::record_rebalance(moved_rows);
+                    }
+                }
                 if let Some(cp) = checkpoint.take() {
                     checkpoint = Some(cp.evict_member(a.sim).map_err(RecoveryError::Checkpoint)?);
                 }
@@ -250,6 +325,7 @@ pub fn run_xgyro_resilient_from(
                     resumed_from_step,
                     steps_replayed: seg as u64,
                     survivors: original.clone(),
+                    moved_rows,
                 });
                 // `done` is unchanged: the abandoned segment re-runs from
                 // the rolled-back checkpoint with the degraded ensemble.
@@ -290,6 +366,45 @@ pub fn run_xgyro_resilient_from(
         surviving_members: original,
         steps_replayed,
     })
+}
+
+/// Capacity-weighted coll cuts for the surviving ensemble, plus the rows
+/// they move relative to the uniform shrink. `original` maps each surviving
+/// config position to its original member index; `caps` is indexed by
+/// original world rank. Returns `(None, 0)` when the surviving positions'
+/// capacities are uniform (the balanced split is already optimal — leave
+/// `coll_cuts` unset so the run stays on the canonical path).
+fn capacity_cuts(
+    cfg: &EnsembleConfig,
+    original: &[usize],
+    caps: &[f64],
+) -> (Option<Vec<usize>>, u64) {
+    let grid = cfg.grid();
+    let per_sim = cfg.ranks_per_sim();
+    let nc = cfg.members()[0].dims().nc;
+    // One weight per surviving coll position (s, i1): a position's cut is
+    // shared across every i2 slice, so it runs at its slowest rank's pace.
+    let mut weights = Vec::with_capacity(cfg.k() * grid.n1);
+    for &orig in original {
+        for i1 in 0..grid.n1 {
+            let w = (0..grid.n2)
+                .map(|i2| caps[orig * per_sim + grid.rank(i1, i2)])
+                .fold(f64::INFINITY, f64::min);
+            weights.push(w);
+        }
+    }
+    if weights.iter().all(|&w| w == weights[0]) {
+        return (None, 0);
+    }
+    let cuts = RaggedDecomp::weighted(nc, &weights).counts();
+    let ragged = RaggedDecomp::from_counts(&cuts);
+    let uniform = RaggedDecomp::balanced(nc, cuts.len());
+    let mut overlap = 0usize;
+    for p in 0..ragged.parts() {
+        let (r, s) = (ragged.range(p), uniform.range(p));
+        overlap += r.end.min(s.end).saturating_sub(r.start.max(s.start));
+    }
+    (Some(cuts), (nc - overlap) as u64)
 }
 
 /// Run one segment of `steps` over the fallible substrate, resuming from

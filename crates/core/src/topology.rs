@@ -72,7 +72,7 @@ pub fn build_xgyro_topology(
     );
 
     let input = &config.members()[a.sim];
-    let topo = DistTopology::with_shared_coll(
+    let topo = DistTopology::with_shared_coll_cuts(
         input,
         grid,
         sim_comm,
@@ -80,6 +80,7 @@ pub fn build_xgyro_topology(
         nt_comm,
         coll_comm,
         config.k(),
+        config.coll_cuts(),
     );
     (a, topo)
 }

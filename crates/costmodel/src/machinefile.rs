@@ -48,13 +48,21 @@ pub fn preset(name: &str) -> Option<MachineModel> {
         "perlmutter-like" | "perlmutter" => Some(MachineModel::perlmutter_like()),
         "slow-fabric" => Some(MachineModel::slow_fabric_cluster()),
         "small-cluster" => Some(MachineModel::small_cluster()),
+        "slow-node" => Some(MachineModel::slow_node_like()),
+        "mixed-machine" => Some(MachineModel::mixed_machine_like()),
         _ => None,
     }
 }
 
 /// Names of all built-in presets.
-pub const PRESET_NAMES: [&str; 4] =
-    ["frontier-like", "perlmutter-like", "slow-fabric", "small-cluster"];
+pub const PRESET_NAMES: [&str; 6] = [
+    "frontier-like",
+    "perlmutter-like",
+    "slow-fabric",
+    "small-cluster",
+    "slow-node",
+    "mixed-machine",
+];
 
 /// Parse a machine description, starting from `PRESET` (default
 /// `frontier-like`) and overriding any explicitly given constants.
@@ -134,6 +142,23 @@ pub fn parse_machine(text: &str) -> Result<MachineModel, MachineFileError> {
     }
     if let Some(v) = parse_f64("MEM_BW_PER_RANK_TBS")? {
         m.mem_bw_per_rank = v * 1e12;
+    }
+    if let Some((line, v)) = kv.get("NODE_SPEEDS") {
+        let speeds = v
+            .split(',')
+            .map(|s| s.trim().parse::<f64>())
+            .collect::<Result<Vec<f64>, _>>()
+            .map_err(|_| MachineFileError {
+                line: *line,
+                message: format!("cannot parse '{v}' for NODE_SPEEDS (comma-separated floats)"),
+            })?;
+        if speeds.is_empty() || speeds.iter().any(|s| !s.is_finite() || *s <= 0.0) {
+            return Err(MachineFileError {
+                line: *line,
+                message: "NODE_SPEEDS entries must be positive".into(),
+            });
+        }
+        m.node_speeds = speeds;
     }
     if let Some((_, name)) = kv.get("NAME") {
         m.name = name.clone();
@@ -224,5 +249,29 @@ mod tests {
         assert!(parse_machine("USABLE_MEM_FRACTION=1.5\n").is_err());
         assert!(parse_machine("BETA_INTER_GBS=0\n").is_err());
         assert!(parse_machine("RANKS_PER_NODE=0\n").is_err());
+    }
+
+    #[test]
+    fn heterogeneous_presets_resolve() {
+        let m = parse_machine("PRESET=slow-node\n").unwrap();
+        assert_eq!(m, MachineModel::slow_node_like());
+        let m = parse_machine("PRESET=mixed-machine\n").unwrap();
+        assert_eq!(m, MachineModel::mixed_machine_like());
+    }
+
+    #[test]
+    fn node_speeds_key_parses_and_validates() {
+        let m = parse_machine("NODE_SPEEDS=1.0, 0.8, 0.5\n").unwrap();
+        assert_eq!(m.node_speeds, vec![1.0, 0.8, 0.5]);
+        assert!(m.is_heterogeneous());
+        // Overrides the preset's own cycle.
+        let m = parse_machine("PRESET=slow-node\nNODE_SPEEDS=1.0\n").unwrap();
+        assert_eq!(m.node_speeds, vec![1.0]);
+        assert!(!m.is_heterogeneous());
+        // Bad values report the line.
+        let e = parse_machine("NODE_SPEEDS=1.0,fast\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(parse_machine("NODE_SPEEDS=1.0,0\n").is_err());
+        assert!(parse_machine("NODE_SPEEDS=-1\n").is_err());
     }
 }

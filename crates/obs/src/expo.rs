@@ -48,6 +48,10 @@ pub fn to_json(reg: &Registry) -> String {
     s.push_str(&format!(
         "  \"recovery\": {{\"events\": {events}, \"wasted_us\": {wasted}}},\n"
     ));
+    let (rb_events, rb_rows) = reg.rebalance_stats();
+    s.push_str(&format!(
+        "  \"rebalance\": {{\"events\": {rb_events}, \"moved_rows\": {rb_rows}}},\n"
+    ));
     let (appends, fsyncs, fsync_us) = reg.journal_stats();
     s.push_str(&format!(
         "  \"journal\": {{\"appends\": {appends}, \"fsyncs\": {fsyncs}, \"fsync_us\": {fsync_us}}},\n"
@@ -85,7 +89,8 @@ fn push_opt(s: &mut String, key: &str, v: Option<u64>) {
 /// Families (all in seconds, per Prometheus convention):
 /// * `xgyro_phase_busy_seconds` — histogram, label `phase`;
 /// * `xgyro_phase_comm_wait_seconds` — histogram, label `phase`;
-/// * `xgyro_recovery_events_total`, `xgyro_recovery_wasted_seconds_total`
+/// * `xgyro_recovery_events_total`, `xgyro_recovery_wasted_seconds_total`,
+///   `xgyro_rebalance_events_total`, `xgyro_rebalance_moved_rows_total`
 ///   — counters.
 ///
 /// Every phase family is emitted even when empty (Prometheus prefers
@@ -116,6 +121,17 @@ pub fn to_prometheus(reg: &Registry) -> String {
         "xgyro_recovery_wasted_seconds_total {}\n",
         fmt_seconds(wasted)
     ));
+    let (rb_events, rb_rows) = reg.rebalance_stats();
+    s.push_str(
+        "# HELP xgyro_rebalance_events_total Capacity-aware post-eviction rebalances.\n",
+    );
+    s.push_str("# TYPE xgyro_rebalance_events_total counter\n");
+    s.push_str(&format!("xgyro_rebalance_events_total {rb_events}\n"));
+    s.push_str(
+        "# HELP xgyro_rebalance_moved_rows_total Coll nc rows moved vs a uniform shrink.\n",
+    );
+    s.push_str("# TYPE xgyro_rebalance_moved_rows_total counter\n");
+    s.push_str(&format!("xgyro_rebalance_moved_rows_total {rb_rows}\n"));
     let (appends, fsyncs, fsync_us) = reg.journal_stats();
     s.push_str("# HELP xgyro_journal_appends_total Committed write-ahead journal appends.\n");
     s.push_str("# TYPE xgyro_journal_appends_total counter\n");
@@ -402,6 +418,7 @@ mod tests {
         reg.record_comm_wait_us(Phase::Str, 40);
         reg.record_busy_us(Phase::Coll, 1000);
         reg.record_recovery_waste_us(1500);
+        reg.record_rebalance_moved_rows(6);
         reg.record_journal_append_us();
         reg.record_journal_append_us();
         reg.record_journal_fsync_us(2500);
@@ -421,6 +438,7 @@ mod tests {
         // coll has busy but no comm-wait: its wait aggregates are null.
         assert!(json.contains("\"comm_wait_us\": {\"count\": 0, \"sum\": 0, \"min\": null"));
         assert!(json.contains("\"recovery\": {\"events\": 1, \"wasted_us\": 1500}"));
+        assert!(json.contains("\"rebalance\": {\"events\": 1, \"moved_rows\": 6}"));
         assert!(json.contains("\"journal\": {\"appends\": 2, \"fsyncs\": 1, \"fsync_us\": 2500}"));
         assert!(json.contains("\"replay\": {\"count\": 1, \"wall_us\": 12000}"));
         assert!(json.contains("\"collision_kernel\": \"avx2/t64\""));
@@ -431,6 +449,7 @@ mod tests {
         let json = to_json(&Registry::default());
         assert!(json.contains("\"phases\": {}"));
         assert!(json.contains("\"recovery\": {\"events\": 0, \"wasted_us\": 0}"));
+        assert!(json.contains("\"rebalance\": {\"events\": 0, \"moved_rows\": 0}"));
         assert!(json.contains("\"journal\": {\"appends\": 0, \"fsyncs\": 0, \"fsync_us\": 0}"));
         assert!(json.contains("\"replay\": {\"count\": 0, \"wall_us\": 0}"));
         assert!(json.contains("\"collision_kernel\": null"));
@@ -445,6 +464,8 @@ mod tests {
         assert!(text.contains("xgyro_phase_busy_seconds_sum{phase=\"str\"} 0.0003"));
         assert!(text.contains("le=\"+Inf\""));
         assert!(text.contains("xgyro_recovery_wasted_seconds_total 0.0015"));
+        assert!(text.contains("xgyro_rebalance_events_total 1"));
+        assert!(text.contains("xgyro_rebalance_moved_rows_total 6"));
         assert!(text.contains("xgyro_journal_appends_total 2"));
         assert!(text.contains("xgyro_journal_fsyncs_total 1"));
         assert!(text.contains("xgyro_journal_fsync_seconds_total 0.0025"));

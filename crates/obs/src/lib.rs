@@ -187,6 +187,12 @@ pub struct Registry {
     recovery_wasted_us: AtomicU64,
     /// Number of fault-recovery events observed.
     recoveries: AtomicU64,
+    /// Capacity-aware post-eviction rebalances performed.
+    rebalances: AtomicU64,
+    /// Coll-phase `nc` rows the rebalancer moved away from the positions a
+    /// uniform shrink would have given them (the measurable payoff of
+    /// rebalancing onto the survivors' actual capacities).
+    rebalance_moved_rows: AtomicU64,
     /// Journal appends committed by the serving layer's write-ahead log.
     journal_appends: AtomicU64,
     /// fsync(2) calls the journal issued.
@@ -217,6 +223,8 @@ static GLOBAL: Registry = Registry {
     ],
     recovery_wasted_us: AtomicU64::new(0),
     recoveries: AtomicU64::new(0),
+    rebalances: AtomicU64::new(0),
+    rebalance_moved_rows: AtomicU64::new(0),
     journal_appends: AtomicU64::new(0),
     journal_fsyncs: AtomicU64::new(0),
     journal_fsync_us: AtomicU64::new(0),
@@ -263,6 +271,21 @@ impl Registry {
         (
             self.recoveries.load(Ordering::Relaxed),
             self.recovery_wasted_us.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Account one capacity-aware rebalance that moved `rows` coll-phase
+    /// `nc` rows relative to the uniform shrink.
+    pub fn record_rebalance_moved_rows(&self, rows: u64) {
+        self.rebalances.fetch_add(1, Ordering::Relaxed);
+        self.rebalance_moved_rows.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// `(events, moved_rows)` of rebalance accounting so far.
+    pub fn rebalance_stats(&self) -> (u64, u64) {
+        (
+            self.rebalances.load(Ordering::Relaxed),
+            self.rebalance_moved_rows.load(Ordering::Relaxed),
         )
     }
 
@@ -319,6 +342,8 @@ impl Registry {
         }
         self.recoveries.store(0, Ordering::Relaxed);
         self.recovery_wasted_us.store(0, Ordering::Relaxed);
+        self.rebalances.store(0, Ordering::Relaxed);
+        self.rebalance_moved_rows.store(0, Ordering::Relaxed);
         self.journal_appends.store(0, Ordering::Relaxed);
         self.journal_fsyncs.store(0, Ordering::Relaxed);
         self.journal_fsync_us.store(0, Ordering::Relaxed);
@@ -380,6 +405,15 @@ pub fn record_busy(phase: Phase, us: u64) {
 pub fn record_recovery_waste(us: u64) {
     if enabled() {
         Registry::global().record_recovery_waste_us(us);
+    }
+}
+
+/// Account one capacity-aware rebalance (see
+/// [`Registry::record_rebalance_moved_rows`]).
+#[inline]
+pub fn record_rebalance(moved_rows: u64) {
+    if enabled() {
+        Registry::global().record_rebalance_moved_rows(moved_rows);
     }
 }
 
@@ -484,5 +518,16 @@ mod tests {
         let (ev, us) = Registry::global().recovery_stats();
         assert_eq!(ev - ev0, 2);
         assert_eq!(us - us0, 750);
+    }
+
+    #[test]
+    fn rebalance_counter_accumulates() {
+        set_enabled(true);
+        let (ev0, rows0) = Registry::global().rebalance_stats();
+        record_rebalance(6);
+        record_rebalance(0);
+        let (ev, rows) = Registry::global().rebalance_stats();
+        assert_eq!(ev - ev0, 2);
+        assert_eq!(rows - rows0, 6);
     }
 }

@@ -159,11 +159,18 @@ impl Grouper {
     }
 
     /// The effective batch-size cap for a deck: `k_max` clamped to the
-    /// largest ensemble the modeled allocation can hold ([`xg_cluster::max_feasible_k`]).
-    /// Returns 0 when not even one member fits — such decks must be
-    /// rejected at admission.
+    /// largest ensemble the modeled allocation can hold
+    /// ([`xg_cluster::max_feasible_k_unbalanced`] — grid admission in
+    /// unbalanced mode, so a deck whose dims don't divide evenly is still
+    /// batched as long as a ragged coll split fits). Returns 0 when not
+    /// even one member fits — such decks must be rejected at admission.
     pub fn k_cap_for(&self, input: &CgyroInput) -> usize {
-        xg_cluster::max_feasible_k(input, self.cfg.nodes, &self.cfg.machine, self.cfg.k_max)
+        xg_cluster::max_feasible_k_unbalanced(
+            input,
+            self.cfg.nodes,
+            &self.cfg.machine,
+            self.cfg.k_max,
+        )
     }
 
     /// Open batches (for introspection/status).

@@ -816,9 +816,21 @@ fn admit(shared: &Shared, st: &State, spec: &JobSpec) -> Result<(), AdmitError> 
         other => AdmitError::InvalidDeck { reason: other.to_string() },
     })?;
     if st.grouper.k_cap_for(&spec.input) == 0 {
+        // Name the blocking constraint: the typed planner diagnosis says
+        // whether divisibility or the memory budget rejected the deck.
+        let why = match xg_cluster::diagnose(
+            &spec.input,
+            1,
+            shared.cfg.nodes,
+            &shared.cfg.machine,
+            true,
+        ) {
+            Err(e) => format!("{} — {e}", e.kind()),
+            Ok(_) => "memory".to_string(),
+        };
         return Err(AdmitError::OversizedGrid {
             reason: format!(
-                "no ensemble of this deck fits {} node(s) of {} (per the memory budget)",
+                "no ensemble of this deck fits {} node(s) of {} ({why})",
                 shared.cfg.nodes, shared.cfg.machine.name
             ),
         });

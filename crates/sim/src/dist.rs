@@ -36,7 +36,7 @@ use xg_tensor::{
     pack_coll_profiles_block, pack_coll_profiles_slice, pack_nl_block, pack_str_block,
     pack_str_slice, unpack_into_coll_profiles, unpack_into_coll_profiles_slice, unpack_into_nl,
     unpack_into_str, unpack_into_str_from_nl, unpack_into_str_slice, Decomp1D, PhaseLayout,
-    ProcGrid, Tensor3,
+    ProcGrid, RaggedDecomp, Tensor3,
 };
 
 /// The str-phase reduction algorithm a topology actually runs (the deck's
@@ -77,8 +77,10 @@ pub struct DistTopology {
     nt_comm: Communicator,
     coll_comm: Communicator,
     /// `nc` decomposition over the coll communicator (per-sim in CGYRO
-    /// mode, ensemble-wide in XGYRO mode).
-    coll_nc_decomp: Decomp1D,
+    /// mode, ensemble-wide in XGYRO mode). Possibly ragged: a planner can
+    /// assign uneven row counts to the coll positions (bitwise-neutral —
+    /// each `(ic, it)` matvec is independent, only cut points move).
+    coll_nc_decomp: RaggedDecomp,
     /// Number of simulations sharing the coll communicator (k).
     sims_in_coll: usize,
     cmat: CollisionConstants,
@@ -129,7 +131,7 @@ impl DistTopology {
         // Figure 1: the same communicator serves the str AllReduce and the
         // str↔coll transpose.
         let coll_comm = nv_comm.clone();
-        Self::build(input, grid, sim_comm, nv_comm, nt_comm, coll_comm, 1)
+        Self::build(input, grid, sim_comm, nv_comm, nt_comm, coll_comm, 1, None)
     }
 
     /// XGYRO wiring: the caller supplies the per-simulation communicators
@@ -145,9 +147,29 @@ impl DistTopology {
         coll_comm: Communicator,
         sims_in_coll: usize,
     ) -> Self {
-        Self::build(input, grid, sim_comm, nv_comm, nt_comm, coll_comm, sims_in_coll)
+        Self::build(input, grid, sim_comm, nv_comm, nt_comm, coll_comm, sims_in_coll, None)
     }
 
+    /// XGYRO wiring with planned (possibly unbalanced) coll-phase `nc`
+    /// cuts: `coll_cuts[p]` rows of the shared constant tensor go to coll
+    /// position `p` (`p = sim·n1 + i1`). `None` or balanced cuts reproduce
+    /// [`DistTopology::with_shared_coll`] exactly. The cut list must have
+    /// one entry per coll rank and sum to `nc`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_shared_coll_cuts(
+        input: &CgyroInput,
+        grid: ProcGrid,
+        sim_comm: Communicator,
+        nv_comm: Communicator,
+        nt_comm: Communicator,
+        coll_comm: Communicator,
+        sims_in_coll: usize,
+        coll_cuts: Option<&[usize]>,
+    ) -> Self {
+        Self::build(input, grid, sim_comm, nv_comm, nt_comm, coll_comm, sims_in_coll, coll_cuts)
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn build(
         input: &CgyroInput,
         grid: ProcGrid,
@@ -156,6 +178,7 @@ impl DistTopology {
         nt_comm: Communicator,
         coll_comm: Communicator,
         sims_in_coll: usize,
+        coll_cuts: Option<&[usize]>,
     ) -> Self {
         let dims = input.dims();
         let layout = PhaseLayout::new(dims, grid, sim_comm.rank());
@@ -175,7 +198,19 @@ impl DistTopology {
             "coll communicator rank order must be (sim, i1) lexicographic"
         );
 
-        let coll_nc_decomp = Decomp1D::new(dims.nc, coll_comm.size());
+        let coll_nc_decomp = match coll_cuts {
+            None => RaggedDecomp::balanced(dims.nc, coll_comm.size()),
+            Some(cuts) => {
+                assert_eq!(
+                    cuts.len(),
+                    coll_comm.size(),
+                    "coll cuts must have one entry per coll rank"
+                );
+                let d = RaggedDecomp::from_counts(cuts);
+                assert_eq!(d.total(), dims.nc, "coll cuts must sum to nc");
+                d
+            }
+        };
         // This rank's cmat slice: ensemble nc block × local nt range.
         let v = VelocityGrid::new(input);
         let cfg = ConfigGrid::new(input);
@@ -374,7 +409,7 @@ impl DistTopology {
         }
         fn pack_fwd(
             h: &Tensor3<Complex64>,
-            nc_decomp: &Decomp1D,
+            nc_decomp: &RaggedDecomp,
             itl: usize,
             spares: &mut Vec<Vec<Vec<Complex64>>>,
             drained: &mut u64,

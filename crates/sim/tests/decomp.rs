@@ -1,0 +1,157 @@
+//! Ragged coll decompositions are bitwise-neutral: an XGYRO ensemble run
+//! with *any* valid unbalanced coll-phase `nc` split must produce output
+//! bitwise-identical to the balanced run. Moving a cut point moves whole
+//! `(ic, it)` collision matvecs between ranks — the transposes only move
+//! data and every reduction keeps its communicator-rank order — so no sum
+//! is reassociated anywhere. These tests drive the splits through the full
+//! production path: dist transposes, fused str reductions, nl brackets and
+//! the shared-coll exchange.
+
+use proptest::prelude::*;
+use xg_comm::World;
+use xg_linalg::Complex64;
+use xg_sim::{CgyroInput, DistTopology, Simulation};
+use xg_tensor::{PhaseLayout, ProcGrid, RaggedDecomp, Tensor3};
+
+/// Run a k-member ensemble on `grid` with the given coll cuts (`None` =
+/// balanced), mirroring xgyro-core's Figure-3 communicator construction,
+/// and return each member's reassembled global distribution.
+fn run_ensemble(
+    input: &CgyroInput,
+    grid: ProcGrid,
+    k: usize,
+    cuts: Option<&[usize]>,
+    steps: usize,
+) -> Vec<Tensor3<Complex64>> {
+    let dims = input.dims();
+    let per_sim = grid.size();
+    let world = World::new(k * per_sim);
+    let results = world.run(|comm| {
+        let sim_idx = comm.rank() / per_sim;
+        let (i1, i2) = grid.coords(comm.rank() % per_sim);
+        let sim_comm = comm.split(sim_idx as u64, grid.rank(i1, i2) as u64, "sim");
+        let nv_comm = sim_comm.split(i2 as u64, i1 as u64, "nv");
+        let nt_comm = sim_comm.split(i1 as u64, i2 as u64, "nt");
+        let coll_comm =
+            comm.split(i2 as u64, (sim_idx * grid.n1 + i1) as u64, "coll-ens");
+        let topo = DistTopology::with_shared_coll_cuts(
+            input, grid, sim_comm, nv_comm, nt_comm, coll_comm, k, cuts,
+        );
+        let layout = PhaseLayout::new(dims, grid, grid.rank(i1, i2));
+        let mut sim = Simulation::new(input.clone(), topo);
+        sim.run_steps(steps);
+        (sim_idx, layout.nv_range(), layout.nt_range(), sim.h().clone())
+    });
+    let mut members = vec![Tensor3::new(dims.nc, dims.nv, dims.nt); k];
+    for (s, nv_r, nt_r, h) in results {
+        for ic in 0..dims.nc {
+            for (ivl, iv) in nv_r.clone().enumerate() {
+                for (itl, it) in nt_r.clone().enumerate() {
+                    members[s][(ic, iv, it)] = h[(ic, ivl, itl)];
+                }
+            }
+        }
+    }
+    members
+}
+
+/// A deck that exercises every phase hard: nonlinear transposes on, finite
+/// collisionality, fused str reductions.
+fn deck() -> CgyroInput {
+    let mut input = CgyroInput::test_small();
+    input.nonlinear_coupling = 0.2;
+    input
+}
+
+fn assert_bitwise_eq(a: &[Tensor3<Complex64>], b: &[Tensor3<Complex64>], what: &str) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.as_slice(), y.as_slice(), "member {i} diverged under {what}");
+    }
+}
+
+#[test]
+fn handpicked_unbalanced_cuts_match_balanced_bitwise() {
+    let input = deck();
+    let nc = input.dims().nc; // 32
+    let grid = ProcGrid::new(2, 2);
+    let k = 2; // 4 coll positions
+    let balanced = run_ensemble(&input, grid, k, None, 4);
+    for cuts in [
+        vec![10, 10, 6, 6],
+        vec![16, 16, 0, 0], // empty positions are legal
+        vec![1, 2, 3, 26],  // extreme skew
+        vec![8, 8, 8, 8],   // explicitly-balanced cuts
+    ] {
+        assert_eq!(cuts.iter().sum::<usize>(), nc);
+        let ragged = run_ensemble(&input, grid, k, Some(&cuts), 4);
+        assert_bitwise_eq(&balanced, &ragged, &format!("cuts {cuts:?}"));
+    }
+}
+
+#[test]
+fn capacity_weighted_cuts_match_balanced_bitwise() {
+    // The planner's own apportionment rule (a half-speed straggler
+    // position), straight through the production path.
+    let input = deck();
+    let nc = input.dims().nc;
+    let grid = ProcGrid::new(2, 1);
+    let k = 2;
+    let cuts = RaggedDecomp::weighted(nc, &[1.0, 1.0, 1.0, 0.5]).counts();
+    assert!(cuts[3] < cuts[0], "straggler must shed rows");
+    let balanced = run_ensemble(&input, grid, k, None, 4);
+    let ragged = run_ensemble(&input, grid, k, Some(&cuts), 4);
+    assert_bitwise_eq(&balanced, &ragged, "weighted cuts");
+}
+
+#[test]
+fn electromagnetic_run_is_cut_invariant() {
+    // beta_e > 0 adds the third fused str section (Ampère's law); the cuts
+    // must stay neutral with it in the reduction.
+    let mut input = deck();
+    input.beta_e = 0.01;
+    let grid = ProcGrid::new(2, 2);
+    let balanced = run_ensemble(&input, grid, 2, None, 3);
+    let ragged = run_ensemble(&input, grid, 2, Some(&[13, 5, 9, 5]), 3);
+    assert_bitwise_eq(&balanced, &ragged, "electromagnetic cuts");
+}
+
+/// An arbitrary composition of `total` into `parts` counts: `parts - 1`
+/// sorted cut points in `[0, total]`.
+fn composition(total: usize, parts: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..total + 1, parts - 1).prop_map(move |mut points| {
+        points.sort_unstable();
+        let mut cuts = Vec::with_capacity(parts);
+        let mut prev = 0;
+        for p in points {
+            cuts.push(p - prev);
+            prev = p;
+        }
+        cuts.push(total - prev);
+        cuts
+    })
+}
+
+proptest! {
+    // Each case runs two full multi-threaded ensembles; keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any ragged row assignment — including empty positions — through the
+    /// dist transposes and fused str reductions is bitwise-identical to
+    /// the balanced split.
+    #[test]
+    fn arbitrary_ragged_assignment_is_bitwise_neutral(
+        cuts in composition(32, 4),
+        n2 in 1usize..3,
+    ) {
+        let input = deck();
+        prop_assert_eq!(input.dims().nc, 32);
+        let grid = ProcGrid::new(2, n2);
+        let k = 2; // k * n1 = 4 coll positions
+        let balanced = run_ensemble(&input, grid, k, None, 3);
+        let ragged = run_ensemble(&input, grid, k, Some(&cuts), 3);
+        for (b, r) in balanced.iter().zip(&ragged) {
+            prop_assert_eq!(b.as_slice(), r.as_slice());
+        }
+    }
+}

@@ -13,7 +13,7 @@ pub mod layout;
 pub mod pack;
 pub mod tensor;
 
-pub use decomp::Decomp1D;
+pub use decomp::{Decomp1D, Decomposition, RaggedDecomp};
 pub use layout::{PhaseLayout, ProcGrid, SimDims};
 pub use pack::{
     pack_coll_block, pack_coll_profiles_block, pack_coll_profiles_slice, pack_moments,

@@ -1,0 +1,280 @@
+//! A minimal hand-written JSON reader (and string escaper) for manifests.
+//!
+//! The workspace deliberately carries no JSON dependency (the vendored
+//! `serde` is a derive-marker stub), so everything that *writes* JSON in
+//! this repo hand-rolls it with a fixed key order — and this module is the
+//! matching reader: just enough of RFC 8259 to load back what
+//! [`crate::Manifest::to_json`] produces, while rejecting malformed input
+//! with a positioned error instead of garbage.
+//!
+//! Numbers are parsed as `f64` — which is exactly why 64-bit digests are
+//! rendered as hex *strings* in manifests (an `f64` only holds 53 mantissa
+//! bits; round-tripping a content hash through one would corrupt it).
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (see module docs for the 53-bit caveat).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source order (manifests use a fixed key order).
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parse a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let b = text.as_bytes();
+        let mut at = 0usize;
+        let v = parse_value(b, &mut at)?;
+        skip_ws(b, &mut at);
+        if at != b.len() {
+            return Err(format!("trailing garbage at byte {at}"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (None on missing key or non-object).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a whole number that
+    /// fits `f64` exactly (manifests keep integral fields under 2^53).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < 9.0e15 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Escape a string for embedding in hand-rolled JSON output.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn skip_ws(b: &[u8], at: &mut usize) {
+    while *at < b.len() && matches!(b[*at], b' ' | b'\t' | b'\n' | b'\r') {
+        *at += 1;
+    }
+}
+
+fn expect(b: &[u8], at: &mut usize, c: u8) -> Result<(), String> {
+    if *at < b.len() && b[*at] == c {
+        *at += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {at}", c as char))
+    }
+}
+
+fn parse_value(b: &[u8], at: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(b, at);
+    match b.get(*at) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_obj(b, at),
+        Some(b'[') => parse_arr(b, at),
+        Some(b'"') => Ok(JsonValue::Str(parse_str(b, at)?)),
+        Some(b't') => parse_lit(b, at, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(b, at, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_lit(b, at, "null", JsonValue::Null),
+        Some(_) => parse_num(b, at),
+    }
+}
+
+fn parse_lit(b: &[u8], at: &mut usize, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+    if b[*at..].starts_with(lit.as_bytes()) {
+        *at += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {at}"))
+    }
+}
+
+fn parse_num(b: &[u8], at: &mut usize) -> Result<JsonValue, String> {
+    let start = *at;
+    while *at < b.len()
+        && matches!(b[*at], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *at += 1;
+    }
+    std::str::from_utf8(&b[start..*at])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|n| n.is_finite())
+        .map(JsonValue::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_str(b: &[u8], at: &mut usize) -> Result<String, String> {
+    expect(b, at, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*at) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *at += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *at += 1;
+                match b.get(*at) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*at + 1..*at + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let cp = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "bad \\u escape".to_string())?;
+                        // Surrogate pairs are not produced by our writer;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        *at += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {at}")),
+                }
+                *at += 1;
+            }
+            Some(_) => {
+                // Advance one UTF-8 scalar (b is valid UTF-8: from &str).
+                let s = std::str::from_utf8(&b[*at..]).map_err(|e| e.to_string())?;
+                let c = s.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *at += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], at: &mut usize) -> Result<JsonValue, String> {
+    expect(b, at, b'[')?;
+    let mut out = Vec::new();
+    skip_ws(b, at);
+    if b.get(*at) == Some(&b']') {
+        *at += 1;
+        return Ok(JsonValue::Arr(out));
+    }
+    loop {
+        out.push(parse_value(b, at)?);
+        skip_ws(b, at);
+        match b.get(*at) {
+            Some(b',') => *at += 1,
+            Some(b']') => {
+                *at += 1;
+                return Ok(JsonValue::Arr(out));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {at}")),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], at: &mut usize) -> Result<JsonValue, String> {
+    expect(b, at, b'{')?;
+    let mut out = Vec::new();
+    skip_ws(b, at);
+    if b.get(*at) == Some(&b'}') {
+        *at += 1;
+        return Ok(JsonValue::Obj(out));
+    }
+    loop {
+        skip_ws(b, at);
+        let key = parse_str(b, at)?;
+        skip_ws(b, at);
+        expect(b, at, b':')?;
+        let val = parse_value(b, at)?;
+        out.push((key, val));
+        skip_ws(b, at);
+        match b.get(*at) {
+            Some(b',') => *at += 1,
+            Some(b'}') => {
+                *at += 1;
+                return Ok(JsonValue::Obj(out));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {at}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let v = JsonValue::parse(
+            r#"{"a": 1, "b": [true, null, "x\n\"y\""], "c": {"d": 2.5}}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("a").and_then(JsonValue::as_u64), Some(1));
+        let arr = v.get("b").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(arr[0], JsonValue::Bool(true));
+        assert_eq!(arr[1], JsonValue::Null);
+        assert_eq!(arr[2].as_str(), Some("x\n\"y\""));
+        assert_eq!(v.get("c").and_then(|c| c.get("d")), Some(&JsonValue::Num(2.5)));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["{", "[1,", "{\"a\" 1}", "{} x", "\"abc", "{\"a\": 01x}"] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn escape_roundtrips_through_parse() {
+        let s = "tab\t quote\" back\\ newline\n ctrl\u{1} done";
+        let doc = format!("{{\"k\": \"{}\"}}", escape(s));
+        let v = JsonValue::parse(&doc).unwrap();
+        assert_eq!(v.get("k").and_then(JsonValue::as_str), Some(s));
+    }
+}

@@ -9,10 +9,17 @@
 //! and memory both shrink as occupancy grows. Both paths execute on the
 //! same process grid with one worker, so the comparison isolates
 //! amortization, not parallelism.
+//!
+//! Each point also measures the **repeat pass**: the first campaign
+//! publishes every member into an artifact store, then a fresh daemon over
+//! the same store is handed the identical decks again. Every one should be
+//! served from the cache at admission (born `Done`, zero simulation
+//! steps), so `repeat_ms` vs `batched_ms` is the measured payoff of the
+//! content-addressed result cache on a perfectly warmed campaign.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
-use xg_serve::{CampaignServer, JobSpec, JobState, ServerConfig};
+use xg_serve::{ArtifactConfig, CampaignServer, JobSpec, JobState, ServerConfig};
 use xg_sim::CgyroInput;
 use xgyro_core::{run_xgyro, EnsembleConfig};
 
@@ -60,6 +67,15 @@ pub struct BatchingBenchResult {
     pub cmat_saved_bytes: u64,
     /// Saved fraction of the unbatched cmat footprint.
     pub saved_ratio: f64,
+    /// Cache hits when the identical decks are re-submitted to a fresh
+    /// daemon over the same artifact store.
+    pub repeat_hits: u64,
+    /// repeat_hits / n_jobs (1.0 = every member served from the store).
+    pub repeat_hit_rate: f64,
+    /// Wall ms for the repeat pass (admission-served, no simulation).
+    pub repeat_ms: f64,
+    /// Outcome bytes the repeat pass did not recompute (server metric).
+    pub cache_bytes_saved: u64,
 }
 
 /// The campaign decks: `n_jobs` gradient variants dealt round-robin over
@@ -88,14 +104,28 @@ pub fn run_batching_bench(cfg: &BatchingBenchConfig) -> Vec<BatchingBenchResult>
 }
 
 fn measure_point(n_jobs: usize, n_keys: usize, steps: usize) -> BatchingBenchResult {
+    let store_dir = std::env::temp_dir().join(format!(
+        "xg-bench-artifacts-{}-{n_jobs}-{n_keys}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&store_dir);
     let mut scfg = ServerConfig::local_test();
     // One worker and drain-driven flushing: serialized execution on both
     // sides, so the delta is cmat amortization, not thread parallelism.
     scfg.workers = 1;
     scfg.linger = Duration::from_secs(600);
     scfg.queue_capacity = n_jobs.max(scfg.queue_capacity);
+    scfg.artifacts = Some(ArtifactConfig::at(&store_dir));
     let k_max = scfg.k_max;
     let grid = scfg.grid;
+    let repeat_cfg = {
+        let mut c = ServerConfig::local_test();
+        c.workers = 1;
+        c.linger = Duration::from_secs(600);
+        c.queue_capacity = n_jobs.max(c.queue_capacity);
+        c.artifacts = Some(ArtifactConfig::at(&store_dir));
+        c
+    };
     let decks = sweep_decks(n_jobs, n_keys);
 
     let server = CampaignServer::start(scfg);
@@ -131,6 +161,29 @@ fn measure_point(n_jobs: usize, n_keys: usize, steps: usize) -> BatchingBenchRes
     }
     let unbatched = t0.elapsed();
 
+    // Repeat pass: a fresh daemon over the warmed store (the first one is
+    // drained, and a drained server admits nothing). Hits are born Done at
+    // admission, so no drain is needed before reading the metrics.
+    let repeat = CampaignServer::start(repeat_cfg);
+    let t0 = Instant::now();
+    let repeat_ids: Vec<_> = decks
+        .iter()
+        .map(|d| {
+            repeat
+                .submit(JobSpec::new(d.clone(), steps))
+                .expect("repeat campaign fits the queue")
+        })
+        .collect();
+    for id in &repeat_ids {
+        assert_eq!(repeat.status(*id).expect("known job").state, JobState::Done);
+    }
+    let repeat_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let rjson = repeat.metrics_json();
+    let repeat_hits = metric_u64(&rjson, "hits");
+    let cache_bytes_saved = metric_u64(&rjson, "bytes_saved");
+    repeat.shutdown();
+    let _ = std::fs::remove_dir_all(&store_dir);
+
     let (batched_ms, unbatched_ms) =
         (batched.as_secs_f64() * 1e3, unbatched.as_secs_f64() * 1e3);
     BatchingBenchResult {
@@ -144,6 +197,10 @@ fn measure_point(n_jobs: usize, n_keys: usize, steps: usize) -> BatchingBenchRes
         speedup: unbatched_ms / batched_ms,
         cmat_saved_bytes,
         saved_ratio: cmat_saved_bytes as f64 / cmat_unbatched_bytes as f64,
+        repeat_hits,
+        repeat_hit_rate: repeat_hits as f64 / n_jobs as f64,
+        repeat_ms,
+        cache_bytes_saved,
     }
 }
 
@@ -167,7 +224,9 @@ pub fn batching_bench_json(results: &[BatchingBenchResult]) -> String {
     s.push_str("  \"bench\": \"batching\",\n");
     s.push_str(
         "  \"description\": \"campaign served through xg-serve with cmat-key batching \
-         vs the same decks as independent k=1 XGYRO runs, one worker, same grid\",\n",
+         vs the same decks as independent k=1 XGYRO runs, one worker, same grid; \
+         repeat_* columns re-submit the identical decks to a fresh daemon over the \
+         warmed artifact store\",\n",
     );
     s.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -175,7 +234,9 @@ pub fn batching_bench_json(results: &[BatchingBenchResult]) -> String {
             s,
             "    {{\"n_jobs\": {}, \"n_keys\": {}, \"k_max\": {}, \"batches\": {}, \
              \"mean_occupancy\": {:.2}, \"batched_ms\": {:.1}, \"unbatched_ms\": {:.1}, \
-             \"speedup\": {:.3}, \"cmat_saved_bytes\": {}, \"saved_ratio\": {:.4}}}",
+             \"speedup\": {:.3}, \"cmat_saved_bytes\": {}, \"saved_ratio\": {:.4}, \
+             \"repeat_hits\": {}, \"repeat_hit_rate\": {:.4}, \"repeat_ms\": {:.1}, \
+             \"cache_bytes_saved\": {}}}",
             r.n_jobs,
             r.n_keys,
             r.k_max,
@@ -185,7 +246,11 @@ pub fn batching_bench_json(results: &[BatchingBenchResult]) -> String {
             r.unbatched_ms,
             r.speedup,
             r.cmat_saved_bytes,
-            r.saved_ratio
+            r.saved_ratio,
+            r.repeat_hits,
+            r.repeat_hit_rate,
+            r.repeat_ms,
+            r.cache_bytes_saved
         );
         s.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }
@@ -199,14 +264,15 @@ pub fn batching_bench_report(results: &[BatchingBenchResult]) -> String {
     let _ = writeln!(out, "P3: campaign batching efficiency (served vs k=1 runs)");
     let _ = writeln!(
         out,
-        "{:>6} {:>6} {:>6} {:>8} {:>6} {:>12} {:>12} {:>8} {:>12} {:>7}",
+        "{:>6} {:>6} {:>6} {:>8} {:>6} {:>12} {:>12} {:>8} {:>12} {:>7} {:>6} {:>10} {:>12}",
         "jobs", "keys", "k_max", "batches", "occ", "batched_ms", "unbatch_ms", "speedup",
-        "saved_B", "saved%"
+        "saved_B", "saved%", "hit%", "repeat_ms", "cache_B"
     );
     for r in results {
         let _ = writeln!(
             out,
-            "{:>6} {:>6} {:>6} {:>8} {:>6.2} {:>12.1} {:>12.1} {:>8.2} {:>12} {:>7.1}",
+            "{:>6} {:>6} {:>6} {:>8} {:>6.2} {:>12.1} {:>12.1} {:>8.2} {:>12} {:>7.1} \
+             {:>6.1} {:>10.1} {:>12}",
             r.n_jobs,
             r.n_keys,
             r.k_max,
@@ -216,7 +282,10 @@ pub fn batching_bench_report(results: &[BatchingBenchResult]) -> String {
             r.unbatched_ms,
             r.speedup,
             r.cmat_saved_bytes,
-            100.0 * r.saved_ratio
+            100.0 * r.saved_ratio,
+            100.0 * r.repeat_hit_rate,
+            r.repeat_ms,
+            r.cache_bytes_saved
         );
     }
     out
@@ -245,11 +314,16 @@ mod tests {
         );
         assert!(r.batched_ms > 0.0 && r.unbatched_ms > 0.0);
         assert!(r.speedup.is_finite() && r.saved_ratio > 0.0);
+        // The repeat pass over the warmed store must hit on every member.
+        assert_eq!(r.repeat_hits, 3);
+        assert_eq!(r.repeat_hit_rate, 1.0);
+        assert!(r.repeat_ms > 0.0 && r.cache_bytes_saved > 0);
         let json = batching_bench_json(&results);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(json.contains("\"bench\": \"batching\""));
         assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"repeat_hit_rate\": 1.0000"));
         let report = batching_bench_report(&results);
         assert!(report.contains("speedup"));
     }

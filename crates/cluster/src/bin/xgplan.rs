@@ -5,8 +5,13 @@
 //! xgplan --deck input.cgyro [--machine FILE|PRESET] [--variants N]
 //!        [--nodes N] [--reports R] [--mtbf-hours H] [--restart-s S]
 //!        [--journal-fsync-ms MS] [--submit-rate-hz HZ] [--profile FILE]
-//!        [--kernel-tune]
+//!        [--kernel-tune] [--hit-rate P]
 //! ```
+//!
+//! `--hit-rate P` prices a warmed result cache (`xgqueued --artifacts`)
+//! into the forecast: a fraction P of the campaign's members are expected
+//! to be served from the artifact store at admission, so only the missing
+//! `(1 - P)` fraction pays compute.
 //!
 //! `--kernel-tune` sweeps the collision-kernel autotuner for the deck's
 //! `nv` over ensemble sizes: the roofline-predicted kernel on the modeled
@@ -77,6 +82,8 @@ fn usage() -> ! {
          \u{20}  --journal-fsync-ms: one journal fsync's cost in ms (default 5);\n\
          \u{20}                sizes the recommended xgqueued --journal-sync\n\
          \u{20}  --submit-rate-hz: campaign submit arrival rate (default 10)\n\
+         \u{20}  --hit-rate:   expected artifact-cache hit rate in [0,1] (default 0);\n\
+         \u{20}                scales campaign ETTS by the missing fraction\n\
          presets: {}",
         PRESET_NAMES.join(", ")
     );
@@ -96,6 +103,7 @@ fn main() {
     let mut profile: Option<String> = None;
     let mut kernel_tune = false;
     let mut decomp_out: Option<String> = None;
+    let mut hit_rate = 0.0f64;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -141,6 +149,9 @@ fn main() {
                     it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
             }
             "--profile" => profile = Some(it.next().unwrap_or_else(|| usage())),
+            "--hit-rate" => {
+                hit_rate = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
             "--kernel-tune" => kernel_tune = true,
             "--decomp" => decomp_out = Some(it.next().unwrap_or_else(|| usage())),
             _ => usage(),
@@ -204,6 +215,10 @@ fn main() {
         eprintln!("xgplan: --submit-rate-hz must be non-negative");
         exit(1);
     }
+    if !(0.0..=1.0).contains(&hit_rate) {
+        eprintln!("xgplan: --hit-rate must be in [0, 1]");
+        exit(1);
+    }
     let fm = FailureModel {
         node_mtbf_s: mtbf_hours
             .map(|h| h * 3600.0)
@@ -241,6 +256,7 @@ fn main() {
         "  k     feasible   s/report   speedup    ETTS(h)   ETTS-speedup   unbal-ETTS   cmat-saved(TB)   str-reduce"
     );
     let mut sweep_k = None;
+    let mut last_etts: Option<(usize, f64)> = None;
     let mut chosen_dp: Option<xg_cluster::DecompPlan> = None;
     for k in [1usize, 2, 4, 8, 16, 32] {
         if k > variants.max(1) * 4 {
@@ -305,11 +321,28 @@ fn main() {
                     predicted_str_algo(&input, p.grid, &machine)
                 );
                 sweep_k = Some((k, reports as f64 * xg.total()));
+                last_etts = Some((k, xg_etts.etts_s));
                 if let Some(dp) = dp {
                     chosen_dp = Some(dp);
                 }
             }
             Err(e) => println!("  {:<5} no ({}): {}", k, e.kind(), e),
+        }
+    }
+
+    if hit_rate > 0.0 {
+        if let Some((k, etts_s)) = last_etts {
+            // Hits complete at admission (a manifest lookup, not a run), so
+            // the campaign's expected compute scales by the miss fraction.
+            let adjusted = xg_costmodel::cache_adjusted_etts(etts_s, hit_rate);
+            println!(
+                "\nresult cache at {:.0}% hit rate (xgqueued --artifacts): expected k={k} \
+                 campaign ETTS {:.2} h -> {:.2} h (only the {:.0}% missing fraction executes)",
+                100.0 * hit_rate,
+                etts_s / 3600.0,
+                adjusted / 3600.0,
+                100.0 * (1.0 - hit_rate)
+            );
         }
     }
 

@@ -5,24 +5,73 @@
 //!
 //! ```text
 //! xgreplay --trace FILE [--machine FILE|PRESET] [--jitter-us N]
+//! xgreplay --artifacts DIR --hash XGD1-HASH [--machine FILE|PRESET] [--jitter-us N]
 //! ```
+//!
+//! The second form opens the trace straight out of an artifact store (the
+//! directory `xgqueued --artifacts` publishes into): the deck hash names a
+//! manifest, the manifest points at the trace blob, and replay proceeds on
+//! those bytes — no intermediate CSV file needed.
 
 use std::process::exit;
 use xg_costmodel::{parse_machine, preset, MachineModel, Placement};
 
 fn usage() -> ! {
-    eprintln!("usage: xgreplay --trace FILE [--machine FILE|PRESET] [--jitter-us N]");
+    eprintln!(
+        "usage: xgreplay --trace FILE [--machine FILE|PRESET] [--jitter-us N]\n\
+         \u{20}      xgreplay --artifacts DIR --hash XGD1-HASH [--machine FILE|PRESET] \
+         [--jitter-us N]"
+    );
     exit(2)
+}
+
+/// Resolve the trace CSV for a deck hash from an artifact store: manifest
+/// lookup, then the trace object it points at.
+fn trace_from_store(dir: &str, hash: &str) -> String {
+    let store = xg_artifact::ArtifactStore::open(dir).unwrap_or_else(|e| {
+        eprintln!("xgreplay: cannot open artifact store {dir}: {e}");
+        exit(1);
+    });
+    let hash: xg_artifact::DeckHash = hash.parse().unwrap_or_else(|e| {
+        eprintln!("xgreplay: {e}");
+        exit(1);
+    });
+    let manifest = store
+        .lookup(hash)
+        .unwrap_or_else(|e| {
+            eprintln!("xgreplay: artifact lookup failed: {e}");
+            exit(1);
+        })
+        .unwrap_or_else(|| {
+            eprintln!("xgreplay: no manifest for {hash} in {dir}");
+            exit(1);
+        });
+    let Some(trace_object) = manifest.trace_object else {
+        eprintln!("xgreplay: manifest {hash} has no trace (run captured without tracing)");
+        exit(1);
+    };
+    let bytes = store.get_object(trace_object).unwrap_or_else(|e| {
+        eprintln!("xgreplay: cannot read trace object of {hash}: {e}");
+        exit(1);
+    });
+    String::from_utf8(bytes).unwrap_or_else(|_| {
+        eprintln!("xgreplay: trace object of {hash} is not valid UTF-8");
+        exit(1);
+    })
 }
 
 fn main() {
     let mut trace_path = None;
+    let mut artifacts_dir: Option<String> = None;
+    let mut hash: Option<String> = None;
     let mut machine: Option<MachineModel> = None;
     let mut jitter_us = 0.0f64;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--trace" => trace_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--artifacts" => artifacts_dir = Some(it.next().unwrap_or_else(|| usage())),
+            "--hash" => hash = Some(it.next().unwrap_or_else(|| usage())),
             "--machine" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 machine = Some(match preset(&v) {
@@ -46,11 +95,14 @@ fn main() {
             _ => usage(),
         }
     }
-    let trace_path = trace_path.unwrap_or_else(|| usage());
-    let text = std::fs::read_to_string(&trace_path).unwrap_or_else(|e| {
-        eprintln!("xgreplay: cannot read {trace_path}: {e}");
-        exit(1);
-    });
+    let text = match (trace_path, artifacts_dir, hash) {
+        (Some(path), None, None) => std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("xgreplay: cannot read {path}: {e}");
+            exit(1);
+        }),
+        (None, Some(dir), Some(h)) => trace_from_store(&dir, &h),
+        _ => usage(),
+    };
     let traces = xg_comm::traces_from_csv(&text).unwrap_or_else(|e| {
         eprintln!("xgreplay: {e}");
         exit(1);

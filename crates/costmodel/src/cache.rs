@@ -1,0 +1,61 @@
+//! Result-cache economics.
+//!
+//! A campaign served through `xgqueued --artifacts` skips execution for
+//! every member whose canonical deck hash is already in the artifact store
+//! — parameter scans revisit decks constantly (reruns after a crashed
+//! post-processing step, overlapping sweeps, CI replays), and a cache hit
+//! costs microseconds of manifest lookup instead of hours of simulation.
+//! This module prices that into the planner's forecast: with hit
+//! probability `p`, only the `(1 - p)` missing fraction of the campaign
+//! pays compute, so the expected time-to-solution scales by `(1 - p)`.
+//! The fixed costs (admission, journal append, manifest lookup) are
+//! sub-millisecond against multi-hour ETTS and are deliberately dropped.
+
+/// Expected time-to-solution with a result cache warmed to hit rate
+/// `hit_rate`: cached members complete at admission, so only the missing
+/// `(1 - hit_rate)` fraction pays `etts_s`.
+///
+/// `hit_rate` must lie in `[0, 1]` and `etts_s` must be non-negative and
+/// finite; violations panic (planner inputs, not runtime data).
+pub fn cache_adjusted_etts(etts_s: f64, hit_rate: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&hit_rate),
+        "hit_rate must be in [0, 1], got {hit_rate}"
+    );
+    assert!(
+        etts_s >= 0.0 && etts_s.is_finite(),
+        "etts_s must be non-negative and finite, got {etts_s}"
+    );
+    etts_s * (1.0 - hit_rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_linearly_with_the_miss_fraction() {
+        assert_eq!(cache_adjusted_etts(3600.0, 0.0), 3600.0);
+        assert_eq!(cache_adjusted_etts(3600.0, 0.5), 1800.0);
+        assert_eq!(cache_adjusted_etts(3600.0, 1.0), 0.0);
+        assert_eq!(cache_adjusted_etts(0.0, 0.7), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hit_rate must be in [0, 1]")]
+    fn rejects_a_hit_rate_above_one() {
+        cache_adjusted_etts(3600.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "hit_rate must be in [0, 1]")]
+    fn rejects_a_negative_hit_rate() {
+        cache_adjusted_etts(3600.0, -0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "etts_s must be non-negative")]
+    fn rejects_a_negative_etts() {
+        cache_adjusted_etts(-1.0, 0.5);
+    }
+}

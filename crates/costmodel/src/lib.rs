@@ -15,6 +15,7 @@
 
 pub mod account;
 pub mod algorithms;
+pub mod cache;
 pub mod collective;
 pub mod compute;
 pub mod machine;
@@ -23,6 +24,7 @@ pub mod memory;
 pub mod tuner;
 
 pub use account::{critical_path, op_time, trace_breakdown, PhaseBreakdown};
+pub use cache::cache_adjusted_etts;
 pub use algorithms::{allreduce_time_with, best_allreduce_algo, AllReduceAlgo, ALL_ALGOS};
 pub use collective::{
     allgather_time, allreduce_time, alltoall_time, barrier_time, broadcast_time, CollectiveShape,

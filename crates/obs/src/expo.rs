@@ -60,6 +60,10 @@ pub fn to_json(reg: &Registry) -> String {
     s.push_str(&format!(
         "  \"replay\": {{\"count\": {replays}, \"wall_us\": {replay_us}}},\n"
     ));
+    let (hits, misses, saved) = reg.cache_stats();
+    s.push_str(&format!(
+        "  \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"bytes_saved\": {saved}}},\n"
+    ));
     match reg.collision_kernel() {
         Some(k) => s.push_str(&format!("  \"collision_kernel\": \"{k}\"\n")),
         None => s.push_str("  \"collision_kernel\": null\n"),
@@ -159,6 +163,20 @@ pub fn to_prometheus(reg: &Registry) -> String {
         "xgyro_journal_replay_seconds_total {}\n",
         fmt_seconds(replay_us)
     ));
+    let (hits, misses, saved) = reg.cache_stats();
+    s.push_str("# HELP xgyro_cache_hits_total Submissions served from the artifact store.\n");
+    s.push_str("# TYPE xgyro_cache_hits_total counter\n");
+    s.push_str(&format!("xgyro_cache_hits_total {hits}\n"));
+    s.push_str(
+        "# HELP xgyro_cache_misses_total Artifact-store consults that found no manifest.\n",
+    );
+    s.push_str("# TYPE xgyro_cache_misses_total counter\n");
+    s.push_str(&format!("xgyro_cache_misses_total {misses}\n"));
+    s.push_str(
+        "# HELP xgyro_cache_bytes_saved_total Outcome bytes served from the artifact store instead of recomputed.\n",
+    );
+    s.push_str("# TYPE xgyro_cache_bytes_saved_total counter\n");
+    s.push_str(&format!("xgyro_cache_bytes_saved_total {saved}\n"));
     // Info-style metric: constant 1 with the autotuned collision kernel as
     // a label. Its own family (not a label on the phase histograms) so
     // every sample of one name keeps the same label keys — the linter's
@@ -423,6 +441,8 @@ mod tests {
         reg.record_journal_append_us();
         reg.record_journal_fsync_us(2500);
         reg.record_journal_replay_us(12_000);
+        reg.record_cache_hit_bytes(4096);
+        reg.record_cache_miss_count();
         reg.set_collision_kernel("avx2/t64");
         reg
     }
@@ -441,6 +461,7 @@ mod tests {
         assert!(json.contains("\"rebalance\": {\"events\": 1, \"moved_rows\": 6}"));
         assert!(json.contains("\"journal\": {\"appends\": 2, \"fsyncs\": 1, \"fsync_us\": 2500}"));
         assert!(json.contains("\"replay\": {\"count\": 1, \"wall_us\": 12000}"));
+        assert!(json.contains("\"cache\": {\"hits\": 1, \"misses\": 1, \"bytes_saved\": 4096}"));
         assert!(json.contains("\"collision_kernel\": \"avx2/t64\""));
     }
 
@@ -452,6 +473,7 @@ mod tests {
         assert!(json.contains("\"rebalance\": {\"events\": 0, \"moved_rows\": 0}"));
         assert!(json.contains("\"journal\": {\"appends\": 0, \"fsyncs\": 0, \"fsync_us\": 0}"));
         assert!(json.contains("\"replay\": {\"count\": 0, \"wall_us\": 0}"));
+        assert!(json.contains("\"cache\": {\"hits\": 0, \"misses\": 0, \"bytes_saved\": 0}"));
         assert!(json.contains("\"collision_kernel\": null"));
     }
 
@@ -471,6 +493,9 @@ mod tests {
         assert!(text.contains("xgyro_journal_fsync_seconds_total 0.0025"));
         assert!(text.contains("xgyro_journal_replays_total 1"));
         assert!(text.contains("xgyro_journal_replay_seconds_total 0.012"));
+        assert!(text.contains("xgyro_cache_hits_total 1"));
+        assert!(text.contains("xgyro_cache_misses_total 1"));
+        assert!(text.contains("xgyro_cache_bytes_saved_total 4096"));
         assert!(text.contains("xgyro_collision_kernel_info{kernel=\"avx2/t64\"} 1"));
         assert!(
             !to_prometheus(&Registry::default()).contains("xgyro_collision_kernel_info"),

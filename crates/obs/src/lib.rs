@@ -203,6 +203,13 @@ pub struct Registry {
     replays: AtomicU64,
     /// Microseconds spent replaying journals at startup.
     replay_us: AtomicU64,
+    /// Submissions served from the artifact store instead of executed.
+    cache_hits: AtomicU64,
+    /// Artifact-store consults that found no published manifest.
+    cache_misses: AtomicU64,
+    /// Outcome-blob bytes served from the artifact store instead of
+    /// recomputed (the cache's analogue of cmat bytes saved).
+    cache_bytes_saved: AtomicU64,
     /// Autotuned collision-kernel label (e.g. `avx512/t128`), set once at
     /// topology build. Config metadata rather than a timing probe, so it is
     /// recorded regardless of the [`enabled`] switch; exposed as an
@@ -230,6 +237,9 @@ static GLOBAL: Registry = Registry {
     journal_fsync_us: AtomicU64::new(0),
     replays: AtomicU64::new(0),
     replay_us: AtomicU64::new(0),
+    cache_hits: AtomicU64::new(0),
+    cache_misses: AtomicU64::new(0),
+    cache_bytes_saved: AtomicU64::new(0),
     collision_kernel: Mutex::new(None),
 };
 
@@ -323,6 +333,26 @@ impl Registry {
         )
     }
 
+    /// Account one artifact-cache hit that saved `bytes` of outcome data.
+    pub fn record_cache_hit_bytes(&self, bytes: u64) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.cache_bytes_saved.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Account one artifact-store consult that found nothing.
+    pub fn record_cache_miss_count(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `(hits, misses, bytes_saved)` of artifact-cache accounting so far.
+    pub fn cache_stats(&self) -> (u64, u64, u64) {
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+            self.cache_bytes_saved.load(Ordering::Relaxed),
+        )
+    }
+
     /// Record the autotuned collision-kernel label (idempotent; last write
     /// wins when topologies with different shapes coexist in-process).
     pub fn set_collision_kernel(&self, label: &str) {
@@ -349,6 +379,9 @@ impl Registry {
         self.journal_fsync_us.store(0, Ordering::Relaxed);
         self.replays.store(0, Ordering::Relaxed);
         self.replay_us.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+        self.cache_bytes_saved.store(0, Ordering::Relaxed);
         *self.collision_kernel.lock().unwrap() = None;
     }
 }
@@ -438,6 +471,22 @@ pub fn record_journal_fsync(us: u64) {
 pub fn record_journal_replay(us: u64) {
     if enabled() {
         Registry::global().record_journal_replay_us(us);
+    }
+}
+
+/// Account one artifact-cache hit that served `bytes` from the store.
+#[inline]
+pub fn record_cache_hit(bytes: u64) {
+    if enabled() {
+        Registry::global().record_cache_hit_bytes(bytes);
+    }
+}
+
+/// Account one artifact-store consult that found nothing.
+#[inline]
+pub fn record_cache_miss() {
+    if enabled() {
+        Registry::global().record_cache_miss_count();
     }
 }
 

@@ -14,6 +14,10 @@
 //!   top [--watch MS]      live per-phase wall-time table from the daemon
 //!                         (one shot, or redrawn every MS milliseconds)
 //!   recovery              what the daemon's journal replay reconstructed
+//!   fetch HASH            artifact manifest (JSON) for a deck hash
+//!   diff HASH HASH        compare two manifests field by field
+//!   gc --budget BYTES     evict LRU artifacts down to a byte budget
+//!   pin HASH | unpin HASH protect / release a golden manifest from GC
 //!   drain [--ms MS]       flush pending batches, wait until quiet
 //!   shutdown              stop the server
 //!   ping                  liveness check
@@ -23,7 +27,15 @@
 //! sweep idiom: one base deck, many gradient variants, all landing in one
 //! shared-cmat batch. `--dry-run` asks the server (via the same grouping
 //! code path used for real submissions) for the deck's cmat key and the
-//! batch the job would join, without admitting anything.
+//! batch the job would join, without admitting anything; when the daemon
+//! runs with `--artifacts` the reply also carries the canonical
+//! `deck_hash=xgd1-…` and whether the submission would be a `cache=hit`.
+//!
+//! The artifact verbs (`fetch`, `diff`, `gc`, `pin`, `unpin`) talk to that
+//! store: `fetch` prints the manifest JSON for a deck hash, `diff` reports
+//! which fields differ between two manifests, `gc` evicts least-recently
+//! used entries down to a byte budget, and `pin`/`unpin` mark golden
+//! manifests that GC must never evict.
 //!
 //! Idempotent requests (everything except `watch`, `drain`, `shutdown`)
 //! ride through daemon restarts: up to `--retries` attempts with jittered
@@ -48,6 +60,8 @@ fn usage() -> ! {
          \u{20}        [--token T] [--no-token] [--dry-run]\n\
          \u{20} status JOB | result JOB | watch JOB | cancel JOB | list\n\
          \u{20} metrics [--out FILE] [--prom] | top [--watch MS] | recovery\n\
+         \u{20} fetch HASH | diff HASH HASH | gc --budget BYTES\n\
+         \u{20} pin HASH | unpin HASH\n\
          \u{20} drain [--ms MS] | shutdown | ping"
     );
     exit(2)
@@ -130,6 +144,34 @@ fn main() {
         }
         "recovery" => {
             finish(&retry.roundtrip("RECOVERY").unwrap_or_else(|e| fail(&e.to_string())))
+        }
+        "fetch" => {
+            let hash = rest.first().unwrap_or_else(|| usage()).clone();
+            let json = retry
+                .with_retries(|c| c.fetch(&hash))
+                .unwrap_or_else(|e| fail(&e.to_string()));
+            print!("{json}");
+            exit(0)
+        }
+        "diff" => {
+            let a = rest.first().unwrap_or_else(|| usage()).clone();
+            let b = rest.get(1).unwrap_or_else(|| usage()).clone();
+            finish(&retry.with_retries(|c| c.diff(&a, &b)).unwrap_or_else(|e| fail(&e.to_string())))
+        }
+        "gc" => {
+            let budget: u64 = kv_flag(rest, "--budget")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage());
+            finish(&retry.with_retries(|c| c.gc(budget)).unwrap_or_else(|e| fail(&e.to_string())))
+        }
+        "pin" | "unpin" => {
+            let hash = rest.first().unwrap_or_else(|| usage());
+            let verb = if cmd == "pin" { "PIN" } else { "UNPIN" };
+            finish(
+                &retry
+                    .roundtrip(&format!("{verb} {hash}"))
+                    .unwrap_or_else(|e| fail(&e.to_string())),
+            )
         }
         "watch" => watch(&addr, &policy, rest),
         "list" => {

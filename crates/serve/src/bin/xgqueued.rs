@@ -7,6 +7,7 @@
 //!          [--grid N1xN2] [--fault RANK:AT_OP]
 //!          [--journal DIR] [--journal-sync N] [--journal-seg-bytes N]
 //!          [--journal-fault KIND:AT[:KEEP]]
+//!          [--artifacts DIR] [--artifact-budget-bytes N]
 //! ```
 //!
 //! Binds the wire protocol (see `xg_serve::wire`) and serves until a client
@@ -20,12 +21,20 @@
 //! `xgplan --journal-fsync-ms` for the MTBF-aware choice).
 //! `--journal-fault` injects a seeded journal fault (`write-error:AT`,
 //! `torn:AT:KEEP`, `crash:AT` — AT counts appends) for recovery drills.
+//!
+//! `--artifacts DIR` turns on the content-addressed result cache: every
+//! completed batch member is published into DIR (deck + outcome blobs plus
+//! a manifest keyed by canonical deck hash), and a re-submitted
+//! byte-identical deck is served straight to `Done` without executing a
+//! step. `--artifact-budget-bytes N` adds automatic LRU retention GC after
+//! each publish (pinned manifests are never evicted).
 
 use std::net::TcpListener;
 use std::process::exit;
 use std::time::Duration;
 use xg_comm::FaultPlan;
 use xg_costmodel::{preset, PRESET_NAMES};
+use xg_serve::artifacts::ArtifactConfig;
 use xg_serve::journal::{JournalConfig, ServeFaultPlan};
 use xg_serve::server::{CampaignServer, ServerConfig};
 use xg_tensor::ProcGrid;
@@ -38,6 +47,7 @@ fn usage() -> ! {
          \u{20}                [--grid N1xN2] [--fault RANK:AT_OP]\n\
          \u{20}                [--journal DIR] [--journal-sync N] [--journal-seg-bytes N]\n\
          \u{20}                [--journal-fault write-error:AT|torn:AT:KEEP|crash:AT]\n\
+         \u{20}                [--artifacts DIR] [--artifact-budget-bytes N]\n\
          presets: {}",
         PRESET_NAMES.join(", ")
     );
@@ -73,10 +83,14 @@ fn main() {
     let mut journal_sync: Option<u32> = None;
     let mut journal_seg_bytes: Option<u64> = None;
     let mut journal_fault: Option<ServeFaultPlan> = None;
+    let mut artifacts_dir: Option<String> = None;
+    let mut artifact_budget: Option<u64> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--journal" => journal_dir = Some(it.next().unwrap_or_else(|| usage())),
+            "--artifacts" => artifacts_dir = Some(it.next().unwrap_or_else(|| usage())),
+            "--artifact-budget-bytes" => artifact_budget = Some(parse_or_usage(it.next())),
             "--journal-sync" => journal_sync = Some(parse_or_usage(it.next())),
             "--journal-seg-bytes" => journal_seg_bytes = Some(parse_or_usage(it.next())),
             "--journal-fault" => {
@@ -141,6 +155,18 @@ fn main() {
         }
         None => {}
     }
+    match artifacts_dir {
+        Some(dir) => {
+            let mut acfg = ArtifactConfig::at(dir);
+            acfg.budget_bytes = artifact_budget;
+            cfg.artifacts = Some(acfg);
+        }
+        None if artifact_budget.is_some() => {
+            eprintln!("xgqueued: --artifact-budget-bytes needs --artifacts DIR");
+            exit(1);
+        }
+        None => {}
+    }
     let listener = TcpListener::bind(&addr).unwrap_or_else(|e| {
         eprintln!("xgqueued: cannot bind {addr}: {e}");
         exit(1);
@@ -148,7 +174,7 @@ fn main() {
     let addr = listener.local_addr().map(|a| a.to_string()).unwrap_or(addr);
     println!(
         "xgqueued listening on {addr} (k_max={}, linger={}ms, workers={}, nodes={} x {}, \
-         journal {}, phase timers {})",
+         journal {}, artifacts {}, phase timers {})",
         cfg.k_max,
         cfg.linger.as_millis(),
         cfg.workers,
@@ -157,6 +183,16 @@ fn main() {
         cfg.journal
             .as_ref()
             .map(|j| format!("{} (fsync every {})", j.dir.display(), j.fsync_every))
+            .unwrap_or_else(|| "off".into()),
+        cfg.artifacts
+            .as_ref()
+            .map(|a| {
+                let budget = a
+                    .budget_bytes
+                    .map(|b| format!("budget {b} B"))
+                    .unwrap_or_else(|| "no budget".into());
+                format!("{} ({budget})", a.dir.display())
+            })
             .unwrap_or_else(|| "off".into()),
         if xg_obs::enabled() { "on" } else { "off (XGYRO_OBS=1 to enable)" }
     );

@@ -184,6 +184,33 @@ pub enum JournalRecord {
         /// Cancellation context.
         detail: String,
     },
+    /// The submission was answered from the artifact store: admission and
+    /// completion in a single record (a cache-hit job is born `Done` and
+    /// never occupies a batch). Written (and fsynced) *before* the client
+    /// learns the job id, like `Submitted`, so an acknowledged hit replays
+    /// after a crash with the same bitwise result summary.
+    CacheHit {
+        /// The job.
+        job: JobId,
+        /// Client-supplied idempotency token ("" when none).
+        token: String,
+        /// [`fnv1a`] of the deck text (integrity cross-check on replay).
+        deck_hash: u64,
+        /// The full deck text as submitted.
+        deck: String,
+        /// Requested steps.
+        steps: u64,
+        /// Client label.
+        tag: String,
+        /// Wall-clock submit time, microseconds since the Unix epoch.
+        submitted_unix_us: u64,
+        /// Steps the cached run executed (== `steps`).
+        steps_done: u64,
+        /// [`fnv1a`] over the cached final `h` tensor's LE bytes.
+        h_hash: u64,
+        /// `f64::to_bits` of (time, field_energy, heat_flux, h_norm2).
+        diag_bits: [u64; 4],
+    },
 }
 
 impl JournalRecord {
@@ -194,7 +221,8 @@ impl JournalRecord {
             | JournalRecord::Batched { job, .. }
             | JournalRecord::Done { job, .. }
             | JournalRecord::Failed { job, .. }
-            | JournalRecord::Cancelled { job, .. } => Some(*job),
+            | JournalRecord::Cancelled { job, .. }
+            | JournalRecord::CacheHit { job, .. } => Some(*job),
             JournalRecord::Running { .. } | JournalRecord::Checkpoint { .. } => None,
         }
     }
@@ -258,6 +286,32 @@ impl JournalRecord {
                 put_u64(&mut out, job.0);
                 put_str(&mut out, detail);
             }
+            JournalRecord::CacheHit {
+                job,
+                token,
+                deck_hash,
+                deck,
+                steps,
+                tag,
+                submitted_unix_us,
+                steps_done,
+                h_hash,
+                diag_bits,
+            } => {
+                out.push(8);
+                put_u64(&mut out, job.0);
+                put_str(&mut out, token);
+                put_u64(&mut out, *deck_hash);
+                put_str(&mut out, deck);
+                put_u64(&mut out, *steps);
+                put_str(&mut out, tag);
+                put_u64(&mut out, *submitted_unix_us);
+                put_u64(&mut out, *steps_done);
+                put_u64(&mut out, *h_hash);
+                for d in diag_bits {
+                    put_u64(&mut out, *d);
+                }
+            }
         }
         out
     }
@@ -294,6 +348,18 @@ impl JournalRecord {
             },
             6 => JournalRecord::Failed { job: JobId(c.u64()?), detail: c.str()? },
             7 => JournalRecord::Cancelled { job: JobId(c.u64()?), detail: c.str()? },
+            8 => JournalRecord::CacheHit {
+                job: JobId(c.u64()?),
+                token: c.str()?,
+                deck_hash: c.u64()?,
+                deck: c.str()?,
+                steps: c.u64()?,
+                tag: c.str()?,
+                submitted_unix_us: c.u64()?,
+                steps_done: c.u64()?,
+                h_hash: c.u64()?,
+                diag_bits: [c.u64()?, c.u64()?, c.u64()?, c.u64()?],
+            },
             other => return Err(format!("unknown record tag {other}")),
         };
         if c.off != payload.len() {
@@ -808,7 +874,8 @@ impl Journal {
         for r in &records {
             if let JournalRecord::Done { job, .. }
             | JournalRecord::Failed { job, .. }
-            | JournalRecord::Cancelled { job, .. } = r
+            | JournalRecord::Cancelled { job, .. }
+            | JournalRecord::CacheHit { job, .. } = r
             {
                 terminal.insert(*job);
             }
@@ -1001,6 +1068,36 @@ pub fn fold(records: &[JournalRecord]) -> ReplayTable {
                 }
                 _ => t.ignored += 1,
             },
+            JournalRecord::CacheHit {
+                job,
+                token,
+                deck_hash,
+                deck,
+                steps,
+                tag,
+                submitted_unix_us,
+                steps_done,
+                h_hash,
+                diag_bits,
+            } => {
+                // Born-Done: one record is both admission and completion.
+                t.jobs.insert(
+                    *job,
+                    ReplayedJob {
+                        id: *job,
+                        token: token.clone(),
+                        deck: deck.clone(),
+                        deck_hash: *deck_hash,
+                        steps: *steps,
+                        tag: tag.clone(),
+                        submitted_unix_us: *submitted_unix_us,
+                        state: JobState::Done,
+                        batch: None,
+                        detail: "served from artifact cache".into(),
+                        done_summary: Some((*steps_done, *h_hash, *diag_bits)),
+                    },
+                );
+            }
         }
     }
     // A batch whose members all terminalized is not running anymore.
@@ -1065,6 +1162,62 @@ mod tests {
             },
             JournalRecord::Failed { job: JobId(1), detail: "evicted".into() },
         ]
+    }
+
+    fn sample_cache_hit() -> JournalRecord {
+        JournalRecord::CacheHit {
+            job: JobId(7),
+            token: "tok-hit".into(),
+            deck_hash: fnv1a(b"deck-a"),
+            deck: "N_RADIAL=4\n".into(),
+            steps: 20,
+            tag: "warm".into(),
+            submitted_unix_us: 1_700_000_001_000_000,
+            steps_done: 20,
+            h_hash: 0xfeed_beef,
+            diag_bits: [5, 6, 7, 8],
+        }
+    }
+
+    #[test]
+    fn cache_hit_roundtrips_and_folds_born_done() {
+        let rec = sample_cache_hit();
+        assert_eq!(JournalRecord::decode(&rec.encode()).unwrap(), rec);
+        let table = fold(&[rec]);
+        let j = &table.jobs[&JobId(7)];
+        assert_eq!(j.state, JobState::Done);
+        assert_eq!(j.done_summary, Some((20, 0xfeed_beef, [5, 6, 7, 8])));
+        assert_eq!(j.batch, None, "a cache hit never occupied a batch");
+        assert_eq!(j.detail, "served from artifact cache");
+        assert_eq!(table.ignored, 0);
+    }
+
+    #[test]
+    fn cache_hit_is_compacted_like_other_terminal_jobs() {
+        let dir = tmpdir("compact-hit");
+        let mut cfg = JournalConfig::durable(&dir);
+        cfg.segment_max_bytes = 128;
+        let (mut j, _) = Journal::open(cfg.clone()).unwrap();
+        j.append(&sample_cache_hit()).unwrap();
+        // Enough live-job churn to force rotation + compaction.
+        for i in 0..8u64 {
+            j.append(&JournalRecord::Submitted {
+                job: JobId(100 + i),
+                token: String::new(),
+                deck_hash: 0,
+                deck: "X=1\n".repeat(8),
+                steps: 1,
+                tag: String::new(),
+                submitted_unix_us: 1,
+            })
+            .unwrap();
+        }
+        assert!(j.stats().compactions > 0);
+        drop(j);
+        let (_, replay) = Journal::open(cfg).unwrap();
+        let table = fold(&replay.records);
+        assert!(!table.jobs.contains_key(&JobId(7)), "terminal hit compacted away");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -30,11 +30,17 @@
 //! * **durability** ([`journal`]) — a CRC-framed, fsynced write-ahead log
 //!   of every job lifecycle transition, replayed on startup so a `kill -9`
 //!   loses no acknowledged job; clients ride through the restart with
-//!   idempotency tokens and the jittered [`wire::RetryingClient`].
+//!   idempotency tokens and the jittered [`wire::RetryingClient`];
+//! * **result cache** ([`artifacts`]) — completed batch members are
+//!   published into an [`xg_artifact::ArtifactStore`] keyed by canonical
+//!   deck hash, and admission serves a re-submitted byte-identical deck
+//!   straight to `Done` (journaled as a `CacheHit` record) without
+//!   executing a single simulation step.
 
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod artifacts;
 pub mod batcher;
 pub mod job;
 pub mod journal;
@@ -43,6 +49,7 @@ pub mod server;
 pub mod wire;
 
 pub use admission::{check_spec, AdmitError};
+pub use artifacts::{decode_outcome, encode_outcome, ArtifactConfig, PublishContext};
 pub use batcher::{BatchKey, FlushReason, Grouper, GrouperConfig, Placement};
 pub use job::{BatchId, JobEvent, JobId, JobOutcome, JobSpec, JobState, JobStatus};
 pub use journal::{
@@ -50,5 +57,5 @@ pub use journal::{
     ServeFaultKind, ServeFaultPlan, ServeFaultSpec,
 };
 pub use metrics::Metrics;
-pub use server::{CampaignServer, RecoveryReport, ServerConfig};
+pub use server::{CacheStatus, CampaignServer, DryRun, RecoveryReport, ServerConfig};
 pub use wire::{Client, RetryPolicy, RetryingClient};

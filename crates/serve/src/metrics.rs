@@ -82,6 +82,14 @@ pub struct Metrics {
     pub replay_torn_bytes: u64,
     /// Wall time the startup replay took, microseconds.
     pub replay_us: u64,
+    /// Submissions served straight to `Done` from the artifact store.
+    pub cache_hits: u64,
+    /// Store consults that found no published manifest (only counted when
+    /// a store is configured; all cache counters stay 0 cache-less).
+    pub cache_misses: u64,
+    /// Outcome-blob bytes served from the store instead of recomputed —
+    /// the cache's analogue of `cmat_saved_bytes`.
+    pub cache_bytes_saved: u64,
 }
 
 impl Metrics {
@@ -109,6 +117,18 @@ impl Metrics {
         self.latency_count += 1;
         self.latency_sum_us += us;
         self.latency_max_us = self.latency_max_us.max(us);
+    }
+
+    /// Record a submission served from the artifact store (`bytes` is the
+    /// stored outcome blob's size — work not recomputed).
+    pub fn on_cache_hit(&mut self, bytes: u64) {
+        self.cache_hits += 1;
+        self.cache_bytes_saved += bytes;
+    }
+
+    /// Record a store consult that found nothing.
+    pub fn on_cache_miss(&mut self) {
+        self.cache_misses += 1;
     }
 
     /// Fold one executed segment's per-rank traces into the phase
@@ -207,6 +227,20 @@ impl Metrics {
             self.journal_rotations,
             self.journal_compactions,
             self.journal_dropped,
+        ));
+        // Hit rate is undefined until the store was consulted: null, not
+        // 0.0 (a cache that never hit and one never asked must not look
+        // alike).
+        let consults = self.cache_hits + self.cache_misses;
+        let hit_rate = if consults == 0 {
+            "null".to_string()
+        } else {
+            format!("{:.6}", self.cache_hits as f64 / consults as f64)
+        };
+        s.push_str(&format!(
+            "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {hit_rate}, \
+             \"bytes_saved\": {}}},\n",
+            self.cache_hits, self.cache_misses, self.cache_bytes_saved,
         ));
         s.push_str(&format!(
             "  \"recovery\": {{\"replayed_records\": {}, \"restored_jobs\": {}, \
@@ -360,6 +394,21 @@ impl Metrics {
                 "xgserve_replay_torn_bytes_total",
                 "Torn-tail bytes truncated during startup replay.",
                 self.replay_torn_bytes,
+            ),
+            (
+                "xgserve_cache_hits_total",
+                "Submissions served from the artifact store.",
+                self.cache_hits,
+            ),
+            (
+                "xgserve_cache_misses_total",
+                "Artifact-store consults that found no manifest.",
+                self.cache_misses,
+            ),
+            (
+                "xgserve_cache_bytes_saved_total",
+                "Outcome bytes served from the artifact store instead of recomputed.",
+                self.cache_bytes_saved,
             ),
         ] {
             s.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"));
@@ -520,6 +569,34 @@ mod tests {
             json.contains("\"str\": {\"ops\": 3, \"bytes\": 300, \"wait_us\": 100}"),
             "{json}"
         );
+    }
+
+    #[test]
+    fn cache_block_reports_hit_rate_or_null() {
+        let m = Metrics::default();
+        assert!(
+            m.to_json(&[]).contains(
+                "\"cache\": {\"hits\": 0, \"misses\": 0, \"hit_rate\": null, \"bytes_saved\": 0}"
+            ),
+            "{}",
+            m.to_json(&[])
+        );
+        let mut m = Metrics::default();
+        m.on_cache_miss();
+        m.on_cache_hit(4096);
+        m.on_cache_hit(4096);
+        m.on_cache_miss();
+        let json = m.to_json(&[]);
+        assert!(
+            json.contains(
+                "\"cache\": {\"hits\": 2, \"misses\": 2, \"hit_rate\": 0.500000, \"bytes_saved\": 8192}"
+            ),
+            "{json}"
+        );
+        let text = m.to_prometheus(&[]);
+        assert!(text.contains("xgserve_cache_hits_total 2"), "{text}");
+        assert!(text.contains("xgserve_cache_misses_total 2"), "{text}");
+        assert!(text.contains("xgserve_cache_bytes_saved_total 8192"), "{text}");
     }
 
     #[test]

@@ -17,10 +17,12 @@
 //! condition-variable waits. Simulation segments run outside the lock.
 
 use crate::admission::{check_spec, AdmitError};
+use crate::artifacts::{self, ArtifactConfig, PublishContext};
 use crate::batcher::{FlushReason, Grouper, GrouperConfig, Placement};
 use crate::job::{BatchId, Job, JobEvent, JobId, JobOutcome, JobSpec, JobState, JobStatus};
 use crate::journal::{self, Journal, JournalConfig, JournalRecord};
 use crate::metrics::Metrics;
+use xg_artifact::{deck_hash, ArtifactStore, DeckHash, GcReport, Manifest, StoreStats};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc;
@@ -65,6 +67,10 @@ pub struct ServerConfig {
     /// makes every lifecycle transition a persisted, replayable record and
     /// replays whatever a previous life left in the directory at startup.
     pub journal: Option<JournalConfig>,
+    /// Content-addressed artifact store configuration. `None` runs
+    /// cache-less; `Some` publishes every completed batch member and serves
+    /// re-submitted byte-identical decks straight to `Done`.
+    pub artifacts: Option<ArtifactConfig>,
 }
 
 impl ServerConfig {
@@ -85,8 +91,46 @@ impl ServerConfig {
             machine: MachineModel::small_cluster(),
             fault_plan: None,
             journal: None,
+            artifacts: None,
         }
     }
+}
+
+/// What a cache consult at admission would do for a deck, as reported by
+/// [`CampaignServer::dry_run`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// No artifact store is configured.
+    Off,
+    /// A manifest for this deck hash is published: submitting would be
+    /// served from the store without executing any steps.
+    Hit,
+    /// The store has no entry for this deck hash.
+    Miss,
+}
+
+impl std::fmt::Display for CacheStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CacheStatus::Off => "off",
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+        })
+    }
+}
+
+/// Everything [`CampaignServer::dry_run`] computes about a submission
+/// without admitting it.
+#[derive(Clone, Debug)]
+pub struct DryRun {
+    /// The deck's cmat sharing key.
+    pub cmat_key: u64,
+    /// The deck's canonical semantic identity.
+    pub deck_hash: DeckHash,
+    /// What the artifact store would do with this submission.
+    pub cache: CacheStatus,
+    /// Where the grouper would place the job right now.
+    pub placement: Placement,
 }
 
 /// What startup journal replay reconstructed. Retrieve with
@@ -150,6 +194,9 @@ struct State {
 
 struct Shared {
     cfg: ServerConfig,
+    /// The artifact store, when configured. Its methods take `&self` and
+    /// commit atomically, so it lives outside the state mutex.
+    store: Option<ArtifactStore>,
     state: Mutex<State>,
     /// Workers wait here for ready batches.
     work: Condvar,
@@ -212,8 +259,15 @@ impl CampaignServer {
             let rec = st.recovery.clone();
             st.metrics.set_recovery(&rec);
         }
+        // Same contract as the journal: a daemon configured to cache results
+        // must not come up unable to keep that promise.
+        let store = cfg.artifacts.as_ref().map(|a| {
+            ArtifactStore::open(&a.dir)
+                .unwrap_or_else(|e| panic!("cannot open artifact store in {:?}: {e}", a.dir))
+        });
         let shared = Arc::new(Shared {
             cfg,
+            store,
             state: Mutex::new(st),
             work: Condvar::new(),
             timer: Condvar::new(),
@@ -269,6 +323,28 @@ impl CampaignServer {
             let e = AdmitError::QueueFull { capacity: shared.cfg.queue_capacity };
             st.metrics.on_reject(&e);
             return Err(e);
+        }
+        // Artifact-store consult: a deck already published (by this life or
+        // any previous one) is served straight to Done — no batch, no
+        // worker, not one simulation step.
+        if let Some(store) = shared.store.as_ref() {
+            let dh = deck_hash(&spec.input, spec.steps);
+            match store.lookup(dh) {
+                Ok(Some(manifest)) => {
+                    return serve_cache_hit(shared, st, spec, token, dh, &manifest);
+                }
+                Ok(None) => {
+                    st.metrics.on_cache_miss();
+                    xg_obs::record_cache_miss();
+                }
+                Err(e) => {
+                    // A corrupt store entry must not block admission: count
+                    // a miss and run the job for real.
+                    st.metrics.on_cache_miss();
+                    xg_obs::record_cache_miss();
+                    eprintln!("xg-serve: artifact lookup for {dh} failed: {e}");
+                }
+            }
         }
         let id = JobId(st.next_job);
         let submitted_unix_us = unix_us();
@@ -337,13 +413,79 @@ impl CampaignServer {
         Ok((id, false))
     }
 
-    /// Dry-run placement: the deck's cmat key and where the job would land
-    /// right now, computed by the same admission checks and grouper code
-    /// path as [`CampaignServer::submit`] — without admitting anything.
-    pub fn dry_run(&self, spec: &JobSpec) -> Result<(u64, Placement), AdmitError> {
+    /// Dry-run placement: the deck's cmat key, canonical deck hash, cache
+    /// status, and where the job would land right now — computed by the
+    /// same admission checks, cache consult, and grouper code path as
+    /// [`CampaignServer::submit`], without admitting anything (the cache
+    /// probe does not even refresh the entry's LRU access time).
+    pub fn dry_run(&self, spec: &JobSpec) -> Result<DryRun, AdmitError> {
         let guard = self.shared.state.lock();
         admit(&self.shared, &guard, spec)?;
-        Ok((spec.input.cmat_key(), guard.grouper.would_join(spec)))
+        let dh = deck_hash(&spec.input, spec.steps);
+        let cache = match self.shared.store.as_ref() {
+            None => CacheStatus::Off,
+            Some(s) if s.contains(dh) => CacheStatus::Hit,
+            Some(_) => CacheStatus::Miss,
+        };
+        Ok(DryRun {
+            cmat_key: spec.input.cmat_key(),
+            deck_hash: dh,
+            cache,
+            placement: guard.grouper.would_join(spec),
+        })
+    }
+
+    /// Fetch a published manifest as its canonical JSON. `Ok(None)` is a
+    /// clean miss; `Err` means no store is configured or the entry is
+    /// corrupt.
+    pub fn artifact_fetch(&self, hash: DeckHash) -> Result<Option<String>, String> {
+        let store = self.store_or_err()?;
+        match store.lookup(hash) {
+            Ok(m) => Ok(m.map(|m| m.to_json())),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    /// Field-level diff of two published manifests: the names of every
+    /// field (besides the publication timestamp) where they disagree.
+    pub fn artifact_diff(
+        &self,
+        a: DeckHash,
+        b: DeckHash,
+    ) -> Result<Vec<&'static str>, String> {
+        let store = self.store_or_err()?;
+        let load = |h: DeckHash| -> Result<Manifest, String> {
+            store
+                .lookup(h)
+                .map_err(|e| e.to_string())?
+                .ok_or_else(|| format!("no manifest for {h}"))
+        };
+        Ok(load(a)?.diff(&load(b)?))
+    }
+
+    /// Run retention GC down to `budget_bytes` (pinned manifests and their
+    /// objects are never evicted).
+    pub fn artifact_gc(&self, budget_bytes: u64) -> Result<GcReport, String> {
+        self.store_or_err()?.gc(budget_bytes).map_err(|e| e.to_string())
+    }
+
+    /// Pin (or unpin) a manifest so GC never evicts it — the golden-result
+    /// mechanism the CI replay job leans on.
+    pub fn artifact_pin(&self, hash: DeckHash, pinned: bool) -> Result<(), String> {
+        let store = self.store_or_err()?;
+        if pinned { store.pin(hash) } else { store.unpin(hash) }.map_err(|e| e.to_string())
+    }
+
+    /// Store occupancy counters (`None` when running cache-less).
+    pub fn artifact_stats(&self) -> Option<StoreStats> {
+        self.shared.store.as_ref().and_then(|s| s.stats().ok())
+    }
+
+    fn store_or_err(&self) -> Result<&ArtifactStore, String> {
+        self.shared
+            .store
+            .as_ref()
+            .ok_or_else(|| "no artifact store configured (start xgqueued with --artifacts)".into())
     }
 
     /// Current status of one job.
@@ -586,6 +728,79 @@ fn journal_append(st: &mut State, rec: &JournalRecord) {
             xg_obs::record_journal_append();
         }
     }
+}
+
+/// Serve a submission from a published artifact: journal the `CacheHit`
+/// record first (intent before effect — on journal refusal nothing is
+/// admitted), then insert the job born `Done` with no batch. The full
+/// outcome tensor is rehydrated from the stored blob when it is still
+/// present, so `RESULT` works exactly as for a freshly executed job; a
+/// GC-evicted blob degrades to summary-only, like a job restored from the
+/// journal after a restart.
+fn serve_cache_hit(
+    shared: &Shared,
+    st: &mut State,
+    spec: JobSpec,
+    token: &str,
+    dh: DeckHash,
+    manifest: &Manifest,
+) -> Result<(JobId, bool), AdmitError> {
+    let id = JobId(st.next_job);
+    let (steps_done, h_hash, diag_bits) = manifest.summary();
+    if let Some(j) = &mut st.journal {
+        let deck = xg_sim::write_deck(&spec.input);
+        let rec = JournalRecord::CacheHit {
+            job: id,
+            token: token.to_string(),
+            deck_hash: journal::fnv1a(deck.as_bytes()),
+            deck,
+            steps: spec.steps as u64,
+            tag: spec.tag.clone(),
+            submitted_unix_us: unix_us(),
+            steps_done,
+            h_hash,
+            diag_bits,
+        };
+        if let Err(e) = j.append(&rec) {
+            let e = AdmitError::JournalBackpressure { reason: e.to_string() };
+            st.metrics.on_reject(&e);
+            return Err(e);
+        }
+        xg_obs::record_journal_append();
+    }
+    st.next_job += 1;
+    let store = shared.store.as_ref().expect("a hit implies a store");
+    let outcome = store
+        .get_object(manifest.outcome_object)
+        .ok()
+        .and_then(|b| artifacts::decode_outcome(&b).ok());
+    let cmat_key = spec.input.cmat_key();
+    // Born Done: never counts against `live`, never occupies a batch, no
+    // lifecycle transition to journal beyond the single CacheHit record.
+    st.jobs.insert(
+        id,
+        Job {
+            id,
+            spec,
+            state: JobState::Done,
+            cmat_key,
+            batch: None,
+            detail: format!("served from artifact cache ({dh})"),
+            cancel_requested: false,
+            submitted_at: Instant::now(),
+            dispatched_at: None,
+            outcome,
+            restored_summary: Some((steps_done, h_hash, diag_bits)),
+            subscribers: Vec::new(),
+        },
+    );
+    if !token.is_empty() {
+        st.tokens.insert(token.to_string(), id);
+    }
+    st.metrics.on_submit();
+    st.metrics.on_cache_hit(manifest.outcome_bytes);
+    xg_obs::record_cache_hit(manifest.outcome_bytes);
+    Ok((id, false))
 }
 
 /// `(steps, h_hash, diag_bits)` for a completed outcome: FNV-1a over the
@@ -979,6 +1194,11 @@ fn execute_batch(shared: &Shared, rb: ReadyBatch) {
         journal_append(st, &JournalRecord::Running { batch: batch_id, jobs: jobs.clone() });
         (jobs.clone(), inputs, steps_total, st.fault_plan.take())
     };
+    let batch_k = member_ids.len() as u64;
+    let exec_start = Instant::now();
+    // The batch's communication trace across every segment — stored as one
+    // artifact object and referenced by each member's manifest.
+    let mut all_traces: Vec<Vec<xg_comm::OpRecord>> = Vec::new();
 
     let (mut checkpoint, mut done, mut next_seq) = match resume {
         Some(r) => (r.checkpoint, r.done, r.next_seq),
@@ -1030,6 +1250,9 @@ fn execute_batch(shared: &Shared, rb: ReadyBatch) {
                 // Fold the segment's communication traces into the
                 // execution-phase breakdown before touching job states.
                 shared.state.lock().metrics.on_batch_traces(&rec.outcome.traces);
+                if shared.store.is_some() {
+                    all_traces.extend(rec.outcome.traces.iter().cloned());
+                }
                 // Members evicted by faults terminalize as Failed; the
                 // survivors carry on from the segment's checkpoint.
                 for ev in &rec.events {
@@ -1076,9 +1299,79 @@ fn execute_batch(shared: &Shared, rb: ReadyBatch) {
             }
         }
     }
+    // Publish artifacts BEFORE the Done transitions: when the journal
+    // records Done, the artifact is already visible to admission — no
+    // window where a terminal job has no cache entry.
+    publish_batch(shared, batch_id, batch_k, &member_ids, &results, &all_traces, exec_start);
     for id in member_ids {
         let outcome = results.remove(&id);
         finish(shared, id, JobState::Done, "completed".into(), outcome);
+    }
+}
+
+/// Publish every completed member of a batch into the artifact store: the
+/// batch's communication trace once, then deck + outcome blobs and a
+/// manifest per member. Publish failures are logged and skipped — a full
+/// disk degrades the cache, never the campaign — and when an automatic GC
+/// budget is configured the store is collected afterwards.
+fn publish_batch(
+    shared: &Shared,
+    batch_id: BatchId,
+    batch_k: u64,
+    member_ids: &[JobId],
+    results: &BTreeMap<JobId, JobOutcome>,
+    all_traces: &[Vec<xg_comm::OpRecord>],
+    exec_start: Instant,
+) {
+    let Some(store) = shared.store.as_ref() else { return };
+    let acfg = shared.cfg.artifacts.as_ref().expect("store implies config");
+    if member_ids.is_empty() {
+        return;
+    }
+    let trace_object = if all_traces.iter().any(|t| !t.is_empty()) {
+        let csv = xg_comm::traces_to_csv_with_meta(
+            all_traces,
+            &[("batch", &batch_id.to_string()), ("k", &batch_k.to_string())],
+        );
+        store.put_object(csv.as_bytes()).ok()
+    } else {
+        None
+    };
+    let specs: Vec<(JobId, JobSpec)> = {
+        let guard = shared.state.lock();
+        member_ids
+            .iter()
+            .filter(|id| results.contains_key(id))
+            .map(|id| (*id, guard.jobs[id].spec.clone()))
+            .collect()
+    };
+    let ctx = PublishContext {
+        batch_k,
+        coll_cuts: "balanced".into(),
+        kernel: xg_obs::Registry::global().collision_kernel().unwrap_or_default(),
+        machine: shared.cfg.machine.name.clone(),
+        phase_us: vec![("execute".into(), exec_start.elapsed().as_micros() as u64)],
+        trace_object,
+        created_unix_us: unix_us(),
+    };
+    for (id, spec) in specs {
+        let outcome = &results[&id];
+        let summary = outcome_summary(outcome);
+        if let Err(e) = artifacts::publish_member(store, &spec, outcome, summary, &ctx) {
+            eprintln!("xg-serve: artifact publish for {id} failed: {e}");
+        }
+    }
+    if let Some(budget) = acfg.budget_bytes {
+        match store.gc(budget) {
+            Ok(r) if r.evicted_manifests > 0 => {
+                eprintln!(
+                    "xg-serve: artifact gc evicted {} manifest(s), freed {} byte(s)",
+                    r.evicted_manifests, r.bytes_freed
+                );
+            }
+            Ok(_) => {}
+            Err(e) => eprintln!("xg-serve: artifact gc failed: {e}"),
+        }
     }
 }
 
@@ -1231,17 +1524,114 @@ mod tests {
         let server = CampaignServer::start(cfg);
         let base = CgyroInput::test_small();
         let s = spec(base.clone(), 10, "probe");
-        let (key, placement) = server.dry_run(&s).expect("valid");
-        assert_eq!(key, base.cmat_key());
-        assert!(matches!(placement, Placement::Opens { k_cap: 3 }));
+        let dr = server.dry_run(&s).expect("valid");
+        assert_eq!(dr.cmat_key, base.cmat_key());
+        assert_eq!(dr.deck_hash, xg_artifact::deck_hash(&base, 10));
+        assert_eq!(dr.cache, CacheStatus::Off, "no store configured");
+        assert!(matches!(dr.placement, Placement::Opens { k_cap: 3 }));
         server.submit(s.clone()).unwrap();
-        let (_, placement) = server.dry_run(&s).expect("valid");
+        let dr = server.dry_run(&s).expect("valid");
         assert!(
-            matches!(placement, Placement::Joins { occupancy: 1, .. }),
-            "{placement:?}"
+            matches!(dr.placement, Placement::Joins { occupancy: 1, .. }),
+            "{:?}",
+            dr.placement
         );
         assert_eq!(server.list().len(), 1, "dry runs admit nothing");
         server.shutdown();
+    }
+
+    /// Scratch artifact-store directory, wiped before use.
+    fn scratch_store(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("xg-serve-cache-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Block until `id` terminalizes (drain would leave the server
+    /// rejecting the resubmissions these tests are about).
+    fn await_done(server: &CampaignServer, id: JobId) {
+        let rx = server.subscribe(id).expect("job exists");
+        for ev in rx.iter() {
+            if ev.state.is_terminal() {
+                assert_eq!(ev.state, JobState::Done, "{}", ev.detail);
+                return;
+            }
+        }
+        panic!("subscription ended before {id} terminalized");
+    }
+
+    #[test]
+    fn resubmitted_deck_is_served_from_the_artifact_cache() {
+        let dir = scratch_store("hit");
+        let mut cfg = ServerConfig::local_test();
+        cfg.artifacts = Some(ArtifactConfig::at(&dir));
+        let server = CampaignServer::start(cfg);
+        let base = CgyroInput::test_small();
+        let s = spec(base.clone(), 20, "first");
+        // Cold store: dry run reports a miss.
+        assert_eq!(server.dry_run(&s).unwrap().cache, CacheStatus::Miss);
+        let first = server.submit(s.clone()).expect("admitted");
+        await_done(&server, first);
+        let baseline = server.result_summary(first).expect("done");
+        // Warm store: dry run flips to hit, and a real resubmit is served
+        // straight to Done — no drain needed, no batch, bitwise-equal.
+        assert_eq!(server.dry_run(&s).unwrap().cache, CacheStatus::Hit);
+        let second = server.submit(spec(base.clone(), 20, "again")).expect("admitted");
+        let status = server.status(second).expect("exists");
+        assert_eq!(status.state, JobState::Done, "{}", status.detail);
+        assert!(status.batch.is_none(), "a cache hit never occupies a batch");
+        assert!(status.detail.contains("artifact cache"), "{}", status.detail);
+        assert_eq!(server.result_summary(second), Some(baseline));
+        // The full tensor was rehydrated from the outcome blob, not just
+        // the summary.
+        let (a, b) = (server.result(first).unwrap(), server.result(second).unwrap());
+        assert_eq!(
+            crate::artifacts::encode_outcome(&a),
+            crate::artifacts::encode_outcome(&b),
+            "cache hit is bitwise-identical"
+        );
+        // A semantically different deck (more steps) is still a miss.
+        assert_eq!(server.dry_run(&spec(base, 40, "x")).unwrap().cache, CacheStatus::Miss);
+        let json = server.metrics_json();
+        assert!(json.contains("\"hits\": 1"), "{json}");
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_hits_survive_a_restart_via_the_journal() {
+        let dir = scratch_store("restart");
+        let jdir = scratch_store("restart-journal");
+        let mk_cfg = || {
+            let mut cfg = ServerConfig::local_test();
+            cfg.artifacts = Some(ArtifactConfig::at(&dir));
+            cfg.journal = Some(JournalConfig::durable(&jdir));
+            cfg
+        };
+        let base = CgyroInput::test_small();
+        let (hit_id, baseline) = {
+            let server = CampaignServer::start(mk_cfg());
+            let first = server.submit(spec(base.clone(), 20, "a")).unwrap();
+            await_done(&server, first);
+            let baseline = server.result_summary(first).unwrap();
+            let hit = server.submit(spec(base.clone(), 20, "b")).unwrap();
+            assert_eq!(server.status(hit).unwrap().state, JobState::Done);
+            server.shutdown();
+            (hit, baseline)
+        };
+        // Next life: the CacheHit journal record replays the job born Done
+        // with the same summary — and the store still serves new hits.
+        let server = CampaignServer::start(mk_cfg());
+        let replayed = server.status(hit_id).expect("replayed");
+        assert_eq!(replayed.state, JobState::Done, "{}", replayed.detail);
+        assert_eq!(server.result_summary(hit_id), Some(baseline));
+        let third = server.submit(spec(base, 20, "c")).unwrap();
+        assert_eq!(server.status(third).unwrap().state, JobState::Done);
+        assert_eq!(server.result_summary(third), Some(baseline));
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&jdir).unwrap();
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! SUBMIT steps=N [tag=T] [token=T] + deck
 //!                               -> OK job-0 batch=batch-0 [dup=1]
 //! DRYRUN steps=N        + deck  -> OK cmat_key=0x… placement=… k_cap=…
+//!                                     deck_hash=xgd1-… cache=hit|miss|off
 //! STATUS job-N                  -> OK job-N state=… batch=… detail=…
 //! RESULT job-N                  -> OK job-N steps=… h_hash=0x… diag=0x…,…
 //! LIST                          -> OK <n>, then n status lines
@@ -28,6 +29,10 @@
 //! METRICS_PROM                  -> OK, Prometheus text, then a lone '.'
 //! TOP                           -> OK, live phase table, then a lone '.'
 //! RECOVERY                      -> OK replayed=… restored=… resumed=…
+//! FETCH xgd1-…                  -> OK, manifest JSON lines, then a lone '.'
+//! DIFF xgd1-… xgd1-…            -> OK same | OK differs field,field,…
+//! GC budget=N                   -> OK evicted_manifests=… bytes_freed=…
+//! PIN xgd1-… | UNPIN xgd1-…     -> OK pinned | OK unpinned
 //! DRAIN ms=N                    -> OK drained | ERR drain-timeout: …
 //! SHUTDOWN                      -> OK bye (server exits)
 //! ```
@@ -41,6 +46,7 @@
 use crate::batcher::Placement;
 use crate::job::{JobId, JobSpec, JobStatus};
 use crate::server::CampaignServer;
+use xg_artifact::DeckHash;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -200,15 +206,23 @@ fn handle_conn(
                     }
                 } else {
                     match server.dry_run(&spec) {
-                        Ok((key, Placement::Joins { batch, occupancy, k_cap })) => writeln!(
-                            out,
-                            "OK cmat_key={key:#018x} placement=joins batch={batch} \
-                             occupancy={occupancy} k_cap={k_cap}"
-                        )?,
-                        Ok((key, Placement::Opens { k_cap })) => writeln!(
-                            out,
-                            "OK cmat_key={key:#018x} placement=opens k_cap={k_cap}"
-                        )?,
+                        Ok(dr) => {
+                            let key = dr.cmat_key;
+                            let tail =
+                                format!("deck_hash={} cache={}", dr.deck_hash, dr.cache);
+                            match dr.placement {
+                                Placement::Joins { batch, occupancy, k_cap } => writeln!(
+                                    out,
+                                    "OK cmat_key={key:#018x} placement=joins batch={batch} \
+                                     occupancy={occupancy} k_cap={k_cap} {tail}"
+                                )?,
+                                Placement::Opens { k_cap } => writeln!(
+                                    out,
+                                    "OK cmat_key={key:#018x} placement=opens k_cap={k_cap} \
+                                     {tail}"
+                                )?,
+                            }
+                        }
                         Err(e) => writeln!(out, "ERR {}: {e}", e.kind())?,
                     }
                 }
@@ -271,6 +285,54 @@ fn handle_conn(
                     writeln!(out, "OK done")?;
                 }
                 Err(msg) => writeln!(out, "ERR not-found: {msg}")?,
+            },
+            "FETCH" => match parse_hash_arg(&args, 0) {
+                Ok(hash) => match server.artifact_fetch(hash) {
+                    Ok(Some(json)) => {
+                        writeln!(out, "OK")?;
+                        out.write_all(json.as_bytes())?;
+                        if !json.ends_with('\n') {
+                            writeln!(out)?;
+                        }
+                        writeln!(out, ".")?;
+                    }
+                    Ok(None) => writeln!(out, "ERR not-found: no manifest for {hash}")?,
+                    Err(msg) => writeln!(out, "ERR cache: {msg}")?,
+                },
+                Err(msg) => writeln!(out, "ERR bad-request: {msg}")?,
+            },
+            "DIFF" => match parse_hash_arg(&args, 0)
+                .and_then(|a| parse_hash_arg(&args, 1).map(|b| (a, b)))
+            {
+                Ok((a, b)) => match server.artifact_diff(a, b) {
+                    Ok(fields) if fields.is_empty() => writeln!(out, "OK same")?,
+                    Ok(fields) => writeln!(out, "OK differs {}", fields.join(","))?,
+                    Err(msg) => writeln!(out, "ERR cache: {msg}")?,
+                },
+                Err(msg) => writeln!(out, "ERR bad-request: {msg}")?,
+            },
+            "GC" => {
+                match kv_arg(&args, "budget").and_then(|v| v.parse::<u64>().ok()) {
+                    Some(budget) => match server.artifact_gc(budget) {
+                        Ok(r) => writeln!(
+                            out,
+                            "OK evicted_manifests={} evicted_objects={} bytes_freed={} \
+                             bytes_after={}",
+                            r.evicted_manifests, r.evicted_objects, r.bytes_freed, r.bytes_after
+                        )?,
+                        Err(msg) => writeln!(out, "ERR cache: {msg}")?,
+                    },
+                    None => writeln!(out, "ERR bad-request: missing budget=BYTES")?,
+                }
+            }
+            "PIN" | "UNPIN" => match parse_hash_arg(&args, 0) {
+                Ok(hash) => match server.artifact_pin(hash, cmd == "PIN") {
+                    Ok(()) => {
+                        writeln!(out, "OK {}", if cmd == "PIN" { "pinned" } else { "unpinned" })?
+                    }
+                    Err(msg) => writeln!(out, "ERR cache: {msg}")?,
+                },
+                Err(msg) => writeln!(out, "ERR bad-request: {msg}")?,
             },
             "METRICS" => {
                 writeln!(out, "OK")?;
@@ -361,6 +423,10 @@ fn kv_arg<'a>(args: &[&'a str], key: &str) -> Option<&'a str> {
 
 fn parse_job_arg(args: &[&str]) -> Result<JobId, String> {
     args.first().ok_or("missing job id".to_string())?.parse()
+}
+
+fn parse_hash_arg(args: &[&str], pos: usize) -> Result<DeckHash, String> {
+    args.get(pos).ok_or("missing deck hash (xgd1-…)".to_string())?.parse()
 }
 
 fn fmt_status(s: &JobStatus) -> String {
@@ -522,6 +588,23 @@ impl Client {
     pub fn top(&mut self) -> std::io::Result<String> {
         self.send("TOP")?;
         self.read_dot_payload()
+    }
+
+    /// `FETCH`: a published manifest's canonical JSON by deck hash.
+    pub fn fetch(&mut self, hash: &str) -> std::io::Result<String> {
+        self.send(&format!("FETCH {hash}"))?;
+        self.read_dot_payload()
+    }
+
+    /// `DIFF`: compare two published manifests; `OK same` or
+    /// `OK differs field,…`.
+    pub fn diff(&mut self, a: &str, b: &str) -> std::io::Result<String> {
+        self.roundtrip(&format!("DIFF {a} {b}"))
+    }
+
+    /// `GC`: collect the artifact store down to `budget` bytes.
+    pub fn gc(&mut self, budget: u64) -> std::io::Result<String> {
+        self.roundtrip(&format!("GC budget={budget}"))
     }
 
     /// `SUBSCRIBE`: invoke `on_event` for every `EVENT` line until the
@@ -728,6 +811,65 @@ mod tests {
 
         assert_eq!(c.roundtrip("SHUTDOWN").unwrap(), "OK bye");
         h.join().unwrap();
+    }
+
+    #[test]
+    fn artifact_verbs_round_trip_over_the_wire() {
+        let dir = std::env::temp_dir()
+            .join(format!("xg-wire-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let mut cfg = ServerConfig::local_test();
+        cfg.artifacts = Some(crate::artifacts::ArtifactConfig::at(&dir));
+        let server = CampaignServer::start(cfg);
+        let h = std::thread::spawn(move || serve(listener, server).expect("serve"));
+        let mut c = Client::connect(&addr.to_string()).expect("connect");
+
+        let base = CgyroInput::test_small();
+        let deck = write_deck(&base);
+        // Cold cache: dry run reports the deck hash and a miss.
+        let probe = c.submit_deck(&deck, 20, "", true).unwrap();
+        assert!(probe.contains("deck_hash=xgd1-"), "{probe}");
+        assert!(probe.contains("cache=miss"), "{probe}");
+        let hash = probe
+            .split_whitespace()
+            .find_map(|t| t.strip_prefix("deck_hash="))
+            .unwrap()
+            .to_string();
+        assert!(c.fetch(&hash).is_err(), "nothing published yet");
+
+        // Run it, then everything about the artifact is reachable by hash.
+        let resp = c.submit_deck(&deck, 20, "t", false).unwrap();
+        assert!(resp.starts_with("OK job-0"), "{resp}");
+        // Wait for completion WITHOUT draining (a drained server admits no
+        // resubmissions — the thing the rest of this test exercises).
+        let last = c.subscribe("job-0", |_| {}).unwrap();
+        assert!(last.contains("Done"), "{last}");
+        let probe = c.submit_deck(&deck, 20, "", true).unwrap();
+        assert!(probe.contains("cache=hit"), "{probe}");
+        let manifest = c.fetch(&hash).unwrap();
+        assert!(manifest.contains("\"schema\": \"xg-artifact-manifest-v1\""), "{manifest}");
+        assert!(manifest.contains(&hash), "{manifest}");
+        assert_eq!(c.diff(&hash, &hash).unwrap(), "OK same");
+        assert_eq!(c.roundtrip(&format!("PIN {hash}")).unwrap(), "OK pinned");
+        // A pinned manifest survives even a zero-byte budget.
+        let gc = c.gc(0).unwrap();
+        assert!(gc.starts_with("OK evicted_manifests=0"), "{gc}");
+        assert!(c.fetch(&hash).is_ok(), "pinned manifest survived gc");
+        assert_eq!(c.roundtrip(&format!("UNPIN {hash}")).unwrap(), "OK unpinned");
+        let gc = c.gc(0).unwrap();
+        assert!(gc.starts_with("OK evicted_manifests=1"), "{gc}");
+        assert!(c.fetch(&hash).is_err(), "evicted after unpin");
+        // A cached submission served straight to Done over the wire.
+        let resp = c.roundtrip("STATUS job-1").unwrap_or_default();
+        assert!(resp.starts_with("ERR"), "only one real job exists: {resp}");
+        let bad = c.roundtrip("FETCH nope").unwrap();
+        assert!(bad.starts_with("ERR bad-request"), "{bad}");
+
+        assert_eq!(c.roundtrip("SHUTDOWN").unwrap(), "OK bye");
+        h.join().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -39,6 +39,26 @@ pub enum AdmitError {
     /// The server is draining: it finishes what it holds but admits
     /// nothing new.
     Draining,
+    /// The submission's tenant claim was refused: malformed name, a
+    /// tenant the configured roster does not list, or a failed `auth=`
+    /// secret check (see [`crate::TenantDirectory::resolve`]).
+    TenantDenied {
+        /// Underlying tenant-resolution message.
+        reason: String,
+    },
+    /// Admitting the job would push its tenant past a configured quota
+    /// (live jobs or live deck bytes). Backpressure scoped to one tenant:
+    /// retry after some of that tenant's jobs complete.
+    QuotaExceeded {
+        /// The tenant whose quota fired.
+        tenant: String,
+        /// Which budget: `"jobs"` or `"bytes"`.
+        resource: &'static str,
+        /// Usage the submission would have reached.
+        would_use: u64,
+        /// The configured ceiling.
+        limit: u64,
+    },
     /// The durability journal refused the admission record (disk pressure
     /// or an injected write fault). The job was **not** enqueued — a
     /// submission the journal cannot persist would be silently lost by the
@@ -64,6 +84,12 @@ impl std::fmt::Display for AdmitError {
             AdmitError::Draining => {
                 write!(f, "server is draining and admits no new jobs")
             }
+            AdmitError::TenantDenied { reason } => write!(f, "tenant denied: {reason}"),
+            AdmitError::QuotaExceeded { tenant, resource, would_use, limit } => write!(
+                f,
+                "quota exceeded: tenant '{tenant}' would hold {would_use} live {resource} \
+                 (limit {limit}) — retry after some of its jobs complete"
+            ),
             AdmitError::JournalBackpressure { reason } => write!(
                 f,
                 "journal backpressure: {reason} (submission not persisted — retry)"
@@ -84,17 +110,21 @@ impl AdmitError {
             AdmitError::OversizedGrid { .. } => "oversized-grid",
             AdmitError::BadSteps { .. } => "bad-steps",
             AdmitError::Draining => "draining",
+            AdmitError::TenantDenied { .. } => "tenant-denied",
+            AdmitError::QuotaExceeded { .. } => "quota-exceeded",
             AdmitError::JournalBackpressure { .. } => "journal-backpressure",
         }
     }
 
     /// Every rejection kind, for metrics enumeration.
-    pub const KINDS: [&'static str; 6] = [
+    pub const KINDS: [&'static str; 8] = [
         "queue-full",
         "invalid-deck",
         "oversized-grid",
         "bad-steps",
         "draining",
+        "tenant-denied",
+        "quota-exceeded",
         "journal-backpressure",
     ];
 }
@@ -157,6 +187,13 @@ mod tests {
             AdmitError::OversizedGrid { reason: String::new() },
             AdmitError::BadSteps { reason: String::new() },
             AdmitError::Draining,
+            AdmitError::TenantDenied { reason: String::new() },
+            AdmitError::QuotaExceeded {
+                tenant: String::new(),
+                resource: "jobs",
+                would_use: 2,
+                limit: 1,
+            },
             AdmitError::JournalBackpressure { reason: String::new() },
         ];
         for v in &variants {

@@ -235,6 +235,7 @@ mod tests {
             input: xg_sim::CgyroInput::test_small(),
             steps: 20,
             tag: "t".into(),
+            tenant: "default".into(),
         };
         let outcome = sample_outcome();
         let ctx = PublishContext {

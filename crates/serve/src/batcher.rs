@@ -36,6 +36,12 @@ pub struct BatchKey {
     pub cadence: usize,
     /// Total steps requested: ensemble members run the same step count.
     pub steps: usize,
+    /// [`crate::tenant::tenant_key`] of the submitting tenant. Batches are
+    /// tenant-pure: fair-share attribution and quota release are per batch
+    /// member's tenant, and isolation forbids co-scheduling strangers in
+    /// one ensemble world. ([`PendingBatch`] also stores the exact name;
+    /// placement compares both, so a hash collision cannot mix tenants.)
+    pub tenant: u64,
 }
 
 impl BatchKey {
@@ -45,6 +51,7 @@ impl BatchKey {
             cmat_key: spec.input.cmat_key(),
             cadence: spec.input.steps_per_report,
             steps: spec.steps,
+            tenant: crate::tenant::tenant_key(&spec.tenant),
         }
     }
 }
@@ -64,6 +71,10 @@ pub enum FlushReason {
     /// The batch was rebuilt from the durability journal after a restart
     /// (not flushed by the grouper at all).
     Resume,
+    /// The batch was preempted at a checkpoint boundary by
+    /// higher-priority work and re-queued mid-run (not flushed by the
+    /// grouper at all).
+    Preempt,
 }
 
 impl std::fmt::Display for FlushReason {
@@ -74,6 +85,7 @@ impl std::fmt::Display for FlushReason {
             FlushReason::Linger => "linger",
             FlushReason::Drain => "drain",
             FlushReason::Resume => "resume",
+            FlushReason::Preempt => "preempt",
         })
     }
 }
@@ -85,6 +97,8 @@ pub struct PendingBatch {
     pub id: BatchId,
     /// The shared key.
     pub key: BatchKey,
+    /// The tenant every member belongs to (batches are tenant-pure).
+    pub tenant: String,
     /// Member jobs in submission order.
     pub jobs: Vec<JobId>,
     /// Effective size cap for this batch (`min(k_max, planner budget)`).
@@ -116,9 +130,14 @@ pub enum Placement {
     },
     /// Opens a new batch (no compatible open batch exists).
     Opens {
-        /// The cap the new batch would get.
+        /// The cap the new batch would get (always ≥ 1).
         k_cap: usize,
     },
+    /// No feasible placement exists at all: not even a `k = 1` ensemble
+    /// of this deck fits the modeled allocation. A real submission would
+    /// be rejected at admission (`oversized-grid`), so the dry-run
+    /// predicts the rejection instead of inventing a batch.
+    Infeasible,
 }
 
 /// Grouper configuration.
@@ -179,14 +198,24 @@ impl Grouper {
     }
 
     /// Dry-run placement: where would `spec` land *right now*? Identical
-    /// logic to [`Grouper::place`], without mutating the pending set.
+    /// logic to [`Grouper::place`], without mutating the pending set —
+    /// including agreement with admission: a deck for which not even
+    /// `k = 1` fits reports [`Placement::Infeasible`], exactly where a
+    /// real submission would draw the `oversized-grid` rejection.
     pub fn would_join(&self, spec: &JobSpec) -> Placement {
         let key = BatchKey::of(spec);
-        match self.pending.iter().find(|b| b.key == key && b.jobs.len() < b.k_cap) {
+        match self
+            .pending
+            .iter()
+            .find(|b| b.key == key && b.tenant == spec.tenant && b.jobs.len() < b.k_cap)
+        {
             Some(b) => {
                 Placement::Joins { batch: b.id, occupancy: b.jobs.len(), k_cap: b.k_cap }
             }
-            None => Placement::Opens { k_cap: self.k_cap_for(&spec.input) },
+            None => match self.k_cap_for(&spec.input) {
+                0 => Placement::Infeasible,
+                k_cap => Placement::Opens { k_cap },
+            },
         }
     }
 
@@ -200,7 +229,10 @@ impl Grouper {
         now: Instant,
     ) -> (BatchId, Option<FlushedBatch>) {
         let key = BatchKey::of(spec);
-        let pos = self.pending.iter().position(|b| b.key == key && b.jobs.len() < b.k_cap);
+        let pos = self
+            .pending
+            .iter()
+            .position(|b| b.key == key && b.tenant == spec.tenant && b.jobs.len() < b.k_cap);
         let pos = match pos {
             Some(p) => p,
             None => {
@@ -209,6 +241,7 @@ impl Grouper {
                 self.pending.push(PendingBatch {
                     id: BatchId(self.next_batch),
                     key,
+                    tenant: spec.tenant.clone(),
                     jobs: Vec::new(),
                     k_cap,
                     opened_at: now,
@@ -220,7 +253,10 @@ impl Grouper {
         self.pending[pos].jobs.push(id);
         let batch_id = self.pending[pos].id;
         let flushed = if self.pending[pos].jobs.len() >= self.pending[pos].k_cap {
-            let batch = self.pending.swap_remove(pos);
+            // Order-preserving removal: `pending` stays in batch-open
+            // order, so linger expiry and later placements see batches
+            // oldest-first (swap_remove would silently scramble that).
+            let batch = self.pending.remove(pos);
             let reason = if batch.k_cap < self.cfg.k_max {
                 FlushReason::MemoryBudget
             } else {
@@ -233,21 +269,21 @@ impl Grouper {
         (batch_id, flushed)
     }
 
-    /// Flush every batch whose linger deadline has passed.
+    /// Flush every batch whose linger deadline has passed, oldest-open
+    /// first. Single pass: expired batches are partitioned out rather
+    /// than `Vec::remove`d one by one.
     pub fn expired(&mut self, now: Instant) -> Vec<FlushedBatch> {
         let linger = self.cfg.linger;
         let mut out = Vec::new();
-        let mut i = 0;
-        while i < self.pending.len() {
-            if now.duration_since(self.pending[i].opened_at) >= linger {
-                out.push(FlushedBatch {
-                    batch: self.pending.remove(i),
-                    reason: FlushReason::Linger,
-                });
+        let mut kept = Vec::with_capacity(self.pending.len());
+        for batch in self.pending.drain(..) {
+            if now.duration_since(batch.opened_at) >= linger {
+                out.push(FlushedBatch { batch, reason: FlushReason::Linger });
             } else {
-                i += 1;
+                kept.push(batch);
             }
         }
+        self.pending = kept;
         out
     }
 
@@ -401,6 +437,66 @@ mod tests {
         let f = flushed.expect("flushes at the budget cap");
         assert_eq!(f.reason, FlushReason::MemoryBudget);
         assert_eq!(f.batch.jobs.len(), 8);
+    }
+
+    #[test]
+    fn dry_run_reports_infeasibility_like_admission_rejects() {
+        // The would_join / admit agreement property (ISSUE satellite): a
+        // deck for which not even k = 1 fits must dry-run as Infeasible —
+        // never as `Opens { k_cap: 0 }`, which used to predict a join for
+        // a submission the server would reject as `oversized-grid`.
+        let g = Grouper::new(cfg(4)); // 2 small-cluster nodes
+        let big = CgyroInput::nl03c_like(); // needs >= 32 frontier nodes
+        assert_eq!(g.k_cap_for(&big), 0, "precondition: no feasible plan");
+        assert_eq!(g.would_join(&spec(&big, 10)), Placement::Infeasible);
+        // And a feasible deck never reports Infeasible.
+        let small = CgyroInput::test_small();
+        assert!(matches!(g.would_join(&spec(&small, 10)), Placement::Opens { k_cap } if k_cap >= 1));
+    }
+
+    #[test]
+    fn flush_preserves_fifo_order_of_remaining_batches() {
+        // Regression (ISSUE satellite): flushing a full batch used
+        // swap_remove, which moved the newest open batch into the flushed
+        // slot and broke oldest-batch-first ordering for linger expiry.
+        let mut g = Grouper::new(cfg(2));
+        let base = CgyroInput::test_small();
+        let mk = |nu: f64| {
+            let mut d = base.clone();
+            d.nu_ee = nu;
+            d
+        };
+        let t0 = Instant::now();
+        let (a, _) = g.place(JobId(0), &spec(&mk(0.1), 10), t0);
+        let (b, _) = g.place(JobId(1), &spec(&mk(0.2), 10), t0 + Duration::from_millis(1));
+        let (c, _) = g.place(JobId(2), &spec(&mk(0.3), 10), t0 + Duration::from_millis(2));
+        // Fill batch A (k_cap 2): it flushes out of position 0.
+        let (a2, flushed) = g.place(JobId(3), &spec(&mk(0.1), 10), t0 + Duration::from_millis(3));
+        assert_eq!(a, a2);
+        assert!(flushed.is_some());
+        // The survivors must still be in open order: B before C.
+        let order: Vec<BatchId> = g.pending().iter().map(|p| p.id).collect();
+        assert_eq!(order, vec![b, c], "flush must not scramble pending order");
+        // And linger expiry flushes them oldest-open first.
+        let out = g.expired(t0 + Duration::from_secs(1));
+        let flushed_order: Vec<BatchId> = out.iter().map(|f| f.batch.id).collect();
+        assert_eq!(flushed_order, vec![b, c]);
+    }
+
+    #[test]
+    fn tenants_never_share_a_batch() {
+        // Batches are tenant-pure even when every physics parameter
+        // matches: isolation and per-tenant attribution both require it.
+        let mut g = Grouper::new(cfg(8));
+        let base = CgyroInput::test_small();
+        let now = Instant::now();
+        let (b0, _) = g.place(JobId(0), &spec(&base, 10).with_tenant("alice"), now);
+        let (b1, _) = g.place(JobId(1), &spec(&base, 10).with_tenant("bob"), now);
+        let (b2, _) = g.place(JobId(2), &spec(&base, 10).with_tenant("alice"), now);
+        assert_ne!(b0, b1, "tenant purity");
+        assert_eq!(b0, b2, "same tenant still co-batches");
+        assert_eq!(g.pending().iter().map(|p| p.tenant.as_str()).collect::<Vec<_>>(),
+                   vec!["alice", "bob"]);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! ```text
 //! xgq [--addr HOST:PORT] [--retries N] [--timeout-ms MS] <command>
 //!   submit --deck FILE [--steps N] [--tag T] [--grad RLN,RLT] [--seed S]
-//!          [--token T] [--no-token] [--dry-run]
+//!          [--token T] [--no-token] [--tenant T] [--auth S] [--dry-run]
 //!   status JOB            one-shot state snapshot
 //!   result JOB            result fingerprint (steps, h hash, diag bits)
 //!   watch JOB             stream lifecycle events until terminal
@@ -22,6 +22,11 @@
 //!   shutdown              stop the server
 //!   ping                  liveness check
 //! ```
+//!
+//! `--tenant` names the tenant the submission is accounted to (default
+//! `default`; also read from `XGQ_TENANT`); `--auth` supplies the shared
+//! secret when the daemon's `--tenants` roster requires one (also read
+//! from `XGQ_AUTH`, which keeps secrets out of `ps` output).
 //!
 //! `--grad`/`--seed` rewrite the deck client-side before submission — the
 //! sweep idiom: one base deck, many gradient variants, all landing in one
@@ -57,7 +62,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: xgq [--addr HOST:PORT] [--retries N] [--timeout-ms MS] <command>\n\
          \u{20} submit --deck FILE [--steps N] [--tag T] [--grad RLN,RLT] [--seed S]\n\
-         \u{20}        [--token T] [--no-token] [--dry-run]\n\
+         \u{20}        [--token T] [--no-token] [--tenant T] [--auth S] [--dry-run]\n\
          \u{20} status JOB | result JOB | watch JOB | cancel JOB | list\n\
          \u{20} metrics [--out FILE] [--prom] | top [--watch MS] | recovery\n\
          \u{20} fetch HASH | diff HASH HASH | gc --budget BYTES\n\
@@ -228,12 +233,16 @@ fn submit(retry: &mut RetryingClient, rest: &[String]) -> ! {
     let mut dry_run = false;
     let mut token: Option<String> = None;
     let mut no_token = false;
+    let mut tenant = std::env::var("XGQ_TENANT").unwrap_or_default();
+    let mut auth = std::env::var("XGQ_AUTH").unwrap_or_default();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--deck" => deck_path = it.next().cloned(),
             "--steps" => steps = it.next().and_then(|v| v.parse::<usize>().ok()),
             "--tag" => tag = it.next().cloned().unwrap_or_default(),
+            "--tenant" => tenant = it.next().cloned().unwrap_or_else(|| usage()),
+            "--auth" => auth = it.next().cloned().unwrap_or_else(|| usage()),
             "--grad" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 grad = v
@@ -269,7 +278,7 @@ fn submit(retry: &mut RetryingClient, rest: &[String]) -> ! {
     };
     let deck = write_deck(&input);
     let resp = retry
-        .with_retries(|c| c.submit_deck_tokened(&deck, steps, &tag, &token, dry_run))
+        .with_retries(|c| c.submit_deck_as(&deck, steps, &tag, &token, &tenant, &auth, dry_run))
         .unwrap_or_else(|e| fail(&e.to_string()));
     finish(&resp)
 }

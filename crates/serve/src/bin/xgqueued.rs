@@ -8,6 +8,8 @@
 //!          [--journal DIR] [--journal-sync N] [--journal-seg-bytes N]
 //!          [--journal-fault KIND:AT[:KEEP]]
 //!          [--artifacts DIR] [--artifact-budget-bytes N]
+//!          [--tenants ROSTER] [--quantum N]
+//!          [--retain-jobs N] [--retain-age-ms MS]
 //! ```
 //!
 //! Binds the wire protocol (see `xg_serve::wire`) and serves until a client
@@ -28,6 +30,18 @@
 //! byte-identical deck is served straight to `Done` without executing a
 //! step. `--artifact-budget-bytes N` adds automatic LRU retention GC after
 //! each publish (pinned manifests are never evicted).
+//!
+//! `--tenants ROSTER` switches the daemon from open multi-tenancy (any
+//! well-formed `tenant=` claim accepted, no quotas) to a configured
+//! roster: `name[:weight=W][:jobs=N][:bytes=N][:secret=S][:prio=P]`
+//! entries separated by commas. Unknown tenants are rejected at SUBMIT,
+//! `secret=` entries require a matching `auth=`, and `jobs=`/`bytes=`
+//! bound each tenant's *live* (unfinished) footprint. `--quantum N` sets
+//! the deficit-round-robin quantum (work units credited per scheduling
+//! visit per unit weight). `--retain-jobs N` / `--retain-age-ms MS` bound
+//! the terminal-job retention window: finished jobs older than the age
+//! cap, or beyond the count cap, are evicted from the in-memory status
+//! table (journal and artifact history are unaffected).
 
 use std::net::TcpListener;
 use std::process::exit;
@@ -48,6 +62,8 @@ fn usage() -> ! {
          \u{20}                [--journal DIR] [--journal-sync N] [--journal-seg-bytes N]\n\
          \u{20}                [--journal-fault write-error:AT|torn:AT:KEEP|crash:AT]\n\
          \u{20}                [--artifacts DIR] [--artifact-budget-bytes N]\n\
+         \u{20}                [--tenants ROSTER] [--quantum N]\n\
+         \u{20}                [--retain-jobs N] [--retain-age-ms MS]\n\
          presets: {}",
         PRESET_NAMES.join(", ")
     );
@@ -107,6 +123,18 @@ fn main() {
                 cfg.deadline = Duration::from_millis(parse_or_usage(it.next()))
             }
             "--nodes" => cfg.nodes = parse_or_usage(it.next()),
+            "--tenants" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                cfg.tenants = xg_serve::TenantDirectory::parse(&v).unwrap_or_else(|e| {
+                    eprintln!("xgqueued: bad --tenants roster: {e}");
+                    usage()
+                });
+            }
+            "--quantum" => cfg.quantum = parse_or_usage(it.next()),
+            "--retain-jobs" => cfg.retain_jobs = parse_or_usage(it.next()),
+            "--retain-age-ms" => {
+                cfg.retain_age = Duration::from_millis(parse_or_usage(it.next()))
+            }
             "--machine" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 cfg.machine = preset(&v).unwrap_or_else(|| {
@@ -174,12 +202,17 @@ fn main() {
     let addr = listener.local_addr().map(|a| a.to_string()).unwrap_or(addr);
     println!(
         "xgqueued listening on {addr} (k_max={}, linger={}ms, workers={}, nodes={} x {}, \
-         journal {}, artifacts {}, phase timers {})",
+         tenants {}, journal {}, artifacts {}, phase timers {})",
         cfg.k_max,
         cfg.linger.as_millis(),
         cfg.workers,
         cfg.nodes,
         cfg.machine.name,
+        if cfg.tenants.is_configured() {
+            format!("{} configured (quantum {})", cfg.tenants.roster().count(), cfg.quantum)
+        } else {
+            "open".into()
+        },
         cfg.journal
             .as_ref()
             .map(|j| format!("{} (fsync every {})", j.dir.display(), j.fsync_every))

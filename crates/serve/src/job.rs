@@ -135,12 +135,27 @@ pub struct JobSpec {
     pub steps: usize,
     /// Free-form label echoed in status output (no whitespace).
     pub tag: String,
+    /// Tenant the job is attributed to — the unit of quota enforcement
+    /// and fair-share scheduling (see [`crate::tenant`]). Resolved against
+    /// the daemon's [`crate::TenantDirectory`] at admission.
+    pub tenant: String,
 }
 
 impl JobSpec {
-    /// A spec with an empty tag.
+    /// A spec with an empty tag, attributed to the default tenant.
     pub fn new(input: CgyroInput, steps: usize) -> Self {
-        Self { input, steps, tag: String::new() }
+        Self {
+            input,
+            steps,
+            tag: String::new(),
+            tenant: crate::tenant::DEFAULT_TENANT.to_string(),
+        }
+    }
+
+    /// Attribute the spec to `tenant`.
+    pub fn with_tenant(mut self, tenant: &str) -> Self {
+        self.tenant = tenant.to_string();
+        self
     }
 }
 
@@ -162,6 +177,8 @@ pub struct JobStatus {
     pub id: JobId,
     /// Submitted label.
     pub tag: String,
+    /// Tenant the job is attributed to.
+    pub tenant: String,
     /// Current lifecycle state.
     pub state: JobState,
     /// The deck's cmat key (what the batcher groups on).
@@ -205,6 +222,13 @@ pub(crate) struct Job {
     pub submitted_at: Instant,
     pub dispatched_at: Option<Instant>,
     pub outcome: Option<JobOutcome>,
+    /// The idempotency token this job was submitted under, if any —
+    /// retained so terminal-job eviction can drop the matching dedup
+    /// entry instead of leaking it.
+    pub token: Option<String>,
+    /// Canonical deck-text size, counted against the tenant's live-byte
+    /// quota while the job is non-terminal.
+    pub deck_bytes: u64,
     /// For jobs already `Done` before a restart: the journaled result
     /// summary `(steps, h_hash, diag_bits)`. The full tensor is gone with
     /// the old process, but `RESULT` stays answerable — and
@@ -218,6 +242,7 @@ impl Job {
         JobStatus {
             id: self.id,
             tag: self.spec.tag.clone(),
+            tenant: self.spec.tenant.clone(),
             state: self.state,
             cmat_key: self.cmat_key,
             batch: self.batch,

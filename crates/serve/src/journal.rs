@@ -127,6 +127,10 @@ pub enum JournalRecord {
         /// (restored queue-latency accounting counts from here, not from
         /// replay time).
         submitted_unix_us: u64,
+        /// Tenant the job is attributed to. Encoded as the v2 record
+        /// (tag 9); v1 records (tag 1) from pre-tenant journals decode
+        /// with [`crate::tenant::DEFAULT_TENANT`].
+        tenant: String,
     },
     /// The job was placed into a batch.
     Batched {
@@ -210,6 +214,10 @@ pub enum JournalRecord {
         h_hash: u64,
         /// `f64::to_bits` of (time, field_energy, heat_flux, h_norm2).
         diag_bits: [u64; 4],
+        /// Tenant the hit is attributed to. Encoded as the v2 record
+        /// (tag 10); v1 records (tag 8) decode with
+        /// [`crate::tenant::DEFAULT_TENANT`].
+        tenant: String,
     },
 }
 
@@ -239,8 +247,9 @@ impl JournalRecord {
                 steps,
                 tag,
                 submitted_unix_us,
+                tenant,
             } => {
-                out.push(1);
+                out.push(9); // v2: v1 layout (tag 1) + trailing tenant
                 put_u64(&mut out, job.0);
                 put_str(&mut out, token);
                 put_u64(&mut out, *deck_hash);
@@ -248,6 +257,7 @@ impl JournalRecord {
                 put_u64(&mut out, *steps);
                 put_str(&mut out, tag);
                 put_u64(&mut out, *submitted_unix_us);
+                put_str(&mut out, tenant);
             }
             JournalRecord::Batched { job, batch } => {
                 out.push(2);
@@ -297,8 +307,9 @@ impl JournalRecord {
                 steps_done,
                 h_hash,
                 diag_bits,
+                tenant,
             } => {
-                out.push(8);
+                out.push(10); // v2: v1 layout (tag 8) + trailing tenant
                 put_u64(&mut out, job.0);
                 put_str(&mut out, token);
                 put_u64(&mut out, *deck_hash);
@@ -311,6 +322,7 @@ impl JournalRecord {
                 for d in diag_bits {
                     put_u64(&mut out, *d);
                 }
+                put_str(&mut out, tenant);
             }
         }
         out
@@ -322,7 +334,11 @@ impl JournalRecord {
         let mut c = Cursor { buf: payload, off: 0 };
         let tag = c.u8()?;
         let rec = match tag {
-            1 => JournalRecord::Submitted {
+            // Tag 1 is the pre-tenant (v1) Submitted layout; tag 9 is v2
+            // with a trailing tenant. Old journals replay as the default
+            // tenant — attribution is preserved going forward, never
+            // invented backward.
+            t @ (1 | 9) => JournalRecord::Submitted {
                 job: JobId(c.u64()?),
                 token: c.str()?,
                 deck_hash: c.u64()?,
@@ -330,6 +346,11 @@ impl JournalRecord {
                 steps: c.u64()?,
                 tag: c.str()?,
                 submitted_unix_us: c.u64()?,
+                tenant: if t == 9 {
+                    c.str()?
+                } else {
+                    crate::tenant::DEFAULT_TENANT.to_string()
+                },
             },
             2 => JournalRecord::Batched { job: JobId(c.u64()?), batch: BatchId(c.u64()?) },
             3 => JournalRecord::Running { batch: BatchId(c.u64()?), jobs: c.jobs()? },
@@ -348,7 +369,8 @@ impl JournalRecord {
             },
             6 => JournalRecord::Failed { job: JobId(c.u64()?), detail: c.str()? },
             7 => JournalRecord::Cancelled { job: JobId(c.u64()?), detail: c.str()? },
-            8 => JournalRecord::CacheHit {
+            // Tag 8 = v1 CacheHit, tag 10 = v2 with trailing tenant.
+            t @ (8 | 10) => JournalRecord::CacheHit {
                 job: JobId(c.u64()?),
                 token: c.str()?,
                 deck_hash: c.u64()?,
@@ -359,6 +381,11 @@ impl JournalRecord {
                 steps_done: c.u64()?,
                 h_hash: c.u64()?,
                 diag_bits: [c.u64()?, c.u64()?, c.u64()?, c.u64()?],
+                tenant: if t == 10 {
+                    c.str()?
+                } else {
+                    crate::tenant::DEFAULT_TENANT.to_string()
+                },
             },
             other => return Err(format!("unknown record tag {other}")),
         };
@@ -932,6 +959,9 @@ pub struct ReplayedJob {
     pub steps: u64,
     /// Client label.
     pub tag: String,
+    /// Tenant attribution (pre-tenant records replay as
+    /// [`crate::tenant::DEFAULT_TENANT`]).
+    pub tenant: String,
     /// Original wall-clock submit time (µs since the Unix epoch).
     pub submitted_unix_us: u64,
     /// Last journaled lifecycle state.
@@ -989,6 +1019,7 @@ pub fn fold(records: &[JournalRecord]) -> ReplayTable {
                 steps,
                 tag,
                 submitted_unix_us,
+                tenant,
             } => {
                 t.jobs.insert(
                     *job,
@@ -999,6 +1030,7 @@ pub fn fold(records: &[JournalRecord]) -> ReplayTable {
                         deck_hash: *deck_hash,
                         steps: *steps,
                         tag: tag.clone(),
+                        tenant: tenant.clone(),
                         submitted_unix_us: *submitted_unix_us,
                         state: JobState::Queued,
                         batch: None,
@@ -1079,6 +1111,7 @@ pub fn fold(records: &[JournalRecord]) -> ReplayTable {
                 steps_done,
                 h_hash,
                 diag_bits,
+                tenant,
             } => {
                 // Born-Done: one record is both admission and completion.
                 t.jobs.insert(
@@ -1090,6 +1123,7 @@ pub fn fold(records: &[JournalRecord]) -> ReplayTable {
                         deck_hash: *deck_hash,
                         steps: *steps,
                         tag: tag.clone(),
+                        tenant: tenant.clone(),
                         submitted_unix_us: *submitted_unix_us,
                         state: JobState::Done,
                         batch: None,
@@ -1134,6 +1168,7 @@ mod tests {
                 steps: 20,
                 tag: "a".into(),
                 submitted_unix_us: 1_700_000_000_000_000,
+                tenant: "alice".into(),
             },
             JournalRecord::Batched { job: JobId(0), batch: BatchId(0) },
             JournalRecord::Submitted {
@@ -1144,6 +1179,7 @@ mod tests {
                 steps: 20,
                 tag: "b".into(),
                 submitted_unix_us: 1_700_000_000_500_000,
+                tenant: crate::tenant::DEFAULT_TENANT.into(),
             },
             JournalRecord::Batched { job: JobId(1), batch: BatchId(0) },
             JournalRecord::Running { batch: BatchId(0), jobs: vec![JobId(0), JobId(1)] },
@@ -1176,6 +1212,7 @@ mod tests {
             steps_done: 20,
             h_hash: 0xfeed_beef,
             diag_bits: [5, 6, 7, 8],
+            tenant: "alice".into(),
         }
     }
 
@@ -1209,6 +1246,7 @@ mod tests {
                 steps: 1,
                 tag: String::new(),
                 submitted_unix_us: 1,
+                tenant: crate::tenant::DEFAULT_TENANT.into(),
             })
             .unwrap();
         }
@@ -1334,6 +1372,7 @@ mod tests {
             deck: pad.clone(),
             steps: 20,
             tag: "live".into(),
+            tenant: crate::tenant::DEFAULT_TENANT.into(),
             submitted_unix_us: 1,
         })
         .unwrap();
@@ -1443,17 +1482,19 @@ mod tests {
     /// Strategy: an arbitrary (valid) record.
     fn arb_record() -> impl Strategy<Value = JournalRecord> {
         prop_oneof![
-            (0u64.., arb_text(), 0u64.., arb_text(), 0u64.., arb_text(), 0u64..).prop_map(
-                |(job, token, deck_hash, deck, steps, tag, t)| JournalRecord::Submitted {
-                    job: JobId(job),
-                    token,
-                    deck_hash,
-                    deck,
-                    steps,
-                    tag,
-                    submitted_unix_us: t,
-                }
-            ),
+            (0u64.., arb_text(), 0u64.., arb_text(), 0u64.., (arb_text(), arb_text()), 0u64..)
+                .prop_map(|(job, token, deck_hash, deck, steps, (tag, tenant), t)| {
+                    JournalRecord::Submitted {
+                        job: JobId(job),
+                        token,
+                        deck_hash,
+                        deck,
+                        steps,
+                        tag,
+                        tenant,
+                        submitted_unix_us: t,
+                    }
+                }),
             (0u64.., 0u64..).prop_map(|(j, b)| JournalRecord::Batched {
                 job: JobId(j),
                 batch: BatchId(b),

@@ -20,7 +20,16 @@
 //!   batch as one XGYRO ensemble via the resilient checkpointed runner
 //!   ([`xgyro_core::run_xgyro_resilient_from`]): a faulted member is
 //!   evicted and marked `Failed` without killing its batch-mates, and
-//!   cancellations preempt at checkpoint boundaries;
+//!   cancellations preempt at checkpoint boundaries. Execution is
+//!   **elastic**: each batch asks for the smallest feasible world
+//!   ([`xg_cluster::min_nodes_unbalanced`]) and as many worlds run
+//!   concurrently as the node budget holds;
+//! * **multi-tenancy** ([`tenant`], [`sched`]) — submissions carry a
+//!   tenant identity (optionally authenticated against a `--tenants`
+//!   roster), admission enforces per-tenant live-job/byte quotas, and the
+//!   dispatch queue divides machine time between tenants by weighted
+//!   deficit round-robin with priority lanes that preempt lower-lane
+//!   worlds at checkpoint boundaries;
 //! * **observability** ([`JobState`] lifecycle events via poll or
 //!   subscription, [`Metrics`] as JSON — including the batch-occupancy
 //!   histogram and `cmat` bytes saved, computed with the same
@@ -45,7 +54,9 @@ pub mod batcher;
 pub mod job;
 pub mod journal;
 pub mod metrics;
+pub mod sched;
 pub mod server;
+pub mod tenant;
 pub mod wire;
 
 pub use admission::{check_spec, AdmitError};
@@ -56,6 +67,8 @@ pub use journal::{
     Journal, JournalConfig, JournalError, JournalRecord, JournalStats, Replay, ReplayTable,
     ServeFaultKind, ServeFaultPlan, ServeFaultSpec,
 };
-pub use metrics::Metrics;
+pub use metrics::{Metrics, TenantCounters};
+pub use sched::{DispatchQueue, DEFAULT_QUANTUM};
 pub use server::{CacheStatus, CampaignServer, DryRun, RecoveryReport, ServerConfig};
+pub use tenant::{TenantDirectory, TenantSpec, TenantUsage, DEFAULT_TENANT};
 pub use wire::{Client, RetryPolicy, RetryingClient};

@@ -25,9 +25,38 @@
 use crate::admission::AdmitError;
 use crate::batcher::FlushReason;
 use crate::job::JobState;
+use crate::tenant::TenantUsage;
 use std::collections::BTreeMap;
 use xg_comm::OpRecord;
 use xg_tensor::SimDims;
+
+/// Per-tenant counter family. Lifecycle counters accumulate forever;
+/// `live_jobs`/`live_bytes` are gauges refreshed from the server's usage
+/// ledger at export time (the same numbers admission checks quotas
+/// against).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantCounters {
+    /// Accepted submissions (cache hits included — they are accepted).
+    pub submitted: u64,
+    /// Jobs that terminalized `Done`.
+    pub done: u64,
+    /// Jobs that terminalized `Failed`.
+    pub failed: u64,
+    /// Jobs that terminalized `Cancelled`.
+    pub cancelled: u64,
+    /// Simulation steps completed on behalf of this tenant (`Done` jobs'
+    /// step counts) — the work unit fair share is measured in.
+    pub work_done: u64,
+    /// Submissions served straight from the artifact cache.
+    pub cache_hits: u64,
+    /// Times one of this tenant's running worlds yielded its nodes to a
+    /// higher-priority lane at a checkpoint boundary.
+    pub preemptions: u64,
+    /// Live (non-terminal) jobs right now.
+    pub live_jobs: u64,
+    /// Live journaled deck bytes right now.
+    pub live_bytes: u64,
+}
 
 /// Counter registry. The server updates it under its state lock; `to_json`
 /// takes a snapshot of the live job states at export time.
@@ -90,6 +119,19 @@ pub struct Metrics {
     /// Outcome-blob bytes served from the store instead of recomputed —
     /// the cache's analogue of `cmat_saved_bytes`.
     pub cache_bytes_saved: u64,
+    /// Per-tenant counter families, keyed by resolved tenant name.
+    pub tenants: BTreeMap<String, TenantCounters>,
+    /// Ensemble worlds executing right now.
+    pub worlds_active: u64,
+    /// High-water mark of concurrently executing worlds — ≥ 2 is the
+    /// observable signature of elastic (non-serial) execution.
+    pub worlds_peak: u64,
+    /// Modeled nodes occupied by executing worlds (refreshed at export).
+    pub nodes_in_use: u64,
+    /// Checkpoint-boundary preemptions across all tenants.
+    pub preemptions: u64,
+    /// Terminal jobs evicted by the bounded retention window.
+    pub terminal_evicted: u64,
 }
 
 impl Metrics {
@@ -129,6 +171,68 @@ impl Metrics {
     /// Record a store consult that found nothing.
     pub fn on_cache_miss(&mut self) {
         self.cache_misses += 1;
+    }
+
+    /// Record an accepted submission against its tenant.
+    pub fn on_tenant_submit(&mut self, tenant: &str) {
+        self.tenants.entry(tenant.to_string()).or_default().submitted += 1;
+    }
+
+    /// Record a terminal transition against its tenant. `work` is the
+    /// completed step count for `Done` jobs and 0 otherwise.
+    pub fn on_tenant_terminal(&mut self, tenant: &str, state: JobState, work: u64) {
+        let t = self.tenants.entry(tenant.to_string()).or_default();
+        match state {
+            JobState::Done => t.done += 1,
+            JobState::Failed => t.failed += 1,
+            JobState::Cancelled => t.cancelled += 1,
+            _ => {}
+        }
+        t.work_done += work;
+    }
+
+    /// Record a cache-served submission against its tenant.
+    pub fn on_tenant_cache_hit(&mut self, tenant: &str) {
+        self.tenants.entry(tenant.to_string()).or_default().cache_hits += 1;
+    }
+
+    /// Record a checkpoint-boundary preemption of one of `tenant`'s
+    /// running worlds.
+    pub fn on_preempt(&mut self, tenant: &str) {
+        self.preemptions += 1;
+        self.tenants.entry(tenant.to_string()).or_default().preemptions += 1;
+    }
+
+    /// A world started executing (worker reserved its nodes).
+    pub fn on_world_start(&mut self) {
+        self.worlds_active += 1;
+        self.worlds_peak = self.worlds_peak.max(self.worlds_active);
+    }
+
+    /// A world stopped executing (completed, failed, or preempted).
+    pub fn on_world_end(&mut self) {
+        self.worlds_active = self.worlds_active.saturating_sub(1);
+    }
+
+    /// Record `n` terminal jobs evicted by the retention window.
+    pub fn on_terminal_evicted(&mut self, n: u64) {
+        self.terminal_evicted += n;
+    }
+
+    /// Refresh the per-tenant live gauges from the server's usage ledger
+    /// (called at export time under the state lock). Tenants absent from
+    /// the ledger have no live work — their gauges drop to zero while
+    /// their lifetime counters stay.
+    pub fn set_tenant_usage(&mut self, usage: &BTreeMap<String, TenantUsage>) {
+        for t in self.tenants.values_mut() {
+            t.live_jobs = 0;
+            t.live_bytes = 0;
+        }
+        for (name, u) in usage {
+            let t = self.tenants.entry(name.clone()).or_default();
+            t.live_jobs = u.live_jobs as u64;
+            t.live_bytes = u.live_bytes;
+        }
     }
 
     /// Fold one executed segment's per-rank traces into the phase
@@ -242,6 +346,36 @@ impl Metrics {
              \"bytes_saved\": {}}},\n",
             self.cache_hits, self.cache_misses, self.cache_bytes_saved,
         ));
+        s.push_str(&format!(
+            "  \"scheduler\": {{\"worlds_active\": {}, \"worlds_peak\": {}, \
+             \"nodes_in_use\": {}, \"preemptions\": {}, \"terminal_evicted\": {}}},\n",
+            self.worlds_active,
+            self.worlds_peak,
+            self.nodes_in_use,
+            self.preemptions,
+            self.terminal_evicted,
+        ));
+        s.push_str("  \"tenants\": {");
+        for (i, (name, t)) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "\"{name}\": {{\"submitted\": {}, \"done\": {}, \"failed\": {}, \
+                 \"cancelled\": {}, \"work_done\": {}, \"cache_hits\": {}, \
+                 \"preemptions\": {}, \"live_jobs\": {}, \"live_bytes\": {}}}",
+                t.submitted,
+                t.done,
+                t.failed,
+                t.cancelled,
+                t.work_done,
+                t.cache_hits,
+                t.preemptions,
+                t.live_jobs,
+                t.live_bytes,
+            ));
+        }
+        s.push_str("},\n");
         s.push_str(&format!(
             "  \"recovery\": {{\"replayed_records\": {}, \"restored_jobs\": {}, \
              \"resumed_batches\": {}, \"readmitted_jobs\": {}, \"torn_bytes\": {}, \
@@ -419,6 +553,98 @@ impl Metrics {
             "xgserve_replay_seconds_total {}\n",
             self.replay_us as f64 / 1e6
         ));
+        for (name, help, v) in [
+            ("xgserve_worlds_active", "Ensemble worlds executing right now.", self.worlds_active),
+            (
+                "xgserve_worlds_peak",
+                "High-water mark of concurrently executing worlds.",
+                self.worlds_peak,
+            ),
+            (
+                "xgserve_nodes_in_use",
+                "Modeled nodes occupied by executing worlds.",
+                self.nodes_in_use,
+            ),
+        ] {
+            s.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        for (name, help, v) in [
+            (
+                "xgserve_preemptions_total",
+                "Checkpoint-boundary world preemptions.",
+                self.preemptions,
+            ),
+            (
+                "xgserve_terminal_evicted_total",
+                "Terminal jobs evicted by the bounded retention window.",
+                self.terminal_evicted,
+            ),
+        ] {
+            s.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"));
+        }
+        if !self.tenants.is_empty() {
+            for (name, help, get, kind) in [
+                (
+                    "xgserve_tenant_submitted_total",
+                    "Accepted submissions per tenant.",
+                    (|t: &TenantCounters| t.submitted) as fn(&TenantCounters) -> u64,
+                    "counter",
+                ),
+                (
+                    "xgserve_tenant_done_total",
+                    "Jobs completed per tenant.",
+                    |t: &TenantCounters| t.done,
+                    "counter",
+                ),
+                (
+                    "xgserve_tenant_failed_total",
+                    "Jobs failed per tenant.",
+                    |t: &TenantCounters| t.failed,
+                    "counter",
+                ),
+                (
+                    "xgserve_tenant_cancelled_total",
+                    "Jobs cancelled per tenant.",
+                    |t: &TenantCounters| t.cancelled,
+                    "counter",
+                ),
+                (
+                    "xgserve_tenant_work_done_total",
+                    "Simulation steps completed per tenant.",
+                    |t: &TenantCounters| t.work_done,
+                    "counter",
+                ),
+                (
+                    "xgserve_tenant_cache_hits_total",
+                    "Cache-served submissions per tenant.",
+                    |t: &TenantCounters| t.cache_hits,
+                    "counter",
+                ),
+                (
+                    "xgserve_tenant_preemptions_total",
+                    "World preemptions per tenant.",
+                    |t: &TenantCounters| t.preemptions,
+                    "counter",
+                ),
+                (
+                    "xgserve_tenant_live_jobs",
+                    "Live jobs per tenant (quota numerator).",
+                    |t: &TenantCounters| t.live_jobs,
+                    "gauge",
+                ),
+                (
+                    "xgserve_tenant_live_bytes",
+                    "Live deck bytes per tenant (quota numerator).",
+                    |t: &TenantCounters| t.live_bytes,
+                    "gauge",
+                ),
+            ] {
+                s.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+                for (tenant, t) in &self.tenants {
+                    s.push_str(&format!("{name}{{tenant=\"{tenant}\"}} {}\n", get(t)));
+                }
+            }
+        }
         s
     }
 }
@@ -430,6 +656,7 @@ fn reason_key(reason: FlushReason) -> &'static str {
         FlushReason::Linger => "linger",
         FlushReason::Drain => "drain",
         FlushReason::Resume => "resume",
+        FlushReason::Preempt => "preempt",
     }
 }
 
@@ -597,6 +824,51 @@ mod tests {
         assert!(text.contains("xgserve_cache_hits_total 2"), "{text}");
         assert!(text.contains("xgserve_cache_misses_total 2"), "{text}");
         assert!(text.contains("xgserve_cache_bytes_saved_total 8192"), "{text}");
+    }
+
+    #[test]
+    fn tenant_families_export_in_json_and_prometheus() {
+        let mut m = Metrics::default();
+        m.on_tenant_submit("acme");
+        m.on_tenant_submit("acme");
+        m.on_tenant_submit("beta");
+        m.on_tenant_terminal("acme", JobState::Done, 200);
+        m.on_tenant_terminal("beta", JobState::Failed, 0);
+        m.on_tenant_cache_hit("acme");
+        m.on_preempt("acme");
+        m.on_world_start();
+        m.on_world_start();
+        m.on_world_end();
+        m.on_terminal_evicted(3);
+        let mut usage = BTreeMap::new();
+        usage.insert("acme".to_string(), TenantUsage { live_jobs: 1, live_bytes: 512 });
+        m.set_tenant_usage(&usage);
+        let json = m.to_json(&[]);
+        assert!(
+            json.contains(
+                "\"acme\": {\"submitted\": 2, \"done\": 1, \"failed\": 0, \
+                 \"cancelled\": 0, \"work_done\": 200, \"cache_hits\": 1, \
+                 \"preemptions\": 1, \"live_jobs\": 1, \"live_bytes\": 512}"
+            ),
+            "{json}"
+        );
+        assert!(
+            json.contains(
+                "\"scheduler\": {\"worlds_active\": 1, \"worlds_peak\": 2, \
+                 \"nodes_in_use\": 0, \"preemptions\": 1, \"terminal_evicted\": 3}"
+            ),
+            "{json}"
+        );
+        // beta has no live work: gauges drop to 0, lifetime counters stay.
+        assert!(json.contains("\"beta\": {\"submitted\": 1, \"done\": 0, \"failed\": 1"), "{json}");
+        let text = m.to_prometheus(&[]);
+        assert!(text.contains("xgserve_tenant_submitted_total{tenant=\"acme\"} 2"), "{text}");
+        assert!(text.contains("xgserve_tenant_work_done_total{tenant=\"acme\"} 200"), "{text}");
+        assert!(text.contains("xgserve_tenant_live_jobs{tenant=\"beta\"} 0"), "{text}");
+        assert!(text.contains("xgserve_worlds_peak 2"), "{text}");
+        assert!(text.contains("xgserve_preemptions_total 1"), "{text}");
+        assert!(text.contains("xgserve_terminal_evicted_total 3"), "{text}");
+        xg_obs::expo::lint_prometheus(&text).expect("must lint clean");
     }
 
     #[test]

@@ -1,0 +1,403 @@
+//! Deficit-round-robin (DRR) fair-share dispatch across tenants, with
+//! priority lanes.
+//!
+//! The server's ready queue used to be a plain FIFO: one aggressive
+//! tenant could occupy every worker indefinitely. [`DispatchQueue`]
+//! replaces it with the classic DRR scheduler over per-tenant FIFO
+//! queues:
+//!
+//! * Each queued batch carries a **cost** in abstract work units (the
+//!   server uses `k × steps` — member-steps of simulation).
+//! * Tenants take turns in round-robin order; each visit credits the
+//!   tenant's *deficit counter* with `quantum × weight`, and the tenant's
+//!   head batch dispatches once the deficit covers its cost. Over time
+//!   every backlogged tenant therefore receives machine time proportional
+//!   to its configured weight, regardless of arrival pattern — and no
+//!   tenant starves, because deficits grow monotonically while a tenant
+//!   waits (the starvation proptest below pins the bound).
+//! * **Priority lanes** sit above fairness: a higher lane always
+//!   dispatches first, and the server preempts lower-lane batches at
+//!   checkpoint boundaries when a higher lane is waiting (see
+//!   `docs/serving.md`). DRR applies *within* each lane.
+//!
+//! The queue is generic over the queued item so the scheduling policy is
+//! testable without constructing server state; the server instantiates it
+//! with its `ReadyBatch`.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// Default DRR quantum in work units credited per round-robin visit per
+/// unit of weight. The absolute value only sets how interleaved service
+/// is relative to batch costs; fairness ratios come from the weights.
+pub const DEFAULT_QUANTUM: u64 = 64;
+
+#[derive(Debug)]
+struct Entry<T> {
+    cost: u64,
+    item: T,
+}
+
+#[derive(Debug)]
+struct TenantQueue<T> {
+    weight: u32,
+    deficit: u64,
+    /// Whether this tenant's current round-robin visit has already been
+    /// credited. DRR serves a tenant in a burst until its deficit is
+    /// spent; the flag lets consecutive `pop` calls continue one visit
+    /// without crediting it twice.
+    charged: bool,
+    items: VecDeque<Entry<T>>,
+}
+
+#[derive(Debug)]
+struct Lane<T> {
+    queues: BTreeMap<String, TenantQueue<T>>,
+    /// Round-robin order over tenants with backlog in this lane.
+    rr: VecDeque<String>,
+}
+
+impl<T> Lane<T> {
+    fn new() -> Self {
+        Self { queues: BTreeMap::new(), rr: VecDeque::new() }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.queues.is_empty()
+    }
+
+    fn len(&self) -> usize {
+        self.queues.values().map(|q| q.items.len()).sum()
+    }
+
+    fn push(&mut self, tenant: &str, weight: u32, cost: u64, item: T) {
+        let q = self.queues.entry(tenant.to_string()).or_insert_with(|| {
+            self.rr.push_back(tenant.to_string());
+            TenantQueue { weight, deficit: 0, charged: false, items: VecDeque::new() }
+        });
+        // Latest configured weight wins (a roster reload mid-flight).
+        q.weight = weight.max(1);
+        q.items.push_back(Entry { cost, item });
+    }
+
+    fn pop<F: Fn(&T) -> bool>(&mut self, quantum: u64, fits: &F) -> Option<T> {
+        // Termination guard: unless some tenant's head batch passes
+        // `fits`, rotating can never serve anyone — return without
+        // touching any deficit.
+        if !self
+            .queues
+            .values()
+            .any(|q| q.items.front().is_some_and(|e| fits(&e.item)))
+        {
+            return None;
+        }
+        loop {
+            let name = self.rr.front().expect("fitting head implies backlog").clone();
+            let q = self.queues.get_mut(&name).expect("rr tracks queues");
+            let credit = quantum.saturating_mul(u64::from(q.weight));
+            if !q.charged {
+                // First touch of this visit: credit the deficit counter.
+                // The tenant then serves in a burst — later `pop` calls
+                // find `charged` still set and spend the same credit —
+                // until the deficit no longer covers its head.
+                q.deficit = q.deficit.saturating_add(credit);
+                q.charged = true;
+            }
+            let head = q.items.front().expect("empty queues leave rr");
+            let head_cost = head.cost;
+            if q.deficit >= head_cost && fits(&head.item) {
+                let e = q.items.pop_front().expect("head exists");
+                q.deficit -= e.cost;
+                if q.items.is_empty() {
+                    // An emptied tenant leaves the round and forfeits its
+                    // residual deficit — credit never outlives backlog.
+                    self.queues.remove(&name);
+                    self.rr.retain(|n| n != &name);
+                }
+                return Some(e.item);
+            }
+            // Visit over (still saving up, or its head does not fit the
+            // free capacity). Cap the banked credit so a capacity-blocked
+            // tenant cannot hoard an unbounded burst, while keeping the
+            // cap ≥ head cost so it always eventually affords its head.
+            // Then move on.
+            let cap = head_cost.max(credit).saturating_mul(2);
+            q.deficit = q.deficit.min(cap);
+            q.charged = false;
+            self.rr.rotate_left(1);
+        }
+    }
+
+    fn retain<F: FnMut(&mut T) -> bool>(&mut self, f: &mut F) {
+        for q in self.queues.values_mut() {
+            q.items.retain_mut(|e| f(&mut e.item));
+        }
+        self.queues.retain(|_, q| !q.items.is_empty());
+        self.rr.retain(|n| self.queues.contains_key(n));
+    }
+}
+
+/// Priority-laned DRR dispatch queue. See the module docs.
+#[derive(Debug)]
+pub struct DispatchQueue<T> {
+    quantum: u64,
+    lanes: BTreeMap<u8, Lane<T>>,
+}
+
+impl<T> Default for DispatchQueue<T> {
+    fn default() -> Self {
+        Self::new(DEFAULT_QUANTUM)
+    }
+}
+
+impl<T> DispatchQueue<T> {
+    /// A queue crediting `quantum` work units per visit per unit weight.
+    pub fn new(quantum: u64) -> Self {
+        Self { quantum: quantum.max(1), lanes: BTreeMap::new() }
+    }
+
+    /// Enqueue `item` for `tenant` at `priority`, costing `cost` work
+    /// units of the tenant's fair share when dispatched.
+    pub fn push(&mut self, tenant: &str, weight: u32, priority: u8, cost: u64, item: T) {
+        self.lanes
+            .entry(priority)
+            .or_insert_with(Lane::new)
+            .push(tenant, weight, cost, item);
+    }
+
+    /// Dispatch the next item: highest priority lane first, DRR
+    /// fair-share within the lane. `fits` filters on external capacity
+    /// (the server passes "does this batch's node ask fit the free
+    /// budget"); an item whose tenant has banked enough deficit but whose
+    /// head does not fit blocks only its own tenant's queue, not the
+    /// round. Returns `None` when nothing queued passes `fits`.
+    pub fn pop<F: Fn(&T) -> bool>(&mut self, fits: F) -> Option<T> {
+        let prios: Vec<u8> = self.lanes.keys().rev().copied().collect();
+        for p in prios {
+            let lane = self.lanes.get_mut(&p).expect("key just listed");
+            if let Some(item) = lane.pop(self.quantum, &fits) {
+                if lane.is_empty() {
+                    self.lanes.remove(&p);
+                }
+                return Some(item);
+            }
+        }
+        None
+    }
+
+    /// Queued item count across all lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.values().map(Lane::len).sum()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// The highest priority among queued items, if any — what a running
+    /// batch compares its own lane against at checkpoint boundaries to
+    /// decide whether to yield.
+    pub fn highest_waiting_priority(&self) -> Option<u8> {
+        self.lanes.keys().next_back().copied()
+    }
+
+    /// Minimum of `f` over the head items of every tenant queue in lanes
+    /// strictly above `priority` — `None` when no higher lane has backlog.
+    /// The server's preemption check uses this as "the smallest node ask
+    /// that could dispatch from a higher lane": a running batch yields its
+    /// nodes only when that ask is blocked now and provably fits once the
+    /// batch's own allocation is released, so a yield always unblocks the
+    /// higher lane instead of spinning.
+    pub fn min_over_higher_lanes<F: Fn(&T) -> u64>(&self, priority: u8, f: F) -> Option<u64> {
+        self.lanes
+            .range((std::ops::Bound::Excluded(priority), std::ops::Bound::Unbounded))
+            .flat_map(|(_, lane)| {
+                lane.queues
+                    .values()
+                    .filter_map(|q| q.items.front().map(|e| f(&e.item)))
+            })
+            .min()
+    }
+
+    /// Filter (and possibly mutate) every queued item; items for which
+    /// `f` returns false are dropped. The server's cancel path uses this
+    /// to evict a member from a flushed-but-undispatched batch.
+    pub fn retain<F: FnMut(&mut T) -> bool>(&mut self, mut f: F) {
+        for lane in self.lanes.values_mut() {
+            lane.retain(&mut f);
+        }
+        self.lanes.retain(|_, l| !l.is_empty());
+    }
+
+    /// Drain everything in dispatch order (priority, then fair-share).
+    pub fn drain_all(&mut self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len());
+        while let Some(item) = self.pop(|_| true) {
+            out.push(item);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fifo_within_a_tenant() {
+        let mut q = DispatchQueue::new(8);
+        for i in 0..5u32 {
+            q.push("a", 1, 0, 10, i);
+        }
+        let got: Vec<u32> = q.drain_all();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn equal_weights_interleave_equal_cost_items() {
+        let mut q = DispatchQueue::new(8);
+        for i in 0..4u32 {
+            q.push("a", 1, 0, 8, i);
+        }
+        for i in 10..14u32 {
+            q.push("b", 1, 0, 8, i);
+        }
+        let got: Vec<u32> = q.drain_all();
+        // Perfect alternation: every item costs exactly one visit's credit.
+        assert_eq!(got, vec![0, 10, 1, 11, 2, 12, 3, 13]);
+    }
+
+    #[test]
+    fn weights_skew_service_proportionally() {
+        let mut q = DispatchQueue::new(8);
+        for i in 0..30u32 {
+            q.push("heavy", 3, 0, 8, i);
+            q.push("light", 1, 0, 8, 100 + i);
+        }
+        // After the first 16 dispatches, heavy should hold ~3/4 of them.
+        let mut heavy = 0;
+        for _ in 0..16 {
+            if q.pop(|_| true).unwrap() < 100 {
+                heavy += 1;
+            }
+        }
+        assert!((11..=13).contains(&heavy), "heavy got {heavy}/16, want ~12");
+    }
+
+    #[test]
+    fn higher_priority_lanes_dispatch_first() {
+        let mut q = DispatchQueue::new(8);
+        q.push("batch", 1, 0, 8, 0u32);
+        q.push("interactive", 1, 2, 8, 1);
+        q.push("batch", 1, 0, 8, 2);
+        assert_eq!(q.highest_waiting_priority(), Some(2));
+        assert_eq!(q.pop(|_| true), Some(1));
+        assert_eq!(q.highest_waiting_priority(), Some(0));
+        assert_eq!(q.drain_all(), vec![0, 2]);
+    }
+
+    #[test]
+    fn min_over_higher_lanes_sees_only_strictly_higher_heads() {
+        let mut q = DispatchQueue::new(8);
+        q.push("batch", 1, 0, 8, 40u32);
+        q.push("interactive", 1, 2, 8, 12);
+        q.push("urgent", 1, 3, 8, 7);
+        // Non-head items never participate: only each tenant's head counts.
+        q.push("urgent", 1, 3, 8, 1);
+        assert_eq!(q.min_over_higher_lanes(0, |x| u64::from(*x)), Some(7));
+        assert_eq!(q.min_over_higher_lanes(2, |x| u64::from(*x)), Some(7));
+        assert_eq!(q.min_over_higher_lanes(3, |x| u64::from(*x)), None);
+    }
+
+    #[test]
+    fn fits_filter_blocks_only_the_blocked_tenant() {
+        let mut q = DispatchQueue::new(8);
+        q.push("big", 1, 0, 8, 100u32); // pretend it needs too many nodes
+        q.push("small", 1, 0, 8, 1);
+        assert_eq!(q.pop(|x| *x < 100), Some(1));
+        assert_eq!(q.pop(|x| *x < 100), None, "only the unfitting item left");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(|_| true), Some(100), "capacity freed, now dispatchable");
+    }
+
+    #[test]
+    fn retain_evicts_and_drops_empty_tenants() {
+        let mut q = DispatchQueue::new(8);
+        q.push("a", 1, 0, 8, 1u32);
+        q.push("a", 1, 0, 8, 2);
+        q.push("b", 1, 1, 8, 3);
+        q.retain(|x| *x != 3 && *x != 1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.highest_waiting_priority(), Some(0), "emptied lane dropped");
+        assert_eq!(q.drain_all(), vec![2]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Starvation-freedom + proportional share for ANY tenant arrival
+        /// pattern (the ISSUE satellite): drain the whole queue and check
+        /// (a) conservation — every pushed item pops exactly once,
+        /// (b) per-tenant FIFO, and (c) the DRR latency bound — while a
+        /// tenant is continuously backlogged, the work dispatched for it
+        /// lags its weighted fair share of total dispatched work by at
+        /// most a constant (quanta + one max-cost item per tenant),
+        /// independent of how adversarial the arrival order is.
+        #[test]
+        fn drr_is_starvation_free_for_any_arrival_pattern(
+            arrivals in prop::collection::vec((0usize..4, 1u64..50), 1..120),
+            weights in (1u32..5, 1u32..5, 1u32..5, 1u32..5),
+            quantum in 1u64..64,
+        ) {
+            let weights = [weights.0, weights.1, weights.2, weights.3];
+            let tenants = ["a", "b", "c", "d"];
+            let mut q = DispatchQueue::new(quantum);
+            let mut pushed: Vec<Vec<(usize, u64)>> = vec![Vec::new(); 4];
+            for (seq, &(t, cost)) in arrivals.iter().enumerate() {
+                q.push(tenants[t], weights[t], 0, cost, (t, seq, cost));
+                pushed[t].push((seq, cost));
+            }
+            let max_cost = arrivals.iter().map(|&(_, c)| c).max().unwrap_or(1);
+            let max_w = *weights.iter().max().unwrap() as u64;
+            // One visit's credit + one head item of slack per tenant, for
+            // each of the 4 tenants in the round.
+            let slack = 4 * (quantum * max_w + max_cost);
+
+            let mut served: Vec<Vec<(usize, u64)>> = vec![Vec::new(); 4];
+            let mut served_work = [0u64; 4];
+            let mut total_work = 0u64;
+            let total_items = arrivals.len();
+            for _ in 0..total_items {
+                let (t, seq, cost) = q.pop(|_| true).expect("conservation: queue drained early");
+                served[t].push((seq, cost));
+                served_work[t] += cost;
+                total_work += cost;
+                // (c) The latency bound, checked at every prefix: any
+                // tenant still backlogged must have received at least its
+                // weighted share of the dispatched work so far, minus the
+                // constant slack. A starved tenant violates this as the
+                // prefix grows.
+                let sum_w: u64 = (0..4)
+                    .filter(|&i| served[i].len() < pushed[i].len() || served_work[i] > 0)
+                    .map(|i| u64::from(weights[i]))
+                    .sum();
+                for i in 0..4 {
+                    if served[i].len() < pushed[i].len() {
+                        let fair = total_work * u64::from(weights[i]) / sum_w.max(1);
+                        prop_assert!(
+                            served_work[i] + 2 * slack >= fair,
+                            "tenant {i} starved: served {} of fair {} (slack {slack})",
+                            served_work[i], fair
+                        );
+                    }
+                }
+            }
+            prop_assert!(q.is_empty(), "conservation: items left behind");
+            // (a) + (b): exactly the pushed items, in per-tenant FIFO order.
+            for t in 0..4 {
+                prop_assert_eq!(&served[t], &pushed[t], "tenant {} order broken", t);
+            }
+        }
+    }
+}

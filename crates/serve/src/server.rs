@@ -22,6 +22,8 @@ use crate::batcher::{FlushReason, Grouper, GrouperConfig, Placement};
 use crate::job::{BatchId, Job, JobEvent, JobId, JobOutcome, JobSpec, JobState, JobStatus};
 use crate::journal::{self, Journal, JournalConfig, JournalRecord};
 use crate::metrics::Metrics;
+use crate::sched::DispatchQueue;
+use crate::tenant::{TenantDirectory, TenantUsage};
 use xg_artifact::{deck_hash, ArtifactStore, DeckHash, GcReport, Manifest, StoreStats};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, VecDeque};
@@ -71,6 +73,20 @@ pub struct ServerConfig {
     /// cache-less; `Some` publishes every completed batch member and serves
     /// re-submitted byte-identical decks straight to `Done`.
     pub artifacts: Option<ArtifactConfig>,
+    /// Tenant roster: per-tenant weights, priorities, quotas, and secrets.
+    /// The default open directory accepts any well-formed tenant name,
+    /// unquota'd at weight 1 (see [`TenantDirectory`]).
+    pub tenants: TenantDirectory,
+    /// DRR quantum for the fair-share dispatch queue: work units credited
+    /// per round-robin visit per unit of tenant weight.
+    pub quantum: u64,
+    /// Terminal jobs retained in memory (count window): once more than
+    /// this many jobs are terminal, the oldest are evicted together with
+    /// their idempotency-token dedup entries — aligned with journal
+    /// compaction, which forgets terminal jobs on the same principle.
+    pub retain_jobs: usize,
+    /// Terminal jobs older than this are evicted (age window).
+    pub retain_age: Duration,
 }
 
 impl ServerConfig {
@@ -92,6 +108,10 @@ impl ServerConfig {
             fault_plan: None,
             journal: None,
             artifacts: None,
+            tenants: TenantDirectory::open(),
+            quantum: crate::sched::DEFAULT_QUANTUM,
+            retain_jobs: 4096,
+            retain_age: Duration::from_secs(3600),
         }
     }
 }
@@ -171,8 +191,17 @@ struct ReadyBatch {
     id: BatchId,
     jobs: Vec<JobId>,
     reason: FlushReason,
-    /// Set only for batches rebuilt by journal replay.
+    /// Set for batches rebuilt by journal replay and for batches
+    /// preempted at a checkpoint boundary.
     resume: Option<ResumeState>,
+    /// The tenant every member belongs to (batches are tenant-pure).
+    tenant: String,
+    /// The tenant's priority lane at enqueue time.
+    priority: u8,
+    /// Modeled node allocation this batch occupies while executing — the
+    /// smallest feasible world for its deck and size, so several worlds
+    /// run concurrently inside the server's node budget.
+    nodes: usize,
 }
 
 #[derive(Debug)]
@@ -180,7 +209,7 @@ struct State {
     jobs: BTreeMap<JobId, Job>,
     next_job: u64,
     grouper: Grouper,
-    ready: VecDeque<ReadyBatch>,
+    ready: DispatchQueue<ReadyBatch>,
     metrics: Metrics,
     live: usize,
     draining: bool,
@@ -190,6 +219,16 @@ struct State {
     /// Idempotency token → job id (rebuilt from the journal on restart).
     tokens: BTreeMap<String, JobId>,
     recovery: RecoveryReport,
+    /// Modeled nodes occupied by currently executing worlds.
+    nodes_in_use: usize,
+    /// Workers parked waiting for a dispatchable batch.
+    idle_workers: usize,
+    /// Live (non-terminal) resource usage per tenant, checked against the
+    /// roster's quotas at admission.
+    tenant_usage: BTreeMap<String, TenantUsage>,
+    /// Terminal jobs in the order they terminalized, for the bounded
+    /// retention window.
+    terminal_order: VecDeque<(JobId, Instant)>,
 }
 
 struct Shared {
@@ -241,7 +280,7 @@ impl CampaignServer {
             jobs: BTreeMap::new(),
             next_job: 0,
             grouper,
-            ready: VecDeque::new(),
+            ready: DispatchQueue::new(cfg.quantum),
             metrics: Metrics::default(),
             live: 0,
             draining: false,
@@ -250,12 +289,16 @@ impl CampaignServer {
             journal: None,
             tokens: BTreeMap::new(),
             recovery: RecoveryReport::default(),
+            nodes_in_use: 0,
+            idle_workers: 0,
+            tenant_usage: BTreeMap::new(),
+            terminal_order: VecDeque::new(),
         };
         if let Some(jcfg) = cfg.journal.clone() {
             let (j, replay) = Journal::open(jcfg)
                 .unwrap_or_else(|e| panic!("cannot open journal in {:?}: {e}", cfg.journal));
             st.journal = Some(j);
-            replay_into(&mut st, replay);
+            replay_into(&cfg, &mut st, replay);
             let rec = st.recovery.clone();
             st.metrics.set_recovery(&rec);
         }
@@ -306,6 +349,21 @@ impl CampaignServer {
         spec: JobSpec,
         token: Option<&str>,
     ) -> Result<(JobId, bool), AdmitError> {
+        self.submit_authed(spec, token, None)
+    }
+
+    /// Submit with an idempotency token and a tenant auth secret. The
+    /// spec's `tenant` field is the *claim*; it is resolved against the
+    /// daemon's [`TenantDirectory`] (name validity, roster membership, the
+    /// `auth` secret when the roster demands one) and the job is admitted
+    /// under the resolved identity — which also gates the tenant's
+    /// live-job and live-byte quotas.
+    pub fn submit_authed(
+        &self,
+        mut spec: JobSpec,
+        token: Option<&str>,
+        auth: Option<&str>,
+    ) -> Result<(JobId, bool), AdmitError> {
         let shared = &self.shared;
         let mut guard = shared.state.lock();
         let st = &mut *guard;
@@ -315,6 +373,17 @@ impl CampaignServer {
                 return Ok((*id, true));
             }
         }
+        // Identity first: quotas, fair share, and attribution all hang off
+        // the resolved tenant, not the raw claim.
+        let tenant = match shared.cfg.tenants.resolve(&spec.tenant, auth.unwrap_or("")) {
+            Ok(t) => t,
+            Err(e) => {
+                let e = AdmitError::TenantDenied { reason: e.to_string() };
+                st.metrics.on_reject(&e);
+                return Err(e);
+            }
+        };
+        spec.tenant = tenant.name.clone();
         if let Err(e) = admit(shared, st, &spec) {
             st.metrics.on_reject(&e);
             return Err(e);
@@ -346,6 +415,33 @@ impl CampaignServer {
                 }
             }
         }
+        // Per-tenant quotas, checked after the cache consult — a hit is
+        // born terminal and never holds live resources, so it is served
+        // even to a tenant at its ceiling.
+        let deck = xg_sim::write_deck(&spec.input);
+        let deck_bytes = deck.len() as u64;
+        {
+            let usage = st.tenant_usage.get(&tenant.name).copied().unwrap_or_default();
+            let quota = match (tenant.max_live_jobs, tenant.max_live_bytes) {
+                (Some(maxj), _) if usage.live_jobs + 1 > maxj => {
+                    Some(("jobs", usage.live_jobs as u64 + 1, maxj as u64))
+                }
+                (_, Some(maxb)) if usage.live_bytes + deck_bytes > maxb => {
+                    Some(("bytes", usage.live_bytes + deck_bytes, maxb))
+                }
+                _ => None,
+            };
+            if let Some((resource, would_use, limit)) = quota {
+                let e = AdmitError::QuotaExceeded {
+                    tenant: tenant.name.clone(),
+                    resource,
+                    would_use,
+                    limit,
+                };
+                st.metrics.on_reject(&e);
+                return Err(e);
+            }
+        }
         let id = JobId(st.next_job);
         let submitted_unix_us = unix_us();
         // Journal the admission BEFORE mutating any state: the client must
@@ -353,7 +449,6 @@ impl CampaignServer {
         // journal failure nothing was admitted — typed backpressure, not
         // unbounded unjournaled growth.
         if let Some(j) = st.journal.as_mut() {
-            let deck = xg_sim::write_deck(&spec.input);
             let rec = JournalRecord::Submitted {
                 job: id,
                 token: token.to_string(),
@@ -361,6 +456,7 @@ impl CampaignServer {
                 deck,
                 steps: spec.steps as u64,
                 tag: spec.tag.clone(),
+                tenant: spec.tenant.clone(),
                 submitted_unix_us,
             };
             if let Err(e) = j.append(&rec) {
@@ -389,6 +485,8 @@ impl CampaignServer {
                 submitted_at: Instant::now(),
                 dispatched_at: None,
                 outcome: None,
+                token: (!token.is_empty()).then(|| token.to_string()),
+                deck_bytes,
                 restored_summary: None,
                 subscribers: Vec::new(),
             },
@@ -397,15 +495,14 @@ impl CampaignServer {
             st.tokens.insert(token.to_string(), id);
         }
         st.live += 1;
+        let usage = st.tenant_usage.entry(tenant.name.clone()).or_default();
+        usage.live_jobs += 1;
+        usage.live_bytes += deck_bytes;
         st.metrics.on_submit();
+        st.metrics.on_tenant_submit(&tenant.name);
         journal_append(st, &JournalRecord::Batched { job: id, batch });
         if let Some(f) = flushed {
-            st.ready.push_back(ReadyBatch {
-                id: f.batch.id,
-                jobs: f.batch.jobs,
-                reason: f.reason,
-                resume: None,
-            });
+            enqueue_ready(&shared.cfg, st, f.batch.id, f.batch.jobs, f.reason, None);
             shared.work.notify_all();
         }
         // A new batch may have created the earliest linger deadline.
@@ -427,11 +524,17 @@ impl CampaignServer {
             Some(s) if s.contains(dh) => CacheStatus::Hit,
             Some(_) => CacheStatus::Miss,
         };
+        // Normalize an empty tenant claim the way admission would, so the
+        // predicted placement matches what a real submit gets.
+        let mut probe = spec.clone();
+        if probe.tenant.is_empty() {
+            probe.tenant = crate::tenant::DEFAULT_TENANT.to_string();
+        }
         Ok(DryRun {
             cmat_key: spec.input.cmat_key(),
             deck_hash: dh,
             cache,
-            placement: guard.grouper.would_join(spec),
+            placement: guard.grouper.would_join(&probe),
         })
     }
 
@@ -564,13 +667,14 @@ impl CampaignServer {
                 // Batched: preempt before dispatch.
                 if let Some(b) = batch {
                     if !st.grouper.remove_job(b, id) {
-                        // Already flushed: pull it out of the ready queue.
-                        for rb in st.ready.iter_mut() {
+                        // Already flushed: pull it out of the ready queue
+                        // (an emptied batch is dropped outright).
+                        st.ready.retain(|rb| {
                             if rb.id == b {
                                 rb.jobs.retain(|j| *j != id);
                             }
-                        }
-                        st.ready.retain(|rb| !rb.jobs.is_empty());
+                            !rb.jobs.is_empty()
+                        });
                     }
                 }
                 transition(st, id, JobState::Cancelled, "cancelled before dispatch".into());
@@ -591,13 +695,11 @@ impl CampaignServer {
         let mut guard = shared.state.lock();
         guard.draining = true;
         let flushed = guard.grouper.flush_all();
-        for f in flushed {
-            guard.ready.push_back(ReadyBatch {
-                id: f.batch.id,
-                jobs: f.batch.jobs,
-                reason: f.reason,
-                resume: None,
-            });
+        {
+            let st = &mut *guard;
+            for f in flushed {
+                enqueue_ready(&shared.cfg, st, f.batch.id, f.batch.jobs, f.reason, None);
+            }
         }
         shared.work.notify_all();
         while guard.live > 0 {
@@ -629,14 +731,29 @@ impl CampaignServer {
     }
 
     /// One-screen live view for `xgq top`: job-state counts, headline batch
-    /// counters, and the daemon's per-phase wall-time table.
+    /// counters, per-tenant accounting, and the daemon's per-phase
+    /// wall-time table.
     pub fn top_text(&self) -> String {
-        let (by_state, dispatched, saved) = {
+        let (by_state, dispatched, saved, tenant_lines) = {
             let guard = self.shared.state.lock();
+            let (m, _) = metrics_snapshot(&guard);
+            let tenant_lines: Vec<String> = m
+                .tenants
+                .iter()
+                .map(|(name, t)| {
+                    format!(
+                        "tenant {name}: submitted={} done={} work_done={} live_jobs={} \
+                         live_bytes={} preemptions={}",
+                        t.submitted, t.done, t.work_done, t.live_jobs, t.live_bytes,
+                        t.preemptions,
+                    )
+                })
+                .collect();
             (
                 jobs_by_state(&guard),
                 guard.metrics.occupancy.values().sum::<u64>(),
                 guard.metrics.cmat_saved_bytes,
+                tenant_lines,
             )
         };
         let mut s = String::from("jobs:");
@@ -647,6 +764,10 @@ impl CampaignServer {
         s.push_str(&format!(
             "batches: dispatched={dispatched} cmat_saved_bytes={saved}\n"
         ));
+        for line in &tenant_lines {
+            s.push_str(line);
+            s.push('\n');
+        }
         match xg_obs::expo::render_table(xg_obs::Registry::global()) {
             Some(table) => {
                 s.push_str("phase timers (this daemon):\n");
@@ -674,7 +795,7 @@ impl CampaignServer {
                 .flush_all()
                 .into_iter()
                 .flat_map(|f| f.batch.jobs)
-                .chain(st.ready.drain(..).flat_map(|rb| rb.jobs))
+                .chain(st.ready.drain_all().into_iter().flat_map(|rb| rb.jobs))
                 .collect();
             for id in pending {
                 transition(st, id, JobState::Cancelled, "server shutdown".into());
@@ -699,14 +820,98 @@ fn jobs_by_state(st: &State) -> Vec<(JobState, usize)> {
         .collect()
 }
 
-/// Metrics clone with fresh journal stats folded in, plus the state-count
-/// table — one consistent snapshot under the caller's lock.
+/// Metrics clone with fresh journal stats and per-tenant usage gauges
+/// folded in, plus the state-count table — one consistent snapshot under
+/// the caller's lock.
 fn metrics_snapshot(st: &State) -> (Metrics, Vec<(JobState, usize)>) {
     let mut m = st.metrics.clone();
     if let Some(j) = &st.journal {
         m.set_journal_stats(j.stats());
     }
+    m.set_tenant_usage(&st.tenant_usage);
+    m.nodes_in_use = st.nodes_in_use as u64;
     (m, jobs_by_state(st))
+}
+
+/// Price and enqueue a flushed batch into the fair-share dispatch queue.
+/// The batch's node ask is the smallest feasible world for its deck and
+/// size ([`xg_cluster::min_nodes_unbalanced`]); its fair-share cost is its
+/// member-steps of simulation work.
+fn enqueue_ready(
+    cfg: &ServerConfig,
+    st: &mut State,
+    id: BatchId,
+    jobs: Vec<JobId>,
+    reason: FlushReason,
+    resume: Option<ResumeState>,
+) {
+    if jobs.is_empty() {
+        return;
+    }
+    let (tenant, steps, nodes) = {
+        let head = &st.jobs[&jobs[0]];
+        let nodes = batch_nodes(cfg, &head.spec.input, jobs.len());
+        (head.spec.tenant.clone(), head.spec.steps, nodes)
+    };
+    let (weight, priority) = tenant_sched_params(cfg, &tenant);
+    let cost = jobs.len() as u64 * steps as u64;
+    st.ready.push(
+        &tenant,
+        weight,
+        priority,
+        cost,
+        ReadyBatch { id, jobs, reason, resume, tenant: tenant.clone(), priority, nodes },
+    );
+}
+
+/// Modeled node allocation for one executing world: the smallest node
+/// count whose memory budget fits a `k`-member ensemble of this deck,
+/// clamped to the server's whole allocation (admission guarantees at
+/// least `k = 1` fits it).
+fn batch_nodes(cfg: &ServerConfig, input: &CgyroInput, k: usize) -> usize {
+    xg_cluster::min_nodes_unbalanced(input, k, &cfg.machine, cfg.nodes)
+        .map_or(cfg.nodes, |p| p.nodes)
+}
+
+/// The roster's scheduling parameters for a tenant; unlisted tenants (open
+/// mode) run at weight 1 in the base priority lane.
+fn tenant_sched_params(cfg: &ServerConfig, tenant: &str) -> (u32, u8) {
+    cfg.tenants
+        .get(tenant)
+        .map_or((crate::tenant::DEFAULT_WEIGHT, 0), |t| (t.weight, t.priority))
+}
+
+/// Enforce the terminal-retention window: evict the oldest terminal jobs
+/// beyond the count bound or past the age bound, dropping each one's
+/// idempotency-token dedup entry with it. This mirrors journal compaction
+/// (closed segments forget terminal jobs too), so what a restart would not
+/// replay, the live table forgets on the same schedule — a retained id
+/// keeps `RESULT` and token dedup working; an evicted one answers
+/// not-found exactly as it would after a restart.
+fn evict_terminals(st: &mut State, retain_jobs: usize, retain_age: Duration, now: Instant) {
+    let mut evicted = 0u64;
+    while let Some(&(id, at)) = st.terminal_order.front() {
+        let over_count = st.terminal_order.len() > retain_jobs;
+        let over_age = now.saturating_duration_since(at) >= retain_age;
+        if !over_count && !over_age {
+            break;
+        }
+        st.terminal_order.pop_front();
+        let evictable = st.jobs.get(&id).is_some_and(|j| j.state.is_terminal());
+        if evictable {
+            if let Some(job) = st.jobs.remove(&id) {
+                if let Some(tok) = &job.token {
+                    if st.tokens.get(tok) == Some(&id) {
+                        st.tokens.remove(tok);
+                    }
+                }
+                evicted += 1;
+            }
+        }
+    }
+    if evicted > 0 {
+        st.metrics.on_terminal_evicted(evicted);
+    }
 }
 
 /// Wall-clock µs since the Unix epoch (0 if the clock predates it).
@@ -756,6 +961,7 @@ fn serve_cache_hit(
             deck,
             steps: spec.steps as u64,
             tag: spec.tag.clone(),
+            tenant: spec.tenant.clone(),
             submitted_unix_us: unix_us(),
             steps_done,
             h_hash,
@@ -775,8 +981,10 @@ fn serve_cache_hit(
         .ok()
         .and_then(|b| artifacts::decode_outcome(&b).ok());
     let cmat_key = spec.input.cmat_key();
-    // Born Done: never counts against `live`, never occupies a batch, no
-    // lifecycle transition to journal beyond the single CacheHit record.
+    let tenant = spec.tenant.clone();
+    // Born Done: never counts against `live` (or the tenant's live
+    // quotas), never occupies a batch, no lifecycle transition to journal
+    // beyond the single CacheHit record.
     st.jobs.insert(
         id,
         Job {
@@ -790,6 +998,8 @@ fn serve_cache_hit(
             submitted_at: Instant::now(),
             dispatched_at: None,
             outcome,
+            token: (!token.is_empty()).then(|| token.to_string()),
+            deck_bytes: 0,
             restored_summary: Some((steps_done, h_hash, diag_bits)),
             subscribers: Vec::new(),
         },
@@ -797,9 +1007,13 @@ fn serve_cache_hit(
     if !token.is_empty() {
         st.tokens.insert(token.to_string(), id);
     }
+    st.terminal_order.push_back((id, Instant::now()));
     st.metrics.on_submit();
+    st.metrics.on_tenant_submit(&tenant);
+    st.metrics.on_tenant_cache_hit(&tenant);
     st.metrics.on_cache_hit(manifest.outcome_bytes);
     xg_obs::record_cache_hit(manifest.outcome_bytes);
+    evict_terminals(st, shared.cfg.retain_jobs, shared.cfg.retain_age, Instant::now());
     Ok((id, false))
 }
 
@@ -829,9 +1043,12 @@ fn outcome_summary(o: &JobOutcome) -> (u64, u64, [u64; 4]) {
 /// Rebuild server state from a journal replay: terminal jobs are restored
 /// with their result summaries, members of still-running batches are queued
 /// to resume from the last journaled checkpoint, and every other live job
-/// is re-admitted through the normal grouping path. Runs before any worker
-/// thread exists, so it owns the state outright.
-fn replay_into(st: &mut State, replay: journal::Replay) {
+/// is re-admitted through the normal grouping path. Tenant attribution
+/// survives the crash: every restored job keeps its journaled tenant (v1
+/// records replay as the default tenant) and live restored jobs re-count
+/// against their tenant's quotas. Runs before any worker thread exists, so
+/// it owns the state outright.
+fn replay_into(cfg: &ServerConfig, st: &mut State, replay: journal::Replay) {
     let table = journal::fold(&replay.records);
     st.recovery = RecoveryReport {
         replayed_records: replay.records.len() as u64,
@@ -878,14 +1095,30 @@ fn replay_into(st: &mut State, replay: journal::Replay) {
                 continue;
             }
         };
+        // Attribution survives the crash in the counters, not just the job
+        // table: every replayed job re-credits its tenant's submitted
+        // count, and a job that reached a terminal state in the previous
+        // life credits done/failed/cancelled here — it will never run
+        // again, so replay is its only chance to be accounted.
+        st.metrics.on_tenant_submit(&rj.tenant);
+        if rj.state.is_terminal() {
+            let work = if rj.state == JobState::Done { rj.steps } else { 0 };
+            st.metrics.on_tenant_terminal(&rj.tenant, rj.state, work);
+        }
         // Back-date admission by the journaled wall-clock age so queue
         // latency spans the crash: the clock started at the original
         // submit, not at replay.
         let submitted_at = now
             .checked_sub(Duration::from_micros(now_us.saturating_sub(rj.submitted_unix_us)))
             .unwrap_or(now);
-        let spec = JobSpec { input, steps: rj.steps as usize, tag: rj.tag.clone() };
+        let spec = JobSpec {
+            input,
+            steps: rj.steps as usize,
+            tag: rj.tag.clone(),
+            tenant: rj.tenant.clone(),
+        };
         let cmat_key = spec.input.cmat_key();
+        let deck_bytes = rj.deck.len() as u64;
         let mut job = Job {
             id: *id,
             spec,
@@ -897,21 +1130,30 @@ fn replay_into(st: &mut State, replay: journal::Replay) {
             submitted_at,
             dispatched_at: None,
             outcome: None,
+            token: (!rj.token.is_empty()).then(|| rj.token.clone()),
+            deck_bytes,
             restored_summary: None,
             subscribers: Vec::new(),
         };
         if !rj.token.is_empty() {
             st.tokens.insert(rj.token.clone(), *id);
         }
+        let count_live = |st: &mut State, tenant: &str, bytes: u64| {
+            let u = st.tenant_usage.entry(tenant.to_string()).or_default();
+            u.live_jobs += 1;
+            u.live_bytes += bytes;
+        };
         if rj.state.is_terminal() {
             job.restored_summary = rj.done_summary;
             st.jobs.insert(*id, job);
+            st.terminal_order.push_back((*id, now));
             st.recovery.restored_jobs += 1;
         } else if let Some(b) = resumed_members.get(id) {
             // Re-runs Batched → Running when the resumed batch dispatches.
             job.state = JobState::Batched;
             job.batch = Some(*b);
             job.detail = format!("restored; resuming {b}");
+            count_live(st, &rj.tenant, deck_bytes);
             st.jobs.insert(*id, job);
             st.live += 1;
             st.recovery.restored_jobs += 1;
@@ -923,17 +1165,13 @@ fn replay_into(st: &mut State, replay: journal::Replay) {
             job.state = JobState::Batched;
             job.batch = Some(batch);
             job.detail = format!("restored; regrouped into {batch}");
+            count_live(st, &rj.tenant, deck_bytes);
             st.jobs.insert(*id, job);
             st.live += 1;
             st.recovery.readmitted_jobs += 1;
             journal_append(st, &JournalRecord::Batched { job: *id, batch });
             if let Some(f) = flushed {
-                st.ready.push_back(ReadyBatch {
-                    id: f.batch.id,
-                    jobs: f.batch.jobs,
-                    reason: f.reason,
-                    resume: None,
-                });
+                enqueue_ready(cfg, st, f.batch.id, f.batch.jobs, f.reason, None);
             }
         }
     }
@@ -1006,12 +1244,7 @@ fn replay_into(st: &mut State, replay: journal::Replay) {
             }
         }
         st.recovery.resumed_batches += 1;
-        st.ready.push_back(ReadyBatch {
-            id: *bid,
-            jobs: live,
-            reason: FlushReason::Resume,
-            resume: Some(resume),
-        });
+        enqueue_ready(cfg, st, *bid, live, FlushReason::Resume, Some(resume));
     }
 }
 
@@ -1057,7 +1290,7 @@ fn admit(shared: &Shared, st: &State, spec: &JobSpec) -> Result<(), AdmitError> 
 /// live-job count, notifying subscribers, and journaling terminal
 /// transitions (so a restart never re-runs finished work).
 fn transition(st: &mut State, id: JobId, to: JobState, detail: String) {
-    let rec = {
+    let (rec, released) = {
         let job = st.jobs.get_mut(&id).expect("job exists");
         assert!(
             job.state.can_transition(to),
@@ -1067,7 +1300,7 @@ fn transition(st: &mut State, id: JobId, to: JobState, detail: String) {
         job.state = to;
         job.detail = detail.clone();
         emit(job, to, detail);
-        match to {
+        let rec = match to {
             JobState::Done => {
                 let (steps, h_hash, diag_bits) = job
                     .outcome
@@ -1084,13 +1317,29 @@ fn transition(st: &mut State, id: JobId, to: JobState, detail: String) {
                 Some(JournalRecord::Cancelled { job: id, detail: job.detail.clone() })
             }
             _ => None,
-        }
+        };
+        let released = to.is_terminal().then(|| {
+            let work = if to == JobState::Done { job.spec.steps as u64 } else { 0 };
+            (job.spec.tenant.clone(), job.deck_bytes, work)
+        });
+        (rec, released)
     };
     if let Some(rec) = rec {
         journal_append(st, &rec);
     }
-    if to.is_terminal() {
+    if let Some((tenant, deck_bytes, work)) = released {
         st.live = st.live.checked_sub(1).expect("live-job count underflow");
+        // Return the job's live budget to its tenant; an emptied entry is
+        // dropped so the usage map tracks only tenants with live work.
+        if let Some(u) = st.tenant_usage.get_mut(&tenant) {
+            u.live_jobs = u.live_jobs.saturating_sub(1);
+            u.live_bytes = u.live_bytes.saturating_sub(deck_bytes);
+            if *u == TenantUsage::default() {
+                st.tenant_usage.remove(&tenant);
+            }
+        }
+        st.metrics.on_tenant_terminal(&tenant, to, work);
+        st.terminal_order.push_back((id, Instant::now()));
     }
 }
 
@@ -1112,19 +1361,19 @@ fn batcher_loop(shared: &Shared) {
         if guard.shutdown {
             return;
         }
-        let expired = guard.grouper.expired(Instant::now());
+        let now = Instant::now();
+        let expired = guard.grouper.expired(now);
         if !expired.is_empty() {
+            let st = &mut *guard;
             for f in expired {
-                guard.ready.push_back(ReadyBatch {
-                    id: f.batch.id,
-                    jobs: f.batch.jobs,
-                    reason: f.reason,
-                    resume: None,
-                });
+                enqueue_ready(&shared.cfg, st, f.batch.id, f.batch.jobs, f.reason, None);
             }
             shared.work.notify_all();
             continue;
         }
+        // The batcher doubles as the retention sweeper: the age bound must
+        // fire even when no submission or flush has run in a while.
+        evict_terminals(&mut guard, shared.cfg.retain_jobs, shared.cfg.retain_age, now);
         match guard.grouper.next_deadline() {
             Some(d) => {
                 shared.timer.wait_until(&mut guard, d);
@@ -1137,22 +1386,42 @@ fn batcher_loop(shared: &Shared) {
     }
 }
 
-/// A worker thread: pop ready batches and execute them.
+/// A worker thread: pop ready batches whose node ask fits the remaining
+/// machine budget and execute them. The worker is the single owner of the
+/// node ledger — it reserves `rb.nodes` at pop and releases them when
+/// `execute_batch` returns, whether the batch completed, failed, or was
+/// preempted back into the queue.
 fn worker_loop(shared: &Shared) {
     loop {
-        let rb = {
+        let (rb, nodes) = {
             let mut guard = shared.state.lock();
-            loop {
+            guard.idle_workers += 1;
+            let rb = loop {
                 if guard.shutdown {
+                    guard.idle_workers -= 1;
                     return;
                 }
-                if let Some(rb) = guard.ready.pop_front() {
+                let st = &mut *guard;
+                let avail = shared.cfg.nodes.saturating_sub(st.nodes_in_use);
+                if let Some(rb) = st.ready.pop(|cand| cand.nodes <= avail) {
                     break rb;
                 }
                 shared.work.wait(&mut guard);
-            }
+            };
+            guard.idle_workers -= 1;
+            guard.nodes_in_use += rb.nodes;
+            guard.metrics.on_world_start();
+            let nodes = rb.nodes;
+            (rb, nodes)
         };
         execute_batch(shared, rb);
+        {
+            let mut guard = shared.state.lock();
+            guard.nodes_in_use = guard.nodes_in_use.saturating_sub(nodes);
+            guard.metrics.on_world_end();
+            // Freed nodes may unblock a queued world on another worker.
+            shared.work.notify_all();
+        }
     }
 }
 
@@ -1166,20 +1435,28 @@ fn worker_loop(shared: &Shared) {
 /// than reasoning about a "finished but unrecorded" limbo state.
 fn execute_batch(shared: &Shared, rb: ReadyBatch) {
     let grid = shared.cfg.grid;
-    let ReadyBatch { id: batch_id, jobs, reason, resume } = rb;
+    let ReadyBatch { id: batch_id, jobs, reason, resume, tenant, priority, nodes } = rb;
     // Dispatch bookkeeping: transition members to Running, record queue
     // latency and occupancy, arm the chaos fault plan (first batch only).
+    // Members of a preempted batch are *already* Running — they re-enter
+    // here without a second transition, dispatch count, or Running record,
+    // so a preempt/resume cycle is invisible to occupancy accounting.
     let (mut member_ids, mut inputs, steps_total, mut plan) = {
         let mut guard = shared.state.lock();
         let st = &mut *guard;
         let now = Instant::now();
         let mut inputs: Vec<CgyroInput> = Vec::new();
         let mut steps_total = 0;
+        let mut fresh = 0usize;
         for id in &jobs {
             let job = st.jobs.get_mut(id).expect("batched job exists");
-            job.dispatched_at = Some(now);
             steps_total = job.spec.steps;
             inputs.push(job.spec.input.clone());
+            if job.state != JobState::Batched {
+                continue;
+            }
+            fresh += 1;
+            job.dispatched_at = Some(now);
             // Microsecond resolution: under test configs dispatch latency
             // is routinely sub-millisecond, and ms-granular recording
             // rounded it all to zero (count > 0 with sum = 0).
@@ -1190,8 +1467,10 @@ fn execute_batch(shared: &Shared, rb: ReadyBatch) {
         if jobs.is_empty() {
             return;
         }
-        st.metrics.on_dispatch(jobs.len(), inputs[0].dims(), reason);
-        journal_append(st, &JournalRecord::Running { batch: batch_id, jobs: jobs.clone() });
+        if fresh > 0 {
+            st.metrics.on_dispatch(jobs.len(), inputs[0].dims(), reason);
+            journal_append(st, &JournalRecord::Running { batch: batch_id, jobs: jobs.clone() });
+        }
         (jobs.clone(), inputs, steps_total, st.fault_plan.take())
     };
     let batch_k = member_ids.len() as u64;
@@ -1228,6 +1507,36 @@ fn execute_batch(shared: &Shared, rb: ReadyBatch) {
         }
         if member_ids.is_empty() {
             return;
+        }
+        // Elastic preemption: yield this world's nodes when a
+        // higher-priority batch is blocked and provably dispatchable once
+        // they are released. The fit test is deliberately strict —
+        // releasing nodes that still would not admit the waiting batch
+        // would spin through pop/requeue without making progress. Members
+        // stay Running; the batch re-enters the queue with its checkpoint,
+        // and the worker that released the nodes pops the higher lane
+        // first.
+        {
+            let mut guard = shared.state.lock();
+            let st = &mut *guard;
+            if let Some(need) = st.ready.min_over_higher_lanes(priority, |c| c.nodes as u64) {
+                let avail_now = shared.cfg.nodes.saturating_sub(st.nodes_in_use) as u64;
+                let blocked = st.idle_workers == 0 || need > avail_now;
+                if blocked && need <= avail_now + nodes as u64 {
+                    st.metrics.on_preempt(&tenant);
+                    let resume = ResumeState { checkpoint: checkpoint.take(), done, next_seq };
+                    enqueue_ready(
+                        &shared.cfg,
+                        st,
+                        batch_id,
+                        member_ids,
+                        FlushReason::Preempt,
+                        Some(resume),
+                    );
+                    shared.work.notify_all();
+                    return;
+                }
+            }
         }
         let cfg = match EnsembleConfig::new(inputs.clone(), grid) {
             Ok(c) => c,
@@ -1400,7 +1709,12 @@ mod tests {
     use xg_sim::CgyroInput;
 
     fn spec(input: CgyroInput, steps: usize, tag: &str) -> JobSpec {
-        JobSpec { input, steps, tag: tag.to_string() }
+        JobSpec {
+            input,
+            steps,
+            tag: tag.to_string(),
+            tenant: crate::tenant::DEFAULT_TENANT.to_string(),
+        }
     }
 
     #[test]

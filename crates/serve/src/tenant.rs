@@ -1,0 +1,290 @@
+//! Multi-tenant identity, quotas, and fair-share configuration.
+//!
+//! A **tenant** is the unit of isolation the service schedules between:
+//! every submission carries a tenant name on the wire (`SUBMIT … tenant=`),
+//! every journal record and metric family is attributed to one, and the
+//! dispatch queue divides machine time between them by deficit round-robin
+//! over the configured weights (see [`crate::sched`]).
+//!
+//! The directory has two modes:
+//!
+//! * **Open** (no `--tenants` flag): any well-formed tenant name is
+//!   accepted as-is with the default weight and no quotas; a submission
+//!   without a tenant runs as [`DEFAULT_TENANT`]. This keeps a
+//!   single-operator daemon exactly as permissive as before the
+//!   multi-tenant work.
+//! * **Configured** (`--tenants alice:weight=3:jobs=16,bob:secret=s3`):
+//!   only the listed tenants are admitted. Each entry may pin a DRR
+//!   weight, a priority lane, live-job and live-byte quotas, and a shared
+//!   secret that the submission must echo (`auth=`) — the same
+//!   pre-shared-string trust model as the idempotency `--token` flow, now
+//!   used for identity instead of dedup.
+
+use std::collections::BTreeMap;
+
+/// The tenant a submission without a `tenant=` field runs as — also what
+/// journal records from before the multi-tenant era replay as.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Default DRR weight for tenants that do not pin one.
+pub const DEFAULT_WEIGHT: u32 = 1;
+
+/// FNV-1a over a tenant name — the fixed-width tenant component of
+/// [`crate::BatchKey`]. (Batch membership additionally compares the exact
+/// name, so even a colliding pair of names could never co-batch.)
+pub fn tenant_key(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Whether `name` is a well-formed tenant name: 1–64 chars from
+/// `[A-Za-z0-9._-]`. Names travel on the wire protocol's space-separated
+/// argument lists and inside Prometheus label values, so no whitespace,
+/// quotes, or control characters.
+pub fn valid_tenant_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+}
+
+/// One tenant's configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// The tenant name (wire `tenant=` value, metrics label).
+    pub name: String,
+    /// Deficit-round-robin weight: a tenant with weight 3 is entitled to
+    /// 3× the dispatched work of a weight-1 tenant under contention.
+    pub weight: u32,
+    /// Priority lane. Higher lanes dispatch first and may preempt
+    /// lower-lane batches at checkpoint boundaries.
+    pub priority: u8,
+    /// Quota: maximum live (non-terminal) jobs, enforced at admission.
+    pub max_live_jobs: Option<usize>,
+    /// Quota: maximum summed deck bytes across live jobs, enforced at
+    /// admission (a submission that would exceed it is rejected).
+    pub max_live_bytes: Option<u64>,
+    /// Pre-shared secret the submission must echo as `auth=`; `None`
+    /// means the tenant name alone suffices.
+    pub secret: Option<String>,
+}
+
+impl TenantSpec {
+    /// An unconstrained tenant: default weight, lane 0, no quotas, no
+    /// secret — what open mode hands out for any well-formed name.
+    pub fn open(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            weight: DEFAULT_WEIGHT,
+            priority: 0,
+            max_live_jobs: None,
+            max_live_bytes: None,
+            secret: None,
+        }
+    }
+}
+
+/// Live per-tenant resource usage, tracked by the server under its state
+/// lock and checked against [`TenantSpec`] quotas at admission.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantUsage {
+    /// Non-terminal jobs currently held.
+    pub live_jobs: usize,
+    /// Summed deck bytes of those jobs.
+    pub live_bytes: u64,
+}
+
+/// Why a tenant claim was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TenantError {
+    /// The name is not well-formed (see [`valid_tenant_name`]).
+    BadName(String),
+    /// The directory is configured and does not list this tenant.
+    Unknown(String),
+    /// The tenant requires a secret and the submission's `auth=` did not
+    /// match (or was absent).
+    BadAuth(String),
+}
+
+impl std::fmt::Display for TenantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TenantError::BadName(n) => write!(
+                f,
+                "malformed tenant name '{n}' (1-64 chars of [A-Za-z0-9._-])"
+            ),
+            TenantError::Unknown(n) => write!(f, "unknown tenant '{n}'"),
+            TenantError::BadAuth(n) => write!(f, "auth failed for tenant '{n}'"),
+        }
+    }
+}
+
+/// The set of tenants a daemon serves. Empty = open mode.
+#[derive(Clone, Debug, Default)]
+pub struct TenantDirectory {
+    tenants: BTreeMap<String, TenantSpec>,
+}
+
+impl TenantDirectory {
+    /// Open mode: every well-formed tenant name is accepted, unquota'd.
+    pub fn open() -> Self {
+        Self::default()
+    }
+
+    /// Whether a `--tenants` roster was configured (strict mode).
+    pub fn is_configured(&self) -> bool {
+        !self.tenants.is_empty()
+    }
+
+    /// The configured roster, in name order (empty in open mode).
+    pub fn roster(&self) -> impl Iterator<Item = &TenantSpec> {
+        self.tenants.values()
+    }
+
+    /// Look up a configured tenant by name.
+    pub fn get(&self, name: &str) -> Option<&TenantSpec> {
+        self.tenants.get(name)
+    }
+
+    /// Parse a `--tenants` roster. Grammar: comma-separated entries, each
+    /// `name[:key=value]*` with keys `weight` (u32 ≥ 1), `prio` (u8),
+    /// `jobs` (live-job quota), `bytes` (live deck-byte quota), `secret`.
+    ///
+    /// ```text
+    /// alice:weight=3:jobs=16,bob:bytes=1048576:secret=hunter2,ops:prio=1
+    /// ```
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut tenants = BTreeMap::new();
+        for entry in spec.split(',').filter(|e| !e.is_empty()) {
+            let mut fields = entry.split(':');
+            let name = fields.next().unwrap_or_default().to_string();
+            if !valid_tenant_name(&name) {
+                return Err(format!(
+                    "tenant '{name}': names are 1-64 chars of [A-Za-z0-9._-]"
+                ));
+            }
+            let mut t = TenantSpec::open(&name);
+            for field in fields {
+                let (key, value) = field
+                    .split_once('=')
+                    .ok_or_else(|| format!("tenant '{name}': field '{field}' is not key=value"))?;
+                let bad = |what: &str| format!("tenant '{name}': bad {what} '{value}'");
+                match key {
+                    "weight" => {
+                        t.weight = value.parse().map_err(|_| bad("weight"))?;
+                        if t.weight == 0 {
+                            return Err(format!("tenant '{name}': weight must be >= 1"));
+                        }
+                    }
+                    "prio" => t.priority = value.parse().map_err(|_| bad("prio"))?,
+                    "jobs" => t.max_live_jobs = Some(value.parse().map_err(|_| bad("jobs quota"))?),
+                    "bytes" => {
+                        t.max_live_bytes = Some(value.parse().map_err(|_| bad("bytes quota"))?)
+                    }
+                    "secret" => t.secret = Some(value.to_string()),
+                    other => return Err(format!("tenant '{name}': unknown field '{other}'")),
+                }
+            }
+            if tenants.insert(name.clone(), t).is_some() {
+                return Err(format!("tenant '{name}' listed twice"));
+            }
+        }
+        if tenants.is_empty() {
+            return Err("--tenants roster is empty".into());
+        }
+        Ok(Self { tenants })
+    }
+
+    /// Resolve a submission's tenant claim (the wire `tenant=` value, ""
+    /// meaning unspecified) and `auth=` secret into an effective
+    /// [`TenantSpec`].
+    pub fn resolve(&self, claim: &str, auth: &str) -> Result<TenantSpec, TenantError> {
+        let name = if claim.is_empty() { DEFAULT_TENANT } else { claim };
+        if !valid_tenant_name(name) {
+            return Err(TenantError::BadName(name.to_string()));
+        }
+        if !self.is_configured() {
+            return Ok(TenantSpec::open(name));
+        }
+        let Some(t) = self.tenants.get(name) else {
+            return Err(TenantError::Unknown(name.to_string()));
+        };
+        match &t.secret {
+            Some(s) if s != auth => Err(TenantError::BadAuth(name.to_string())),
+            _ => Ok(t.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_mode_accepts_any_well_formed_name_without_quotas() {
+        let d = TenantDirectory::open();
+        assert!(!d.is_configured());
+        let t = d.resolve("alice", "").unwrap();
+        assert_eq!(t, TenantSpec::open("alice"));
+        assert_eq!(d.resolve("", "").unwrap().name, DEFAULT_TENANT);
+        assert!(matches!(d.resolve("no spaces", ""), Err(TenantError::BadName(_))));
+    }
+
+    #[test]
+    fn roster_parses_weights_quotas_and_secrets() {
+        let d = TenantDirectory::parse(
+            "alice:weight=3:jobs=16,bob:bytes=1048576:secret=hunter2,ops:prio=1",
+        )
+        .unwrap();
+        assert!(d.is_configured());
+        let alice = d.get("alice").unwrap();
+        assert_eq!((alice.weight, alice.max_live_jobs), (3, Some(16)));
+        let bob = d.get("bob").unwrap();
+        assert_eq!(bob.max_live_bytes, Some(1_048_576));
+        assert_eq!(bob.secret.as_deref(), Some("hunter2"));
+        assert_eq!(d.get("ops").unwrap().priority, 1);
+        assert_eq!(d.roster().count(), 3);
+    }
+
+    #[test]
+    fn roster_rejects_malformed_entries() {
+        for bad in [
+            "",
+            "alice:weight=0",
+            "alice:weight=x",
+            "alice:frobnicate=1",
+            "alice,alice",
+            "bad name:weight=1",
+            "alice:weight",
+        ] {
+            assert!(TenantDirectory::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn configured_mode_enforces_membership_and_secrets() {
+        let d = TenantDirectory::parse("alice:weight=2,bob:secret=s3").unwrap();
+        assert_eq!(d.resolve("alice", "").unwrap().weight, 2);
+        // Unknown tenants are refused, including the implicit default.
+        assert!(matches!(d.resolve("mallory", ""), Err(TenantError::Unknown(_))));
+        assert!(matches!(d.resolve("", ""), Err(TenantError::Unknown(_))));
+        // Secret-bearing tenants must authenticate.
+        assert!(matches!(d.resolve("bob", ""), Err(TenantError::BadAuth(_))));
+        assert!(matches!(d.resolve("bob", "wrong"), Err(TenantError::BadAuth(_))));
+        assert_eq!(d.resolve("bob", "s3").unwrap().name, "bob");
+    }
+
+    #[test]
+    fn tenant_keys_are_stable_and_distinct_for_the_roster() {
+        assert_eq!(tenant_key("default"), tenant_key("default"));
+        let names = ["default", "alice", "bob", "ops", "a", "b"];
+        let keys: std::collections::BTreeSet<u64> =
+            names.iter().map(|n| tenant_key(n)).collect();
+        assert_eq!(keys.len(), names.len());
+    }
+}

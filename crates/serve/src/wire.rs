@@ -16,9 +16,10 @@
 //!
 //! ```text
 //! PING                          -> OK pong
-//! SUBMIT steps=N [tag=T] [token=T] + deck
+//! SUBMIT steps=N [tag=T] [token=T] [tenant=NAME] [auth=SECRET] + deck
 //!                               -> OK job-0 batch=batch-0 [dup=1]
-//! DRYRUN steps=N        + deck  -> OK cmat_key=0x… placement=… k_cap=…
+//! DRYRUN steps=N [tenant=NAME]  + deck
+//!                               -> OK cmat_key=0x… placement=… k_cap=…
 //!                                     deck_hash=xgd1-… cache=hit|miss|off
 //! STATUS job-N                  -> OK job-N state=… batch=… detail=…
 //! RESULT job-N                  -> OK job-N steps=… h_hash=0x… diag=0x…,…
@@ -42,6 +43,12 @@
 //! previous one) answers with the existing job id plus `dup=1` instead of
 //! enqueueing again. `RESULT` serves the journaled result fingerprint, so
 //! it keeps answering for jobs that completed before a daemon restart.
+//!
+//! `SUBMIT tenant=NAME` names the tenant the job is admitted, scheduled,
+//! quota'd, and metered under (omitted = `default`). When the daemon runs
+//! with a `--tenants` roster, only listed names are accepted, and a tenant
+//! configured with a secret must echo it as `auth=SECRET` — the same
+//! pre-shared-string trust model as the idempotency token.
 
 use crate::batcher::Placement;
 use crate::job::{JobId, JobSpec, JobStatus};
@@ -192,7 +199,8 @@ fn handle_conn(
                     }
                 };
                 if cmd == "SUBMIT" {
-                    match server.submit_with_token(spec, kv_arg(&args, "token")) {
+                    match server.submit_authed(spec, kv_arg(&args, "token"), kv_arg(&args, "auth"))
+                    {
                         Ok((id, dup)) => {
                             let batch = server
                                 .status(id)
@@ -219,6 +227,11 @@ fn handle_conn(
                                 Placement::Opens { k_cap } => writeln!(
                                     out,
                                     "OK cmat_key={key:#018x} placement=opens k_cap={k_cap} \
+                                     {tail}"
+                                )?,
+                                Placement::Infeasible => writeln!(
+                                    out,
+                                    "OK cmat_key={key:#018x} placement=infeasible k_cap=0 \
                                      {tail}"
                                 )?,
                             }
@@ -381,16 +394,21 @@ enum SpecError {
     Bad(String),
 }
 
-/// Parse `steps=`/`tag=` arguments plus the deck body (lines up to `END`).
+/// Parse `steps=`/`tag=`/`tenant=` arguments plus the deck body (lines up
+/// to `END`). The tenant here is the *claim*; the server resolves it
+/// against its directory (and the `auth=` secret) at admission.
 fn read_spec(reader: &mut impl BufRead, args: &[&str]) -> Result<JobSpec, SpecError> {
     let steps = kv_arg(args, "steps")
         .ok_or_else(|| SpecError::Bad("missing steps=N".into()))?
         .parse::<usize>()
         .map_err(|e| SpecError::Bad(format!("bad steps: {e}")))?;
     let tag = kv_arg(args, "tag").unwrap_or_default().to_string();
+    let tenant = kv_arg(args, "tenant")
+        .unwrap_or(crate::tenant::DEFAULT_TENANT)
+        .to_string();
     let deck = read_deck_body(reader, MAX_LINE)?;
     let input = parse_deck(&deck).map_err(|e| SpecError::Bad(e.to_string()))?;
-    Ok(JobSpec { input, steps, tag })
+    Ok(JobSpec { input, steps, tag, tenant })
 }
 
 /// Read deck lines up to the `END` terminator, each capped at `cap` bytes.
@@ -431,10 +449,11 @@ fn parse_hash_arg(args: &[&str], pos: usize) -> Result<DeckHash, String> {
 
 fn fmt_status(s: &JobStatus) -> String {
     format!(
-        "{} state={} batch={} tag={} latency_ms={} detail={}",
+        "{} state={} batch={} tenant={} tag={} latency_ms={} detail={}",
         s.id,
         s.state,
         s.batch.map(|b| b.to_string()).unwrap_or_else(|| "-".into()),
+        s.tenant,
         if s.tag.is_empty() { "-" } else { &s.tag },
         s.queue_latency_ms.map(|l| l.to_string()).unwrap_or_else(|| "-".into()),
         s.detail,
@@ -525,14 +544,35 @@ impl Client {
         token: &str,
         dry_run: bool,
     ) -> std::io::Result<String> {
+        self.submit_deck_as(deck_text, steps, tag, token, "", "", dry_run)
+    }
+
+    /// Submit (or dry-run) a deck as a named tenant, optionally carrying
+    /// the tenant's `auth=` secret and an idempotency token (`""` for
+    /// "absent" on any of the three).
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_deck_as(
+        &mut self,
+        deck_text: &str,
+        steps: usize,
+        tag: &str,
+        token: &str,
+        tenant: &str,
+        auth: &str,
+        dry_run: bool,
+    ) -> std::io::Result<String> {
         let cmd = if dry_run { "DRYRUN" } else { "SUBMIT" };
         let tag_part = if tag.is_empty() { String::new() } else { format!(" tag={tag}") };
         let token_part =
             if token.is_empty() { String::new() } else { format!(" token={token}") };
+        let tenant_part =
+            if tenant.is_empty() { String::new() } else { format!(" tenant={tenant}") };
+        let auth_part = if auth.is_empty() { String::new() } else { format!(" auth={auth}") };
         // One write for the whole request: several small writes would
         // trigger Nagle/delayed-ACK stalls that add tens of milliseconds
         // per submission — enough to spread a burst past the linger window.
-        let mut req = format!("{cmd} steps={steps}{tag_part}{token_part}\n");
+        let mut req =
+            format!("{cmd} steps={steps}{tag_part}{token_part}{tenant_part}{auth_part}\n");
         req.push_str(deck_text);
         if !deck_text.ends_with('\n') {
             req.push('\n');
@@ -870,6 +910,58 @@ mod tests {
         assert_eq!(c.roundtrip("SHUTDOWN").unwrap(), "OK bye");
         h.join().unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tenant_identity_auth_and_quota_on_the_wire() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let mut cfg = ServerConfig::local_test();
+        cfg.linger = Duration::from_secs(30);
+        cfg.tenants =
+            crate::tenant::TenantDirectory::parse("acme:weight=2:jobs=1,beta:secret=s3cr3t")
+                .unwrap();
+        let server = CampaignServer::start(cfg);
+        let h = std::thread::spawn(move || serve(listener, server).expect("serve"));
+        let mut c = Client::connect(&addr.to_string()).expect("connect");
+
+        let base = CgyroInput::test_small();
+        let deck = write_deck(&base);
+        // Configured roster: an unlisted tenant (and the implicit default)
+        // is refused with a typed error.
+        let resp = c.submit_deck_as(&deck, 20, "", "", "mallory", "", false).unwrap();
+        assert!(resp.starts_with("ERR tenant-denied"), "{resp}");
+        let resp = c.submit_deck(&deck, 20, "", false).unwrap();
+        assert!(resp.starts_with("ERR tenant-denied"), "{resp}");
+        // A secret-bearing tenant must echo auth=.
+        let resp = c.submit_deck_as(&deck, 20, "", "", "beta", "", false).unwrap();
+        assert!(resp.starts_with("ERR tenant-denied"), "{resp}");
+        let resp = c.submit_deck_as(&deck, 20, "", "", "beta", "s3cr3t", false).unwrap();
+        assert!(resp.starts_with("OK job-0"), "{resp}");
+        // acme's jobs=1 quota: the first live job admits, the second is
+        // shed with the typed quota error naming the resource.
+        let resp = c.submit_deck_as(&deck, 20, "a1", "", "acme", "", false).unwrap();
+        assert!(resp.starts_with("OK job-1"), "{resp}");
+        let deck2 = write_deck(&base.with_gradients(1.5, 2.0));
+        let resp = c.submit_deck_as(&deck2, 20, "a2", "", "acme", "", false).unwrap();
+        assert!(resp.starts_with("ERR quota-exceeded"), "{resp}");
+        assert!(resp.contains("live jobs"), "{resp}");
+        // STATUS and LIST carry the tenant column.
+        let status = c.roundtrip("STATUS job-1").unwrap();
+        assert!(status.contains("tenant=acme"), "{status}");
+        // A terminal job releases its quota: cancel the queued one and the
+        // rejected submission now admits.
+        assert_eq!(c.roundtrip("CANCEL job-1").unwrap(), "OK Cancelled");
+        let resp = c.submit_deck_as(&deck2, 20, "a2", "", "acme", "", false).unwrap();
+        assert!(resp.starts_with("OK"), "{resp}");
+        // Per-tenant metric families are exported.
+        let json = c.metrics().unwrap();
+        assert!(json.contains("\"acme\": {\"submitted\": 2"), "{json}");
+        let prom = c.metrics_prom().unwrap();
+        assert!(prom.contains("xgserve_tenant_submitted_total{tenant=\"beta\"} 1"), "{prom}");
+        xg_obs::expo::lint_prometheus(&prom).expect("exposition must lint");
+        assert_eq!(c.roundtrip("SHUTDOWN").unwrap(), "OK bye");
+        h.join().unwrap();
     }
 
     #[test]

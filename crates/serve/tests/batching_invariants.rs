@@ -62,6 +62,9 @@ proptest! {
                         "predicted a fresh batch but joined an existing one"
                     );
                 }
+                Placement::Infeasible => {
+                    prop_assert!(false, "test decks always admit at least k = 1");
+                }
             }
 
             key_of.insert(id, BatchKey::of(&spec));

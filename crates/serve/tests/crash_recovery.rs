@@ -67,7 +67,7 @@ fn restart_restores_done_jobs_and_keeps_tokens_deduplicating() {
         .iter()
         .enumerate()
         .map(|(i, d)| {
-            let spec = JobSpec { input: d.clone(), steps: STEPS, tag: format!("life1-{i}") };
+            let spec = JobSpec { input: d.clone(), steps: STEPS, tag: format!("life1-{i}"), tenant: "default".into() };
             server.submit_with_token(spec, Some(&format!("tok-{i}"))).expect("admitted").0
         })
         .collect();
@@ -95,7 +95,7 @@ fn restart_restores_done_jobs_and_keeps_tokens_deduplicating() {
     // token, same id, dup=true — the double-enqueue a lost OK would cause.
     let (dup_id, dup) = server
         .submit_with_token(
-            JobSpec { input: decks[1].clone(), steps: STEPS, tag: "retry".into() },
+            JobSpec { input: decks[1].clone(), steps: STEPS, tag: "retry".into(), tenant: "default".into() },
             Some("tok-1"),
         )
         .expect("token lookup is not admission");
@@ -123,6 +123,7 @@ fn waiting_jobs_are_readmitted_and_age_from_the_original_submit() {
             deck,
             steps: STEPS as u64,
             tag: format!("orphan{i}"),
+            tenant: "default".into(),
             submitted_unix_us: before_us,
         })
         .expect("append");
@@ -183,6 +184,7 @@ fn running_batch_resumes_from_its_checkpoint_bitwise_identically() {
             deck,
             steps: STEPS as u64,
             tag: format!("mid{i}"),
+            tenant: "default".into(),
             submitted_unix_us: unix_us(),
         })
         .expect("append");
@@ -208,7 +210,7 @@ fn running_batch_resumes_from_its_checkpoint_bitwise_identically() {
     // New submissions keep working alongside a resume (batch ids were
     // re-seeded past the journaled ones, so no collision).
     let fresh = server
-        .submit(JobSpec { input: decks[0].clone(), steps: STEPS, tag: "after".into() })
+        .submit(JobSpec { input: decks[0].clone(), steps: STEPS, tag: "after".into(), tenant: "default".into() })
         .expect("admitted");
     assert!(server.drain(Duration::from_secs(120)), "drain timed out");
     assert_eq!(server.status(fresh).unwrap().state, JobState::Done);
@@ -236,7 +238,7 @@ fn torn_tail_is_truncated_with_a_warning_not_a_refusal() {
     let server = CampaignServer::start(config(&dir));
     for (i, d) in decks.iter().enumerate() {
         server
-            .submit(JobSpec { input: d.clone(), steps: STEPS, tag: format!("t{i}") })
+            .submit(JobSpec { input: d.clone(), steps: STEPS, tag: format!("t{i}"), tenant: "default".into() })
             .expect("admitted");
     }
     assert!(server.drain(Duration::from_secs(120)), "drain timed out");
@@ -282,7 +284,7 @@ fn journal_write_error_sheds_the_submit_with_typed_backpressure() {
     let deck = CgyroInput::test_small();
 
     let err = server
-        .submit(JobSpec { input: deck.clone(), steps: STEPS, tag: "shed".into() })
+        .submit(JobSpec { input: deck.clone(), steps: STEPS, tag: "shed".into(), tenant: "default".into() })
         .expect_err("unjournaled work must be shed");
     assert!(
         matches!(err, AdmitError::JournalBackpressure { .. }),
@@ -291,7 +293,7 @@ fn journal_write_error_sheds_the_submit_with_typed_backpressure() {
 
     // The fault was one-shot; the retry is admitted, journaled, and runs.
     let id = server
-        .submit(JobSpec { input: deck, steps: STEPS, tag: "retry".into() })
+        .submit(JobSpec { input: deck, steps: STEPS, tag: "retry".into(), tenant: "default".into() })
         .expect("journal recovered");
     assert!(server.drain(Duration::from_secs(120)), "drain timed out");
     assert_eq!(server.status(id).unwrap().state, JobState::Done);

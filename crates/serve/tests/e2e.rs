@@ -50,7 +50,7 @@ fn n_jobs_m_keys_form_m_batches_with_exact_results_and_metrics() {
         .enumerate()
         .map(|(i, d)| {
             server
-                .submit(JobSpec { input: d.clone(), steps: STEPS, tag: format!("e2e{i}") })
+                .submit(JobSpec { input: d.clone(), steps: STEPS, tag: format!("e2e{i}"), tenant: "default".into() })
                 .expect("admitted")
         })
         .collect();
@@ -133,6 +133,7 @@ fn every_lifecycle_path_terminates() {
                     input: base.with_gradients(1.0 + i as f64, 2.0),
                     steps: STEPS,
                     tag: format!("faulted{i}"),
+                    tenant: "default".into(),
                 })
                 .unwrap()
         })
@@ -141,7 +142,7 @@ fn every_lifecycle_path_terminates() {
     let mut hot = base.clone();
     hot.nu_ee *= 3.0;
     let doomed = server
-        .submit(JobSpec { input: hot, steps: STEPS, tag: "doomed".into() })
+        .submit(JobSpec { input: hot, steps: STEPS, tag: "doomed".into(), tenant: "default".into() })
         .unwrap();
     assert_eq!(server.cancel(doomed).unwrap(), JobState::Cancelled);
 
